@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the graph substrate: union-find closure,
+//! decision-graph operations, and correlation clustering.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use weber_graph::correlation::{correlation_cluster, CorrelationConfig};
+use weber_graph::decision::DecisionGraph;
+use weber_graph::components::connected_components;
+use weber_graph::union_find::UnionFind;
+use weber_graph::weighted::WeightedGraph;
+
+/// A deterministic pseudo-random block-structured decision graph: `n`
+/// nodes in `k` ground-truth clusters, intra-cluster edge probability 0.7,
+/// inter 0.02.
+fn synthetic_decisions(n: usize, k: usize) -> DecisionGraph {
+    let mut g = DecisionGraph::new(n);
+    let mut state = 0x12345678u64;
+    let mut rand01 = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..n {
+        for j in i + 1..n {
+            let same = i % k == j % k;
+            let p = if same { 0.7 } else { 0.02 };
+            if rand01() < p {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let g = synthetic_decisions(150, 12);
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    c.bench_function("union_find_closure_150", |b| {
+        b.iter_batched(
+            || UnionFind::new(150),
+            |mut uf| {
+                for &(i, j) in &edges {
+                    uf.union(i, j);
+                }
+                uf.set_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_connected_components(c: &mut Criterion) {
+    let g = synthetic_decisions(150, 12);
+    c.bench_function("connected_components_150", |b| {
+        b.iter(|| connected_components(black_box(&g)).cluster_count())
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let truth = synthetic_decisions(100, 8);
+    let scores = WeightedGraph::from_fn(100, |i, j| {
+        if truth.has_edge(i, j) {
+            0.85
+        } else {
+            0.12
+        }
+    });
+    c.bench_function("correlation_cluster_100", |b| {
+        b.iter(|| {
+            correlation_cluster(black_box(&scores), CorrelationConfig::default()).cluster_count()
+        })
+    });
+}
+
+fn bench_decision_graph_ops(c: &mut Criterion) {
+    c.bench_function("decision_graph_build_150", |b| {
+        b.iter(|| synthetic_decisions(black_box(150), 12).edge_count())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_union_find,
+    bench_connected_components,
+    bench_correlation,
+    bench_decision_graph_ops
+);
+criterion_main!(benches);

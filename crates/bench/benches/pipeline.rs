@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the end-to-end pipeline: extraction + block
+//! preparation, layer building, and full resolution of one block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use weber_core::blocking::prepare_dataset;
+use weber_core::decision::DecisionCriterion;
+use weber_core::layers::build_layers;
+use weber_core::resolver::{Resolver, ResolverConfig};
+use weber_core::supervision::Supervision;
+use weber_corpus::{generate, presets};
+use weber_extract::pipeline::Extractor;
+use weber_simfun::functions::{function, subset_i10, SimilarityFunction};
+use weber_textindex::tfidf::TfIdf;
+
+fn bench_extraction(c: &mut Criterion) {
+    let dataset = generate(&presets::tiny(7));
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let docs: Vec<_> = dataset.blocks[0].documents.clone();
+    c.bench_function("extract_block_24_docs", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| extractor.extract(black_box(&d.text), d.url.as_deref()).tokens.len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_prepare_dataset(c: &mut Criterion) {
+    let dataset = generate(&presets::tiny(7));
+    c.bench_function("prepare_tiny_dataset", |b| {
+        b.iter(|| prepare_dataset(black_box(&dataset), TfIdf::default()).blocks.len())
+    });
+}
+
+fn bench_layer_build(c: &mut Criterion) {
+    let prepared = prepare_dataset(&generate(&presets::tiny(7)), TfIdf::default());
+    let nb = &prepared.blocks[0];
+    let sup = Supervision::sample_from_truth(&nb.truth, 0.2, 1);
+    let criteria = DecisionCriterion::standard_set();
+    let functions: Vec<std::sync::Arc<dyn SimilarityFunction>> =
+        subset_i10().into_iter().map(function).collect();
+    c.bench_function("build_layers_10fn_3crit", |b| {
+        b.iter(|| build_layers(black_box(&nb.block), &functions, &criteria, &sup).len())
+    });
+}
+
+fn bench_full_resolution(c: &mut Criterion) {
+    let prepared = prepare_dataset(&generate(&presets::tiny(7)), TfIdf::default());
+    let nb = &prepared.blocks[0];
+    let sup = Supervision::sample_from_truth(&nb.truth, 0.2, 1);
+    let resolver = Resolver::new(ResolverConfig::accuracy_suite(subset_i10())).unwrap();
+    c.bench_function("resolve_block_c10", |b| {
+        b.iter(|| {
+            resolver
+                .resolve(black_box(&nb.block), &sup)
+                .unwrap()
+                .partition
+                .cluster_count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // End-to-end targets are tens of milliseconds each; keep the sweep
+    // short so `cargo bench --workspace` stays minutes, not hours.
+    config = Criterion::default().sample_size(20);
+    targets = bench_extraction,
+        bench_prepare_dataset,
+        bench_layer_build,
+        bench_full_resolution
+}
+criterion_main!(benches);

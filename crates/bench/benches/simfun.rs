@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the similarity-function suite: per-function
+//! all-pairs throughput over a prepared block, and the string measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use weber_core::blocking::prepare_dataset;
+use weber_corpus::{generate, presets};
+use weber_simfun::functions::{function, FunctionId};
+use weber_simfun::{jaro_winkler, levenshtein, ngram_dice};
+use weber_textindex::tfidf::TfIdf;
+
+fn bench_functions(c: &mut Criterion) {
+    let prepared = prepare_dataset(&generate(&presets::tiny(42)), TfIdf::default());
+    let block = &prepared.blocks[0].block;
+    let mut g = c.benchmark_group("similarity_functions");
+    g.throughput(criterion::Throughput::Elements(
+        (block.len() * (block.len() - 1) / 2) as u64,
+    ));
+    for id in FunctionId::ALL {
+        let f = function(id);
+        g.bench_function(id.label(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..block.len() {
+                    for j in i + 1..block.len() {
+                        acc += f.compare(black_box(block), i, j);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_string_measures(c: &mut Criterion) {
+    let pairs = [
+        ("william cohen", "w cohen"),
+        ("andrew mccallum", "andrew ng"),
+        ("cs.cmu.edu/~wcohen", "cs.cmu.edu/afs/cohen"),
+        ("leslie kaelbling", "leslie pack kaelbling"),
+    ];
+    let mut g = c.benchmark_group("string_similarity");
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|(a, x)| jaro_winkler(black_box(a), black_box(x)))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|(a, x)| levenshtein(black_box(a), black_box(x)))
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("ngram_dice", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|(a, x)| ngram_dice(black_box(a), black_box(x), 2))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_functions, bench_string_measures
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the text-indexing substrate: tokenisation,
+//! stemming, TF-IDF index construction and sparse-vector similarity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use weber_corpus::{generate, presets};
+use weber_textindex::{porter_stem, tokenize, Analyzer, CorpusIndex, TfIdf};
+
+fn sample_texts() -> Vec<String> {
+    let dataset = generate(&presets::tiny(99));
+    dataset
+        .blocks
+        .iter()
+        .flat_map(|b| b.documents.iter().map(|d| d.text.clone()))
+        .collect()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let texts = sample_texts();
+    let total_bytes: usize = texts.iter().map(String::len).sum();
+    let mut g = c.benchmark_group("textindex");
+    g.throughput(criterion::Throughput::Bytes(total_bytes as u64));
+    g.bench_function("tokenize_corpus", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                n += tokenize(black_box(t)).len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_stemmer(c: &mut Criterion) {
+    let words: Vec<String> = sample_texts()
+        .iter()
+        .flat_map(|t| tokenize(t))
+        .map(|t| t.text)
+        .take(5_000)
+        .collect();
+    c.bench_function("porter_stem_5k_words", |b| {
+        b.iter(|| {
+            let mut len = 0usize;
+            for w in &words {
+                len += porter_stem(black_box(w)).len();
+            }
+            len
+        })
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let texts = sample_texts();
+    c.bench_function("tfidf_index_build", |b| {
+        b.iter_batched(
+            Analyzer::english,
+            |analyzer| {
+                let mut index = CorpusIndex::new();
+                for t in &texts {
+                    index.add_document(analyzer.analyze(black_box(t)));
+                }
+                index.tfidf_vectors(TfIdf::default()).len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_vector_similarity(c: &mut Criterion) {
+    let texts = sample_texts();
+    let analyzer = Analyzer::english();
+    let mut index = CorpusIndex::new();
+    for t in &texts {
+        index.add_document(analyzer.analyze(t));
+    }
+    let vectors = index.tfidf_vectors(TfIdf::default());
+    let dim = index.vocabulary_size();
+    let mut g = c.benchmark_group("sparse_similarity");
+    g.bench_function("cosine_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..vectors.len() {
+                for j in i + 1..vectors.len() {
+                    acc += vectors[i].cosine(black_box(&vectors[j]));
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("pearson_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..vectors.len() {
+                for j in i + 1..vectors.len() {
+                    acc += vectors[i].pearson(black_box(&vectors[j]), dim);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("extended_jaccard_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..vectors.len() {
+                for j in i + 1..vectors.len() {
+                    acc += vectors[i].extended_jaccard(black_box(&vectors[j]));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tokenize,
+        bench_stemmer,
+        bench_index_build,
+        bench_vector_similarity
+}
+criterion_main!(benches);

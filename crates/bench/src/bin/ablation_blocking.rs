@@ -1,0 +1,129 @@
+//! Ablation: blocking schemes on noisy name keys.
+//!
+//! The paper's footnote: "Such blocking strategy is very natural in the
+//! datasets we used, where the documents already organized around person
+//! names. In general, one needs to consider the applicable blocking
+//! schemes more carefully."
+//!
+//! Here the documents of all blocks are thrown into one flat collection
+//! keyed by the *extracted* dominant person name (noisy: pages use full
+//! names, initial forms or the bare surname), and three schemes compete:
+//! exact-key blocking, surname-token blocking (the datasets' natural key),
+//! and sorted-neighbourhood over the noisy keys. Reported per scheme: pair
+//! recall of true co-referent pairs and candidate-pair cost.
+
+use weber_bench::{fmt, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::{key_blocks, sorted_neighborhood};
+
+fn main() {
+    println!("Ablation — blocking on noisy extracted name keys (WWW'05-like)");
+    println!();
+    let prepared = prepared_www05(DEFAULT_SEED);
+
+    // Flatten: global doc ids, noisy keys, and the true co-referent pairs.
+    let mut keys: Vec<String> = Vec::new();
+    let mut surname: Vec<String> = Vec::new();
+    let mut truth_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut offset = 0usize;
+    for nb in &prepared.blocks {
+        for d in 0..nb.block.len() {
+            let key = nb
+                .block
+                .features(d)
+                .most_frequent_person()
+                .unwrap_or(nb.block.query_name())
+                .to_lowercase();
+            keys.push(key);
+            surname.push(nb.block.query_name().to_string());
+        }
+        for (i, j) in nb.truth.positive_pairs() {
+            truth_pairs.push((offset + i, offset + j));
+        }
+        offset += nb.block.len();
+    }
+    let n = keys.len();
+    println!(
+        "{n} documents, {} true co-referent pairs, {} distinct noisy keys",
+        truth_pairs.len(),
+        keys.iter().collect::<std::collections::BTreeSet<_>>().len()
+    );
+    println!();
+
+    let recall_and_cost = |candidates: &dyn Fn(usize, usize) -> bool, cost: usize| {
+        let covered = truth_pairs
+            .iter()
+            .filter(|&&(i, j)| candidates(i, j))
+            .count();
+        (covered as f64 / truth_pairs.len() as f64, cost)
+    };
+
+    let mut rows = Vec::new();
+
+    // Exact noisy-key blocking.
+    {
+        let blocks = key_blocks(&keys, |k| k.clone());
+        let mut label = vec![usize::MAX; n];
+        let mut cost = 0usize;
+        for (b, block) in blocks.iter().enumerate() {
+            cost += block.len() * (block.len().saturating_sub(1)) / 2;
+            for &d in block {
+                label[d] = b;
+            }
+        }
+        let (recall, cost) = recall_and_cost(&|i, j| label[i] == label[j], cost);
+        rows.push(vec![
+            "exact noisy key".to_string(),
+            fmt(recall),
+            cost.to_string(),
+        ]);
+    }
+
+    // Surname blocking (the datasets' natural scheme; the oracle here).
+    {
+        let blocks = key_blocks(&surname, |k| k.clone());
+        let mut label = vec![usize::MAX; n];
+        let mut cost = 0usize;
+        for (b, block) in blocks.iter().enumerate() {
+            cost += block.len() * (block.len().saturating_sub(1)) / 2;
+            for &d in block {
+                label[d] = b;
+            }
+        }
+        let (recall, cost) = recall_and_cost(&|i, j| label[i] == label[j], cost);
+        rows.push(vec![
+            "surname key (paper)".to_string(),
+            fmt(recall),
+            cost.to_string(),
+        ]);
+    }
+
+    // Sorted neighbourhood over noisy keys, several window sizes. Keys sort
+    // by the full noisy string, so "w cohen" and "william cohen" are *not*
+    // adjacent unless the window spans the gap — we sort by reversed name
+    // (surname first), the classic merge/purge key-design trick.
+    for window in [5usize, 10, 25, 50] {
+        let reversed = |k: &String| -> String {
+            let mut toks: Vec<&str> = k.split(' ').collect();
+            toks.reverse();
+            toks.join(" ")
+        };
+        let pairs = sorted_neighborhood(&keys, reversed, window);
+        let set: std::collections::HashSet<(usize, usize)> = pairs.iter().copied().collect();
+        let (recall, cost) = recall_and_cost(&|i, j| set.contains(&(i, j)), pairs.len());
+        rows.push(vec![
+            format!("sorted-neighbourhood w={window}"),
+            fmt(recall),
+            cost.to_string(),
+        ]);
+    }
+
+    print_table(&["scheme", "pair recall", "candidate pairs"], &rows);
+    println!();
+    println!(
+        "surname blocking is the ceiling (the paper's natural blocks); exact\n\
+         noisy keys fracture entities across name variants; sorted\n\
+         neighbourhood with a surname-first sort key recovers recall at a\n\
+         fraction of the full {} comparisons.",
+        n * (n - 1) / 2
+    );
+}

@@ -1,0 +1,59 @@
+//! Ablation: clustering back-end.
+//!
+//! §IV-C: the paper's default is transitive closure, with correlation
+//! clustering as the experimented alternative; §VI contrasts with
+//! incremental clustering-based methods. This sweep compares all three
+//! (incremental under three linkages) under the full C10 configuration.
+
+use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::PreparedDataset;
+use weber_core::clustering::ClusteringMethod;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_graph::correlation::CorrelationConfig;
+use weber_graph::incremental::Linkage;
+use weber_simfun::functions::subset_i10;
+
+fn sweep(label: &str, prepared: &PreparedDataset) {
+    println!("{label}");
+    let protocol = paper_protocol();
+    let methods: Vec<(&str, ClusteringMethod)> = vec![
+        ("transitive closure", ClusteringMethod::TransitiveClosure),
+        (
+            "correlation",
+            ClusteringMethod::Correlation(CorrelationConfig::default()),
+        ),
+        (
+            "incremental/single",
+            ClusteringMethod::Incremental(Linkage::Single),
+        ),
+        (
+            "incremental/average",
+            ClusteringMethod::Incremental(Linkage::Average),
+        ),
+        (
+            "incremental/complete",
+            ClusteringMethod::Incremental(Linkage::Complete),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, clustering) in methods {
+        let cfg = ResolverConfig {
+            clustering,
+            ..ResolverConfig::accuracy_suite(subset_i10())
+        };
+        let out = run_experiment(prepared, &cfg, &protocol).expect("valid configuration");
+        let mut row = vec![name.to_string()];
+        row.extend(metric_cells(&out.mean));
+        rows.push(row);
+    }
+    print_table(&["clustering", "Fp-measure", "F-measure", "RandIndex"], &rows);
+    println!();
+}
+
+fn main() {
+    println!("Ablation — clustering back-end (C10 configuration, 5 runs averaged)");
+    println!();
+    sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));
+    sweep("WePS-like dataset", &prepared_weps(DEFAULT_SEED));
+}

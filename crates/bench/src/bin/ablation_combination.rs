@@ -1,0 +1,73 @@
+//! Ablation: combination strategy × weighting scheme × clustering back-end.
+//!
+//! Sweeps the design choices of §IV-B/§IV-C: best-graph selection vs
+//! weighted averaging (under four layer-weighting schemes) vs majority
+//! vote, each clustered by transitive closure and by correlation
+//! clustering. Reported on both datasets.
+
+use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::PreparedDataset;
+use weber_core::clustering::ClusteringMethod;
+use weber_core::combine::{CombinationStrategy, WeightScheme};
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_graph::correlation::CorrelationConfig;
+use weber_simfun::functions::subset_i10;
+
+fn sweep(label: &str, prepared: &PreparedDataset) {
+    println!("{label}");
+    let protocol = paper_protocol();
+    let combos: Vec<(&str, CombinationStrategy)> = vec![
+        ("best-graph", CombinationStrategy::BestGraph),
+        (
+            "wavg/accuracy",
+            CombinationStrategy::WeightedAverage(WeightScheme::Accuracy),
+        ),
+        (
+            "wavg/excess",
+            CombinationStrategy::WeightedAverage(WeightScheme::Excess),
+        ),
+        (
+            "wavg/selection",
+            CombinationStrategy::WeightedAverage(WeightScheme::SelectionScore),
+        ),
+        (
+            "wavg/uniform",
+            CombinationStrategy::WeightedAverage(WeightScheme::Uniform),
+        ),
+        ("majority-vote", CombinationStrategy::MajorityVote),
+    ];
+    let clusterings: Vec<(&str, ClusteringMethod)> = vec![
+        ("closure", ClusteringMethod::TransitiveClosure),
+        (
+            "correlation",
+            ClusteringMethod::Correlation(CorrelationConfig::default()),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (combo_label, combination) in &combos {
+        for (cluster_label, clustering) in &clusterings {
+            let cfg = ResolverConfig {
+                combination: *combination,
+                clustering: *clustering,
+                ..ResolverConfig::accuracy_suite(subset_i10())
+            };
+            let out = run_experiment(prepared, &cfg, &protocol).expect("valid configuration");
+            let mut row = vec![combo_label.to_string(), cluster_label.to_string()];
+            row.extend(metric_cells(&out.mean));
+            rows.push(row);
+        }
+    }
+    print_table(
+        &["combination", "clustering", "Fp-measure", "F-measure", "RandIndex"],
+        &rows,
+    );
+    println!();
+}
+
+fn main() {
+    println!("Ablation — combination strategy x weighting x clustering");
+    println!();
+    sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));
+    sweep("WePS-like dataset", &prepared_weps(DEFAULT_SEED));
+}

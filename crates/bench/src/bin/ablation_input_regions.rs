@@ -1,0 +1,54 @@
+//! Ablation: value-based vs input-based regions.
+//!
+//! §IV-A: "One can define such regions based on some properties of the
+//! input (i.e. pair of entities) or based on the reported function value.
+//! We discuss here our experiments, where we defined the regions based on
+//! the similarity value." This sweep explores the road not taken:
+//! partitioning pairs by *feature presence* (both pages carry the
+//! function's feature vs not) with a separate threshold per cell, alone
+//! and combined with the value-based criteria.
+
+use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::PreparedDataset;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_simfun::functions::subset_i10;
+
+fn sweep(label: &str, prepared: &PreparedDataset) {
+    println!("{label}");
+    let protocol = paper_protocol();
+    let configs: Vec<(&str, ResolverConfig)> = vec![
+        (
+            "threshold only (I10)",
+            ResolverConfig::threshold_suite(subset_i10()),
+        ),
+        (
+            "value regions (C10)",
+            ResolverConfig::accuracy_suite(subset_i10()),
+        ),
+        (
+            "input cells only",
+            ResolverConfig::threshold_suite(subset_i10()).with_input_partitioning(),
+        ),
+        (
+            "value + input (C10+)",
+            ResolverConfig::accuracy_suite(subset_i10()).with_input_partitioning(),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in configs {
+        let out = run_experiment(prepared, &cfg, &protocol).expect("valid configuration");
+        let mut row = vec![name.to_string()];
+        row.extend(metric_cells(&out.mean));
+        rows.push(row);
+    }
+    print_table(&["criteria", "Fp-measure", "F-measure", "RandIndex"], &rows);
+    println!();
+}
+
+fn main() {
+    println!("Ablation — value-based vs input-based regions (5 runs averaged)");
+    println!();
+    sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));
+    sweep("WePS-like dataset", &prepared_weps(DEFAULT_SEED));
+}

@@ -1,0 +1,50 @@
+//! Ablation: near-duplicate (mirror) detection as an extra evidence layer.
+//!
+//! Both presets syndicate some pages as mirrors on generic hosts. The
+//! shipped extension function F11 (MinHash shingle Jaccard) detects them
+//! with high precision; this sweep measures what that layer adds to the
+//! combined suite on both corpora.
+
+use std::sync::Arc;
+
+use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::PreparedDataset;
+use weber_core::decision::DecisionCriterion;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_simfun::functions::{subset_i10, NearDuplicateSimilarity};
+
+fn sweep(label: &str, prepared: &PreparedDataset) {
+    println!("{label}");
+    let protocol = paper_protocol();
+    let f11_only = ResolverConfig {
+        functions: vec![Arc::new(NearDuplicateSimilarity)],
+        criteria: vec![DecisionCriterion::Threshold],
+        ..ResolverConfig::threshold_suite(vec![])
+    };
+    let configs: Vec<(&str, ResolverConfig)> = vec![
+        ("F11 alone (mirror detector)", f11_only),
+        ("C10", ResolverConfig::accuracy_suite(subset_i10())),
+        (
+            "C10 + F11",
+            ResolverConfig::accuracy_suite(subset_i10())
+                .with_function(Arc::new(NearDuplicateSimilarity)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in configs {
+        let out = run_experiment(prepared, &cfg, &protocol).expect("valid configuration");
+        let mut row = vec![name.to_string()];
+        row.extend(metric_cells(&out.mean));
+        rows.push(row);
+    }
+    print_table(&["configuration", "Fp-measure", "F-measure", "RandIndex"], &rows);
+    println!();
+}
+
+fn main() {
+    println!("Ablation — near-duplicate layer F11 (5 runs averaged)");
+    println!();
+    sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));
+    sweep("WePS-like dataset", &prepared_weps(DEFAULT_SEED));
+}

@@ -1,0 +1,60 @@
+//! Ablation: flat vs structured name similarity for the name functions.
+//!
+//! Web pages mix "William Cohen", "W. Cohen" and bare "Cohen"; flat string
+//! similarity under-rates these variants. This sweep compares F3 (flat
+//! Jaro–Winkler over the most frequent name) with the shipped extension
+//! F3s (token-structured, initial-aware `name_similarity`), individually
+//! and inside the combined suite; also reports rotating 10-fold
+//! cross-validation as the variance-free protocol.
+
+use std::sync::Arc;
+
+use weber_bench::{metric_cells, paper_protocol, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::decision::DecisionCriterion;
+use weber_core::experiment::{run_cross_validation, run_experiment};
+use weber_core::resolver::ResolverConfig;
+use weber_simfun::functions::{subset_i10, FunctionId, StructuredNameSimilarity};
+
+fn main() {
+    println!("Ablation — flat (F3) vs structured (F3s) name similarity (WWW'05-like)");
+    println!();
+    let prepared = prepared_www05(DEFAULT_SEED);
+    let protocol = paper_protocol();
+
+    let f3s_only = ResolverConfig {
+        functions: vec![Arc::new(StructuredNameSimilarity)],
+        criteria: vec![DecisionCriterion::Threshold],
+        ..ResolverConfig::threshold_suite(vec![])
+    };
+    let configs: Vec<(&str, ResolverConfig)> = vec![
+        (
+            "F3 alone (flat)",
+            ResolverConfig::individual(FunctionId::F3, DecisionCriterion::Threshold),
+        ),
+        ("F3s alone (structured)", f3s_only),
+        ("C10", ResolverConfig::accuracy_suite(subset_i10())),
+        (
+            "C10 + F3s",
+            ResolverConfig::accuracy_suite(subset_i10())
+                .with_function(Arc::new(StructuredNameSimilarity)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in &configs {
+        let out = run_experiment(&prepared, cfg, &protocol).expect("valid configuration");
+        let mut row = vec![name.to_string(), "random 10% x5".to_string()];
+        row.extend(metric_cells(&out.mean));
+        rows.push(row);
+    }
+    // Rotating 10-fold cross-validation on the combined configs.
+    for (name, cfg) in &configs[2..] {
+        let out = run_cross_validation(&prepared, cfg, 10, 1).expect("valid configuration");
+        let mut row = vec![name.to_string(), "10-fold rotate".to_string()];
+        row.extend(metric_cells(&out.mean));
+        rows.push(row);
+    }
+    print_table(
+        &["configuration", "protocol", "Fp-measure", "F-measure", "RandIndex"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Ablation: region scheme (equal-width vs k-means) and region count.
+//!
+//! §IV-A motivates k-means regions over equal-width intervals ("the
+//! similarity values do not have a uniform distribution … choosing the
+//! regions as equal size intervals is not the best option"). This sweep
+//! quantifies that choice and the sensitivity to the number of regions.
+
+use weber_bench::{metric_cells, paper_protocol, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::decision::DecisionCriterion;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_ml::regions::RegionScheme;
+use weber_simfun::functions::subset_i10;
+
+fn main() {
+    println!("Ablation — region scheme and region count (WWW'05-like dataset)");
+    println!("single criterion per run, all ten functions, best-graph selection");
+    println!();
+    let prepared = prepared_www05(DEFAULT_SEED);
+    let protocol = paper_protocol();
+    let mut rows = Vec::new();
+    // Threshold baseline.
+    let base = run_experiment(
+        &prepared,
+        &ResolverConfig {
+            criteria: vec![DecisionCriterion::Threshold],
+            ..ResolverConfig::accuracy_suite(subset_i10())
+        },
+        &protocol,
+    )
+    .expect("valid configuration");
+    let mut row = vec!["threshold".to_string(), "-".to_string()];
+    row.extend(metric_cells(&base.mean));
+    rows.push(row);
+
+    for k in [2usize, 5, 10, 20, 50] {
+        for (label, scheme) in [
+            ("equal-width", RegionScheme::EqualWidth { k }),
+            ("k-means", RegionScheme::kmeans(k)),
+        ] {
+            let cfg = ResolverConfig {
+                criteria: vec![DecisionCriterion::RegionAccuracy(scheme)],
+                ..ResolverConfig::accuracy_suite(subset_i10())
+            };
+            let out = run_experiment(&prepared, &cfg, &protocol).expect("valid configuration");
+            let mut row = vec![label.to_string(), k.to_string()];
+            row.extend(metric_cells(&out.mean));
+            rows.push(row);
+        }
+    }
+    print_table(
+        &["scheme", "k", "Fp-measure", "F-measure", "RandIndex"],
+        &rows,
+    );
+}

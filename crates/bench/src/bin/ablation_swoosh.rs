@@ -1,0 +1,87 @@
+//! Ablation: merge-based R-Swoosh vs the paper's pairwise framework.
+//!
+//! §VI discusses the merge-based line of work ([5], [7]): records merge as
+//! soon as they are found equivalent, with combined confidences. This
+//! sweep runs R-Swoosh with a supervision-fitted profile matcher at
+//! several match thresholds and compares against the paper's combined
+//! technique (C10) under the same protocol.
+
+use weber_bench::{fmt, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::PreparedDataset;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_core::supervision::Supervision;
+use weber_core::swoosh::{r_swoosh, ProfileMatcher};
+use weber_eval::{MetricSet, RunAverage};
+use weber_simfun::functions::subset_i10;
+
+fn swoosh_row(prepared: &PreparedDataset, threshold: f64) -> (MetricSet, f64) {
+    let protocol = paper_protocol();
+    let mut overall = RunAverage::new();
+    let mut confidence_sum = 0.0;
+    let mut confidence_n = 0usize;
+    for nb in &prepared.blocks {
+        let mut avg = RunAverage::new();
+        for run in 0..protocol.runs {
+            let sup = Supervision::sample_from_truth(
+                &nb.truth,
+                protocol.train_fraction,
+                protocol.base_seed + run,
+            );
+            let matcher = ProfileMatcher::fit(&nb.block, &sup, threshold);
+            let out = r_swoosh(&nb.block, &matcher);
+            avg.push(MetricSet::evaluate(&out.partition, &nb.truth));
+            for r in &out.records {
+                confidence_sum += r.confidence;
+                confidence_n += 1;
+            }
+        }
+        overall.push(avg.mean().expect("runs > 0"));
+    }
+    (
+        overall.mean().expect("blocks > 0"),
+        confidence_sum / confidence_n.max(1) as f64,
+    )
+}
+
+fn sweep(label: &str, prepared: &PreparedDataset) {
+    println!("{label}");
+    let protocol = paper_protocol();
+    let mut rows = Vec::new();
+    let c10 = run_experiment(
+        prepared,
+        &ResolverConfig::accuracy_suite(subset_i10()),
+        &protocol,
+    )
+    .expect("valid configuration")
+    .mean;
+    rows.push(vec![
+        "pairwise C10".to_string(),
+        fmt(c10.fp),
+        fmt(c10.f),
+        fmt(c10.rand),
+        "-".to_string(),
+    ]);
+    for threshold in [0.4, 0.5, 0.6, 0.7] {
+        let (m, mean_confidence) = swoosh_row(prepared, threshold);
+        rows.push(vec![
+            format!("r-swoosh t={threshold}"),
+            fmt(m.fp),
+            fmt(m.f),
+            fmt(m.rand),
+            fmt(mean_confidence),
+        ]);
+    }
+    print_table(
+        &["method", "Fp-measure", "F-measure", "RandIndex", "mean conf"],
+        &rows,
+    );
+    println!();
+}
+
+fn main() {
+    println!("Ablation — merge-based R-Swoosh vs pairwise framework (5 runs averaged)");
+    println!();
+    sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));
+    sweep("WePS-like dataset", &prepared_weps(DEFAULT_SEED));
+}

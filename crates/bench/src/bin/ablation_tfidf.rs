@@ -1,0 +1,67 @@
+//! Ablation: word-vector weighting scheme for F8–F10.
+//!
+//! The paper says "TF-IDF (based weights) words vector" without pinning the
+//! exact scheme (Lucene's default at the time was sublinear tf × smooth
+//! idf). This sweep measures the individual TF-IDF functions and the full
+//! C10 combination under the standard variants and BM25.
+
+use weber_bench::{metric_cells, paper_protocol, print_table, DEFAULT_SEED};
+use weber_core::blocking::prepare_dataset_with;
+use weber_core::decision::DecisionCriterion;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_corpus::{generate, presets};
+use weber_simfun::block::WordVectorScheme;
+use weber_simfun::functions::{subset_i10, FunctionId};
+use weber_textindex::tfidf::{IdfScheme, TfIdf, TfScheme};
+
+fn main() {
+    println!("Ablation — word-vector weighting for F8-F10 (WWW'05-like, 5 runs averaged)");
+    println!();
+    let dataset = generate(&presets::www05_like(DEFAULT_SEED));
+    let protocol = paper_protocol();
+    let schemes: Vec<(&str, WordVectorScheme)> = vec![
+        (
+            "log-tf x smooth-idf",
+            WordVectorScheme::TfIdf(TfIdf::new(TfScheme::Log, IdfScheme::Smooth)),
+        ),
+        (
+            "raw-tf x plain-idf",
+            WordVectorScheme::TfIdf(TfIdf::new(TfScheme::Raw, IdfScheme::Plain)),
+        ),
+        (
+            "binary x smooth-idf",
+            WordVectorScheme::TfIdf(TfIdf::new(TfScheme::Binary, IdfScheme::Smooth)),
+        ),
+        (
+            "maxnorm x prob-idf",
+            WordVectorScheme::TfIdf(TfIdf::new(TfScheme::MaxNormalized, IdfScheme::Probabilistic)),
+        ),
+        ("bm25 (k1=1.2 b=0.75)", WordVectorScheme::bm25()),
+    ];
+    let mut rows = Vec::new();
+    for (name, scheme) in schemes {
+        let prepared = prepare_dataset_with(&dataset, scheme);
+        let f8 = run_experiment(
+            &prepared,
+            &ResolverConfig::individual(FunctionId::F8, DecisionCriterion::Threshold),
+            &protocol,
+        )
+        .expect("valid configuration")
+        .mean;
+        let combined = run_experiment(
+            &prepared,
+            &ResolverConfig::accuracy_suite(subset_i10()),
+            &protocol,
+        )
+        .expect("valid configuration")
+        .mean;
+        let mut row = vec![name.to_string(), weber_bench::fmt(f8.fp)];
+        row.extend(metric_cells(&combined));
+        rows.push(row);
+    }
+    print_table(
+        &["scheme", "F8 Fp", "C10 Fp", "C10 F", "C10 Rand"],
+        &rows,
+    );
+}

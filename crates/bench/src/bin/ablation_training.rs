@@ -1,0 +1,41 @@
+//! Ablation: training-set fraction.
+//!
+//! The paper fixes the training set at 10% of each block; this sweep shows
+//! how the combined technique degrades with less supervision and improves
+//! with more — the practical question for anyone deploying it.
+
+use weber_bench::{metric_cells, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::blocking::PreparedDataset;
+use weber_core::experiment::{run_experiment, ExperimentConfig};
+use weber_core::resolver::ResolverConfig;
+use weber_simfun::functions::subset_i10;
+
+fn sweep(label: &str, prepared: &PreparedDataset) {
+    println!("{label}");
+    let mut rows = Vec::new();
+    for fraction in [0.02, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        let protocol = ExperimentConfig {
+            train_fraction: fraction,
+            runs: 5,
+            base_seed: 1,
+        };
+        let out = run_experiment(
+            prepared,
+            &ResolverConfig::accuracy_suite(subset_i10()),
+            &protocol,
+        )
+        .expect("valid configuration");
+        let mut row = vec![format!("{:.0}%", fraction * 100.0)];
+        row.extend(metric_cells(&out.mean));
+        rows.push(row);
+    }
+    print_table(&["training", "Fp-measure", "F-measure", "RandIndex"], &rows);
+    println!();
+}
+
+fn main() {
+    println!("Ablation — training fraction (C10 configuration, 5 runs averaged)");
+    println!();
+    sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));
+    sweep("WePS-like dataset", &prepared_weps(DEFAULT_SEED));
+}

@@ -1,0 +1,10 @@
+//! Figure 2: "WWW results graph" — Fp, F-measure and Rand index of each
+//! individual similarity function F1–F10 on the WWW'05-like dataset, plus
+//! the combined technique (the black final column of the paper's figure).
+
+use weber_bench::{figure_per_function, prepared_www05, DEFAULT_SEED};
+
+fn main() {
+    let prepared = prepared_www05(DEFAULT_SEED);
+    figure_per_function("Figure 2 — WWW'05-like dataset", &prepared);
+}

@@ -1,0 +1,10 @@
+//! Figure 3: "WEPS results graph" — Fp, F-measure and Rand index of each
+//! individual similarity function F1–F10 on the WePS-like dataset, plus the
+//! combined technique.
+
+use weber_bench::{figure_per_function, prepared_weps, DEFAULT_SEED};
+
+fn main() {
+    let prepared = prepared_weps(DEFAULT_SEED);
+    figure_per_function("Figure 3 — WePS-like dataset", &prepared);
+}

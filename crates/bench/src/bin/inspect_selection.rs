@@ -1,0 +1,40 @@
+//! Diagnostic: which evidence layer does best-graph selection pick per
+//! block, what did it estimate, and what quality did the resolution really
+//! achieve? Useful when the combined technique behaves unexpectedly.
+
+use weber_bench::{fmt, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::resolver::{Resolver, ResolverConfig};
+use weber_core::supervision::Supervision;
+use weber_eval::MetricSet;
+use weber_simfun::functions::subset_i10;
+
+fn inspect(label: &str, prepared: &weber_core::blocking::PreparedDataset) {
+    println!("{label}");
+    let resolver = Resolver::new(ResolverConfig::accuracy_suite(subset_i10())).unwrap();
+    let mut rows = Vec::new();
+    for nb in &prepared.blocks {
+        let sup = Supervision::sample_from_truth(&nb.truth, 0.1, 1);
+        let r = resolver.resolve(&nb.block, &sup).unwrap();
+        let sel = r.selected().expect("best-graph selects");
+        let m = MetricSet::evaluate(&r.partition, &nb.truth);
+        rows.push(vec![
+            nb.block.query_name().to_string(),
+            format!("{}", nb.truth.cluster_count()),
+            format!("{}/{}", sel.function, sel.criterion),
+            fmt(sel.selection_score),
+            fmt(sel.accuracy),
+            format!("{}", sel.edges),
+            fmt(m.fp),
+        ]);
+    }
+    print_table(
+        &["name", "entities", "selected", "est.Fp", "pair.acc", "edges", "true Fp"],
+        &rows,
+    );
+    println!();
+}
+
+fn main() {
+    inspect("WWW'05-like", &prepared_www05(DEFAULT_SEED));
+    inspect("WePS-like", &prepared_weps(DEFAULT_SEED));
+}

@@ -1,0 +1,98 @@
+//! Table III: "Fp measure for each name in WWW'05 dataset" — one row per
+//! ambiguous name, one column per individual function F1–F10, plus C10
+//! (combined, best decision criterion) and W (weighted average).
+//!
+//! The paper's observation to reproduce: "each function performs
+//! differently for different persons" — the best function varies by row.
+
+use weber_bench::{fmt, paper_protocol, prepared_www05, print_table, DEFAULT_SEED};
+use weber_core::decision::DecisionCriterion;
+use weber_core::experiment::run_experiment;
+use weber_core::resolver::ResolverConfig;
+use weber_simfun::functions::{subset_i10, FunctionId};
+
+fn main() {
+    let prepared = prepared_www05(DEFAULT_SEED);
+    let protocol = paper_protocol();
+
+    // per_name results for each configuration, keyed by column label.
+    let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
+    for id in FunctionId::ALL {
+        let out = run_experiment(
+            &prepared,
+            &ResolverConfig::individual(id, DecisionCriterion::Threshold),
+            &protocol,
+        )
+        .expect("valid configuration");
+        columns.push((
+            id.label().to_string(),
+            out.per_name.iter().map(|(_, m)| m.fp).collect(),
+        ));
+    }
+    let c10 = run_experiment(
+        &prepared,
+        &ResolverConfig::accuracy_suite(subset_i10()),
+        &protocol,
+    )
+    .expect("valid configuration");
+    columns.push((
+        "C10".to_string(),
+        c10.per_name.iter().map(|(_, m)| m.fp).collect(),
+    ));
+    let w = run_experiment(
+        &prepared,
+        &ResolverConfig::weighted_average(subset_i10()),
+        &protocol,
+    )
+    .expect("valid configuration");
+    columns.push((
+        "W".to_string(),
+        w.per_name.iter().map(|(_, m)| m.fp).collect(),
+    ));
+
+    println!("Table III — Fp measure per name (WWW'05-like dataset)");
+    println!();
+    let names: Vec<&str> = c10.per_name.iter().map(|(n, _)| n.as_str()).collect();
+    let header: Vec<&str> = std::iter::once("name")
+        .chain(columns.iter().map(|(l, _)| l.as_str()))
+        .collect();
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            std::iter::once(name.to_string())
+                .chain(columns.iter().map(|(_, vals)| fmt(vals[i])))
+                .collect()
+        })
+        .collect();
+    print_table(&header, &rows);
+
+    // Which individual function wins each name?
+    println!();
+    let mut winners = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let (best_label, best_v) = columns[..10]
+            .iter()
+            .map(|(l, vals)| (l.as_str(), vals[i]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("ten function columns");
+        winners.push(format!("{name}:{best_label}({})", fmt(best_v)));
+    }
+    println!("best individual function per name: {}", winners.join(" "));
+    let distinct: std::collections::HashSet<&str> = names
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            columns[..10]
+                .iter()
+                .max_by(|a, b| a.1[i].total_cmp(&b.1[i]))
+                .expect("ten function columns")
+                .0
+                .as_str()
+        })
+        .collect();
+    println!(
+        "distinct winning functions across names: {} (paper's point: no single winner)",
+        distinct.len()
+    );
+}

@@ -1,0 +1,197 @@
+//! Blocking: grouping documents so only same-name pairs are compared.
+//!
+//! "To avoid computational bottlenecks, we apply a basic blocking
+//! technique, so essentially we only compute the similarity values between
+//! documents, which are about a person with the same name." In both
+//! datasets the documents arrive pre-blocked (they were retrieved per
+//! query name); [`prepare_dataset`] turns such a dataset into prepared
+//! blocks, and [`key_blocks`] offers generic key-based blocking for
+//! arbitrary collections.
+
+use std::collections::BTreeMap;
+
+use weber_corpus::dataset::Dataset;
+use weber_extract::pipeline::Extractor;
+use weber_graph::Partition;
+use weber_simfun::block::{PreparedBlock, WordVectorScheme};
+use weber_textindex::tfidf::TfIdf;
+
+/// Generic key-based blocking: indices of `items` grouped by `key`,
+/// deterministic (sorted by key).
+pub fn key_blocks<T, K: Ord>(items: &[T], mut key: impl FnMut(&T) -> K) -> Vec<Vec<usize>> {
+    let mut map: BTreeMap<K, Vec<usize>> = BTreeMap::new();
+    for (i, item) in items.iter().enumerate() {
+        map.entry(key(item)).or_default().push(i);
+    }
+    map.into_values().collect()
+}
+
+/// Sorted-neighbourhood blocking (Hernández & Stolfo's merge/purge,
+/// reference \[2\] of the paper): sort items by a key and emit every pair
+/// within a sliding window of size `window` as a comparison candidate.
+///
+/// Unlike exact-key blocking this tolerates key noise (misspelled names
+/// sort nearby); the window size trades recall against the number of
+/// candidate pairs. Pairs are returned as `(i, j)` with `i < j` in the
+/// original index space, deduplicated and sorted.
+pub fn sorted_neighborhood<T, K: Ord>(
+    items: &[T],
+    mut key: impl FnMut(&T) -> K,
+    window: usize,
+) -> Vec<(usize, usize)> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_cached_key(|&i| key(&items[i]));
+    let mut pairs = Vec::new();
+    let w = window.max(2);
+    for (pos, &i) in order.iter().enumerate() {
+        for &j in order[pos + 1..].iter().take(w - 1) {
+            pairs.push((i.min(j), i.max(j)));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// One prepared block with its ground truth.
+#[derive(Debug)]
+pub struct PreparedNameBlock {
+    /// The block, ready for similarity computation.
+    pub block: PreparedBlock,
+    /// Ground-truth partition.
+    pub truth: Partition,
+}
+
+/// A fully prepared dataset: extraction and TF-IDF done for every block.
+#[derive(Debug)]
+pub struct PreparedDataset {
+    /// Dataset label (e.g. `"www05-like"`).
+    pub label: String,
+    /// Prepared blocks, in dataset order.
+    pub blocks: Vec<PreparedNameBlock>,
+}
+
+/// Run the extraction pipeline over every document of `dataset` and prepare
+/// all blocks. The extractor is built from the dataset's own gazetteer —
+/// the dictionary-NER setting of the paper.
+pub fn prepare_dataset(dataset: &Dataset, tfidf: TfIdf) -> PreparedDataset {
+    prepare_dataset_with(dataset, WordVectorScheme::TfIdf(tfidf))
+}
+
+/// [`prepare_dataset`] under an explicit word-vector weighting scheme
+/// (TF-IDF variants or BM25). Blocks are extracted on scoped worker
+/// threads; the extractor's shared vocabularies are thread-safe.
+pub fn prepare_dataset_with(dataset: &Dataset, scheme: WordVectorScheme) -> PreparedDataset {
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let blocks: Vec<PreparedNameBlock> = std::thread::scope(|scope| {
+        let handles: Vec<_> = dataset
+            .blocks
+            .iter()
+            .map(|b| {
+                let extractor = &extractor;
+                scope.spawn(move || {
+                    let features = b
+                        .documents
+                        .iter()
+                        .map(|d| extractor.extract(&d.text, d.url.as_deref()))
+                        .collect();
+                    PreparedNameBlock {
+                        block: PreparedBlock::with_scheme(b.query_name.clone(), features, scheme),
+                        truth: b.truth(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extraction worker panicked"))
+            .collect()
+    });
+    PreparedDataset {
+        label: dataset.label.clone(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weber_corpus::{generate, presets};
+
+    #[test]
+    fn key_blocks_groups_by_key() {
+        let items = ["apple", "avocado", "banana", "blueberry", "cherry"];
+        let blocks = key_blocks(&items, |s| s.as_bytes()[0]);
+        assert_eq!(blocks, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn key_blocks_empty_input() {
+        let items: [&str; 0] = [];
+        assert!(key_blocks(&items, |s| s.len()).is_empty());
+    }
+
+    #[test]
+    fn sorted_neighborhood_window_two_pairs_adjacent() {
+        let items = ["cohen", "kohen", "aberer", "yerva"];
+        // Sorted: aberer(2), cohen(0), kohen(1), yerva(3).
+        let pairs = sorted_neighborhood(&items, |s| s.to_string(), 2);
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn sorted_neighborhood_catches_near_misspellings() {
+        let items = ["cohen", "zzz", "cohen1", "aaa"];
+        let pairs = sorted_neighborhood(&items, |s| s.to_string(), 2);
+        // "cohen" and "cohen1" sort adjacently despite differing keys.
+        assert!(pairs.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn sorted_neighborhood_full_window_is_all_pairs() {
+        let items = [3, 1, 2];
+        let pairs = sorted_neighborhood(&items, |&x| x, 3);
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn sorted_neighborhood_handles_tiny_inputs() {
+        let items: [u32; 0] = [];
+        assert!(sorted_neighborhood(&items, |&x| x, 4).is_empty());
+        let one = [7u32];
+        assert!(sorted_neighborhood(&one, |&x| x, 4).is_empty());
+        // window below 2 is clamped to 2.
+        let two = [9u32, 4u32];
+        assert_eq!(sorted_neighborhood(&two, |&x| x, 0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn prepare_dataset_aligns_blocks_and_truth() {
+        let dataset = generate(&presets::tiny(17));
+        let prepared = prepare_dataset(&dataset, TfIdf::default());
+        assert_eq!(prepared.label, "tiny");
+        assert_eq!(prepared.blocks.len(), dataset.blocks.len());
+        for (p, raw) in prepared.blocks.iter().zip(&dataset.blocks) {
+            assert_eq!(p.block.len(), raw.len());
+            assert_eq!(p.truth.len(), raw.len());
+            assert_eq!(p.block.query_name(), raw.query_name);
+        }
+    }
+
+    #[test]
+    fn prepared_features_carry_signal() {
+        let dataset = generate(&presets::tiny(18));
+        let prepared = prepare_dataset(&dataset, TfIdf::default());
+        // At least some pages must have person mentions and concepts —
+        // otherwise extraction is broken.
+        let any_persons = prepared.blocks.iter().any(|b| {
+            (0..b.block.len()).any(|i| b.block.features(i).most_frequent_person().is_some())
+        });
+        let any_concepts = prepared
+            .blocks
+            .iter()
+            .any(|b| (0..b.block.len()).any(|i| !b.block.features(i).concepts.is_empty()));
+        assert!(any_persons);
+        assert!(any_concepts);
+    }
+}

@@ -1,0 +1,345 @@
+//! Evidence layers: one per (similarity function, decision criterion).
+//!
+//! Steps 1–4 of Algorithm 1: compute `G_w^{f_i}`, fit each decision
+//! criterion on the training pairs, derive the decision graph `G^i_{D_j}`
+//! and its accuracy estimate `acc(G^i_{D_j})`.
+
+use weber_eval::purity::fp_measure;
+use weber_graph::components::connected_components;
+use weber_graph::decision::DecisionGraph;
+use weber_graph::multigraph::Layer;
+use weber_graph::weighted::WeightedGraph;
+use weber_graph::Partition;
+use std::sync::Arc;
+
+use weber_simfun::block::PreparedBlock;
+use weber_simfun::functions::SimilarityFunction;
+
+use weber_ml::threshold::optimal_threshold;
+use weber_ml::LabeledValue;
+
+use crate::decision::{DecisionCriterion, FittedDecision};
+use crate::supervision::Supervision;
+
+/// A fully materialised evidence layer, with provenance.
+#[derive(Debug, Clone)]
+pub struct EvidenceLayer {
+    /// Name of the similarity function that produced it (`"F1"`–`"F10"`
+    /// for the standard suite, or a custom function's name).
+    pub function: &'static str,
+    /// Which decision criterion was applied.
+    pub criterion: DecisionCriterion,
+    /// The fitted decision.
+    pub fitted: FittedDecision,
+    /// The similarity (weighted) graph.
+    pub similarities: WeightedGraph,
+    /// The decision graph `G^i_{D_j}`.
+    pub decisions: DecisionGraph,
+    /// Per-pair link-probability graph.
+    pub link_probability: WeightedGraph,
+    /// Overall accuracy estimate `acc(G^i_{D_j})` (layer weight).
+    pub accuracy: f64,
+    /// Estimated end-to-end quality of the layer as a resolution: the
+    /// Fp-measure of its transitively closed decision graph, restricted to
+    /// the training documents. Best-graph selection uses this — pairwise
+    /// accuracy alone is a poor proxy for post-closure quality, because a
+    /// few false-positive edges can cascade into large wrong merges.
+    pub selection_score: f64,
+}
+
+impl EvidenceLayer {
+    /// Convert into the combination-multigraph layer form.
+    pub fn to_multigraph_layer(&self) -> Layer {
+        Layer {
+            decisions: self.decisions.clone(),
+            link_probability: self.link_probability.clone(),
+            weight: self.accuracy,
+        }
+    }
+}
+
+/// Estimate a decision graph's quality as a resolution: transitively close
+/// it, restrict the resulting partition to the supervised documents, and
+/// score Fp against the training labels. Returns 0.5 (uninformative) when
+/// there is no supervision.
+pub fn training_fp(decisions: &DecisionGraph, supervision: &Supervision) -> f64 {
+    if supervision.len() < 2 {
+        return 0.5;
+    }
+    let closed = connected_components(decisions);
+    let docs = supervision.docs();
+    let predicted =
+        Partition::from_labels(docs.iter().map(|&d| closed.label_of(d)).collect());
+    let truth_labels: Vec<u32> = {
+        // Project the supervision labels onto the same doc order.
+        let mut labels = Vec::with_capacity(docs.len());
+        for (pos, &d) in docs.iter().enumerate() {
+            // Find the first earlier doc with the same entity; reuse its
+            // position as a label to build a partition of the subset.
+            let mut label = pos as u32;
+            for (earlier_pos, &e) in docs[..pos].iter().enumerate() {
+                if supervision.same_entity(d, e) == Some(true) {
+                    label = earlier_pos as u32;
+                    break;
+                }
+            }
+            labels.push(label);
+        }
+        labels
+    };
+    let truth = Partition::from_labels(truth_labels);
+    fp_measure(&predicted, &truth)
+}
+
+/// Compute the similarity graph `G_w^{f}` of one function over a block.
+///
+/// Values are sanitised into `[0, 1]`: the contract says similarity
+/// functions stay in the unit interval, but a buggy custom function must
+/// not poison thresholds, region fits or combined scores — NaN becomes 0
+/// (no evidence), out-of-range values are clamped.
+pub fn similarity_graph(block: &PreparedBlock, f: &dyn SimilarityFunction) -> WeightedGraph {
+    WeightedGraph::from_fn(block.len(), |i, j| {
+        let v = f.compare(block, i, j);
+        if v.is_nan() {
+            0.0
+        } else {
+            v.clamp(0.0, 1.0)
+        }
+    })
+}
+
+/// Build all evidence layers for the given functions and criteria.
+///
+/// The similarity graph per function is computed once and shared across
+/// criteria.
+pub fn build_layers(
+    block: &PreparedBlock,
+    functions: &[Arc<dyn SimilarityFunction>],
+    criteria: &[DecisionCriterion],
+    supervision: &Supervision,
+) -> Vec<EvidenceLayer> {
+    let mut layers = Vec::with_capacity(functions.len() * criteria.len());
+    for f in functions {
+        let sims = similarity_graph(block, f.as_ref());
+        let samples = supervision.labeled_values(|i, j| sims.get(i, j));
+        for &criterion in criteria {
+            let fitted = criterion.fit(&samples);
+            let decisions =
+                DecisionGraph::from_weighted(&sims, |_, _, w| fitted.decide(w));
+            let link_probability =
+                WeightedGraph::from_fn(block.len(), |i, j| fitted.link_probability(sims.get(i, j)));
+            let accuracy = fitted.training_accuracy();
+            let selection_score = training_fp(&decisions, supervision);
+            layers.push(EvidenceLayer {
+                function: f.name(),
+                criterion,
+                fitted,
+                similarities: sims.clone(),
+                decisions,
+                link_probability,
+                accuracy,
+                selection_score,
+            });
+        }
+    }
+    layers
+}
+
+/// Build input-partitioned evidence layers, one per function (§IV-A's
+/// "regions based on some properties of the input").
+///
+/// For each function, every document pair is assigned to one of two input
+/// cells — *both pages carry the feature the function needs* vs *at least
+/// one does not* (via
+/// [`SimilarityFunction::feature_presence`]) — and a separate optimal
+/// threshold is fitted per cell. This separates "low value because truly
+/// different" from "low value because information is missing", which a
+/// single threshold or value-region model conflates.
+pub fn build_input_partitioned_layers(
+    block: &PreparedBlock,
+    functions: &[Arc<dyn SimilarityFunction>],
+    supervision: &Supervision,
+) -> Vec<EvidenceLayer> {
+    let mut layers = Vec::with_capacity(functions.len());
+    for f in functions {
+        let sims = similarity_graph(block, f.as_ref());
+        let presence: Vec<bool> = (0..block.len())
+            .map(|d| f.feature_presence(block, d) > 0.5)
+            .collect();
+        let both = |i: usize, j: usize| presence[i] && presence[j];
+        // Split the training pairs by input cell and fit each.
+        let mut cell_present: Vec<LabeledValue> = Vec::new();
+        let mut cell_missing: Vec<LabeledValue> = Vec::new();
+        for (i, j, link) in supervision.pairs() {
+            let sample = LabeledValue::new(sims.get(i, j), link);
+            if both(i, j) {
+                cell_present.push(sample);
+            } else {
+                cell_missing.push(sample);
+            }
+        }
+        let fit_present = optimal_threshold(&cell_present);
+        let fit_missing = optimal_threshold(&cell_missing);
+        let total = cell_present.len() + cell_missing.len();
+        let training_accuracy = if total == 0 {
+            0.5
+        } else {
+            (fit_present.training_accuracy * cell_present.len() as f64
+                + fit_missing.training_accuracy * cell_missing.len() as f64)
+                / total as f64
+        };
+        let fitted = FittedDecision::InputCells {
+            present: fit_present,
+            missing: fit_missing,
+            training_accuracy,
+        };
+        let decisions = {
+            let mut d = DecisionGraph::new(block.len());
+            for (i, j, w) in sims.edges() {
+                if fitted.decide_in_cell(w, both(i, j)) {
+                    d.add_edge(i, j);
+                }
+            }
+            d
+        };
+        let link_probability = WeightedGraph::from_fn(block.len(), |i, j| {
+            fitted.link_probability_in_cell(sims.get(i, j), both(i, j))
+        });
+        let selection_score = training_fp(&decisions, supervision);
+        layers.push(EvidenceLayer {
+            function: f.name(),
+            criterion: DecisionCriterion::InputPartitioned,
+            fitted,
+            similarities: sims,
+            decisions,
+            link_probability,
+            accuracy: training_accuracy,
+            selection_score,
+        });
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weber_corpus::{generate, presets};
+    use weber_extract::pipeline::Extractor;
+    use weber_graph::Partition;
+    use weber_simfun::functions::{function, FunctionId};
+    use weber_textindex::tfidf::TfIdf;
+
+    fn prepared_block() -> (PreparedBlock, Partition) {
+        let dataset = generate(&presets::tiny(11));
+        let extractor = Extractor::new(&dataset.gazetteer);
+        let block = &dataset.blocks[0];
+        let features = block
+            .documents
+            .iter()
+            .map(|d| extractor.extract(&d.text, d.url.as_deref()))
+            .collect();
+        (
+            PreparedBlock::new(block.query_name.clone(), features, TfIdf::default()),
+            block.truth(),
+        )
+    }
+
+    #[test]
+    fn similarity_graph_is_complete_and_bounded() {
+        let (block, _) = prepared_block();
+        let g = similarity_graph(&block, function(FunctionId::F8).as_ref());
+        assert_eq!(g.len(), block.len());
+        for (_, _, w) in g.edges() {
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn layers_cover_function_criterion_product() {
+        let (block, truth) = prepared_block();
+        let sup = Supervision::sample_from_truth(&truth, 0.2, 1);
+        let functions = vec![function(FunctionId::F4), function(FunctionId::F8)];
+        let criteria = DecisionCriterion::standard_set();
+        let layers = build_layers(&block, &functions, &criteria, &sup);
+        assert_eq!(layers.len(), functions.len() * criteria.len());
+        for layer in &layers {
+            assert_eq!(layer.decisions.len(), block.len());
+            assert!((0.0..=1.0).contains(&layer.accuracy));
+        }
+    }
+
+    #[test]
+    fn informative_function_layers_have_high_training_accuracy() {
+        let (block, truth) = prepared_block();
+        let sup = Supervision::sample_from_truth(&truth, 0.5, 2);
+        let layers = build_layers(
+            &block,
+            &[function(FunctionId::F8)],
+            &[DecisionCriterion::Threshold],
+            &sup,
+        );
+        assert!(
+            layers[0].accuracy > 0.6,
+            "TF-IDF cosine should separate training pairs reasonably: {}",
+            layers[0].accuracy
+        );
+    }
+
+    #[test]
+    fn decisions_follow_fitted_criterion() {
+        let (block, truth) = prepared_block();
+        let sup = Supervision::sample_from_truth(&truth, 0.3, 3);
+        let layers = build_layers(
+            &block,
+            &[function(FunctionId::F8)],
+            &[DecisionCriterion::Threshold],
+            &sup,
+        );
+        let layer = &layers[0];
+        for (i, j, w) in layer.similarities.edges() {
+            assert_eq!(layer.decisions.has_edge(i, j), layer.fitted.decide(w));
+        }
+    }
+
+    #[test]
+    fn input_partitioned_layers_are_well_formed() {
+        let (block, truth) = prepared_block();
+        let sup = Supervision::sample_from_truth(&truth, 0.4, 8);
+        let functions = vec![function(FunctionId::F2), function(FunctionId::F8)];
+        let layers = build_input_partitioned_layers(&block, &functions, &sup);
+        assert_eq!(layers.len(), 2);
+        for layer in &layers {
+            assert_eq!(layer.decisions.len(), block.len());
+            assert!((0.0..=1.0).contains(&layer.accuracy));
+            assert!(matches!(layer.fitted, FittedDecision::InputCells { .. }));
+        }
+    }
+
+    #[test]
+    fn input_cells_split_by_feature_presence() {
+        // A function whose feature is missing on odd documents should fit
+        // separate cells; with empty supervision both cells are default.
+        let (block, _) = prepared_block();
+        let layers = build_input_partitioned_layers(
+            &block,
+            &[function(FunctionId::F2)],
+            &Supervision::empty(),
+        );
+        assert_eq!(layers[0].accuracy, 0.5);
+    }
+
+    #[test]
+    fn to_multigraph_layer_preserves_weight() {
+        let (block, truth) = prepared_block();
+        let sup = Supervision::sample_from_truth(&truth, 0.3, 4);
+        let layers = build_layers(
+            &block,
+            &[function(FunctionId::F4)],
+            &[DecisionCriterion::Threshold],
+            &sup,
+        );
+        let ml = layers[0].to_multigraph_layer();
+        assert_eq!(ml.weight, layers[0].accuracy);
+        assert_eq!(ml.decisions.edge_count(), layers[0].decisions.edge_count());
+    }
+}

@@ -1,0 +1,180 @@
+//! The labelled training subset ("we use 10% of the complete dataset as the
+//! training set").
+
+use std::collections::HashMap;
+
+use weber_graph::Partition;
+use weber_ml::sampling::train_test_split;
+use weber_ml::LabeledValue;
+
+use crate::error::CoreError;
+
+/// Ground-truth labels for a subset of a block's documents.
+#[derive(Debug, Clone, Default)]
+pub struct Supervision {
+    /// Sorted labelled document indices.
+    docs: Vec<usize>,
+    /// Document → entity label, for the labelled documents.
+    labels: HashMap<usize, u32>,
+}
+
+impl Supervision {
+    /// Supervision over an explicit labelled subset.
+    pub fn new(labels: HashMap<usize, u32>) -> Self {
+        let mut docs: Vec<usize> = labels.keys().copied().collect();
+        docs.sort_unstable();
+        Self { docs, labels }
+    }
+
+    /// Draw a random `fraction` of the block as the training subset, taking
+    /// labels from `truth` (the paper's protocol).
+    pub fn sample_from_truth(truth: &Partition, fraction: f64, seed: u64) -> Self {
+        let (train, _) = train_test_split(truth.len(), fraction, seed);
+        let labels = train
+            .iter()
+            .map(|&d| (d, truth.label_of(d)))
+            .collect();
+        Self {
+            docs: train,
+            labels,
+        }
+    }
+
+    /// No supervision at all (decisions fall back to defaults).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The labelled document indices, sorted.
+    pub fn docs(&self) -> &[usize] {
+        &self.docs
+    }
+
+    /// Number of labelled documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are labelled.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Whether documents `a` and `b` are known to co-refer (both must be
+    /// labelled).
+    pub fn same_entity(&self, a: usize, b: usize) -> Option<bool> {
+        Some(self.labels.get(&a)? == self.labels.get(&b)?)
+    }
+
+    /// Validate against a block size.
+    pub fn validate(&self, block_len: usize) -> Result<(), CoreError> {
+        for &d in &self.docs {
+            if d >= block_len {
+                return Err(CoreError::SupervisionOutOfRange {
+                    doc: d,
+                    block_len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// All labelled training pairs `(i, j, same_entity)` with `i < j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        self.docs.iter().enumerate().flat_map(move |(a, &i)| {
+            self.docs[a + 1..].iter().map(move |&j| {
+                (
+                    i,
+                    j,
+                    self.same_entity(i, j)
+                        .expect("both endpoints are labelled"),
+                )
+            })
+        })
+    }
+
+    /// The training sample for one similarity function: its value on every
+    /// labelled pair, tagged with link existence.
+    pub fn labeled_values(&self, value: impl Fn(usize, usize) -> f64) -> Vec<LabeledValue> {
+        self.pairs()
+            .map(|(i, j, link)| LabeledValue::new(value(i, j), link))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Partition {
+        Partition::from_labels(vec![0, 0, 1, 1, 2, 2, 0, 1, 2, 0])
+    }
+
+    #[test]
+    fn sample_from_truth_takes_fraction() {
+        let s = Supervision::sample_from_truth(&truth(), 0.3, 7);
+        assert_eq!(s.len(), 3);
+        assert!(s.validate(10).is_ok());
+        for &d in s.docs() {
+            assert!(d < 10);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = Supervision::sample_from_truth(&truth(), 0.5, 3);
+        let b = Supervision::sample_from_truth(&truth(), 0.5, 3);
+        assert_eq!(a.docs(), b.docs());
+        let c = Supervision::sample_from_truth(&truth(), 0.5, 4);
+        assert_ne!(a.docs(), c.docs());
+    }
+
+    #[test]
+    fn same_entity_uses_truth_labels() {
+        let s = Supervision::sample_from_truth(&truth(), 1.0, 0);
+        assert_eq!(s.same_entity(0, 1), Some(true));
+        assert_eq!(s.same_entity(0, 2), Some(false));
+    }
+
+    #[test]
+    fn same_entity_is_none_for_unlabelled() {
+        let s = Supervision::new([(0, 0), (1, 0)].into_iter().collect());
+        assert_eq!(s.same_entity(0, 5), None);
+    }
+
+    #[test]
+    fn pairs_cover_all_labelled_combinations() {
+        let s = Supervision::new([(0, 0), (2, 0), (5, 1)].into_iter().collect());
+        let pairs: Vec<_> = s.pairs().collect();
+        assert_eq!(
+            pairs,
+            vec![(0, 2, true), (0, 5, false), (2, 5, false)]
+        );
+    }
+
+    #[test]
+    fn labeled_values_evaluates_function() {
+        let s = Supervision::new([(0, 0), (1, 0), (2, 1)].into_iter().collect());
+        let values = s.labeled_values(|i, j| (i + j) as f64 / 10.0);
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[0].value, 0.1);
+        assert!(values[0].is_link);
+        assert!(!values[2].is_link);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let s = Supervision::new([(9, 0)].into_iter().collect());
+        assert!(matches!(
+            s.validate(5),
+            Err(CoreError::SupervisionOutOfRange { doc: 9, block_len: 5 })
+        ));
+    }
+
+    #[test]
+    fn empty_supervision() {
+        let s = Supervision::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.pairs().count(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Merge-based generic entity resolution with data confidences (R-Swoosh).
+//!
+//! The paper's related work (§VI) discusses this family at length: "[5]
+//! presents a pairwise comparison-based method, where the authors also
+//! consider confidence values during the resolution process. They propose
+//! to merge database records, which refer to the same entity, right away,
+//! as they are found to be equivalent by the algorithm. The algorithm also
+//! computes a new combined confidence value for the merged record. A more
+//! complete analysis of results can be found in [7]" (Benjelloun et al.,
+//! *Swoosh: a generic approach to entity resolution*, VLDB J. 2009).
+//!
+//! This module implements R-Swoosh over merged [`PageFeatures`] profiles.
+//! Unlike the pairwise framework in [`resolver`](crate::resolver), a merge
+//! can *accumulate evidence*: two pages that individually share too little
+//! with a third page may, once merged, share enough — so merge-based
+//! resolution is not simply the transitive closure of pairwise decisions.
+
+use std::collections::BTreeSet;
+
+use weber_extract::features::PageFeatures;
+use weber_graph::Partition;
+use weber_simfun::block::PreparedBlock;
+use weber_simfun::set_sim::overlap_coefficient;
+use weber_simfun::string_sim::jaro_winkler;
+
+/// A (possibly merged) record: the documents it covers, their combined
+/// feature profile, and the record's confidence.
+#[derive(Debug, Clone)]
+pub struct MergeRecord {
+    /// Document indices covered by this record.
+    pub members: Vec<usize>,
+    /// Merged feature profile.
+    pub features: PageFeatures,
+    /// Data confidence in `[0, 1]`: base records start at 1.0; each merge
+    /// multiplies in the match score (uncertain merges degrade confidence,
+    /// as in the Menestrina et al. model).
+    pub confidence: f64,
+}
+
+/// A match function over merged profiles: decides whether two records
+/// co-refer and with what confidence.
+pub trait MatchFunction: Send + Sync {
+    /// `Some(score)` (in `(0, 1]`) if the records match, `None` otherwise.
+    fn matches(&self, a: &MergeRecord, b: &MergeRecord) -> Option<f64>;
+}
+
+/// The default profile matcher: a weighted vote over feature channels of
+/// the merged profiles (concept-vector cosine, concept/organization/person
+/// overlap, dominant-name similarity), matching when the combined score
+/// clears `threshold`.
+///
+/// Channel weights can be fitted from the same supervision the resolver
+/// uses (see [`ProfileMatcher::fit`]) or left uniform.
+#[derive(Debug, Clone)]
+pub struct ProfileMatcher {
+    /// Combined-score threshold for declaring a match.
+    pub threshold: f64,
+    /// Channel weights: `[concept cosine, concept overlap, org overlap,
+    /// person overlap, name similarity]`.
+    pub weights: [f64; 5],
+    /// The ambiguous query name (excluded from person overlap).
+    pub query_name: String,
+}
+
+impl ProfileMatcher {
+    /// A matcher with uniform channel weights.
+    pub fn uniform(query_name: impl Into<String>, threshold: f64) -> Self {
+        Self {
+            threshold,
+            weights: [1.0; 5],
+            query_name: query_name.into(),
+        }
+    }
+
+    /// Fit channel weights from supervision: each channel is scored by its
+    /// pairwise training accuracy under its own optimal threshold (the same
+    /// accuracy-estimation idea the paper applies to similarity functions),
+    /// and that accuracy-excess over chance becomes the channel weight.
+    pub fn fit(
+        block: &PreparedBlock,
+        supervision: &crate::supervision::Supervision,
+        threshold: f64,
+    ) -> Self {
+        use weber_ml::threshold::optimal_threshold;
+        let mut matcher = Self::uniform(block.query_name().to_string(), threshold);
+        let records: Vec<MergeRecord> = (0..block.len())
+            .map(|d| MergeRecord {
+                members: vec![d],
+                features: block.features(d).clone(),
+                confidence: 1.0,
+            })
+            .collect();
+        for channel in 0..5 {
+            let samples: Vec<weber_ml::LabeledValue> = supervision
+                .pairs()
+                .map(|(i, j, link)| {
+                    let v = matcher.channel_score(channel, &records[i], &records[j]);
+                    weber_ml::LabeledValue::new(v, link)
+                })
+                .collect();
+            let fit = optimal_threshold(&samples);
+            matcher.weights[channel] = (fit.training_accuracy - 0.5).max(0.01);
+        }
+        matcher
+    }
+
+    fn channel_score(&self, channel: usize, a: &MergeRecord, b: &MergeRecord) -> f64 {
+        let (fa, fb) = (&a.features, &b.features);
+        match channel {
+            0 => fa.weighted_concepts.cosine(&fb.weighted_concepts),
+            1 => overlap_coefficient(&fa.concepts, &fb.concepts),
+            2 => overlap_coefficient(&fa.organizations, &fb.organizations),
+            3 => {
+                let pa: BTreeSet<String> = fa
+                    .other_person_names(&self.query_name)
+                    .into_iter()
+                    .map(str::to_lowercase)
+                    .collect();
+                let pb: BTreeSet<String> = fb
+                    .other_person_names(&self.query_name)
+                    .into_iter()
+                    .map(str::to_lowercase)
+                    .collect();
+                overlap_coefficient(&pa, &pb)
+            }
+            4 => match (fa.most_frequent_person(), fb.most_frequent_person()) {
+                (Some(x), Some(y)) => jaro_winkler(&x.to_lowercase(), &y.to_lowercase()),
+                _ => 0.0,
+            },
+            _ => unreachable!("five channels"),
+        }
+    }
+
+    /// The weighted combined score of two records.
+    pub fn score(&self, a: &MergeRecord, b: &MergeRecord) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (0..5)
+            .map(|c| self.weights[c] * self.channel_score(c, a, b))
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl MatchFunction for ProfileMatcher {
+    fn matches(&self, a: &MergeRecord, b: &MergeRecord) -> Option<f64> {
+        let s = self.score(a, b);
+        (s >= self.threshold).then_some(s)
+    }
+}
+
+/// Run R-Swoosh over a block: keep a set of resolved records; for each
+/// unresolved record, look for the first resolved match — if found, merge
+/// (combining confidences) and re-queue the merged record, otherwise move
+/// the record to the resolved set. Terminates because every merge strictly
+/// reduces the total record count.
+pub fn r_swoosh(block: &PreparedBlock, matcher: &dyn MatchFunction) -> SwooshOutcome {
+    let mut queue: Vec<MergeRecord> = (0..block.len())
+        .map(|d| MergeRecord {
+            members: vec![d],
+            features: block.features(d).clone(),
+            confidence: 1.0,
+        })
+        .collect();
+    // Process in reverse so pop() visits documents in their natural order.
+    queue.reverse();
+    let mut resolved: Vec<MergeRecord> = Vec::new();
+    let mut merges = 0usize;
+    while let Some(record) = queue.pop() {
+        let hit = resolved
+            .iter()
+            .position(|r| matcher.matches(r, &record).is_some());
+        match hit {
+            Some(pos) => {
+                let partner = resolved.swap_remove(pos);
+                let score = matcher
+                    .matches(&partner, &record)
+                    .expect("match already observed");
+                let mut members = partner.members.clone();
+                members.extend_from_slice(&record.members);
+                members.sort_unstable();
+                queue.push(MergeRecord {
+                    members,
+                    features: partner.features.merge(&record.features),
+                    confidence: partner.confidence * record.confidence * score,
+                });
+                merges += 1;
+            }
+            None => resolved.push(record),
+        }
+    }
+    let clusters: Vec<Vec<usize>> = resolved.iter().map(|r| r.members.clone()).collect();
+    let partition = Partition::from_clusters(block.len(), &clusters);
+    SwooshOutcome {
+        partition,
+        records: resolved,
+        merges,
+    }
+}
+
+/// The result of an R-Swoosh run.
+#[derive(Debug, Clone)]
+pub struct SwooshOutcome {
+    /// The induced entity resolution.
+    pub partition: Partition,
+    /// The final merged records (aligned with the partition's clusters,
+    /// though not necessarily in label order).
+    pub records: Vec<MergeRecord>,
+    /// Number of merge operations performed.
+    pub merges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervision::Supervision;
+    use weber_corpus::{generate, presets};
+    use weber_extract::pipeline::Extractor;
+    use weber_textindex::tfidf::TfIdf;
+
+    fn block_from(texts: &[&str], query: &str) -> PreparedBlock {
+        use weber_extract::gazetteer::{EntityKind, Gazetteer};
+        let mut g = Gazetteer::new();
+        g.add_phrases(
+            EntityKind::Organization,
+            ["Org X", "Org Y", "Org Z", "Org W"],
+        );
+        g.add_phrases(EntityKind::Person, ["Alice Cohen", "Bob Cohen"]);
+        let e = Extractor::new(&g);
+        let features = texts.iter().map(|t| e.extract(t, None)).collect();
+        PreparedBlock::new(query, features, TfIdf::default())
+    }
+
+    /// A matcher requiring at least `min_common` shared organizations —
+    /// deliberately evidence-counting, to expose merge accumulation.
+    #[derive(Debug)]
+    struct OrgCount {
+        min_common: usize,
+    }
+
+    impl MatchFunction for OrgCount {
+        fn matches(&self, a: &MergeRecord, b: &MergeRecord) -> Option<f64> {
+            let common = a
+                .features
+                .organizations
+                .intersection(&b.features.organizations)
+                .count();
+            (common >= self.min_common).then_some(1.0)
+        }
+    }
+
+    #[test]
+    fn merging_accumulates_evidence_beyond_pairwise_closure() {
+        // A={X,Y}, B={X,Z}, C={Y,Z}: every pair shares exactly one org, so
+        // with min_common=2 no pairwise match exists and transitive closure
+        // would leave three singletons. After A and B fail to match... they
+        // do fail; but D={X,Y,Z,W} matches both A and B pairwise; merged
+        // profiles then absorb C.
+        let block = block_from(
+            &[
+                "page mentions Org X and Org Y",
+                "page mentions Org X and Org Z",
+                "page mentions Org Y and Org Z",
+                "page mentions Org X and Org Y and Org Z and Org W",
+            ],
+            "cohen",
+        );
+        let out = r_swoosh(&block, &OrgCount { min_common: 2 });
+        // D matches A ({X,Y}), merged {X,Y,Z,W}+A then matches B and C.
+        assert_eq!(out.partition.cluster_count(), 1);
+        assert!(out.merges >= 3);
+    }
+
+    #[test]
+    fn no_matches_yields_singletons() {
+        let block = block_from(
+            &["about Org X", "about Org Y", "about Org Z"],
+            "cohen",
+        );
+        let out = r_swoosh(&block, &OrgCount { min_common: 1 });
+        assert_eq!(out.partition.cluster_count(), 3);
+        assert_eq!(out.merges, 0);
+        assert!(out.records.iter().all(|r| r.confidence == 1.0));
+    }
+
+    #[test]
+    fn confidence_degrades_with_uncertain_merges() {
+        #[derive(Debug)]
+        struct Always(f64);
+        impl MatchFunction for Always {
+            fn matches(&self, _: &MergeRecord, _: &MergeRecord) -> Option<f64> {
+                Some(self.0)
+            }
+        }
+        let block = block_from(&["a", "b", "c"], "cohen");
+        let out = r_swoosh(&block, &Always(0.8));
+        assert_eq!(out.partition.cluster_count(), 1);
+        assert_eq!(out.records.len(), 1);
+        // Two merges at score 0.8: confidence = 0.8 * 0.8.
+        assert!((out.records[0].confidence - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_covers_every_document_exactly_once() {
+        let block = block_from(
+            &[
+                "Alice Cohen at Org X",
+                "Alice Cohen at Org X",
+                "Bob Cohen at Org Y",
+                "nothing informative here",
+            ],
+            "cohen",
+        );
+        let matcher = ProfileMatcher::uniform("cohen", 0.6);
+        let out = r_swoosh(&block, &matcher);
+        assert_eq!(out.partition.len(), 4);
+        let member_total: usize = out.records.iter().map(|r| r.members.len()).sum();
+        assert_eq!(member_total, 4);
+    }
+
+    #[test]
+    fn profile_matcher_fit_weights_are_positive() {
+        let dataset = generate(&presets::tiny(44));
+        let extractor = Extractor::new(&dataset.gazetteer);
+        let b = &dataset.blocks[0];
+        let features = b
+            .documents
+            .iter()
+            .map(|d| extractor.extract(&d.text, d.url.as_deref()))
+            .collect();
+        let block = PreparedBlock::new(b.query_name.clone(), features, TfIdf::default());
+        let sup = Supervision::sample_from_truth(&b.truth(), 0.3, 1);
+        let matcher = ProfileMatcher::fit(&block, &sup, 0.5);
+        for w in matcher.weights {
+            assert!(w > 0.0 && w <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fitted_swoosh_resolves_synthetic_block_reasonably() {
+        let dataset = generate(&presets::tiny(46));
+        let extractor = Extractor::new(&dataset.gazetteer);
+        let b = &dataset.blocks[0];
+        let features = b
+            .documents
+            .iter()
+            .map(|d| extractor.extract(&d.text, d.url.as_deref()))
+            .collect();
+        let block = PreparedBlock::new(b.query_name.clone(), features, TfIdf::default());
+        let truth = b.truth();
+        let sup = Supervision::sample_from_truth(&truth, 0.3, 2);
+        let matcher = ProfileMatcher::fit(&block, &sup, 0.55);
+        let out = r_swoosh(&block, &matcher);
+        let fp = weber_eval::fp_measure(&out.partition, &truth);
+        let singles =
+            weber_eval::fp_measure(&Partition::singletons(truth.len()), &truth);
+        assert!(
+            fp > singles,
+            "swoosh Fp {fp:.3} should beat singletons {singles:.3}"
+        );
+    }
+}

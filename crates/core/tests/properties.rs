@@ -1,0 +1,103 @@
+//! Property-based tests for the resolution framework: end-to-end
+//! invariants that must hold for any seed, supervision level and
+//! configuration.
+
+use proptest::prelude::*;
+
+use weber_core::blocking::prepare_dataset;
+use weber_core::decision::DecisionCriterion;
+use weber_core::resolver::{Resolver, ResolverConfig};
+use weber_core::supervision::Supervision;
+use weber_corpus::{generate, presets};
+use weber_graph::decision::DecisionGraph;
+use weber_graph::entity::is_clique_union;
+use weber_simfun::functions::{subset_i10, FunctionId};
+use weber_textindex::tfidf::TfIdf;
+
+proptest! {
+    // Full resolutions are expensive; keep the case count small but the
+    // assertions strong.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn resolution_is_always_a_valid_partition(
+        seed in 0u64..1000,
+        frac in 0.05f64..0.5,
+        sup_seed in 0u64..100,
+    ) {
+        let prepared = prepare_dataset(&generate(&presets::tiny(seed)), TfIdf::default());
+        let resolver = Resolver::new(ResolverConfig::accuracy_suite(subset_i10())).unwrap();
+        for nb in &prepared.blocks {
+            let sup = Supervision::sample_from_truth(&nb.truth, frac, sup_seed);
+            let r = resolver.resolve(&nb.block, &sup).unwrap();
+            // Covers every document.
+            prop_assert_eq!(r.partition.len(), nb.block.len());
+            // The induced entity graph is a union of disjoint cliques.
+            let g = DecisionGraph::from_partition(&r.partition);
+            prop_assert!(is_clique_union(&g));
+            // Diagnostics are complete: 10 functions x 3 criteria.
+            prop_assert_eq!(r.layers.len(), 30);
+            for l in &r.layers {
+                prop_assert!((0.0..=1.0).contains(&l.accuracy));
+                prop_assert!((0.0..=1.0).contains(&l.selection_score));
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_deterministic(seed in 0u64..1000) {
+        let prepared = prepare_dataset(&generate(&presets::tiny(seed)), TfIdf::default());
+        let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+        let nb = &prepared.blocks[0];
+        let sup = Supervision::sample_from_truth(&nb.truth, 0.2, 9);
+        let a = resolver.resolve(&nb.block, &sup).unwrap();
+        let b = resolver.resolve(&nb.block, &sup).unwrap();
+        prop_assert_eq!(a.partition, b.partition);
+        prop_assert_eq!(a.selected_layer, b.selected_layer);
+    }
+
+    #[test]
+    fn more_criteria_never_reduce_layer_count(seed in 0u64..200) {
+        let prepared = prepare_dataset(&generate(&presets::tiny(seed)), TfIdf::default());
+        let nb = &prepared.blocks[0];
+        let sup = Supervision::sample_from_truth(&nb.truth, 0.2, 1);
+        let thr = Resolver::new(ResolverConfig::threshold_suite(subset_i10()))
+            .unwrap()
+            .resolve(&nb.block, &sup)
+            .unwrap();
+        let acc = Resolver::new(ResolverConfig::accuracy_suite(subset_i10()))
+            .unwrap()
+            .resolve(&nb.block, &sup)
+            .unwrap();
+        prop_assert!(acc.layers.len() > thr.layers.len());
+        // The accuracy suite's best selection score can only be >= the
+        // threshold suite's (it considers a superset of layers).
+        let best = |layers: &[weber_core::resolver::LayerReport]| {
+            layers.iter().map(|l| l.selection_score).fold(f64::MIN, f64::max)
+        };
+        prop_assert!(best(&acc.layers) >= best(&thr.layers) - 1e-12);
+    }
+
+    #[test]
+    fn empty_supervision_still_resolves(seed in 0u64..200) {
+        let prepared = prepare_dataset(&generate(&presets::tiny(seed)), TfIdf::default());
+        let nb = &prepared.blocks[0];
+        let resolver = Resolver::new(ResolverConfig::individual(
+            FunctionId::F8,
+            DecisionCriterion::Threshold,
+        ))
+        .unwrap();
+        let r = resolver.resolve(&nb.block, &Supervision::empty()).unwrap();
+        prop_assert_eq!(r.partition.len(), nb.block.len());
+    }
+
+    #[test]
+    fn supervision_pairs_are_consistent_with_truth(seed in 0u64..500, frac in 0.1f64..0.9) {
+        let dataset = generate(&presets::tiny(seed));
+        let truth = dataset.blocks[0].truth();
+        let sup = Supervision::sample_from_truth(&truth, frac, seed);
+        for (i, j, same) in sup.pairs() {
+            prop_assert_eq!(same, truth.same_cluster(i, j));
+        }
+    }
+}

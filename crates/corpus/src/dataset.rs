@@ -1,0 +1,137 @@
+//! The generated dataset: documents, blocks, ground truth, gazetteer.
+
+use serde::{Deserialize, Serialize};
+
+use weber_extract::gazetteer::Gazetteer;
+use weber_graph::Partition;
+
+/// One synthetic web document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedDocument {
+    /// Page URL, when the page has one.
+    pub url: Option<String>,
+    /// Page text.
+    pub text: String,
+}
+
+/// All documents retrieved for one ambiguous name, with ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NameBlock {
+    /// The ambiguous name (search keyword).
+    pub query_name: String,
+    /// The retrieved documents.
+    pub documents: Vec<GeneratedDocument>,
+    /// Ground-truth labels: `truth_labels[i]` is the persona index of
+    /// document `i`.
+    pub truth_labels: Vec<u32>,
+}
+
+impl NameBlock {
+    /// The ground-truth partition of this block.
+    pub fn truth(&self) -> Partition {
+        Partition::from_labels(self.truth_labels.clone())
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True for a block with no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Number of distinct persons (clusters) in the ground truth.
+    pub fn entity_count(&self) -> usize {
+        self.truth().cluster_count()
+    }
+}
+
+/// A complete generated dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name of the preset, e.g. `"www05-like"`.
+    pub label: String,
+    /// Seed it was generated from.
+    pub seed: u64,
+    /// One block per ambiguous name.
+    pub blocks: Vec<NameBlock>,
+    /// The dictionary a NER system would use over this corpus.
+    pub gazetteer: Gazetteer,
+}
+
+impl Dataset {
+    /// Total number of documents across blocks.
+    pub fn document_count(&self) -> usize {
+        self.blocks.iter().map(NameBlock::len).sum()
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialise from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> NameBlock {
+        NameBlock {
+            query_name: "cohen".into(),
+            documents: vec![
+                GeneratedDocument {
+                    url: Some("http://x.example.com/a".into()),
+                    text: "text a".into(),
+                },
+                GeneratedDocument {
+                    url: None,
+                    text: "text b".into(),
+                },
+            ],
+            truth_labels: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn truth_partition_roundtrip() {
+        let b = block();
+        assert_eq!(b.truth().cluster_count(), 2);
+        assert_eq!(b.entity_count(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn dataset_counts_documents() {
+        let d = Dataset {
+            label: "test".into(),
+            seed: 1,
+            blocks: vec![block(), block()],
+            gazetteer: Gazetteer::new(),
+        };
+        assert_eq!(d.document_count(), 4);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = Dataset {
+            label: "test".into(),
+            seed: 42,
+            blocks: vec![block()],
+            gazetteer: Gazetteer::new(),
+        };
+        let json = d.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.label, "test");
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.blocks[0].documents, d.blocks[0].documents);
+        assert_eq!(back.blocks[0].truth_labels, d.blocks[0].truth_labels);
+    }
+}

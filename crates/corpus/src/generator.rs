@@ -1,0 +1,357 @@
+//! Document text synthesis: persona profile + quality knobs → page text.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::dataset::{Dataset, GeneratedDocument, NameBlock};
+use crate::persona::Persona;
+use crate::presets::CorpusConfig;
+use crate::quality::NameQuality;
+use crate::vocab::GLUE;
+use crate::world::{generic_domain, World, WorldBlock};
+
+/// Generate a full dataset from a configuration. Deterministic in
+/// `config.seed`.
+///
+/// ```
+/// use weber_corpus::{generate, presets};
+///
+/// let dataset = generate(&presets::tiny(7));
+/// assert_eq!(dataset.blocks.len(), 3);
+/// assert_eq!(dataset.document_count(), 72);
+/// // Ground truth is attached per block:
+/// assert!(dataset.blocks[0].entity_count() >= 2);
+/// ```
+pub fn generate(config: &CorpusConfig) -> Dataset {
+    let world = World::build(config);
+    let gazetteer = world.gazetteer();
+    let mut blocks = Vec::with_capacity(world.blocks.len());
+    for (b, wb) in world.blocks.iter().enumerate() {
+        blocks.push(generate_block(config, &world, wb, b as u64));
+    }
+    Dataset {
+        label: config.label.clone(),
+        seed: config.seed,
+        blocks,
+        gazetteer,
+    }
+}
+
+fn generate_block(config: &CorpusConfig, world: &World, wb: &WorldBlock, block_idx: u64) -> NameBlock {
+    let mut documents: Vec<GeneratedDocument> = Vec::with_capacity(wb.assignment.len());
+    for (d, &persona_idx) in wb.assignment.iter().enumerate() {
+        let doc_seed = config
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(block_idx << 32)
+            .wrapping_add(d as u64);
+        let mut rng = StdRng::seed_from_u64(doc_seed);
+        let persona = &wb.personas[persona_idx];
+        // With some probability the page is a mirror of an earlier page
+        // about the same persona (same text with a syndication note, on a
+        // different host) — the web's near-duplicate phenomenon.
+        let earlier: Vec<usize> = (0..d)
+            .filter(|&e| wb.assignment[e] == persona_idx)
+            .collect();
+        let doc = if !earlier.is_empty()
+            && rng.random_bool(wb.quality.duplicate_prob.clamp(0.0, 1.0))
+        {
+            let source = &documents[earlier[rng.random_range(0..earlier.len())]];
+            mirror_document(world, source, &mut rng)
+        } else {
+            generate_document(world, persona, &wb.quality, &mut rng)
+        };
+        documents.push(doc);
+    }
+    NameBlock {
+        query_name: wb.surname.clone(),
+        documents,
+        truth_labels: wb.assignment.iter().map(|&p| p as u32).collect(),
+    }
+}
+
+/// A near-duplicate of `source`: identical body with a mirror notice, on a
+/// generic hosting domain.
+fn mirror_document(world: &World, source: &GeneratedDocument, rng: &mut StdRng) -> GeneratedDocument {
+    let path_word = world.content_words[world.zipf.sample(rng)].as_str();
+    GeneratedDocument {
+        url: Some(format!(
+            "http://{}/mirror/{}{}",
+            generic_domain(rng),
+            path_word,
+            rng.random_range(0..10_000u32)
+        )),
+        text: format!("{} Mirrored copy of an archived page.", source.text),
+    }
+}
+
+/// Render one document about `persona` under the block's quality profile.
+pub fn generate_document(
+    world: &World,
+    persona: &Persona,
+    q: &NameQuality,
+    rng: &mut StdRng,
+) -> GeneratedDocument {
+    let mut sentences: Vec<String> = Vec::new();
+
+    // How the page refers to the person: full name, initial form, or the
+    // bare ambiguous surname. One form per page (pages are internally
+    // consistent), repeated across sentences so "most frequent name" works.
+    let name = if rng.random_bool(q.full_name_prob.clamp(0.0, 1.0)) {
+        persona.full_name.clone()
+    } else if rng.random_bool(0.5) {
+        persona.initial_name.clone()
+    } else {
+        persona.surname.clone()
+    };
+
+    // Intro sentence, optionally with the affiliation.
+    if rng.random_bool(q.org_prob.clamp(0.0, 1.0)) {
+        let org = persona
+            .organizations
+            .choose(rng)
+            .expect("personas have at least one organization");
+        sentences.push(format!("{name} is a {} at {org}.", persona.role));
+    } else {
+        sentences.push(format!("{name} is a {}.", persona.role));
+    }
+    if rng.random_bool(0.5) {
+        sentences.push(format!("{name} is based in {}.", persona.location));
+    }
+
+    // Concept mentions: expected count q.concept_mentions.
+    let mut concept_count = q.concept_mentions.floor() as usize;
+    if rng.random_bool((q.concept_mentions - concept_count as f64).clamp(0.0, 1.0)) {
+        concept_count += 1;
+    }
+    for _ in 0..concept_count {
+        let c = persona
+            .concepts
+            .choose(rng)
+            .expect("personas have at least one concept");
+        sentences.push(format!("{name} works on {c}."));
+    }
+
+    // Associates.
+    for a in &persona.associates {
+        if rng.random_bool(q.associate_prob.clamp(0.0, 1.0)) {
+            sentences.push(format!("{name} collaborates with {a}."));
+        }
+    }
+
+    // Spurious (noise) entity mentions — extraction/reality noise.
+    if rng.random_bool(q.spurious_prob.clamp(0.0, 1.0)) {
+        match rng.random_range(0..3u8) {
+            0 => {
+                let o = world
+                    .pools
+                    .organizations
+                    .choose(rng)
+                    .expect("organizations pool non-empty");
+                sentences.push(format!("Related news from {o}."));
+            }
+            1 => {
+                let c = world
+                    .pools
+                    .concepts
+                    .choose(rng)
+                    .expect("concepts pool non-empty");
+                sentences.push(format!("See also articles about {c}."));
+            }
+            _ => {
+                let a = world
+                    .pools
+                    .associates
+                    .choose(rng)
+                    .expect("associates pool non-empty");
+                sentences.push(format!("Unrelated profile of {a}."));
+            }
+        }
+    }
+
+    // Background prose: doc_len content words, drawn from the persona's
+    // topical vocabulary with probability topic_purity, otherwise from the
+    // global Zipf pool; interleaved with glue words.
+    let (len_lo, len_hi) = q.doc_len;
+    let n_words = if len_hi > len_lo {
+        rng.random_range(len_lo..=len_hi)
+    } else {
+        len_lo
+    };
+    let mut prose: Vec<&str> = Vec::with_capacity(n_words * 3 / 2);
+    for w in 0..n_words {
+        let word = if !persona.topic_words.is_empty()
+            && rng.random_bool(q.topic_purity.clamp(0.0, 1.0))
+        {
+            let idx = persona.topic_words[rng.random_range(0..persona.topic_words.len())];
+            world.content_words[idx].as_str()
+        } else {
+            world.content_words[world.zipf.sample(rng)].as_str()
+        };
+        prose.push(word);
+        if w % 4 == 3 {
+            prose.push(GLUE[rng.random_range(0..GLUE.len())]);
+        }
+    }
+    if !prose.is_empty() {
+        sentences.push(format!("{}.", prose.join(" ")));
+    }
+
+    // URL.
+    let url = if rng.random_bool(q.url_presence.clamp(0.0, 1.0)) {
+        let path_word = world.content_words[world.zipf.sample(rng)].as_str();
+        if rng.random_bool(q.home_url.clamp(0.0, 1.0)) {
+            Some(format!(
+                "http://{}/{}/{}",
+                persona.domain,
+                persona.surname,
+                path_word
+            ))
+        } else {
+            Some(format!(
+                "http://{}/{}{}",
+                generic_domain(rng),
+                path_word,
+                rng.random_range(0..10_000u32)
+            ))
+        }
+    } else {
+        None
+    };
+
+    GeneratedDocument {
+        url,
+        text: sentences.join(" "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = presets::tiny(21);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.documents, y.documents);
+            assert_eq!(x.truth_labels, y.truth_labels);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&presets::tiny(1));
+        let b = generate(&presets::tiny(2));
+        assert_ne!(a.blocks[0].documents, b.blocks[0].documents);
+    }
+
+    #[test]
+    fn block_shapes_match_config() {
+        let cfg = presets::tiny(5);
+        let d = generate(&cfg);
+        assert_eq!(d.blocks.len(), cfg.names);
+        for b in &d.blocks {
+            assert_eq!(b.len(), cfg.docs_per_name);
+            assert_eq!(b.truth_labels.len(), cfg.docs_per_name);
+            assert!(b.entity_count() >= 1);
+        }
+        assert_eq!(d.document_count(), cfg.names * cfg.docs_per_name);
+    }
+
+    #[test]
+    fn documents_mention_a_name_form() {
+        let cfg = presets::tiny(8);
+        let d = generate(&cfg);
+        let block = &d.blocks[0];
+        for doc in &block.documents {
+            assert!(
+                doc.text.to_lowercase().contains(&block.query_name),
+                "document must mention the surname: {}",
+                doc.text
+            );
+        }
+    }
+
+    #[test]
+    fn urls_follow_quality_settings() {
+        let mut cfg = presets::tiny(3);
+        cfg.quality.duplicate_prob = (0.0, 0.0); // mirrors always carry URLs
+        cfg.quality.url_presence = (1.0, 1.0);
+        let d = generate(&cfg);
+        assert!(d.blocks[0].documents.iter().all(|doc| doc.url.is_some()));
+        cfg.quality.url_presence = (0.0, 0.0);
+        let d = generate(&cfg);
+        assert!(d.blocks[0].documents.iter().all(|doc| doc.url.is_none()));
+    }
+
+    #[test]
+    fn full_name_prob_one_always_uses_full_names() {
+        let mut cfg = presets::tiny(4);
+        cfg.quality.full_name_prob = (1.0, 1.0);
+        let d = generate(&cfg);
+        // Rebuild the world to learn the persona names.
+        let w = World::build(&cfg);
+        for (wb, block) in w.blocks.iter().zip(&d.blocks) {
+            for (doc, &p) in block.documents.iter().zip(&wb.assignment) {
+                let full = &wb.personas[p].full_name;
+                assert!(
+                    doc.text.to_lowercase().contains(full),
+                    "expected {full} in: {}",
+                    doc.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_prob_one_mirrors_repeat_documents() {
+        let mut cfg = presets::tiny(12);
+        cfg.quality.duplicate_prob = (1.0, 1.0);
+        let d = generate(&cfg);
+        // With duplicate probability 1, every document after a persona's
+        // first is a mirror of an earlier one.
+        let mirrors = d
+            .blocks
+            .iter()
+            .flat_map(|b| &b.documents)
+            .filter(|doc| doc.text.contains("Mirrored copy"))
+            .count();
+        let docs: usize = d.blocks.iter().map(|b| b.len()).sum();
+        let personas: usize = d.blocks.iter().map(|b| b.entity_count()).sum();
+        assert_eq!(mirrors, docs - personas);
+        // Mirrors share their source's persona, so truth is unchanged in
+        // shape (still covers all docs).
+        for b in &d.blocks {
+            assert_eq!(b.truth().len(), b.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_prob_zero_produces_no_mirrors() {
+        let mut cfg = presets::tiny(12);
+        cfg.quality.duplicate_prob = (0.0, 0.0);
+        let d = generate(&cfg);
+        assert!(d
+            .blocks
+            .iter()
+            .flat_map(|b| &b.documents)
+            .all(|doc| !doc.text.contains("Mirrored copy")));
+    }
+
+    #[test]
+    fn texts_are_nonempty_prose() {
+        let d = generate(&presets::tiny(6));
+        for b in &d.blocks {
+            for doc in &b.documents {
+                assert!(doc.text.split_whitespace().count() > 10);
+                assert!(doc.text.ends_with('.'));
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # weber-corpus
+//!
+//! A persona-grounded synthetic web-document generator standing in for the
+//! paper's two datasets (the WWW'05 crawl of Bekkerman & McCallum and the
+//! WePS-2 test collection), which are no longer distributable.
+//!
+//! The generator builds a *world*: for each ambiguous surname a set of
+//! personas (real people), each with an affiliation, concepts, associates,
+//! a home web domain and a topical vocabulary. Documents about a persona
+//! sample from that profile under per-name *quality knobs* (URL presence,
+//! concept richness, name ambiguity, topic purity, …), so that — exactly as
+//! in the paper's data — every similarity function works well for some
+//! names and poorly for others, and no single function dominates.
+//!
+//! Ground truth (which documents refer to which persona) is retained, which
+//! is what makes training samples and evaluation possible.
+//!
+//! Presets: [`presets::www05_like`] (12 names × ~100 docs, 2–60 entities
+//! per name) and [`presets::weps_like`] (10 names × ~150 docs, harder:
+//! more entity overlap, poorer features).
+
+pub mod dataset;
+pub mod generator;
+pub mod persona;
+pub mod presets;
+pub mod quality;
+pub mod stats;
+pub mod vocab;
+pub mod world;
+
+pub use dataset::{Dataset, GeneratedDocument, NameBlock};
+pub use generator::generate;
+pub use persona::Persona;
+pub use presets::{small, tiny, weps_like, www05_like, CorpusConfig};
+pub use quality::{NameQuality, QualityRanges};
+pub use stats::{BlockStats, DatasetStats};
+pub use world::World;

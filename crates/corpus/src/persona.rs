@@ -1,0 +1,228 @@
+//! Personas: the real-world people behind an ambiguous name.
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand::RngExt;
+
+use crate::vocab;
+
+/// One real person sharing an ambiguous surname with others.
+#[derive(Debug, Clone)]
+pub struct Persona {
+    /// Full name, lowercase: `"william cohen"`.
+    pub full_name: String,
+    /// First-initial variant: `"w cohen"`.
+    pub initial_name: String,
+    /// The shared ambiguous surname: `"cohen"`.
+    pub surname: String,
+    /// Affiliated organizations (1–2).
+    pub organizations: Vec<String>,
+    /// Topical concepts the persona is associated with (2–5).
+    pub concepts: Vec<String>,
+    /// Frequently co-mentioned other people (2–4 full names).
+    pub associates: Vec<String>,
+    /// Home location.
+    pub location: String,
+    /// Home web domain, e.g. `"cs.apexuniversity.edu"`.
+    pub domain: String,
+    /// Persona-specific topical vocabulary (indices into the global content
+    /// word pool).
+    pub topic_words: Vec<usize>,
+    /// Role noun used in templates ("professor", "artist", …).
+    pub role: String,
+}
+
+/// Shared pools a world draws persona attributes from.
+#[derive(Debug, Clone)]
+pub struct EntityPools {
+    /// Organization names.
+    pub organizations: Vec<String>,
+    /// Concept phrases.
+    pub concepts: Vec<String>,
+    /// Associate person full names.
+    pub associates: Vec<String>,
+    /// Size of the global content-word pool.
+    pub content_pool_size: usize,
+}
+
+impl EntityPools {
+    /// Build deterministic pools sized for a corpus.
+    pub fn build(content_pool_size: usize) -> Self {
+        let mut organizations = Vec::new();
+        for stem in vocab::ORG_STEMS {
+            for suffix in vocab::ORG_SUFFIXES {
+                organizations.push(format!("{stem} {suffix}"));
+            }
+        }
+        // Concept phrases: pairs of pseudo-words namespaced away from the
+        // content pool, e.g. "brousta neplio" — they read like topic names
+        // and never collide with background words.
+        let concept_words = vocab::word_pool(400, 77);
+        let mut concepts = Vec::with_capacity(200);
+        for i in 0..200 {
+            concepts.push(format!(
+                "{} {}",
+                concept_words[2 * i],
+                concept_words[2 * i + 1]
+            ));
+        }
+        // Associates: unambiguous first+last pseudo-person names.
+        let last_names = vocab::word_pool(300, 99);
+        let mut associates = Vec::with_capacity(300);
+        for (i, last) in last_names.iter().enumerate() {
+            let first = vocab::FIRST_NAMES[i % vocab::FIRST_NAMES.len()];
+            associates.push(format!("{first} {last}"));
+        }
+        Self {
+            organizations,
+            concepts,
+            associates,
+            content_pool_size,
+        }
+    }
+
+    /// Create a persona for `surname` using `rng`.
+    ///
+    /// `used_first_names` prevents two personas of one block sharing a full
+    /// name (they would be genuinely indistinguishable). `topic_pool` is
+    /// the per-name pool of content-word indices the persona's topical
+    /// vocabulary is drawn from; same-name personas share this pool, so
+    /// their word distributions overlap realistically.
+    pub fn make_persona(
+        &self,
+        surname: &str,
+        topic_pool: &[usize],
+        used_first_names: &mut Vec<String>,
+        rng: &mut impl Rng,
+    ) -> Persona {
+        let first = vocab::FIRST_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .filter(|f| !used_first_names.contains(f))
+            .nth(rng.random_range(0..vocab::FIRST_NAMES.len().saturating_sub(used_first_names.len()).max(1)))
+            .unwrap_or_else(|| format!("alt{}", used_first_names.len()));
+        used_first_names.push(first.clone());
+
+        let n_orgs = rng.random_range(1..=2);
+        let organizations: Vec<String> = self
+            .organizations
+            .sample(rng, n_orgs)
+            .cloned()
+            .collect();
+        let n_concepts = rng.random_range(2..=5);
+        let concepts: Vec<String> = self
+            .concepts
+            .sample(rng, n_concepts)
+            .cloned()
+            .collect();
+        let n_assoc = rng.random_range(2..=4);
+        let associates: Vec<String> = self
+            .associates
+            .sample(rng, n_assoc)
+            .cloned()
+            .collect();
+        let location = vocab::LOCATIONS
+            .choose(rng)
+            .expect("locations pool non-empty")
+            .to_string();
+        let role = vocab::ROLES
+            .choose(rng)
+            .expect("roles pool non-empty")
+            .to_string();
+        // Home domain derived from the primary organization.
+        let org_slug: String = organizations[0]
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        let tld = ["edu", "org", "com", "net"]
+            .choose(rng)
+            .expect("tlds non-empty");
+        let domain = format!("{}.{}", org_slug, tld);
+        // Topical vocabulary: a random subset of the per-name topic pool
+        // (falling back to the whole content pool when none is given).
+        let n_topic = rng.random_range(30..=60);
+        let mut topic_words: Vec<usize> = if topic_pool.is_empty() {
+            (0..n_topic.min(self.content_pool_size))
+                .map(|_| rng.random_range(0..self.content_pool_size))
+                .collect()
+        } else {
+            (0..n_topic)
+                .map(|_| topic_pool[rng.random_range(0..topic_pool.len())])
+                .collect()
+        };
+        topic_words.sort_unstable();
+        topic_words.dedup();
+
+        Persona {
+            full_name: format!("{first} {surname}"),
+            initial_name: format!(
+                "{} {surname}",
+                first.chars().next().expect("non-empty first name")
+            ),
+            surname: surname.to_string(),
+            organizations,
+            concepts,
+            associates,
+            location,
+            domain,
+            topic_words,
+            role,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_have_expected_sizes() {
+        let p = EntityPools::build(1000);
+        assert_eq!(
+            p.organizations.len(),
+            vocab::ORG_STEMS.len() * vocab::ORG_SUFFIXES.len()
+        );
+        assert_eq!(p.concepts.len(), 200);
+        assert_eq!(p.associates.len(), 300);
+    }
+
+    #[test]
+    fn personas_are_well_formed() {
+        let pools = EntityPools::build(1000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut used = Vec::new();
+        let pool: Vec<usize> = (0..120).collect();
+        let p = pools.make_persona("cohen", &pool, &mut used, &mut rng);
+        assert!(p.full_name.ends_with(" cohen"));
+        assert_eq!(p.surname, "cohen");
+        assert!(p.initial_name.len() < p.full_name.len());
+        assert!((1..=2).contains(&p.organizations.len()));
+        assert!((2..=5).contains(&p.concepts.len()));
+        assert!((2..=4).contains(&p.associates.len()));
+        assert!(p.domain.contains('.'));
+        assert!(!p.topic_words.is_empty());
+        assert!(p.topic_words.iter().all(|&w| w < 120));
+    }
+
+    #[test]
+    fn personas_of_one_block_get_distinct_first_names() {
+        let pools = EntityPools::build(1000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut used = Vec::new();
+        let names: Vec<String> = (0..10)
+            .map(|_| pools.make_persona("ng", &(0..80).collect::<Vec<_>>(), &mut used, &mut rng).full_name)
+            .collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn concept_phrases_are_two_pseudo_words() {
+        let pools = EntityPools::build(10);
+        for c in &pools.concepts {
+            assert_eq!(c.split(' ').count(), 2);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Corpus configurations and the dataset presets used by the experiments.
+
+use crate::quality::QualityRanges;
+
+/// Full configuration of a synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Human-readable label carried into the dataset.
+    pub label: String,
+    /// Master seed; everything is deterministic given it.
+    pub seed: u64,
+    /// Number of ambiguous names (blocks).
+    pub names: usize,
+    /// Documents per name.
+    pub docs_per_name: usize,
+    /// Per-name persona count, drawn log-uniformly from this inclusive
+    /// range (the WWW'05 dataset "varies from 2 to 61" clusters per name).
+    pub personas_range: (usize, usize),
+    /// Range for the dominant persona's share of the spare documents.
+    pub dominant_fraction: (f64, f64),
+    /// Size of the background content-word pool.
+    pub content_pool_size: usize,
+    /// Zipf exponent of the background word distribution.
+    pub zipf_exponent: f64,
+    /// Per-name quality knob ranges.
+    pub quality: QualityRanges,
+}
+
+/// A WWW'05-like corpus: 12 names × 100 documents, 2–60 entities per name,
+/// moderately informative features. Mirrors the Bekkerman–McCallum dataset
+/// the paper evaluates first (Fig. 2, Tables II–III).
+pub fn www05_like(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        label: "www05-like".into(),
+        seed,
+        names: 12,
+        docs_per_name: 100,
+        personas_range: (2, 60),
+        dominant_fraction: (0.25, 0.7),
+        content_pool_size: 2000,
+        zipf_exponent: 1.05,
+        quality: QualityRanges {
+            url_presence: (0.35, 0.95),
+            home_url: (0.45, 0.9),
+            concept_mentions: (0.3, 2.5),
+            org_prob: (0.25, 0.85),
+            associate_prob: (0.15, 0.7),
+            full_name_prob: (0.3, 0.9),
+            topic_purity: (0.12, 0.5),
+            persona_overlap: (0.05, 0.45),
+            spurious_prob: (0.05, 0.25),
+            duplicate_prob: (0.0, 0.12),
+            doc_len: (50, 160),
+            topic_breadth: (90, 220),
+        },
+    }
+}
+
+/// A WePS-2-like corpus: 10 names × 150 documents. Harder than WWW'05, as
+/// in the paper (its Fp drops from ≈0.88 to ≈0.79): more personas sharing
+/// features, poorer URLs, more surname-only pages, muddier topics.
+pub fn weps_like(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        label: "weps-like".into(),
+        seed,
+        names: 10,
+        docs_per_name: 150,
+        personas_range: (6, 45),
+        dominant_fraction: (0.15, 0.45),
+        content_pool_size: 2500,
+        zipf_exponent: 1.0,
+        quality: QualityRanges {
+            url_presence: (0.25, 0.8),
+            home_url: (0.3, 0.75),
+            concept_mentions: (0.2, 2.0),
+            org_prob: (0.2, 0.75),
+            associate_prob: (0.1, 0.6),
+            full_name_prob: (0.25, 0.8),
+            topic_purity: (0.1, 0.45),
+            persona_overlap: (0.1, 0.5),
+            spurious_prob: (0.05, 0.3),
+            duplicate_prob: (0.0, 0.18),
+            doc_len: (40, 140),
+            topic_breadth: (50, 130),
+        },
+    }
+}
+
+/// A small corpus for integration/shape tests: 4 names x 60 documents —
+/// large enough blocks that 10–15% supervision yields a meaningful number
+/// of training pairs (the regime the paper's technique is designed for),
+/// while staying fast.
+pub fn small(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        label: "small".into(),
+        seed,
+        names: 4,
+        docs_per_name: 60,
+        personas_range: (3, 12),
+        dominant_fraction: (0.25, 0.6),
+        content_pool_size: 1200,
+        zipf_exponent: 1.0,
+        quality: QualityRanges {
+            url_presence: (0.35, 0.9),
+            home_url: (0.45, 0.9),
+            concept_mentions: (0.3, 2.5),
+            org_prob: (0.25, 0.85),
+            associate_prob: (0.15, 0.7),
+            full_name_prob: (0.3, 0.9),
+            topic_purity: (0.12, 0.5),
+            persona_overlap: (0.05, 0.45),
+            spurious_prob: (0.05, 0.25),
+            duplicate_prob: (0.0, 0.1),
+            doc_len: (40, 120),
+            topic_breadth: (80, 180),
+        },
+    }
+}
+
+/// A tiny corpus for unit tests and doc examples: 3 names × 24 documents,
+/// few personas, fast to generate and resolve.
+pub fn tiny(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        label: "tiny".into(),
+        seed,
+        names: 3,
+        docs_per_name: 24,
+        personas_range: (2, 5),
+        dominant_fraction: (0.3, 0.6),
+        content_pool_size: 400,
+        zipf_exponent: 1.0,
+        quality: QualityRanges {
+            url_presence: (0.6, 0.9),
+            home_url: (0.6, 0.9),
+            concept_mentions: (1.0, 3.0),
+            org_prob: (0.5, 0.9),
+            associate_prob: (0.3, 0.8),
+            full_name_prob: (0.6, 0.95),
+            topic_purity: (0.4, 0.8),
+            persona_overlap: (0.0, 0.2),
+            spurious_prob: (0.0, 0.1),
+            duplicate_prob: (0.0, 0.05),
+            doc_len: (30, 80),
+            topic_breadth: (60, 150),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_shapes() {
+        let w = www05_like(0);
+        assert_eq!(w.names, 12);
+        assert_eq!(w.docs_per_name, 100);
+        assert_eq!(w.personas_range, (2, 60));
+        let p = weps_like(0);
+        assert_eq!(p.names, 10);
+        assert_eq!(p.docs_per_name, 150);
+    }
+
+    #[test]
+    fn weps_is_harder_than_www05() {
+        let w = www05_like(0).quality;
+        let p = weps_like(0).quality;
+        assert!(p.url_presence.1 <= w.url_presence.1);
+        assert!(p.topic_purity.1 <= w.topic_purity.1);
+        assert!(p.topic_breadth.1 <= w.topic_breadth.1);
+        assert!(p.persona_overlap.1 >= w.persona_overlap.1);
+        assert!(p.spurious_prob.1 >= w.spurious_prob.1);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let t = tiny(0);
+        assert!(t.names * t.docs_per_name < 100);
+    }
+}

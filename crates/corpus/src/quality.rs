@@ -1,0 +1,168 @@
+//! Per-name quality knobs.
+//!
+//! "The similarity functions … perform very differently for the different
+//! names" — the paper's central observation, and the property the corpus
+//! must reproduce. Each ambiguous name draws a [`NameQuality`] from the
+//! preset's [`QualityRanges`]; the draw decides which feature channels are
+//! informative for that name. A name with `url_presence ≈ 0.2` cripples F2;
+//! a name with `full_name_prob ≈ 0.3` cripples F3/F7; low `topic_purity`
+//! cripples F8–F10; and so on.
+
+use rand::Rng;
+use rand::RngExt;
+
+/// An inclusive range `(lo, hi)` to draw a knob from.
+pub type Range = (f64, f64);
+
+fn draw(rng: &mut impl Rng, (lo, hi): Range) -> f64 {
+    if hi <= lo {
+        lo
+    } else {
+        rng.random_range(lo..hi)
+    }
+}
+
+/// Ranges from which per-name quality knobs are drawn.
+#[derive(Debug, Clone)]
+pub struct QualityRanges {
+    /// Probability a document carries a URL at all.
+    pub url_presence: Range,
+    /// Probability a carried URL is on the persona's home domain (vs a
+    /// shared generic host that confuses F2).
+    pub home_url: Range,
+    /// Expected number of concept mentions per document.
+    pub concept_mentions: Range,
+    /// Probability a document names the persona's organization.
+    pub org_prob: Range,
+    /// Probability a document mentions each persona associate.
+    pub associate_prob: Range,
+    /// Probability the persona is referred to by full name (vs bare
+    /// ambiguous surname / initial form).
+    pub full_name_prob: Range,
+    /// Fraction of content words drawn from the persona's topical
+    /// vocabulary (the rest from the shared background Zipf pool).
+    pub topic_purity: Range,
+    /// Probability that a persona shares an organization or concept with
+    /// another persona of the same name (hard cases).
+    pub persona_overlap: Range,
+    /// Probability of a spurious (unrelated) entity mention per document —
+    /// extraction noise.
+    pub spurious_prob: Range,
+    /// Probability that a document is a near-duplicate (mirror) of an
+    /// earlier page about the same persona — a common web phenomenon that
+    /// makes some pairs trivially easy while adding no new information.
+    pub duplicate_prob: Range,
+    /// Document length in content words, drawn uniformly.
+    pub doc_len: (usize, usize),
+    /// Size of the per-name topical word pool that all personas of the
+    /// name draw their topic vocabularies from. Smaller pools mean more
+    /// shared vocabulary between same-name personas, making the TF-IDF
+    /// functions (F8-F10) genuinely fallible.
+    pub topic_breadth: (usize, usize),
+}
+
+impl QualityRanges {
+    /// Draw one name's quality profile.
+    pub fn draw(&self, rng: &mut impl Rng) -> NameQuality {
+        NameQuality {
+            url_presence: draw(rng, self.url_presence),
+            home_url: draw(rng, self.home_url),
+            concept_mentions: draw(rng, self.concept_mentions),
+            org_prob: draw(rng, self.org_prob),
+            associate_prob: draw(rng, self.associate_prob),
+            full_name_prob: draw(rng, self.full_name_prob),
+            topic_purity: draw(rng, self.topic_purity),
+            persona_overlap: draw(rng, self.persona_overlap),
+            spurious_prob: draw(rng, self.spurious_prob),
+            duplicate_prob: draw(rng, self.duplicate_prob),
+            doc_len: self.doc_len,
+            topic_breadth: if self.topic_breadth.1 > self.topic_breadth.0 {
+                rng.random_range(self.topic_breadth.0..=self.topic_breadth.1)
+            } else {
+                self.topic_breadth.0
+            },
+        }
+    }
+}
+
+/// A concrete quality profile for one ambiguous name's block.
+#[derive(Debug, Clone, Copy)]
+pub struct NameQuality {
+    /// See [`QualityRanges::url_presence`].
+    pub url_presence: f64,
+    /// See [`QualityRanges::home_url`].
+    pub home_url: f64,
+    /// See [`QualityRanges::concept_mentions`].
+    pub concept_mentions: f64,
+    /// See [`QualityRanges::org_prob`].
+    pub org_prob: f64,
+    /// See [`QualityRanges::associate_prob`].
+    pub associate_prob: f64,
+    /// See [`QualityRanges::full_name_prob`].
+    pub full_name_prob: f64,
+    /// See [`QualityRanges::topic_purity`].
+    pub topic_purity: f64,
+    /// See [`QualityRanges::persona_overlap`].
+    pub persona_overlap: f64,
+    /// See [`QualityRanges::spurious_prob`].
+    pub spurious_prob: f64,
+    /// See [`QualityRanges::duplicate_prob`].
+    pub duplicate_prob: f64,
+    /// See [`QualityRanges::doc_len`].
+    pub doc_len: (usize, usize),
+    /// See [`QualityRanges::topic_breadth`].
+    pub topic_breadth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ranges() -> QualityRanges {
+        QualityRanges {
+            url_presence: (0.3, 0.9),
+            home_url: (0.5, 0.9),
+            concept_mentions: (0.5, 3.0),
+            org_prob: (0.3, 0.9),
+            associate_prob: (0.2, 0.7),
+            full_name_prob: (0.4, 0.95),
+            topic_purity: (0.2, 0.8),
+            persona_overlap: (0.0, 0.4),
+            spurious_prob: (0.0, 0.15),
+            duplicate_prob: (0.0, 0.1),
+            doc_len: (40, 120),
+            topic_breadth: (80, 200),
+        }
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        let r = ranges();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let q = r.draw(&mut rng);
+            assert!(q.url_presence >= 0.3 && q.url_presence < 0.9);
+            assert!(q.concept_mentions >= 0.5 && q.concept_mentions < 3.0);
+            assert!(q.topic_purity >= 0.2 && q.topic_purity < 0.8);
+        }
+    }
+
+    #[test]
+    fn draws_vary_across_names() {
+        let r = ranges();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = r.draw(&mut rng);
+        let b = r.draw(&mut rng);
+        assert_ne!(a.url_presence, b.url_presence);
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let mut r = ranges();
+        r.url_presence = (0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(r.draw(&mut rng).url_presence, 0.5);
+    }
+}

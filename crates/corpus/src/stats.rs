@@ -1,0 +1,173 @@
+//! Corpus summary statistics.
+//!
+//! Shared by the CLI's `stats` command and the `dataset_io` example, and
+//! used in tests to verify that the presets really order by difficulty
+//! (e.g. the WePS-like corpus must have poorer URL coverage than the
+//! WWW'05-like one).
+
+use crate::dataset::{Dataset, NameBlock};
+
+/// Statistics of one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// The ambiguous name.
+    pub query_name: String,
+    /// Number of documents.
+    pub documents: usize,
+    /// Number of ground-truth entities.
+    pub entities: usize,
+    /// Size of the largest entity's document set.
+    pub dominant_size: usize,
+    /// Fraction of documents carrying a URL.
+    pub url_rate: f64,
+    /// Minimum / mean / maximum document length in whitespace tokens.
+    pub doc_len: (usize, f64, usize),
+}
+
+impl BlockStats {
+    /// Compute statistics for one block.
+    pub fn compute(block: &NameBlock) -> Self {
+        let n = block.len();
+        let truth = block.truth();
+        let lens: Vec<usize> = block
+            .documents
+            .iter()
+            .map(|d| d.text.split_whitespace().count())
+            .collect();
+        let with_url = block.documents.iter().filter(|d| d.url.is_some()).count();
+        let mean_len = if n == 0 {
+            0.0
+        } else {
+            lens.iter().sum::<usize>() as f64 / n as f64
+        };
+        Self {
+            query_name: block.query_name.clone(),
+            documents: n,
+            entities: truth.cluster_count(),
+            dominant_size: truth.cluster_sizes().into_iter().max().unwrap_or(0),
+            url_rate: if n == 0 {
+                0.0
+            } else {
+                with_url as f64 / n as f64
+            },
+            doc_len: (
+                lens.iter().copied().min().unwrap_or(0),
+                mean_len,
+                lens.iter().copied().max().unwrap_or(0),
+            ),
+        }
+    }
+}
+
+/// Statistics of a whole dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub label: String,
+    /// Per-block statistics, in dataset order.
+    pub blocks: Vec<BlockStats>,
+}
+
+impl DatasetStats {
+    /// Compute statistics for every block.
+    pub fn compute(dataset: &Dataset) -> Self {
+        Self {
+            label: dataset.label.clone(),
+            blocks: dataset.blocks.iter().map(BlockStats::compute).collect(),
+        }
+    }
+
+    /// Total documents.
+    pub fn document_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.documents).sum()
+    }
+
+    /// Mean per-block entity count.
+    pub fn mean_entities(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().map(|b| b.entities as f64).sum::<f64>() / self.blocks.len() as f64
+    }
+
+    /// Mean URL coverage across blocks.
+    pub fn mean_url_rate(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().map(|b| b.url_rate).sum::<f64>() / self.blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, presets};
+
+    #[test]
+    fn block_stats_hand_computed() {
+        use crate::dataset::GeneratedDocument;
+        let block = NameBlock {
+            query_name: "cohen".into(),
+            documents: vec![
+                GeneratedDocument {
+                    url: Some("http://x.example.org/a".into()),
+                    text: "one two three".into(),
+                },
+                GeneratedDocument {
+                    url: None,
+                    text: "four five".into(),
+                },
+            ],
+            truth_labels: vec![0, 0],
+        };
+        let s = BlockStats::compute(&block);
+        assert_eq!(s.documents, 2);
+        assert_eq!(s.entities, 1);
+        assert_eq!(s.dominant_size, 2);
+        assert!((s.url_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.doc_len.0, 2);
+        assert_eq!(s.doc_len.2, 3);
+        assert!((s.doc_len.1 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_stats_aggregate() {
+        let d = generate(&presets::tiny(9));
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.label, "tiny");
+        assert_eq!(s.document_count(), d.document_count());
+        assert!(s.mean_entities() >= 1.0);
+        assert!((0.0..=1.0).contains(&s.mean_url_rate()));
+    }
+
+    #[test]
+    fn weps_preset_is_measurably_harder_than_www05() {
+        // Average over a few seeds: the WePS-like corpus must have poorer
+        // URL coverage and more entities per block (smaller dominant
+        // clusters relative to block size).
+        let mut w_url = 0.0;
+        let mut p_url = 0.0;
+        for seed in [1u64, 2, 3] {
+            w_url += DatasetStats::compute(&generate(&presets::www05_like(seed))).mean_url_rate();
+            p_url += DatasetStats::compute(&generate(&presets::weps_like(seed))).mean_url_rate();
+        }
+        assert!(
+            p_url < w_url,
+            "weps url coverage {p_url:.3} should be below www05 {w_url:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let d = Dataset {
+            label: "empty".into(),
+            seed: 0,
+            blocks: vec![],
+            gazetteer: weber_extract::gazetteer::Gazetteer::new(),
+        };
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.document_count(), 0);
+        assert_eq!(s.mean_entities(), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic word pools and Zipf sampling for text synthesis.
+//!
+//! Real web text has a Zipfian word distribution; TF-IDF similarity (F8–F10)
+//! only behaves realistically if the synthetic text does too. Content words
+//! are pronounceable pseudo-words generated from syllables, so they never
+//! collide with gazetteer entries or stopwords.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s",
+    "t", "v", "w", "z", "br", "cl", "dr", "gr", "pl", "st", "tr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+
+/// Generate a pronounceable pseudo-word from a seed index (deterministic).
+pub fn pseudo_word(index: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ index.wrapping_mul(0x9E3779B97F4A7C15));
+    let syllables = 2 + (rng.random_range(0..3)) as usize;
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(CONSONANTS[rng.random_range(0..CONSONANTS.len())]);
+        w.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+    }
+    w
+}
+
+/// A fixed pool of distinct pseudo-words.
+pub fn word_pool(size: usize, namespace: u64) -> Vec<String> {
+    let mut out = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::new();
+    let mut i = 0u64;
+    while out.len() < size {
+        let w = pseudo_word(namespace.wrapping_mul(1_000_003) + i);
+        i += 1;
+        if seen.insert(w.clone()) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// A Zipf-distributed sampler over `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (typically ~1.0).
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Samplers are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sample a rank index in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// English glue words used to make sentences look like prose (these are all
+/// stopwords, so the analyzer strips them — they only shape raw text).
+pub const GLUE: &[&str] = &[
+    "the", "a", "of", "and", "in", "on", "with", "for", "at", "is", "was",
+    "has", "had", "this", "that", "from", "by", "an", "to",
+];
+
+/// First names for persona construction.
+pub const FIRST_NAMES: &[&str] = &[
+    "william", "andrew", "sarah", "david", "maria", "james", "linda",
+    "robert", "susan", "michael", "karen", "richard", "nancy", "thomas",
+    "elena", "daniel", "laura", "kevin", "julia", "steven", "anna", "paul",
+    "ruth", "george", "alice", "frank", "diane", "peter", "carol", "henry",
+    "grace", "victor", "irene", "oscar", "claire", "martin", "judith",
+    "walter", "helen", "arthur",
+];
+
+/// Ambiguous surnames (block keys). Mirrors the flavour of the WWW'05 set
+/// (Cheyer, Cohen, Hardt, Israel, Kaelbling, Mark, McCallum, Mitchell,
+/// Mulford, Ng, Pereira, Voss).
+pub const SURNAMES: &[&str] = &[
+    "cheyer", "cohen", "hardt", "israel", "kaelbling", "mark", "mccallum",
+    "mitchell", "mulford", "ng", "pereira", "voss", "smith", "lee", "brown",
+    "walker", "turner", "collins", "parker", "morris", "reed", "bailey",
+    "rivera", "cooper", "bell", "murphy", "ward", "cox", "diaz", "gray",
+];
+
+/// Organization name stems; combined with suffixes to build the org pool.
+pub const ORG_STEMS: &[&str] = &[
+    "stanford", "carnegie", "cornell", "apex", "vertex", "quantum", "nimbus",
+    "zenith", "cascade", "aurora", "summit", "pioneer", "atlas", "horizon",
+    "meridian", "solstice", "rampart", "keystone", "lighthouse", "granite",
+    "harbor", "crescent", "obsidian", "palisade", "sequoia", "monarch",
+];
+
+/// Organization suffixes.
+pub const ORG_SUFFIXES: &[&str] = &[
+    "university", "labs", "institute", "systems", "research", "college",
+    "corporation", "foundation", "group", "technologies",
+];
+
+/// Locations.
+pub const LOCATIONS: &[&str] = &[
+    "pittsburgh", "lausanne", "boston", "seattle", "amherst", "palo alto",
+    "zurich", "london", "tokyo", "toronto", "berlin", "madrid", "austin",
+    "dublin", "oslo", "prague", "lisbon", "geneva", "kyoto", "helsinki",
+];
+
+/// Role words used in sentence templates (non-stopword, real-ish words kept
+/// distinct from pseudo-words; they add shared low-information content).
+pub const ROLES: &[&str] = &[
+    "professor", "researcher", "engineer", "artist", "director", "author",
+    "analyst", "consultant", "editor", "scientist", "manager", "curator",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pseudo_words_are_deterministic_and_nonempty() {
+        assert_eq!(pseudo_word(42), pseudo_word(42));
+        assert_ne!(pseudo_word(1), pseudo_word(2));
+        assert!(pseudo_word(7).len() >= 4);
+    }
+
+    #[test]
+    fn word_pool_is_distinct() {
+        let pool = word_pool(500, 1);
+        let set: std::collections::HashSet<_> = pool.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn word_pools_differ_by_namespace() {
+        assert_ne!(word_pool(10, 1), word_pool(10, 2));
+    }
+
+    #[test]
+    fn zipf_front_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks should carry roughly 39% of the mass under
+        // s=1.0 (H(10)/H(1000) ≈ 0.39); allow generous slack.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.3 && frac < 0.5, "head fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_samples_are_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn static_pools_are_nonempty_and_lowercase() {
+        for list in [FIRST_NAMES, SURNAMES, LOCATIONS, ROLES] {
+            assert!(!list.is_empty());
+            for w in list {
+                assert_eq!(&w.to_lowercase(), w);
+            }
+        }
+    }
+
+    #[test]
+    fn glue_words_are_stopwords() {
+        for w in GLUE {
+            assert!(weber_textindex::is_stopword(w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The world model: who the real people behind each ambiguous name are.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use weber_extract::gazetteer::{EntityKind, Gazetteer, GazetteerEntry};
+
+use crate::persona::{EntityPools, Persona};
+use crate::presets::CorpusConfig;
+use crate::quality::NameQuality;
+use crate::vocab::{self, Zipf};
+
+/// Generic hosting domains shared across personas (URLs on these carry no
+/// identity signal, confusing F2 — like personal pages on big hosts).
+pub const GENERIC_DOMAINS: &[&str] = &[
+    "people.webhost.net",
+    "profiles.connectsite.com",
+    "pages.freesites.org",
+    "members.portalhub.com",
+];
+
+/// One ambiguous name's slice of the world.
+#[derive(Debug, Clone)]
+pub struct WorldBlock {
+    /// The ambiguous surname (the block key / search keyword).
+    pub surname: String,
+    /// The real persons behind the name.
+    pub personas: Vec<Persona>,
+    /// The block's quality profile.
+    pub quality: NameQuality,
+    /// Document → persona index (ground truth), length = docs per name.
+    pub assignment: Vec<usize>,
+}
+
+/// The full world: blocks, shared pools, content vocabulary.
+#[derive(Debug)]
+pub struct World {
+    /// Per-name blocks.
+    pub blocks: Vec<WorldBlock>,
+    /// Shared entity pools.
+    pub pools: EntityPools,
+    /// Global content-word pool for background text.
+    pub content_words: Vec<String>,
+    /// Zipf sampler over the content pool.
+    pub zipf: Zipf,
+}
+
+impl World {
+    /// Build a world from a corpus configuration (deterministic in
+    /// `config.seed`).
+    pub fn build(config: &CorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pools = EntityPools::build(config.content_pool_size);
+        let content_words = vocab::word_pool(config.content_pool_size, 11);
+        let zipf = Zipf::new(config.content_pool_size, config.zipf_exponent);
+
+        let mut blocks = Vec::with_capacity(config.names);
+        for b in 0..config.names {
+            let surname = vocab::SURNAMES[b % vocab::SURNAMES.len()].to_string();
+            let quality = config.quality.draw(&mut rng);
+            // Persona count: log-uniform in the configured range, capped by
+            // the number of documents.
+            let (lo, hi) = config.personas_range;
+            let (lo, hi) = (lo.max(1), hi.max(lo.max(1)));
+            let log_lo = (lo as f64).ln();
+            let log_hi = (hi as f64).ln();
+            let k = (if log_hi > log_lo {
+                rng.random_range(log_lo..log_hi).exp()
+            } else {
+                lo as f64
+            })
+            .round() as usize;
+            let k = k.clamp(1, config.docs_per_name.max(1));
+
+            // Per-name topical pool: all personas of this name draw their
+            // vocabularies from it, so same-name pages share topic words.
+            let breadth = quality.topic_breadth.clamp(1, config.content_pool_size);
+            let mut topic_pool: Vec<usize> = (0..breadth)
+                .map(|_| rng.random_range(0..config.content_pool_size))
+                .collect();
+            topic_pool.sort_unstable();
+            topic_pool.dedup();
+
+            let mut used_first_names = Vec::new();
+            let mut personas: Vec<Persona> = (0..k)
+                .map(|_| pools.make_persona(&surname, &topic_pool, &mut used_first_names, &mut rng))
+                .collect();
+            inject_overlap(&mut personas, quality.persona_overlap, &mut rng);
+
+            let assignment =
+                assign_documents(config.docs_per_name, k, config.dominant_fraction, &mut rng);
+            blocks.push(WorldBlock {
+                surname,
+                personas,
+                quality,
+                assignment,
+            });
+        }
+        Self {
+            blocks,
+            pools,
+            content_words,
+            zipf,
+        }
+    }
+
+    /// Build the gazetteer a dictionary NER would use over this world: all
+    /// persona names (full, initial and bare-surname variants), associates,
+    /// organizations, locations and concepts (with specificity weights).
+    pub fn gazetteer(&self) -> Gazetteer {
+        let mut g = Gazetteer::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut add_unique = |g: &mut Gazetteer, e: GazetteerEntry| {
+            if seen.insert((e.phrase.clone(), e.kind)) {
+                g.add(e);
+            }
+        };
+        for block in &self.blocks {
+            add_unique(
+                &mut g,
+                GazetteerEntry::simple(block.surname.clone(), EntityKind::Person),
+            );
+            for p in &block.personas {
+                add_unique(
+                    &mut g,
+                    GazetteerEntry::simple(p.full_name.clone(), EntityKind::Person),
+                );
+                add_unique(
+                    &mut g,
+                    GazetteerEntry::simple(p.initial_name.clone(), EntityKind::Person),
+                );
+            }
+        }
+        for (i, a) in self.pools.associates.iter().enumerate() {
+            let _ = i;
+            add_unique(&mut g, GazetteerEntry::simple(a.clone(), EntityKind::Person));
+        }
+        for o in &self.pools.organizations {
+            add_unique(
+                &mut g,
+                GazetteerEntry::simple(o.clone(), EntityKind::Organization),
+            );
+        }
+        for l in vocab::LOCATIONS {
+            add_unique(&mut g, GazetteerEntry::simple(*l, EntityKind::Location));
+        }
+        for (i, c) in self.pools.concepts.iter().enumerate() {
+            // Deterministic specificity weight in [0.3, 1.0].
+            let weight = 0.3 + 0.7 * ((i * 7919) % 100) as f64 / 99.0;
+            add_unique(
+                &mut g,
+                GazetteerEntry::simple(c.clone(), EntityKind::Concept).with_weight(weight),
+            );
+        }
+        g
+    }
+}
+
+/// Let personas of one block share organizations/concepts with probability
+/// `overlap` — the ambiguity that makes F4/F5 fallible.
+fn inject_overlap(personas: &mut [Persona], overlap: f64, rng: &mut impl Rng) {
+    if personas.len() < 2 {
+        return;
+    }
+    for i in 1..personas.len() {
+        if rng.random_bool(overlap.clamp(0.0, 1.0)) {
+            let donor = rng.random_range(0..i);
+            let org = personas[donor].organizations[0].clone();
+            if !personas[i].organizations.contains(&org) {
+                personas[i].organizations.push(org);
+            }
+        }
+        if rng.random_bool(overlap.clamp(0.0, 1.0)) {
+            let donor = rng.random_range(0..i);
+            let concept = personas[donor].concepts[0].clone();
+            if !personas[i].concepts.contains(&concept) {
+                personas[i].concepts.push(concept);
+            }
+        }
+        if rng.random_bool(overlap.clamp(0.0, 1.0)) {
+            let donor = rng.random_range(0..i);
+            let associate = personas[donor].associates[0].clone();
+            if !personas[i].associates.contains(&associate) {
+                personas[i].associates.push(associate);
+            }
+        }
+    }
+}
+
+/// Assign `docs` documents to `k` personas: everyone gets at least one
+/// document, a dominant persona takes roughly `dominant_fraction` of the
+/// leftover, the rest decays geometrically (web reality: one famous person
+/// plus a long tail). The assignment is then shuffled.
+fn assign_documents(
+    docs: usize,
+    k: usize,
+    dominant_fraction: (f64, f64),
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    assert!(k >= 1 && k <= docs.max(1));
+    let mut sizes = vec![1usize; k];
+    let mut leftover = docs.saturating_sub(k);
+    let f = if dominant_fraction.1 > dominant_fraction.0 {
+        rng.random_range(dominant_fraction.0..dominant_fraction.1)
+    } else {
+        dominant_fraction.0
+    };
+    let dominant_extra = ((leftover as f64) * f).round() as usize;
+    sizes[0] += dominant_extra.min(leftover);
+    leftover -= dominant_extra.min(leftover);
+    if k > 1 {
+        // Geometric weights over the tail.
+        let weights: Vec<f64> = (1..k).map(|i| 0.7f64.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut given = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            let share = ((leftover as f64) * w / total).floor() as usize;
+            sizes[i + 1] += share;
+            given += share;
+        }
+        // Round-robin the remainder.
+        let mut rem = leftover - given;
+        let mut i = 1;
+        while rem > 0 {
+            sizes[i % k] += 1;
+            rem -= 1;
+            i += 1;
+        }
+    } else {
+        sizes[0] += leftover;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), docs.max(k));
+    let mut assignment: Vec<usize> = sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(p, &s)| std::iter::repeat_n(p, s))
+        .collect();
+    // Shuffle so train/test splits see all personas.
+    use rand::seq::SliceRandom;
+    assignment.shuffle(rng);
+    assignment
+}
+
+/// Pick a generic hosting domain.
+pub fn generic_domain(rng: &mut impl Rng) -> &'static str {
+    GENERIC_DOMAINS
+        .choose(rng)
+        .expect("generic domain pool non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn world_build_is_deterministic() {
+        let cfg = presets::tiny(7);
+        let a = World::build(&cfg);
+        let b = World::build(&cfg);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.assignment, y.assignment);
+            assert_eq!(
+                x.personas.iter().map(|p| &p.full_name).collect::<Vec<_>>(),
+                y.personas.iter().map(|p| &p.full_name).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn every_persona_gets_at_least_one_document() {
+        let cfg = presets::tiny(3);
+        let w = World::build(&cfg);
+        for b in &w.blocks {
+            let k = b.personas.len();
+            assert_eq!(b.assignment.len(), cfg.docs_per_name);
+            for p in 0..k {
+                assert!(
+                    b.assignment.contains(&p),
+                    "persona {p} of {} has no documents",
+                    b.surname
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persona_counts_respect_range() {
+        let mut cfg = presets::tiny(9);
+        cfg.personas_range = (2, 5);
+        cfg.names = 8;
+        let w = World::build(&cfg);
+        for b in &w.blocks {
+            assert!((2..=5).contains(&b.personas.len()), "{}", b.personas.len());
+        }
+    }
+
+    #[test]
+    fn gazetteer_covers_world_entities() {
+        let cfg = presets::tiny(1);
+        let w = World::build(&cfg);
+        let g = w.gazetteer();
+        assert!(!g.is_empty());
+        let persons: Vec<&str> = g
+            .of_kind(EntityKind::Person)
+            .map(|e| e.phrase.as_str())
+            .collect();
+        for b in &w.blocks {
+            assert!(persons.contains(&b.surname.as_str()));
+            for p in &b.personas {
+                assert!(persons.contains(&p.full_name.as_str()));
+            }
+        }
+        // Concept weights are in (0, 1].
+        for e in g.of_kind(EntityKind::Concept) {
+            assert!(e.weight > 0.0 && e.weight <= 1.0);
+        }
+    }
+
+    #[test]
+    fn assign_documents_sums_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = assign_documents(100, 7, (0.3, 0.6), &mut rng);
+        assert_eq!(a.len(), 100);
+        let mut counts = [0usize; 7];
+        for &p in &a {
+            counts[p] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        // Persona 0 dominates.
+        assert!(counts[0] >= *counts[1..].iter().max().unwrap());
+    }
+
+    #[test]
+    fn overlap_injection_shares_entities() {
+        let pools = EntityPools::build(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut used = Vec::new();
+        let pool: Vec<usize> = (0..50).collect();
+        let mut personas: Vec<Persona> = (0..6)
+            .map(|_| pools.make_persona("voss", &pool, &mut used, &mut rng))
+            .collect();
+        inject_overlap(&mut personas, 1.0, &mut rng);
+        // With overlap probability 1, every later persona shares persona
+        // 0's lineage org or concept with someone earlier.
+        let shared_any = (1..personas.len()).any(|i| {
+            (0..i).any(|j| {
+                personas[i]
+                    .organizations
+                    .iter()
+                    .any(|o| personas[j].organizations.contains(o))
+            })
+        });
+        assert!(shared_any);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the corpus generator: structural invariants
+//! must hold for every seed.
+
+use proptest::prelude::*;
+
+use weber_corpus::{generate, presets, Dataset};
+
+fn tiny_with(seed: u64) -> Dataset {
+    generate(&presets::tiny(seed))
+}
+
+proptest! {
+    // Dataset generation is comparatively slow; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blocks_have_consistent_shapes(seed in 0u64..10_000) {
+        let d = tiny_with(seed);
+        prop_assert_eq!(d.blocks.len(), 3);
+        for b in &d.blocks {
+            prop_assert_eq!(b.documents.len(), b.truth_labels.len());
+            prop_assert_eq!(b.len(), 24);
+            let truth = b.truth();
+            prop_assert!(truth.cluster_count() >= 1);
+            prop_assert!(truth.cluster_count() <= 5);
+            // Every persona owns at least one document.
+            prop_assert!(truth.cluster_sizes().iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn every_document_mentions_its_query_name(seed in 0u64..10_000) {
+        let d = tiny_with(seed);
+        for b in &d.blocks {
+            for doc in &b.documents {
+                prop_assert!(
+                    doc.text.to_lowercase().contains(&b.query_name),
+                    "missing '{}' in: {}", b.query_name, doc.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..10_000) {
+        let a = tiny_with(seed);
+        let b = tiny_with(seed);
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            prop_assert_eq!(&x.documents, &y.documents);
+            prop_assert_eq!(&x.truth_labels, &y.truth_labels);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_for_any_seed(seed in 0u64..10_000) {
+        let d = tiny_with(seed);
+        let json = d.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        prop_assert_eq!(back.document_count(), d.document_count());
+        for (x, y) in back.blocks.iter().zip(&d.blocks) {
+            prop_assert_eq!(&x.documents, &y.documents);
+            prop_assert_eq!(&x.truth_labels, &y.truth_labels);
+        }
+        prop_assert_eq!(back.gazetteer.len(), d.gazetteer.len());
+    }
+
+    #[test]
+    fn urls_are_parseable_when_present(seed in 0u64..10_000) {
+        let d = tiny_with(seed);
+        for b in &d.blocks {
+            for doc in &b.documents {
+                if let Some(url) = &doc.url {
+                    prop_assert!(
+                        weber_extract::url::UrlFeatures::parse(url).is_some(),
+                        "unparseable URL: {url}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gazetteer_contains_all_block_surnames(seed in 0u64..10_000) {
+        let d = tiny_with(seed);
+        let persons: Vec<&str> = d
+            .gazetteer
+            .of_kind(weber_extract::gazetteer::EntityKind::Person)
+            .map(|e| e.phrase.as_str())
+            .collect();
+        for b in &d.blocks {
+            prop_assert!(persons.contains(&b.query_name.as_str()));
+        }
+    }
+}

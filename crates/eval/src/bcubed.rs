@@ -1,0 +1,137 @@
+//! B-Cubed precision / recall / F.
+//!
+//! The official measure of the WePS-2 evaluation (the paper reports Fp for
+//! comparability with earlier work; we include B-Cubed as an extension so a
+//! downstream user can score against the campaign's own metric).
+//!
+//! For each document `d`, B³ precision is the fraction of documents sharing
+//! `d`'s predicted cluster that truly co-refer with `d`; B³ recall is the
+//! fraction of documents truly co-referring with `d` that share its
+//! predicted cluster. Both include `d` itself. Scores are averaged over
+//! documents and combined by harmonic mean.
+
+use weber_graph::Partition;
+
+use crate::check_same_len;
+
+/// B-Cubed precision, recall and their harmonic mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BCubedScores {
+    /// Averaged per-document B³ precision.
+    pub precision: f64,
+    /// Averaged per-document B³ recall.
+    pub recall: f64,
+}
+
+impl BCubedScores {
+    /// Harmonic mean of B³ precision and recall.
+    pub fn f_measure(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Compute B-Cubed scores of `predicted` against `truth`.
+///
+/// Empty partitions score 1.0 / 1.0 (vacuously perfect).
+pub fn bcubed(predicted: &Partition, truth: &Partition) -> BCubedScores {
+    check_same_len(predicted, truth);
+    let n = predicted.len();
+    if n == 0 {
+        return BCubedScores {
+            precision: 1.0,
+            recall: 1.0,
+        };
+    }
+    // intersection[(c, l)] = |C ∩ L| for predicted cluster c, truth cluster l.
+    use std::collections::HashMap;
+    let mut intersection: HashMap<(u32, u32), usize> = HashMap::new();
+    for i in 0..n {
+        *intersection
+            .entry((predicted.label_of(i), truth.label_of(i)))
+            .or_insert(0) += 1;
+    }
+    let pred_sizes = predicted.cluster_sizes();
+    let truth_sizes = truth.cluster_sizes();
+    // Every document in cell (c, l) has precision |C∩L|/|C| and recall
+    // |C∩L|/|L|, so we can aggregate per cell.
+    let (mut p_sum, mut r_sum) = (0.0f64, 0.0f64);
+    for (&(c, l), &cnt) in &intersection {
+        let cnt_f = cnt as f64;
+        p_sum += cnt_f * cnt_f / pred_sizes[c as usize] as f64;
+        r_sum += cnt_f * cnt_f / truth_sizes[l as usize] as f64;
+    }
+    BCubedScores {
+        precision: p_sum / n as f64,
+        recall: r_sum / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = p(&[0, 0, 1, 2]);
+        let s = bcubed(&truth, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn singletons_have_perfect_precision() {
+        let truth = p(&[0, 0, 0, 0]);
+        let pred = p(&[0, 1, 2, 3]);
+        let s = bcubed(&pred, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_cluster_has_perfect_recall() {
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 0]);
+        let s = bcubed(&pred, &truth);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_mixed_case() {
+        // truth: {0,1},{2,3}; pred: {0,1,2},{3}
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 1]);
+        let s = bcubed(&pred, &truth);
+        // precision: docs 0,1: 2/3 each; doc 2: 1/3; doc 3: 1 -> (2/3+2/3+1/3+1)/4
+        let expect_p = (2.0 / 3.0 + 2.0 / 3.0 + 1.0 / 3.0 + 1.0) / 4.0;
+        // recall: docs 0,1: 2/2=1; doc 2: 1/2; doc 3: 1/2 -> (1+1+0.5+0.5)/4
+        let expect_r = 3.0 / 4.0;
+        assert!((s.precision - expect_p).abs() < 1e-12);
+        assert!((s.recall - expect_r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_vacuously_perfect() {
+        let s = bcubed(&p(&[]), &p(&[]));
+        assert_eq!(s.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let a = p(&[0, 1, 0, 1, 2, 2, 0]);
+        let b = p(&[0, 0, 1, 1, 1, 2, 2]);
+        let s = bcubed(&a, &b);
+        assert!((0.0..=1.0).contains(&s.precision));
+        assert!((0.0..=1.0).contains(&s.recall));
+        assert!((0.0..=1.0).contains(&s.f_measure()));
+    }
+}

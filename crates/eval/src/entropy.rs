@@ -1,0 +1,190 @@
+//! Entropy-based clustering measures: NMI and the V-measure family.
+//!
+//! The paper's future work (§VII) proposes "considering entropy based
+//! metrics" to handle the effect of incomplete page information; this
+//! module provides the standard information-theoretic measures so that
+//! extension can be evaluated: mutual information, **normalized mutual
+//! information** (NMI), and **homogeneity / completeness / V-measure**
+//! (Rosenberg & Hirschberg, 2007).
+
+use std::collections::HashMap;
+
+use weber_graph::Partition;
+
+use crate::check_same_len;
+
+fn entropy_from_sizes(sizes: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    -sizes
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Shannon entropy (nats) of a partition's cluster-size distribution.
+pub fn partition_entropy(p: &Partition) -> f64 {
+    entropy_from_sizes(&p.cluster_sizes(), p.len())
+}
+
+/// Mutual information (nats) between two partitions of the same items.
+pub fn mutual_information(a: &Partition, b: &Partition) -> f64 {
+    check_same_len(a, b);
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut joint: HashMap<(u32, u32), usize> = HashMap::new();
+    for i in 0..n {
+        *joint.entry((a.label_of(i), b.label_of(i))).or_insert(0) += 1;
+    }
+    let (sa, sb) = (a.cluster_sizes(), b.cluster_sizes());
+    let nf = n as f64;
+    joint
+        .iter()
+        .map(|(&(x, y), &c)| {
+            let pxy = c as f64 / nf;
+            let px = sa[x as usize] as f64 / nf;
+            let py = sb[y as usize] as f64 / nf;
+            pxy * (pxy / (px * py)).ln()
+        })
+        .sum()
+}
+
+/// Normalized mutual information with arithmetic-mean normalisation:
+/// `2·I(A;B) / (H(A) + H(B))`. Defined as 1 when both partitions are
+/// trivial (identical information content of zero).
+pub fn nmi(a: &Partition, b: &Partition) -> f64 {
+    check_same_len(a, b);
+    let (ha, hb) = (partition_entropy(a), partition_entropy(b));
+    if ha + hb == 0.0 {
+        return 1.0;
+    }
+    (2.0 * mutual_information(a, b) / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Homogeneity, completeness and their harmonic mean (V-measure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VMeasure {
+    /// 1 − H(truth | predicted) / H(truth): each predicted cluster contains
+    /// members of a single true class.
+    pub homogeneity: f64,
+    /// 1 − H(predicted | truth) / H(predicted): all members of a true class
+    /// land in the same predicted cluster.
+    pub completeness: f64,
+}
+
+impl VMeasure {
+    /// The V-measure: harmonic mean of homogeneity and completeness.
+    pub fn v(&self) -> f64 {
+        if self.homogeneity + self.completeness == 0.0 {
+            0.0
+        } else {
+            2.0 * self.homogeneity * self.completeness
+                / (self.homogeneity + self.completeness)
+        }
+    }
+}
+
+/// Compute homogeneity/completeness of `predicted` against `truth`.
+pub fn v_measure(predicted: &Partition, truth: &Partition) -> VMeasure {
+    check_same_len(predicted, truth);
+    let (hp, ht) = (partition_entropy(predicted), partition_entropy(truth));
+    let mi = mutual_information(predicted, truth);
+    // H(T|P) = H(T) - I(T;P); homogeneity = 1 - H(T|P)/H(T).
+    let homogeneity = if ht == 0.0 { 1.0 } else { (mi / ht).clamp(0.0, 1.0) };
+    let completeness = if hp == 0.0 { 1.0 } else { (mi / hp).clamp(0.0, 1.0) };
+    VMeasure {
+        homogeneity,
+        completeness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn entropy_of_uniform_partition() {
+        let part = p(&[0, 0, 1, 1]);
+        assert!((partition_entropy(&part) - (2f64).ln()).abs() < 1e-12);
+        assert_eq!(partition_entropy(&p(&[0, 0, 0])), 0.0);
+    }
+
+    #[test]
+    fn identical_partitions_have_full_nmi_and_v() {
+        let a = p(&[0, 0, 1, 2, 2]);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        let v = v_measure(&a, &a);
+        assert!((v.homogeneity - 1.0).abs() < 1e-12);
+        assert!((v.completeness - 1.0).abs() < 1e-12);
+        assert!((v.v() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_have_low_nmi() {
+        // Perfectly crossed 2x2 design: labels share no information.
+        let a = p(&[0, 0, 1, 1]);
+        let b = p(&[0, 1, 0, 1]);
+        assert!(nmi(&a, &b) < 1e-12);
+        assert!(mutual_information(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_are_homogeneous_not_complete() {
+        let truth = p(&[0, 0, 1, 1]);
+        let singles = p(&[0, 1, 2, 3]);
+        let v = v_measure(&singles, &truth);
+        assert!((v.homogeneity - 1.0).abs() < 1e-12);
+        assert!(v.completeness < 1.0);
+    }
+
+    #[test]
+    fn one_cluster_is_complete_not_homogeneous() {
+        let truth = p(&[0, 0, 1, 1]);
+        let lump = p(&[0, 0, 0, 0]);
+        let v = v_measure(&lump, &truth);
+        assert!((v.completeness - 1.0).abs() < 1e-12);
+        assert!(v.homogeneity < 1.0);
+    }
+
+    #[test]
+    fn trivial_partitions_edge_cases() {
+        let a = p(&[0, 0, 0]);
+        assert_eq!(nmi(&a, &a), 1.0);
+        let v = v_measure(&a, &a);
+        assert_eq!(v.v(), 1.0);
+        let empty = p(&[]);
+        assert_eq!(nmi(&empty, &empty), 1.0);
+        assert_eq!(mutual_information(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn mi_is_symmetric_and_bounded_by_entropies() {
+        let a = p(&[0, 1, 1, 2, 0, 2, 1]);
+        let b = p(&[0, 0, 1, 1, 2, 2, 0]);
+        let mi = mutual_information(&a, &b);
+        assert!((mi - mutual_information(&b, &a)).abs() < 1e-12);
+        assert!(mi <= partition_entropy(&a) + 1e-12);
+        assert!(mi <= partition_entropy(&b) + 1e-12);
+        assert!(mi >= -1e-12);
+    }
+
+    #[test]
+    fn nmi_is_in_unit_interval() {
+        let a = p(&[0, 1, 0, 2, 1, 2]);
+        let b = p(&[1, 1, 0, 0, 2, 2]);
+        let v = nmi(&a, &b);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # weber-eval
+//!
+//! Quality measures for entity resolution, over [`Partition`]s from
+//! `weber-graph`:
+//!
+//! - pairwise **precision / recall / F-measure** ([`mod@pairwise`]),
+//! - **purity**, **inverse purity** and their harmonic mean **Fp**
+//!   ([`mod@purity`]) — the paper's headline measure,
+//! - the **Rand index** (and adjusted Rand) ([`mod@rand_index`]),
+//! - **B-Cubed** precision/recall/F ([`mod@bcubed`]) — the official WePS-2
+//!   measure, included as an extension,
+//! - entropy-based measures — **NMI** and the **V-measure** family
+//!   ([`entropy`]) — the direction the paper's future-work section names,
+//! - small report/aggregation helpers ([`report`]).
+//!
+//! All measures take `(predicted, truth)` in that order and return values in
+//! `[0, 1]` (adjusted Rand can be negative, as defined).
+
+pub mod bcubed;
+pub mod entropy;
+pub mod pairwise;
+pub mod purity;
+pub mod rand_index;
+pub mod report;
+
+pub use bcubed::bcubed;
+pub use entropy::{mutual_information, nmi, v_measure, VMeasure};
+pub use pairwise::{pairwise, PairwiseScores};
+pub use purity::{fp_measure, inverse_purity, purity, PurityScores};
+pub use rand_index::{adjusted_rand_index, rand_index};
+pub use report::{MetricSet, RunAverage};
+
+use weber_graph::Partition;
+
+/// Validate that two partitions cover the same item count.
+///
+/// All metric entry points call this; mismatched lengths are a programmer
+/// error and panic with a clear message.
+pub(crate) fn check_same_len(predicted: &Partition, truth: &Partition) {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "predicted and truth partitions must cover the same documents"
+    );
+}

@@ -1,0 +1,170 @@
+//! Pairwise precision / recall / F-measure.
+//!
+//! Every unordered document pair is a binary classification instance: "same
+//! person" or not. Precision and recall are computed over those instances;
+//! the F-measure is their harmonic mean — the `F`-rows of Table II.
+
+use weber_graph::Partition;
+
+use crate::check_same_len;
+
+/// Confusion counts and derived scores over document pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseScores {
+    /// Pairs linked in both predicted and truth.
+    pub true_positives: u64,
+    /// Pairs linked in predicted but not in truth.
+    pub false_positives: u64,
+    /// Pairs linked in truth but not in predicted.
+    pub false_negatives: u64,
+    /// Pairs linked in neither.
+    pub true_negatives: u64,
+}
+
+impl PairwiseScores {
+    /// Precision = TP / (TP + FP); 1.0 when no pairs were predicted
+    /// (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when the truth contains no pairs.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall.
+    pub fn f_measure(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+
+    /// Weighted F-measure with parameter `beta` (`beta > 1` favours recall).
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        let b2 = beta * beta;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            (1.0 + b2) * p * r / (b2 * p + r)
+        }
+    }
+
+    /// Total number of pairs covered.
+    pub fn total_pairs(&self) -> u64 {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+}
+
+/// Compute pairwise confusion counts of `predicted` against `truth`.
+pub fn pairwise(predicted: &Partition, truth: &Partition) -> PairwiseScores {
+    check_same_len(predicted, truth);
+    let n = predicted.len();
+    let mut s = PairwiseScores {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        true_negatives: 0,
+    };
+    for i in 0..n {
+        for j in i + 1..n {
+            match (predicted.same_cluster(i, j), truth.same_cluster(i, j)) {
+                (true, true) => s.true_positives += 1,
+                (true, false) => s.false_positives += 1,
+                (false, true) => s.false_negatives += 1,
+                (false, false) => s.true_negatives += 1,
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = p(&[0, 0, 1, 1, 2]);
+        let s = pairwise(&truth, &truth);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn singletons_have_full_precision_zero_recall() {
+        let truth = p(&[0, 0, 0]);
+        let pred = p(&[0, 1, 2]);
+        let s = pairwise(&pred, &truth);
+        assert_eq!(s.precision(), 1.0); // vacuous
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f_measure(), 0.0);
+    }
+
+    #[test]
+    fn one_big_cluster_has_full_recall() {
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 0]);
+        let s = pairwise(&pred, &truth);
+        assert_eq!(s.recall(), 1.0);
+        // 6 predicted pairs, 2 true -> precision 1/3.
+        assert!((s.precision() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_confusion() {
+        // truth: {0,1},{2,3}; pred: {0,1,2},{3}
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 1]);
+        let s = pairwise(&pred, &truth);
+        // predicted pairs: (0,1),(0,2),(1,2); true pairs: (0,1),(2,3)
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 2);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.true_negatives, 2);
+        assert_eq!(s.total_pairs(), 6);
+        assert!((s.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall() - 0.5).abs() < 1e-12);
+        let f = 2.0 * (1.0 / 3.0) * 0.5 / (1.0 / 3.0 + 0.5);
+        assert!((s.f_measure() - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_beta_weights_recall() {
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 0]);
+        let s = pairwise(&pred, &truth);
+        assert!(s.f_beta(2.0) > s.f_beta(0.5)); // recall-heavy case
+    }
+
+    #[test]
+    fn empty_partitions() {
+        let s = pairwise(&p(&[]), &p(&[]));
+        assert_eq!(s.total_pairs(), 0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f_measure(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same documents")]
+    fn mismatched_lengths_panic() {
+        pairwise(&p(&[0, 1]), &p(&[0, 1, 2]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Purity, inverse purity and the Fp-measure.
+//!
+//! Fp — "the harmonic mean of purity and inverse purity" — is the measure
+//! the paper reports in Figures 2–3 and Tables II–III. Purity asks how
+//! homogeneous the predicted clusters are; inverse purity asks how well each
+//! true entity is kept together.
+
+use std::collections::HashMap;
+
+use weber_graph::Partition;
+
+use crate::check_same_len;
+
+/// Purity, inverse purity and Fp, computed together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurityScores {
+    /// Purity of `predicted` against `truth`.
+    pub purity: f64,
+    /// Inverse purity (purity of `truth` against `predicted`).
+    pub inverse_purity: f64,
+}
+
+impl PurityScores {
+    /// Fp: harmonic mean of purity and inverse purity.
+    pub fn fp(&self) -> f64 {
+        let (p, ip) = (self.purity, self.inverse_purity);
+        if p + ip == 0.0 {
+            0.0
+        } else {
+            2.0 * p * ip / (p + ip)
+        }
+    }
+}
+
+/// Purity of `predicted` w.r.t. `truth`:
+/// `1/n · Σ_C max_L |C ∩ L|` over predicted clusters `C`, truth clusters `L`.
+///
+/// Returns 1.0 for empty partitions (vacuously pure).
+pub fn purity(predicted: &Partition, truth: &Partition) -> f64 {
+    check_same_len(predicted, truth);
+    let n = predicted.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // overlap[(c, l)] = |C ∩ L|
+    let mut overlap: HashMap<(u32, u32), usize> = HashMap::new();
+    for i in 0..n {
+        *overlap
+            .entry((predicted.label_of(i), truth.label_of(i)))
+            .or_insert(0) += 1;
+    }
+    let mut max_per_cluster: HashMap<u32, usize> = HashMap::new();
+    for (&(c, _), &count) in &overlap {
+        let e = max_per_cluster.entry(c).or_insert(0);
+        *e = (*e).max(count);
+    }
+    max_per_cluster.values().sum::<usize>() as f64 / n as f64
+}
+
+/// Inverse purity: how well each true cluster is covered by a single
+/// predicted cluster. Equals `purity(truth, predicted)`.
+pub fn inverse_purity(predicted: &Partition, truth: &Partition) -> f64 {
+    purity(truth, predicted)
+}
+
+/// Compute both purity directions at once.
+pub fn purity_scores(predicted: &Partition, truth: &Partition) -> PurityScores {
+    PurityScores {
+        purity: purity(predicted, truth),
+        inverse_purity: inverse_purity(predicted, truth),
+    }
+}
+
+/// The Fp-measure: harmonic mean of purity and inverse purity.
+///
+/// ```
+/// use weber_graph::Partition;
+/// use weber_eval::fp_measure;
+///
+/// let truth = Partition::from_labels(vec![0, 0, 1, 1]);
+/// let perfect = truth.clone();
+/// assert_eq!(fp_measure(&perfect, &truth), 1.0);
+///
+/// let lumped = Partition::single_cluster(4); // inverse-pure, not pure
+/// let fp = fp_measure(&lumped, &truth);
+/// assert!(fp > 0.0 && fp < 1.0);
+/// ```
+pub fn fp_measure(predicted: &Partition, truth: &Partition) -> f64 {
+    purity_scores(predicted, truth).fp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = p(&[0, 0, 1, 2, 2]);
+        assert_eq!(purity(&truth, &truth), 1.0);
+        assert_eq!(inverse_purity(&truth, &truth), 1.0);
+        assert_eq!(fp_measure(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn singletons_are_pure_but_not_inverse_pure() {
+        let truth = p(&[0, 0, 0, 0]);
+        let pred = p(&[0, 1, 2, 3]);
+        assert_eq!(purity(&pred, &truth), 1.0);
+        // Each true cluster's best predicted cluster covers 1 of 4 docs.
+        assert!((inverse_purity(&pred, &truth) - 0.25).abs() < 1e-12);
+        let fp = 2.0 * 1.0 * 0.25 / 1.25;
+        assert!((fp_measure(&pred, &truth) - fp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_cluster_is_inverse_pure_but_not_pure() {
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 0]);
+        assert!((purity(&pred, &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(inverse_purity(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // IR book style example: 3 predicted clusters over 6 items.
+        // truth: A={0,1,2}, B={3,4}, C={5}
+        let truth = p(&[0, 0, 0, 1, 1, 2]);
+        // pred: {0,1,3}, {2,4}, {5}
+        let pred = p(&[0, 0, 1, 0, 1, 2]);
+        // purity: cluster1 max overlap 2 (A), cluster2 max 1, cluster3 1 -> 4/6
+        assert!((purity(&pred, &truth) - 4.0 / 6.0).abs() < 1e-12);
+        // inverse purity: A best covered by cluster1 (2), B best 1, C 1 -> 4/6
+        assert!((inverse_purity(&pred, &truth) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((fp_measure(&pred, &truth) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_is_symmetric_under_swapping_roles() {
+        let a = p(&[0, 0, 1, 1, 2]);
+        let b = p(&[0, 1, 1, 2, 2]);
+        assert!((fp_measure(&a, &b) - fp_measure(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partitions_are_vacuously_perfect() {
+        assert_eq!(fp_measure(&p(&[]), &p(&[])), 1.0);
+    }
+
+    #[test]
+    fn purity_bounds() {
+        let truth = p(&[0, 1, 0, 1, 0, 1]);
+        let pred = p(&[0, 0, 0, 1, 1, 1]);
+        let v = purity(&pred, &truth);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

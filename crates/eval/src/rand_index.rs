@@ -1,0 +1,119 @@
+//! Rand index and adjusted Rand index.
+
+use weber_graph::Partition;
+
+use crate::pairwise::pairwise;
+
+/// The Rand index: fraction of document pairs on which the two partitions
+/// agree (both linked or both separated). 1.0 for empty partitions.
+pub fn rand_index(predicted: &Partition, truth: &Partition) -> f64 {
+    let s = pairwise(predicted, truth);
+    let total = s.total_pairs();
+    if total == 0 {
+        return 1.0;
+    }
+    (s.true_positives + s.true_negatives) as f64 / total as f64
+}
+
+/// The adjusted Rand index (Hubert & Arabie): Rand index corrected for
+/// chance. 1 for identical partitions, ~0 for independent ones; may be
+/// negative. Defined as 1.0 when both partitions are trivial (the expected
+/// and maximum index coincide).
+pub fn adjusted_rand_index(predicted: &Partition, truth: &Partition) -> f64 {
+    crate::check_same_len(predicted, truth);
+    let n = predicted.len();
+    if n == 0 {
+        return 1.0;
+    }
+    // Contingency table counts.
+    use std::collections::HashMap;
+    let mut table: HashMap<(u32, u32), u64> = HashMap::new();
+    for i in 0..n {
+        *table
+            .entry((predicted.label_of(i), truth.label_of(i)))
+            .or_insert(0) += 1;
+    }
+    let choose2 = |x: u64| x * x.saturating_sub(1) / 2;
+    let sum_table: u64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_pred: u64 = predicted
+        .cluster_sizes()
+        .iter()
+        .map(|&s| choose2(s as u64))
+        .sum();
+    let sum_truth: u64 = truth
+        .cluster_sizes()
+        .iter()
+        .map(|&s| choose2(s as u64))
+        .sum();
+    let total = choose2(n as u64) as f64;
+    let expected = sum_pred as f64 * sum_truth as f64 / total;
+    let max_index = 0.5 * (sum_pred + sum_truth) as f64;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_table as f64 - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = p(&[0, 0, 1, 2, 2]);
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_rand_index() {
+        // truth {0,1},{2,3}; pred {0,1,2},{3}: TP=1, TN=2 of 6 pairs.
+        let truth = p(&[0, 0, 1, 1]);
+        let pred = p(&[0, 0, 0, 1]);
+        assert!((rand_index(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_extremes() {
+        let truth = p(&[0, 0, 0, 0]);
+        let singles = p(&[0, 1, 2, 3]);
+        assert_eq!(rand_index(&singles, &truth), 0.0);
+    }
+
+    #[test]
+    fn ari_is_zeroish_for_random_like_and_negative_possible() {
+        // Perfectly crossed partitions: ARI < Rand.
+        let a = p(&[0, 0, 1, 1]);
+        let b = p(&[0, 1, 0, 1]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari <= 0.0 + 1e-12, "ari = {ari}");
+    }
+
+    #[test]
+    fn ari_degenerate_cases() {
+        let all = p(&[0, 0, 0]);
+        assert_eq!(adjusted_rand_index(&all, &all), 1.0);
+        let singles = p(&[0, 1, 2]);
+        assert_eq!(adjusted_rand_index(&singles, &singles), 1.0);
+    }
+
+    #[test]
+    fn empty_partitions() {
+        assert_eq!(rand_index(&p(&[]), &p(&[])), 1.0);
+        assert_eq!(adjusted_rand_index(&p(&[]), &p(&[])), 1.0);
+    }
+
+    #[test]
+    fn rand_symmetry() {
+        let a = p(&[0, 0, 1, 1, 2]);
+        let b = p(&[0, 1, 1, 2, 2]);
+        assert!((rand_index(&a, &b) - rand_index(&b, &a)).abs() < 1e-12);
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+    }
+}

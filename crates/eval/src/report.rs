@@ -1,0 +1,109 @@
+//! Aggregation helpers: the metric triple the paper reports, and averaging
+//! over repeated runs.
+
+use weber_graph::Partition;
+
+use crate::pairwise::pairwise;
+use crate::purity::fp_measure;
+use crate::rand_index::rand_index;
+
+/// The three measures reported throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricSet {
+    /// Fp: harmonic mean of purity and inverse purity.
+    pub fp: f64,
+    /// Pairwise F-measure.
+    pub f: f64,
+    /// Rand index.
+    pub rand: f64,
+}
+
+impl MetricSet {
+    /// Score `predicted` against `truth` on all three measures.
+    pub fn evaluate(predicted: &Partition, truth: &Partition) -> Self {
+        Self {
+            fp: fp_measure(predicted, truth),
+            f: pairwise(predicted, truth).f_measure(),
+            rand: rand_index(predicted, truth),
+        }
+    }
+}
+
+/// Incremental averaging of [`MetricSet`]s over runs (the paper averages 5
+/// random training draws).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunAverage {
+    sum: MetricSet,
+    runs: usize,
+}
+
+impl RunAverage {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one run's scores.
+    pub fn push(&mut self, m: MetricSet) {
+        self.sum.fp += m.fp;
+        self.sum.f += m.f;
+        self.sum.rand += m.rand;
+        self.runs += 1;
+    }
+
+    /// Number of runs accumulated.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The component-wise mean; `None` before any run is pushed.
+    pub fn mean(&self) -> Option<MetricSet> {
+        if self.runs == 0 {
+            return None;
+        }
+        let n = self.runs as f64;
+        Some(MetricSet {
+            fp: self.sum.fp / n,
+            f: self.sum.f / n,
+            rand: self.sum.rand / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn evaluate_perfect() {
+        let truth = p(&[0, 0, 1]);
+        let m = MetricSet::evaluate(&truth, &truth);
+        assert_eq!(m, MetricSet { fp: 1.0, f: 1.0, rand: 1.0 });
+    }
+
+    #[test]
+    fn run_average_means() {
+        let mut avg = RunAverage::new();
+        assert!(avg.mean().is_none());
+        avg.push(MetricSet { fp: 0.8, f: 0.6, rand: 1.0 });
+        avg.push(MetricSet { fp: 0.6, f: 0.8, rand: 0.0 });
+        let m = avg.mean().unwrap();
+        assert!((m.fp - 0.7).abs() < 1e-12);
+        assert!((m.f - 0.7).abs() < 1e-12);
+        assert!((m.rand - 0.5).abs() < 1e-12);
+        assert_eq!(avg.runs(), 2);
+    }
+
+    #[test]
+    fn evaluate_is_consistent_with_components() {
+        let a = p(&[0, 0, 1, 1]);
+        let b = p(&[0, 0, 0, 1]);
+        let m = MetricSet::evaluate(&b, &a);
+        assert!((m.fp - fp_measure(&b, &a)).abs() < 1e-15);
+        assert!((m.rand - rand_index(&b, &a)).abs() < 1e-15);
+    }
+}

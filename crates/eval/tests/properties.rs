@@ -1,0 +1,154 @@
+//! Property-based tests for the evaluation measures.
+
+use proptest::prelude::*;
+
+use weber_eval::bcubed::bcubed;
+use weber_eval::entropy::{mutual_information, nmi, partition_entropy, v_measure};
+use weber_eval::pairwise::pairwise;
+use weber_eval::purity::{fp_measure, inverse_purity, purity};
+use weber_eval::rand_index::{adjusted_rand_index, rand_index};
+use weber_eval::MetricSet;
+use weber_graph::Partition;
+
+fn labels(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..(n as u32).max(1), n)
+}
+
+/// A relabelling of a partition (permuted label names) must not change any
+/// measure — clustering metrics only see the grouping.
+fn shuffle_labels(ls: &[u32], offset: u32) -> Vec<u32> {
+    ls.iter().map(|&l| (l + offset) % 97 + 1000).collect()
+}
+
+proptest! {
+    #[test]
+    fn all_measures_stay_in_unit_interval(a in labels(12), b in labels(12)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        for v in [
+            purity(&p, &t),
+            inverse_purity(&p, &t),
+            fp_measure(&p, &t),
+            rand_index(&p, &t),
+            bcubed(&p, &t).precision,
+            bcubed(&p, &t).recall,
+            bcubed(&p, &t).f_measure(),
+            pairwise(&p, &t).precision(),
+            pairwise(&p, &t).recall(),
+            pairwise(&p, &t).f_measure(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "measure out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one(a in labels(12)) {
+        let p = Partition::from_labels(a);
+        let m = MetricSet::evaluate(&p, &p);
+        prop_assert_eq!(m, MetricSet { fp: 1.0, f: 1.0, rand: 1.0 });
+        prop_assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(bcubed(&p, &p).f_measure(), 1.0);
+    }
+
+    #[test]
+    fn measures_are_invariant_under_relabelling(a in labels(10), b in labels(10), off in 1u32..96) {
+        let p1 = Partition::from_labels(a.clone());
+        let p2 = Partition::from_labels(shuffle_labels(&a, off));
+        let t = Partition::from_labels(b);
+        // Internal hash-map iteration order may differ between labelings,
+        // so floating-point sums can differ in the last bits.
+        prop_assert!((fp_measure(&p1, &t) - fp_measure(&p2, &t)).abs() < 1e-12);
+        prop_assert!((rand_index(&p1, &t) - rand_index(&p2, &t)).abs() < 1e-12);
+        prop_assert!(
+            (pairwise(&p1, &t).f_measure() - pairwise(&p2, &t).f_measure()).abs() < 1e-12
+        );
+        prop_assert!((bcubed(&p1, &t).f_measure() - bcubed(&p2, &t).f_measure()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_and_fp_are_symmetric_in_their_arguments(a in labels(10), b in labels(10)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        prop_assert!((rand_index(&p, &t) - rand_index(&t, &p)).abs() < 1e-12);
+        prop_assert!((fp_measure(&p, &t) - fp_measure(&t, &p)).abs() < 1e-12);
+        prop_assert!(
+            (adjusted_rand_index(&p, &t) - adjusted_rand_index(&t, &p)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn purity_and_inverse_purity_are_dual(a in labels(10), b in labels(10)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        prop_assert_eq!(purity(&p, &t), inverse_purity(&t, &p));
+    }
+
+    #[test]
+    fn purity_is_one_iff_clusters_are_pure(a in labels(10), b in labels(10)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        let pure = purity(&p, &t);
+        // Every predicted cluster is a subset of a truth cluster iff
+        // purity == 1.
+        let clusters_pure = p.clusters().iter().all(|c| {
+            c.windows(2).all(|w| t.same_cluster(w[0], w[1]))
+                || c.iter().all(|&i| c.iter().all(|&j| t.same_cluster(i, j)))
+        });
+        prop_assert_eq!((pure - 1.0).abs() < 1e-12, clusters_pure);
+    }
+
+    #[test]
+    fn singletons_have_perfect_pairwise_precision(b in labels(12)) {
+        let t = Partition::from_labels(b);
+        let p = Partition::singletons(12);
+        prop_assert_eq!(pairwise(&p, &t).precision(), 1.0);
+        prop_assert_eq!(bcubed(&p, &t).precision, 1.0);
+        prop_assert_eq!(purity(&p, &t), 1.0);
+    }
+
+    #[test]
+    fn single_cluster_has_perfect_recall(b in labels(12)) {
+        let t = Partition::from_labels(b);
+        let p = Partition::single_cluster(12);
+        prop_assert_eq!(pairwise(&p, &t).recall(), 1.0);
+        prop_assert_eq!(bcubed(&p, &t).recall, 1.0);
+        prop_assert_eq!(inverse_purity(&p, &t), 1.0);
+    }
+
+    #[test]
+    fn rand_index_equals_pairwise_agreement(a in labels(9), b in labels(9)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        let s = pairwise(&p, &t);
+        let expected = (s.true_positives + s.true_negatives) as f64 / s.total_pairs() as f64;
+        prop_assert!((rand_index(&p, &t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_measures_are_bounded(a in labels(10), b in labels(10)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        let v = nmi(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&v), "nmi {v}");
+        let mi = mutual_information(&p, &t);
+        prop_assert!(mi >= -1e-9);
+        prop_assert!(mi <= partition_entropy(&p) + 1e-9);
+        prop_assert!(mi <= partition_entropy(&t) + 1e-9);
+        let vm = v_measure(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&vm.homogeneity));
+        prop_assert!((0.0..=1.0).contains(&vm.completeness));
+        prop_assert!((0.0..=1.0).contains(&vm.v()));
+    }
+
+    #[test]
+    fn nmi_is_symmetric_and_maximal_on_self(a in labels(10), b in labels(10)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        prop_assert!((nmi(&p, &t) - nmi(&t, &p)).abs() < 1e-9);
+        prop_assert!((nmi(&p, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_measure_is_harmonic_mean(a in labels(9), b in labels(9)) {
+        let (p, t) = (Partition::from_labels(a), Partition::from_labels(b));
+        let s = pairwise(&p, &t);
+        let (pr, rc) = (s.precision(), s.recall());
+        if pr + rc > 0.0 {
+            let expected = 2.0 * pr * rc / (pr + rc);
+            prop_assert!((s.f_measure() - expected).abs() < 1e-12);
+        }
+    }
+}

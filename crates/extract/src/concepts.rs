@@ -1,0 +1,131 @@
+//! Wikipedia-style weighted concept extraction (the SemanticHacker
+//! substitute).
+//!
+//! A [`ConceptTagger`] recognises concept mentions from a concept gazetteer
+//! and produces two representations per page:
+//!
+//! - a **weighted concept vector** over a shared concept vocabulary, where
+//!   each mention contributes its entry's specificity weight (feeds F1,
+//!   "Weighted Concept Vector — Cosine Similarity");
+//! - the **concept set** of canonical concepts (feeds F4, "Concepts Vector
+//!   — Number of overlapping concepts").
+
+use std::collections::BTreeSet;
+use std::sync::RwLock;
+
+use weber_textindex::sparse::SparseVector;
+use weber_textindex::vocab::Vocabulary;
+
+use crate::gazetteer::{EntityKind, Gazetteer};
+use crate::ner::Recognizer;
+
+/// A page's concept representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptProfile {
+    /// Weighted concept vector over the tagger's concept vocabulary.
+    pub weighted: SparseVector,
+    /// Canonical concept names present on the page.
+    pub concepts: BTreeSet<String>,
+}
+
+/// Recognises concepts and maintains a shared concept vocabulary so that
+/// vectors from different pages are comparable.
+#[derive(Debug)]
+pub struct ConceptTagger {
+    recognizer: Recognizer,
+    vocab: RwLock<Vocabulary>,
+}
+
+impl ConceptTagger {
+    /// Build from a gazetteer; only `Concept` entries are used.
+    pub fn new(gazetteer: &Gazetteer) -> Self {
+        let mut concepts_only = Gazetteer::new();
+        for e in gazetteer.of_kind(EntityKind::Concept) {
+            concepts_only.add(e.clone());
+        }
+        Self {
+            recognizer: Recognizer::compile(&concepts_only),
+            vocab: RwLock::new(Vocabulary::new()),
+        }
+    }
+
+    /// Tag a page's text.
+    pub fn tag(&self, text: &str) -> ConceptProfile {
+        let mentions = self.recognizer.recognize(text);
+        let mut vocab = self.vocab.write().expect("concept vocabulary poisoned");
+        let mut pairs = Vec::with_capacity(mentions.len());
+        let mut concepts = BTreeSet::new();
+        for m in mentions {
+            let id = vocab.intern(&m.canonical);
+            pairs.push((id, m.weight));
+            concepts.insert(m.canonical);
+        }
+        ConceptProfile {
+            weighted: SparseVector::from_pairs(pairs),
+            concepts,
+        }
+    }
+
+    /// Number of distinct concepts interned so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocab.read().expect("concept vocabulary poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::GazetteerEntry;
+
+    fn tagger() -> ConceptTagger {
+        let mut g = Gazetteer::new();
+        g.add(GazetteerEntry::simple("machine learning", EntityKind::Concept).with_weight(0.8));
+        g.add(GazetteerEntry::simple("databases", EntityKind::Concept).with_weight(0.5));
+        g.add_phrases(EntityKind::Person, ["Some Person"]); // must be ignored
+        ConceptTagger::new(&g)
+    }
+
+    #[test]
+    fn tags_concepts_with_weights() {
+        let t = tagger();
+        let p = t.tag("Machine learning and databases and machine learning.");
+        assert_eq!(p.concepts.len(), 2);
+        assert!(p.concepts.contains("machine learning"));
+        // Two mentions at weight 0.8 plus one at 0.5.
+        let total: f64 = p.weighted.entries().iter().map(|&(_, w)| w).sum();
+        assert!((total - (0.8 * 2.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_concept_entries_are_ignored() {
+        let t = tagger();
+        let p = t.tag("Some Person studies nothing.");
+        assert!(p.concepts.is_empty());
+        assert!(p.weighted.is_empty());
+    }
+
+    #[test]
+    fn vectors_share_a_vocabulary() {
+        let t = tagger();
+        let a = t.tag("databases");
+        let b = t.tag("databases and machine learning");
+        assert!(a.weighted.cosine(&b.weighted) > 0.0);
+        assert_eq!(t.vocabulary_size(), 2);
+    }
+
+    #[test]
+    fn disjoint_pages_have_zero_cosine() {
+        let t = tagger();
+        let a = t.tag("machine learning");
+        let b = t.tag("databases");
+        assert_eq!(a.weighted.cosine(&b.weighted), 0.0);
+    }
+
+    #[test]
+    fn empty_text() {
+        let t = tagger();
+        let p = t.tag("");
+        assert!(p.concepts.is_empty());
+        assert!(p.weighted.is_empty());
+    }
+}

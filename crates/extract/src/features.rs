@@ -1,0 +1,202 @@
+//! The extracted per-page feature record consumed by the similarity
+//! functions (Table I of the paper).
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use weber_textindex::sparse::SparseVector;
+use weber_textindex::vocab::TermId;
+
+use crate::url::UrlFeatures;
+
+/// Everything the similarity functions need to know about one web page.
+///
+/// "As a preprocessing step we apply information extraction tools, so the
+/// input to the similarity functions is the extracted information and not
+/// the pages themselves." (§III)
+#[derive(Debug, Clone, Default)]
+pub struct PageFeatures {
+    /// Parsed URL, if the page had a usable one (feeds F2).
+    pub url: Option<UrlFeatures>,
+    /// Weighted wikipedia-style concept vector (feeds F1).
+    pub weighted_concepts: SparseVector,
+    /// Canonical concept set (feeds F4).
+    pub concepts: BTreeSet<String>,
+    /// Organization entities (feeds F5).
+    pub organizations: BTreeSet<String>,
+    /// Location entities (extracted alongside organizations).
+    pub locations: BTreeSet<String>,
+    /// Every person-name mention with its count (feeds F3, F6, F7).
+    pub person_counts: HashMap<String, u32>,
+    /// Analyzed word tokens (term ids in the extractor's shared
+    /// vocabulary); TF-IDF vectors for F8–F10 are built per block from
+    /// these.
+    pub tokens: Vec<TermId>,
+}
+
+impl PageFeatures {
+    /// The most frequent person name on the page (feeds F3: "Most frequent
+    /// name on the page"). Ties break lexicographically for determinism.
+    pub fn most_frequent_person(&self) -> Option<&str> {
+        self.person_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Distinct person names on the page.
+    pub fn person_names(&self) -> impl Iterator<Item = &str> {
+        self.person_counts.keys().map(String::as_str)
+    }
+
+    /// Person names except the given one (the ambiguous query name) —
+    /// "Other Person-Names on the page", feeding F6.
+    pub fn other_person_names<'a>(&'a self, except: &'a str) -> BTreeSet<&'a str> {
+        self.person_counts
+            .keys()
+            .map(String::as_str)
+            .filter(move |&n| !n.eq_ignore_ascii_case(except))
+            .collect()
+    }
+
+    /// Merge two pages' features into one profile — the record-merge step
+    /// of Swoosh-style generic entity resolution (the paper's related work
+    /// \[5\]/\[7\]): entity sets union, concept vectors add, token streams
+    /// concatenate, person counts sum; the URL keeps the first page's when
+    /// present (a merged profile spans several pages, so any single URL is
+    /// only a representative).
+    pub fn merge(&self, other: &PageFeatures) -> PageFeatures {
+        let mut person_counts = self.person_counts.clone();
+        for (name, count) in &other.person_counts {
+            *person_counts.entry(name.clone()).or_insert(0) += count;
+        }
+        let mut tokens = self.tokens.clone();
+        tokens.extend_from_slice(&other.tokens);
+        PageFeatures {
+            url: self.url.clone().or_else(|| other.url.clone()),
+            weighted_concepts: self.weighted_concepts.add(&other.weighted_concepts),
+            concepts: self.concepts.union(&other.concepts).cloned().collect(),
+            organizations: self
+                .organizations
+                .union(&other.organizations)
+                .cloned()
+                .collect(),
+            locations: self.locations.union(&other.locations).cloned().collect(),
+            person_counts,
+            tokens,
+        }
+    }
+
+    /// True when the page carries no extracted signal at all.
+    pub fn is_blank(&self) -> bool {
+        self.url.is_none()
+            && self.weighted_concepts.is_empty()
+            && self.concepts.is_empty()
+            && self.organizations.is_empty()
+            && self.locations.is_empty()
+            && self.person_counts.is_empty()
+            && self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_persons(pairs: &[(&str, u32)]) -> PageFeatures {
+        PageFeatures {
+            person_counts: pairs.iter().map(|&(n, c)| (n.to_string(), c)).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn most_frequent_person_by_count() {
+        let f = with_persons(&[("William Cohen", 5), ("Jamie Callan", 2)]);
+        assert_eq!(f.most_frequent_person(), Some("William Cohen"));
+    }
+
+    #[test]
+    fn most_frequent_person_breaks_ties_deterministically() {
+        let f = with_persons(&[("Bob", 3), ("Alice", 3)]);
+        assert_eq!(f.most_frequent_person(), Some("Alice"));
+    }
+
+    #[test]
+    fn other_person_names_excludes_query_name() {
+        let f = with_persons(&[("William Cohen", 1), ("Tom Mitchell", 1)]);
+        let others = f.other_person_names("william cohen");
+        assert_eq!(others.into_iter().collect::<Vec<_>>(), vec!["Tom Mitchell"]);
+    }
+
+    #[test]
+    fn blank_detection() {
+        assert!(PageFeatures::default().is_blank());
+        assert!(!with_persons(&[("X Y", 1)]).is_blank());
+    }
+
+    #[test]
+    fn empty_page_has_no_most_frequent_person() {
+        assert_eq!(PageFeatures::default().most_frequent_person(), None);
+    }
+
+    #[test]
+    fn merge_unions_sets_and_sums_counts() {
+        let mut a = with_persons(&[("William Cohen", 2)]);
+        a.organizations.insert("CMU".into());
+        a.concepts.insert("learning".into());
+        let mut b = with_persons(&[("William Cohen", 1), ("Tom Mitchell", 1)]);
+        b.organizations.insert("Google".into());
+        b.locations.insert("Pittsburgh".into());
+        let m = a.merge(&b);
+        assert_eq!(m.person_counts["William Cohen"], 3);
+        assert_eq!(m.person_counts["Tom Mitchell"], 1);
+        assert!(m.organizations.contains("CMU") && m.organizations.contains("Google"));
+        assert!(m.concepts.contains("learning"));
+        assert!(m.locations.contains("Pittsburgh"));
+    }
+
+    #[test]
+    fn merge_prefers_first_url_and_concatenates_tokens() {
+        use crate::url::UrlFeatures;
+        use weber_textindex::vocab::TermId;
+        let mut a = PageFeatures {
+            tokens: vec![TermId(1), TermId(2)],
+            ..Default::default()
+        };
+        let b = PageFeatures {
+            url: UrlFeatures::parse("http://example.org/x"),
+            tokens: vec![TermId(3)],
+            ..Default::default()
+        };
+        // a has no URL: take b's.
+        assert_eq!(a.merge(&b).url, b.url);
+        // a has a URL: keep it.
+        a.url = UrlFeatures::parse("http://epfl.ch/y");
+        assert_eq!(a.merge(&b).url, a.url);
+        assert_eq!(a.merge(&b).tokens, vec![TermId(1), TermId(2), TermId(3)]);
+    }
+
+    #[test]
+    fn merge_is_blank_preserving() {
+        let blank = PageFeatures::default();
+        assert!(blank.merge(&blank).is_blank());
+        let a = with_persons(&[("X Y", 1)]);
+        assert!(!a.merge(&blank).is_blank());
+    }
+
+    #[test]
+    fn merge_adds_weighted_concepts() {
+        use weber_textindex::sparse::SparseVector;
+        use weber_textindex::vocab::TermId;
+        let a = PageFeatures {
+            weighted_concepts: SparseVector::from_pairs(vec![(TermId(0), 0.5)]),
+            ..Default::default()
+        };
+        let b = PageFeatures {
+            weighted_concepts: SparseVector::from_pairs(vec![(TermId(0), 0.25)]),
+            ..Default::default()
+        };
+        assert_eq!(a.merge(&b).weighted_concepts.get(TermId(0)), 0.75);
+    }
+}

@@ -1,0 +1,166 @@
+//! Typed entity dictionaries (gazetteers).
+
+use serde::{Deserialize, Serialize};
+
+/// The entity types the paper's similarity functions consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A person name (feeds F3, F6, F7).
+    Person,
+    /// An organization (feeds F5).
+    Organization,
+    /// A location (extracted alongside organizations, per the paper).
+    Location,
+    /// A wikipedia-style concept (feeds F1, F4).
+    Concept,
+}
+
+/// One dictionary entry: a surface phrase mapping to a canonical entity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GazetteerEntry {
+    /// The surface form to match (tokenised case-insensitively).
+    pub phrase: String,
+    /// Canonical entity name (surface forms may alias).
+    pub canonical: String,
+    /// Entity type.
+    pub kind: EntityKind,
+    /// Specificity weight in `(0, 1]`; rare, specific entries get higher
+    /// weights (used by the weighted concept vector of F1).
+    pub weight: f64,
+}
+
+impl GazetteerEntry {
+    /// An entry whose surface form is its canonical name, with weight 1.
+    pub fn simple(phrase: impl Into<String>, kind: EntityKind) -> Self {
+        let phrase = phrase.into();
+        Self {
+            canonical: phrase.clone(),
+            phrase,
+            kind,
+            weight: 1.0,
+        }
+    }
+
+    /// Override the canonical form (for aliases).
+    pub fn with_canonical(mut self, canonical: impl Into<String>) -> Self {
+        self.canonical = canonical.into();
+        self
+    }
+
+    /// Override the specificity weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A collection of gazetteer entries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Gazetteer {
+    entries: Vec<GazetteerEntry>,
+}
+
+impl Gazetteer {
+    /// An empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from entries.
+    pub fn from_entries(entries: Vec<GazetteerEntry>) -> Self {
+        Self { entries }
+    }
+
+    /// Add one entry.
+    pub fn add(&mut self, entry: GazetteerEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Add a batch of simple same-kind phrases.
+    pub fn add_phrases<I, S>(&mut self, kind: EntityKind, phrases: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for p in phrases {
+            self.add(GazetteerEntry::simple(p, kind));
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[GazetteerEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another gazetteer's entries into this one.
+    pub fn extend(&mut self, other: &Gazetteer) {
+        self.entries.extend_from_slice(&other.entries);
+    }
+
+    /// Entries of one kind.
+    pub fn of_kind(&self, kind: EntityKind) -> impl Iterator<Item = &GazetteerEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_entry_defaults() {
+        let e = GazetteerEntry::simple("EPFL", EntityKind::Organization);
+        assert_eq!(e.canonical, "EPFL");
+        assert_eq!(e.weight, 1.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let e = GazetteerEntry::simple("Big Blue", EntityKind::Organization)
+            .with_canonical("IBM")
+            .with_weight(0.7);
+        assert_eq!(e.canonical, "IBM");
+        assert_eq!(e.weight, 0.7);
+        assert_eq!(e.phrase, "Big Blue");
+    }
+
+    #[test]
+    fn add_phrases_and_filter_by_kind() {
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Person, ["William Cohen", "Andrew McCallum"]);
+        g.add_phrases(EntityKind::Concept, ["machine learning"]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.of_kind(EntityKind::Person).count(), 2);
+        assert_eq!(g.of_kind(EntityKind::Concept).count(), 1);
+        assert_eq!(g.of_kind(EntityKind::Location).count(), 0);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Gazetteer::new();
+        a.add_phrases(EntityKind::Location, ["Zurich"]);
+        let mut b = Gazetteer::new();
+        b.add_phrases(EntityKind::Location, ["Lausanne"]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut g = Gazetteer::new();
+        g.add(GazetteerEntry::simple("information retrieval", EntityKind::Concept).with_weight(0.4));
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Gazetteer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries(), g.entries());
+    }
+}

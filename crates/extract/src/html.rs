@@ -1,0 +1,222 @@
+//! HTML-to-text extraction.
+//!
+//! The paper's pipeline starts from crawled web pages; this repository's
+//! corpus is plain text, but a downstream adopter feeds real HTML. This is
+//! a pragmatic tag stripper — not a browser: it drops `<script>`/`<style>`
+//! subtrees, turns block-level tags into sentence breaks, and decodes the
+//! common character entities, which is all the dictionary NER and TF-IDF
+//! pipeline need.
+
+/// Extract readable text from an HTML fragment or document.
+pub fn html_to_text(html: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Text,
+        Tag,
+        Skip(&'static str), // inside <script>/<style>, until its close tag
+    }
+    let mut out = String::with_capacity(html.len() / 2);
+    let mut state = State::Text;
+    let mut tag = String::new();
+    let mut rest = html;
+    while let Some(ch) = rest.chars().next() {
+        match state {
+            State::Text => {
+                if ch == '<' {
+                    tag.clear();
+                    state = State::Tag;
+                } else if ch == '&' {
+                    let (decoded, consumed) = decode_entity(rest);
+                    out.push_str(&decoded);
+                    rest = &rest[consumed..];
+                    continue;
+                } else {
+                    out.push(ch);
+                }
+            }
+            State::Tag => {
+                if ch == '>' {
+                    let name = tag
+                        .trim_start_matches('/')
+                        .split([' ', '\t', '\n', '/'])
+                        .next()
+                        .unwrap_or("")
+                        .to_ascii_lowercase();
+                    let closing = tag.starts_with('/');
+                    match name.as_str() {
+                        "script" if !closing => state = State::Skip("script"),
+                        "style" if !closing => state = State::Skip("style"),
+                        // Block-level elements break the text flow; emit
+                        // the break when the element closes (or at a <br>),
+                        // so nested openings don't double up.
+                        "p" | "div" | "li" | "tr" | "h1" | "h2" | "h3" | "h4" | "h5"
+                        | "h6" | "td" | "th" | "ul" | "ol" | "table" | "title"
+                            if closing =>
+                        {
+                            out.push_str(". ");
+                            state = State::Text;
+                        }
+                        "br" => {
+                            out.push_str(". ");
+                            state = State::Text;
+                        }
+                        _ => state = State::Text,
+                    }
+                } else {
+                    tag.push(ch);
+                }
+            }
+            State::Skip(element) => {
+                // Look for the matching close tag. Compare only the bounded
+                // prefix (case-insensitively) — lowercasing the whole
+                // remainder per character would be quadratic.
+                if ch == '<' {
+                    let needle_len = element.len() + 2; // "</" + name
+                    let prefix_end = rest
+                        .char_indices()
+                        .nth(needle_len)
+                        .map_or(rest.len(), |(i, _)| i);
+                    if rest[..prefix_end].eq_ignore_ascii_case(&format!("</{element}")) {
+                        // Consume through the '>'.
+                        if let Some(end) = rest.find('>') {
+                            rest = &rest[end + 1..];
+                            state = State::Text;
+                            continue;
+                        }
+                        // Unterminated close tag: drop the remainder.
+                        break;
+                    }
+                }
+            }
+        }
+        rest = &rest[ch.len_utf8()..];
+    }
+    // Collapse whitespace runs.
+    let mut cleaned = String::with_capacity(out.len());
+    let mut last_space = true;
+    for ch in out.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                cleaned.push(' ');
+            }
+            last_space = true;
+        } else {
+            cleaned.push(ch);
+            last_space = false;
+        }
+    }
+    cleaned.trim().to_string()
+}
+
+/// Decode a leading HTML entity; returns the decoded text and the number
+/// of bytes consumed (at least 1 — the `&` itself when unrecognised).
+fn decode_entity(input: &str) -> (String, usize) {
+    debug_assert!(input.starts_with('&'));
+    // Scan by characters (not bytes): slicing at a fixed byte offset would
+    // panic on multibyte text following the ampersand.
+    let semicolon = match input
+        .char_indices()
+        .take(10)
+        .find(|&(_, c)| c == ';')
+        .map(|(i, _)| i)
+    {
+        Some(pos) => pos,
+        None => return ("&".to_string(), 1),
+    };
+    let body = &input[1..semicolon];
+    let decoded = match body {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        "nbsp" => Some(' '),
+        _ => {
+            if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok().and_then(char::from_u32)
+            } else if let Some(dec) = body.strip_prefix('#') {
+                dec.parse::<u32>().ok().and_then(char::from_u32)
+            } else {
+                None
+            }
+        }
+    };
+    match decoded {
+        Some(c) => (c.to_string(), semicolon + 1),
+        None => ("&".to_string(), 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags_and_keeps_text() {
+        let html = "<html><body><p>William Cohen</p><p>works on <b>machine learning</b>.</p></body></html>";
+        let text = html_to_text(html);
+        assert_eq!(text, "William Cohen. works on machine learning..");
+        assert!(!text.contains('<'));
+    }
+
+    #[test]
+    fn drops_script_and_style_subtrees() {
+        let html = "before<script>var x = '<p>not text</p>';</script>middle<style>.a{color:red}</style>after";
+        assert_eq!(html_to_text(html), "beforemiddleafter");
+    }
+
+    #[test]
+    fn decodes_common_entities() {
+        assert_eq!(html_to_text("Yerva &amp; Mikl&#243;s &lt;LSIR&gt;"), "Yerva & Miklós <LSIR>");
+        assert_eq!(html_to_text("a&nbsp;b"), "a b");
+        assert_eq!(html_to_text("x &#x41; y"), "x A y");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(html_to_text("a &bogus; b"), "a &bogus; b");
+        assert_eq!(html_to_text("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn block_tags_become_breaks_inline_tags_vanish() {
+        let text = html_to_text("one<br>two <em>three</em> four");
+        assert_eq!(text, "one. two three four");
+    }
+
+    #[test]
+    fn whitespace_is_collapsed() {
+        assert_eq!(html_to_text("  a \n\n  b\t c  "), "a b c");
+    }
+
+    #[test]
+    fn plain_text_is_unchanged() {
+        assert_eq!(html_to_text("just plain text"), "just plain text");
+    }
+
+    #[test]
+    fn never_panics_on_malformed_html() {
+        for bad in [
+            "<", "<<>>", "<unclosed", "</>", "<script>never closed",
+            "&#xZZ;", "<p", "a<b>c</", "<p attr='<'>x</p>",
+            // Multibyte text around entity/tag machinery.
+            "&ééééé;", "&日本語の長い文字列;", "<script>日本語</script>done",
+            "&é", "日<em>本</em>語",
+        ] {
+            let _ = html_to_text(bad);
+        }
+        assert_eq!(html_to_text("<script>日本語</script>done"), "done");
+    }
+
+    #[test]
+    fn extraction_pipeline_consumes_html_text() {
+        use crate::gazetteer::{EntityKind, Gazetteer};
+        use crate::pipeline::Extractor;
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Person, ["William Cohen"]);
+        let e = Extractor::new(&g);
+        let text = html_to_text("<h1>Home of <b>William Cohen</b></h1><script>junk()</script>");
+        let f = e.extract(&text, None);
+        assert_eq!(f.most_frequent_person(), Some("William Cohen"));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # weber-extract
+//!
+//! Information extraction over web-page text: the substitute for the
+//! commercial stack the paper calls out ("alchemy API" for named entities,
+//! "GATE"/"openCalais" for organizations and locations, "semhacker" for
+//! wikipedia-based concepts).
+//!
+//! The paper itself uses *dictionary-based* named entity recognition, which
+//! is exactly what this crate implements:
+//!
+//! - [`gazetteer`] — typed dictionaries of known entities;
+//! - [`trie`] — a token-level trie for longest-match multi-word lookup;
+//! - [`ner`] — the recogniser that scans analyzed text against gazetteers;
+//! - [`concepts`] — weighted wikipedia-style concept vectors;
+//! - [`url`] — URL normalisation and domain features;
+//! - [`features`] — the [`PageFeatures`] record
+//!   consumed by the similarity functions;
+//! - [`pipeline`] — the end-to-end [`Extractor`].
+
+pub mod concepts;
+pub mod features;
+pub mod gazetteer;
+pub mod html;
+pub mod ner;
+pub mod pipeline;
+pub mod trie;
+pub mod url;
+
+pub use concepts::ConceptTagger;
+pub use features::PageFeatures;
+pub use html::html_to_text;
+pub use gazetteer::{EntityKind, Gazetteer, GazetteerEntry};
+pub use ner::{EntityMention, Recognizer};
+pub use pipeline::Extractor;
+pub use trie::TokenTrie;
+pub use url::UrlFeatures;

@@ -1,0 +1,183 @@
+//! Dictionary-based named entity recognition.
+//!
+//! A [`Recognizer`] compiles a [`Gazetteer`] into a [`TokenTrie`] and scans
+//! page text for entity mentions. Matching is case-insensitive and
+//! token-based; the longest phrase starting at each token wins.
+
+use weber_textindex::token::tokenize;
+
+use crate::gazetteer::{EntityKind, Gazetteer};
+use crate::trie::TokenTrie;
+
+/// One recognised entity mention in a page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityMention {
+    /// Canonical entity name from the gazetteer.
+    pub canonical: String,
+    /// Entity type.
+    pub kind: EntityKind,
+    /// Specificity weight of the matched entry.
+    pub weight: f64,
+    /// Token span (start, end) of the mention.
+    pub span: (usize, usize),
+}
+
+/// A compiled dictionary recogniser.
+///
+/// ```
+/// use weber_extract::gazetteer::{EntityKind, Gazetteer};
+/// use weber_extract::ner::Recognizer;
+///
+/// let mut g = Gazetteer::new();
+/// g.add_phrases(EntityKind::Person, ["William Cohen"]);
+/// let r = Recognizer::compile(&g);
+/// let mentions = r.recognize("A page about william cohen.");
+/// assert_eq!(mentions[0].canonical, "William Cohen");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    trie: TokenTrie,
+    /// Payloads index into this table.
+    catalog: Vec<(String, EntityKind, f64)>,
+}
+
+impl Recognizer {
+    /// Compile a gazetteer. Phrases are tokenised with the same tokenizer
+    /// used on page text, so matching is consistent.
+    pub fn compile(gazetteer: &Gazetteer) -> Self {
+        let mut trie = TokenTrie::new();
+        let mut catalog = Vec::with_capacity(gazetteer.len());
+        for entry in gazetteer.entries() {
+            let tokens = tokenize(&entry.phrase);
+            let toks: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+            if toks.is_empty() {
+                continue;
+            }
+            let payload = catalog.len() as u32;
+            catalog.push((entry.canonical.clone(), entry.kind, entry.weight));
+            trie.insert(&toks, payload);
+        }
+        Self { trie, catalog }
+    }
+
+    /// Recognise all entity mentions in `text`.
+    pub fn recognize(&self, text: &str) -> Vec<EntityMention> {
+        let tokens = tokenize(text);
+        let toks: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        self.trie
+            .scan(&toks)
+            .into_iter()
+            .flat_map(|m| {
+                let span = (m.start, m.end);
+                m.payloads.into_iter().map(move |p| {
+                    let (canonical, kind, weight) = &self.catalog[p as usize];
+                    EntityMention {
+                        canonical: canonical.clone(),
+                        kind: *kind,
+                        weight: *weight,
+                        span,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Recognise and keep only mentions of one kind.
+    pub fn recognize_kind(&self, text: &str, kind: EntityKind) -> Vec<EntityMention> {
+        self.recognize(text)
+            .into_iter()
+            .filter(|m| m.kind == kind)
+            .collect()
+    }
+
+    /// Number of compiled dictionary entries.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// True when compiled from an empty gazetteer.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::GazetteerEntry;
+
+    fn recognizer() -> Recognizer {
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Person, ["William Cohen", "Andrew McCallum"]);
+        g.add_phrases(EntityKind::Organization, ["Carnegie Mellon University", "EPFL"]);
+        g.add_phrases(EntityKind::Location, ["Pittsburgh"]);
+        g.add(GazetteerEntry::simple("machine learning", EntityKind::Concept).with_weight(0.6));
+        Recognizer::compile(&g)
+    }
+
+    #[test]
+    fn finds_multiword_entities_case_insensitively() {
+        let r = recognizer();
+        let ms = r.recognize("WILLIAM COHEN works on Machine Learning at Carnegie Mellon University.");
+        let canon: Vec<&str> = ms.iter().map(|m| m.canonical.as_str()).collect();
+        assert_eq!(
+            canon,
+            ["William Cohen", "machine learning", "Carnegie Mellon University"]
+        );
+    }
+
+    #[test]
+    fn kinds_and_weights_are_preserved() {
+        let r = recognizer();
+        let ms = r.recognize("machine learning in Pittsburgh");
+        assert_eq!(ms[0].kind, EntityKind::Concept);
+        assert_eq!(ms[0].weight, 0.6);
+        assert_eq!(ms[1].kind, EntityKind::Location);
+        assert_eq!(ms[1].weight, 1.0);
+    }
+
+    #[test]
+    fn recognize_kind_filters() {
+        let r = recognizer();
+        let text = "Andrew McCallum met William Cohen at EPFL.";
+        let persons = r.recognize_kind(text, EntityKind::Person);
+        assert_eq!(persons.len(), 2);
+        let orgs = r.recognize_kind(text, EntityKind::Organization);
+        assert_eq!(orgs.len(), 1);
+        assert_eq!(orgs[0].canonical, "EPFL");
+    }
+
+    #[test]
+    fn repeated_mentions_are_all_reported() {
+        let r = recognizer();
+        let ms = r.recognize_kind("EPFL and EPFL and EPFL", EntityKind::Organization);
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let r = recognizer();
+        let ms = r.recognize("visit Carnegie Mellon University today");
+        assert_eq!(ms[0].span, (1, 4));
+    }
+
+    #[test]
+    fn punctuation_does_not_block_matching() {
+        let r = recognizer();
+        let ms = r.recognize("…William Cohen, (EPFL)!");
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn no_entities_in_unrelated_text() {
+        let r = recognizer();
+        assert!(r.recognize("completely unrelated words here").is_empty());
+    }
+
+    #[test]
+    fn empty_recognizer() {
+        let r = Recognizer::compile(&Gazetteer::new());
+        assert!(r.is_empty());
+        assert!(r.recognize("anything at all").is_empty());
+    }
+}

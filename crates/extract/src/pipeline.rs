@@ -1,0 +1,131 @@
+//! The end-to-end extraction pipeline: raw page text + URL → [`PageFeatures`].
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use weber_textindex::analyzer::Analyzer;
+
+use crate::concepts::ConceptTagger;
+use crate::features::PageFeatures;
+use crate::gazetteer::{EntityKind, Gazetteer};
+use crate::ner::Recognizer;
+use crate::url::UrlFeatures;
+
+/// A configured extractor: dictionary NER + concept tagging + word analysis
+/// with shared vocabularies, so features from different pages are mutually
+/// comparable.
+#[derive(Debug)]
+pub struct Extractor {
+    recognizer: Recognizer,
+    concepts: ConceptTagger,
+    analyzer: Analyzer,
+}
+
+impl Extractor {
+    /// Build from a gazetteer covering persons, organizations, locations and
+    /// concepts.
+    pub fn new(gazetteer: &Gazetteer) -> Self {
+        Self {
+            recognizer: Recognizer::compile(gazetteer),
+            concepts: ConceptTagger::new(gazetteer),
+            analyzer: Analyzer::english(),
+        }
+    }
+
+    /// Extract every feature from one page.
+    pub fn extract(&self, text: &str, url: Option<&str>) -> PageFeatures {
+        let mentions = self.recognizer.recognize(text);
+        let mut person_counts: HashMap<String, u32> = HashMap::new();
+        let mut organizations = BTreeSet::new();
+        let mut locations = BTreeSet::new();
+        for m in mentions {
+            match m.kind {
+                EntityKind::Person => {
+                    *person_counts.entry(m.canonical).or_insert(0) += 1;
+                }
+                EntityKind::Organization => {
+                    organizations.insert(m.canonical);
+                }
+                EntityKind::Location => {
+                    locations.insert(m.canonical);
+                }
+                EntityKind::Concept => {} // handled by the tagger below
+            }
+        }
+        let concept_profile = self.concepts.tag(text);
+        PageFeatures {
+            url: url.and_then(UrlFeatures::parse),
+            weighted_concepts: concept_profile.weighted,
+            concepts: concept_profile.concepts,
+            organizations,
+            locations,
+            person_counts,
+            tokens: self.analyzer.analyze(text),
+        }
+    }
+
+    /// The shared word analyzer (for building TF-IDF indexes over the same
+    /// vocabulary the extractor used).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gazetteer::GazetteerEntry;
+
+    fn extractor() -> Extractor {
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Person, ["William Cohen", "Tom Mitchell"]);
+        g.add_phrases(EntityKind::Organization, ["Carnegie Mellon University"]);
+        g.add_phrases(EntityKind::Location, ["Pittsburgh"]);
+        g.add(GazetteerEntry::simple("machine learning", EntityKind::Concept).with_weight(0.9));
+        Extractor::new(&g)
+    }
+
+    #[test]
+    fn full_extraction() {
+        let e = extractor();
+        let f = e.extract(
+            "William Cohen and Tom Mitchell research machine learning at \
+             Carnegie Mellon University in Pittsburgh. William Cohen leads.",
+            Some("http://www.cs.cmu.edu/~wcohen/"),
+        );
+        assert_eq!(f.person_counts["William Cohen"], 2);
+        assert_eq!(f.person_counts["Tom Mitchell"], 1);
+        assert_eq!(f.most_frequent_person(), Some("William Cohen"));
+        assert!(f.organizations.contains("Carnegie Mellon University"));
+        assert!(f.locations.contains("Pittsburgh"));
+        assert!(f.concepts.contains("machine learning"));
+        assert!(!f.weighted_concepts.is_empty());
+        assert_eq!(f.url.as_ref().unwrap().domain, "cmu.edu");
+        assert!(!f.tokens.is_empty());
+    }
+
+    #[test]
+    fn missing_url_is_none() {
+        let e = extractor();
+        let f = e.extract("machine learning", None);
+        assert!(f.url.is_none());
+        let f2 = e.extract("machine learning", Some("not a url"));
+        assert!(f2.url.is_none());
+    }
+
+    #[test]
+    fn word_vectors_share_vocabulary_across_pages() {
+        let e = extractor();
+        let a = e.extract("entity resolution methods", None);
+        let b = e.extract("resolution of entities", None);
+        // "resolution" stems identically; ids must coincide.
+        assert!(a.tokens.iter().any(|t| b.tokens.contains(t)));
+    }
+
+    #[test]
+    fn empty_page_is_blank_except_tokens() {
+        let e = extractor();
+        let f = e.extract("", None);
+        assert!(f.is_blank());
+    }
+}

@@ -1,0 +1,205 @@
+//! A token-level trie for longest-match multi-word dictionary lookup.
+//!
+//! Gazetteer phrases are tokenised; matching scans a token sequence and at
+//! each position finds the longest phrase starting there (like GATE's
+//! gazetteer processing resource).
+
+use std::collections::HashMap;
+
+/// A trie over token strings, mapping complete phrases to payload indices.
+#[derive(Debug, Clone, Default)]
+pub struct TokenTrie {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<String, u32>,
+    /// Payload indices of phrases ending at this node (aliases may share a
+    /// surface form).
+    terminals: Vec<u32>,
+}
+
+/// A phrase match: which payloads matched and the token span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrieMatch {
+    /// Payload indices supplied at insert time.
+    pub payloads: Vec<u32>,
+    /// First token index of the match.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+}
+
+impl TokenTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::default()],
+        }
+    }
+
+    /// Insert a phrase (already tokenised, lowercase) with a payload index.
+    /// Empty phrases are ignored.
+    pub fn insert(&mut self, tokens: &[&str], payload: u32) {
+        if tokens.is_empty() {
+            return;
+        }
+        let mut cur = 0usize;
+        for &tok in tokens {
+            let next = match self.nodes[cur].children.get(tok) {
+                Some(&n) => n as usize,
+                None => {
+                    let n = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(tok.to_string(), n);
+                    n as usize
+                }
+            };
+            cur = next;
+        }
+        self.nodes[cur].terminals.push(payload);
+    }
+
+    /// Longest match starting exactly at `tokens[start]`.
+    pub fn longest_match_at(&self, tokens: &[&str], start: usize) -> Option<TrieMatch> {
+        let mut cur = 0usize;
+        let mut best: Option<(usize, &[u32])> = None;
+        for (offset, &tok) in tokens[start..].iter().enumerate() {
+            match self.nodes[cur].children.get(tok) {
+                Some(&n) => {
+                    cur = n as usize;
+                    if !self.nodes[cur].terminals.is_empty() {
+                        best = Some((start + offset + 1, &self.nodes[cur].terminals));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(end, payloads)| TrieMatch {
+            payloads: payloads.to_vec(),
+            start,
+            end,
+        })
+    }
+
+    /// Scan the whole token sequence, greedily taking the longest match at
+    /// each position and resuming after it (non-overlapping matches).
+    pub fn scan(&self, tokens: &[&str]) -> Vec<TrieMatch> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            match self.longest_match_at(tokens, i) {
+                Some(m) => {
+                    i = m.end;
+                    out.push(m);
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+
+    /// Number of trie nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trie(phrases: &[(&str, u32)]) -> TokenTrie {
+        let mut t = TokenTrie::new();
+        for &(p, id) in phrases {
+            let toks: Vec<&str> = p.split_whitespace().collect();
+            t.insert(&toks, id);
+        }
+        t
+    }
+
+    #[test]
+    fn single_token_match() {
+        let t = trie(&[("epfl", 1)]);
+        let toks = ["at", "epfl", "lab"];
+        let ms = t.scan(&toks);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0], TrieMatch { payloads: vec![1], start: 1, end: 2 });
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let t = trie(&[("machine", 1), ("machine learning", 2)]);
+        let toks = ["machine", "learning", "rocks"];
+        let ms = t.scan(&toks);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].payloads, vec![2]);
+        assert_eq!((ms[0].start, ms[0].end), (0, 2));
+    }
+
+    #[test]
+    fn falls_back_to_shorter_match() {
+        let t = trie(&[("machine", 1), ("machine learning", 2)]);
+        let toks = ["machine", "tools"];
+        let ms = t.scan(&toks);
+        assert_eq!(ms[0].payloads, vec![1]);
+        assert_eq!((ms[0].start, ms[0].end), (0, 1));
+    }
+
+    #[test]
+    fn non_overlapping_greedy_scan() {
+        let t = trie(&[("new york", 1), ("york university", 2)]);
+        let toks = ["new", "york", "university"];
+        let ms = t.scan(&toks);
+        // Greedy: "new york" consumes tokens 0..2; "university" alone
+        // doesn't match.
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].payloads, vec![1]);
+    }
+
+    #[test]
+    fn aliases_share_surface_form() {
+        let mut t = TokenTrie::new();
+        t.insert(&["ibm"], 10);
+        t.insert(&["ibm"], 20);
+        let ms = t.scan(&["ibm"]);
+        assert_eq!(ms[0].payloads, vec![10, 20]);
+    }
+
+    #[test]
+    fn partial_prefix_is_not_a_match() {
+        let t = trie(&[("association for computational linguistics", 1)]);
+        let ms = t.scan(&["association", "for", "dinner"]);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn multiple_matches_in_sequence() {
+        let t = trie(&[("data mining", 1), ("databases", 2)]);
+        let toks = ["data", "mining", "and", "databases"];
+        let ms = t.scan(&toks);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].payloads, vec![1]);
+        assert_eq!(ms[1].payloads, vec![2]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = trie(&[]);
+        assert!(t.scan(&["anything"]).is_empty());
+        let t2 = trie(&[("x", 1)]);
+        assert!(t2.scan(&[]).is_empty());
+        let mut t3 = TokenTrie::new();
+        t3.insert(&[], 9); // ignored
+        assert!(t3.scan(&["a"]).is_empty());
+    }
+
+    #[test]
+    fn match_restarts_after_longest() {
+        let t = trie(&[("a b", 1), ("b c", 2)]);
+        let ms = t.scan(&["a", "b", "c"]);
+        // "a b" consumes 0..2, then "c" alone matches nothing.
+        assert_eq!(ms.len(), 1);
+    }
+}

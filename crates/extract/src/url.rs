@@ -1,0 +1,169 @@
+//! URL normalisation and domain features (for F2: "URL of the page —
+//! String Similarity" and the observation that two pages about the same
+//! person are often "on a same webdomain").
+
+use serde::{Deserialize, Serialize};
+
+/// Parsed, normalised URL features.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrlFeatures {
+    /// The full normalised URL (lowercased scheme/host, no trailing slash).
+    pub normalized: String,
+    /// Host, lowercased, with any `www.` prefix removed.
+    pub host: String,
+    /// Registrable domain: the last two labels of the host (three for a
+    /// small set of common second-level public suffixes such as `co.uk`).
+    pub domain: String,
+    /// Path component (without query/fragment), possibly empty.
+    pub path: String,
+}
+
+/// Second-level suffixes under which the registrable domain takes three
+/// labels (a pragmatic subset of the public-suffix list).
+const SECOND_LEVEL_SUFFIXES: &[&str] = &[
+    "ac.uk", "co.uk", "gov.uk", "org.uk", "co.jp", "ne.jp", "or.jp", "com.au",
+    "net.au", "org.au", "co.in", "co.nz", "com.br", "com.cn", "edu.cn",
+];
+
+impl UrlFeatures {
+    /// Parse a URL string. Returns `None` for strings without a
+    /// recognisable host. Accepts scheme-less inputs like
+    /// `www.cs.cmu.edu/~wcohen`.
+    pub fn parse(url: &str) -> Option<Self> {
+        let url = url.trim();
+        if url.is_empty() {
+            return None;
+        }
+        // Strip scheme.
+        let rest = match url.find("://") {
+            Some(pos) => &url[pos + 3..],
+            None => url,
+        };
+        // Host is everything up to the first '/', '?', '#'; strip userinfo
+        // and port.
+        let host_end = rest
+            .find(['/', '?', '#'])
+            .unwrap_or(rest.len());
+        let mut host = &rest[..host_end];
+        if let Some(at) = host.rfind('@') {
+            host = &host[at + 1..];
+        }
+        if let Some(colon) = host.find(':') {
+            host = &host[..colon];
+        }
+        if host.is_empty() || !host.contains('.') {
+            return None;
+        }
+        // Every label must be a non-empty run of letters, digits or
+        // hyphens — reject garbage that merely contains a dot.
+        let valid_label = |l: &str| {
+            !l.is_empty() && l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+        };
+        if !host.split('.').all(valid_label) {
+            return None;
+        }
+        let host = host.to_ascii_lowercase();
+        let host = host.strip_prefix("www.").unwrap_or(&host).to_string();
+        // Path up to query/fragment, trailing slash trimmed.
+        let after_host = &rest[host_end..];
+        let path_end = after_host.find(['?', '#']).unwrap_or(after_host.len());
+        let path = after_host[..path_end].trim_end_matches('/').to_string();
+
+        let domain = registrable_domain(&host);
+        let normalized = format!("{host}{path}");
+        Some(Self {
+            normalized,
+            host,
+            domain,
+            path,
+        })
+    }
+
+    /// True if two URLs share a registrable domain.
+    pub fn same_domain(&self, other: &Self) -> bool {
+        self.domain == other.domain
+    }
+}
+
+fn registrable_domain(host: &str) -> String {
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() <= 2 {
+        return host.to_string();
+    }
+    let last_two = labels[labels.len() - 2..].join(".");
+    let take = if SECOND_LEVEL_SUFFIXES.contains(&last_two.as_str()) {
+        3
+    } else {
+        2
+    };
+    labels[labels.len().saturating_sub(take)..].join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_standard_url() {
+        let u = UrlFeatures::parse("http://www.cs.cmu.edu/~wcohen/").unwrap();
+        assert_eq!(u.host, "cs.cmu.edu");
+        assert_eq!(u.domain, "cmu.edu");
+        assert_eq!(u.path, "/~wcohen");
+        assert_eq!(u.normalized, "cs.cmu.edu/~wcohen");
+    }
+
+    #[test]
+    fn scheme_less_and_query_fragment() {
+        let u = UrlFeatures::parse("example.org/page?id=3#frag").unwrap();
+        assert_eq!(u.host, "example.org");
+        assert_eq!(u.path, "/page");
+        let v = UrlFeatures::parse("https://example.org/page").unwrap();
+        assert_eq!(u.normalized, v.normalized);
+    }
+
+    #[test]
+    fn strips_port_and_userinfo() {
+        let u = UrlFeatures::parse("http://user:pw@host.example.com:8080/a").unwrap();
+        assert_eq!(u.host, "host.example.com");
+        assert_eq!(u.domain, "example.com");
+    }
+
+    #[test]
+    fn second_level_suffixes_take_three_labels() {
+        let u = UrlFeatures::parse("http://research.cam.ac.uk/x").unwrap();
+        assert_eq!(u.domain, "cam.ac.uk");
+        let v = UrlFeatures::parse("http://deep.sub.example.co.uk").unwrap();
+        assert_eq!(v.domain, "example.co.uk");
+    }
+
+    #[test]
+    fn bare_domain_is_its_own_registrable_domain() {
+        let u = UrlFeatures::parse("epfl.ch").unwrap();
+        assert_eq!(u.domain, "epfl.ch");
+        assert_eq!(u.path, "");
+    }
+
+    #[test]
+    fn same_domain_comparison() {
+        let a = UrlFeatures::parse("http://lsir.epfl.ch/people").unwrap();
+        let b = UrlFeatures::parse("http://ic.epfl.ch/faculty").unwrap();
+        let c = UrlFeatures::parse("http://ethz.ch/x").unwrap();
+        assert!(a.same_domain(&b));
+        assert!(!a.same_domain(&c));
+    }
+
+    #[test]
+    fn invalid_inputs_are_none() {
+        assert!(UrlFeatures::parse("").is_none());
+        assert!(UrlFeatures::parse("   ").is_none());
+        assert!(UrlFeatures::parse("nodots").is_none());
+        assert!(UrlFeatures::parse("http:///path-only").is_none());
+    }
+
+    #[test]
+    fn www_prefix_is_normalised_away() {
+        let a = UrlFeatures::parse("http://www.example.com/a").unwrap();
+        let b = UrlFeatures::parse("http://example.com/a").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the extraction pipeline.
+
+use proptest::prelude::*;
+
+use weber_extract::gazetteer::{EntityKind, Gazetteer};
+use weber_extract::ner::Recognizer;
+use weber_extract::trie::TokenTrie;
+use weber_extract::url::UrlFeatures;
+
+proptest! {
+    #[test]
+    fn url_parse_never_panics_and_normalises_idempotently(s in ".{0,80}") {
+        if let Some(u) = UrlFeatures::parse(&s) {
+            prop_assert!(!u.host.is_empty());
+            prop_assert!(u.host.contains('.'));
+            prop_assert!(!u.host.starts_with("www."));
+            // Re-parsing the normalised form is a fixed point.
+            let again = UrlFeatures::parse(&u.normalized).expect("normalised form parses");
+            prop_assert_eq!(&again.host, &u.host);
+            prop_assert_eq!(&again.domain, &u.domain);
+        }
+    }
+
+    #[test]
+    fn domain_is_a_suffix_of_host(host in "[a-z]{1,8}(\\.[a-z]{1,8}){1,4}") {
+        let u = UrlFeatures::parse(&format!("http://{host}/x")).unwrap();
+        prop_assert!(u.host.ends_with(&u.domain));
+        prop_assert!(u.domain.split('.').count() >= 2 || u.host == u.domain);
+    }
+
+    #[test]
+    fn trie_scan_matches_are_ordered_and_disjoint(
+        phrases in proptest::collection::vec(
+            proptest::collection::vec("[a-c]{1,2}", 1..3), 1..8,
+        ),
+        text in proptest::collection::vec("[a-c]{1,2}", 0..20),
+    ) {
+        let mut trie = TokenTrie::new();
+        for (i, p) in phrases.iter().enumerate() {
+            let toks: Vec<&str> = p.iter().map(String::as_str).collect();
+            trie.insert(&toks, i as u32);
+        }
+        let toks: Vec<&str> = text.iter().map(String::as_str).collect();
+        let matches = trie.scan(&toks);
+        let mut last_end = 0;
+        for m in &matches {
+            prop_assert!(m.start >= last_end, "overlapping matches");
+            prop_assert!(m.end > m.start);
+            prop_assert!(m.end <= toks.len());
+            last_end = m.end;
+            // The matched span really is one of the phrases.
+            let span: Vec<String> = toks[m.start..m.end].iter().map(|s| s.to_string()).collect();
+            prop_assert!(
+                m.payloads.iter().all(|&p| phrases[p as usize] == span),
+                "payload does not match span"
+            );
+        }
+    }
+
+    #[test]
+    fn recognizer_finds_every_planted_entity(
+        entities in proptest::collection::vec("[a-z]{3,8}", 1..6),
+        filler in proptest::collection::vec("[0-9]{1,4}", 0..6),
+    ) {
+        let mut g = Gazetteer::new();
+        let distinct: std::collections::BTreeSet<String> = entities.iter().cloned().collect();
+        g.add_phrases(EntityKind::Organization, distinct.iter().cloned());
+        let r = Recognizer::compile(&g);
+        // Build a text interleaving fillers (digits never match [a-z]+
+        // entities) and entities.
+        let empty = String::new();
+        let mut words: Vec<&str> = Vec::new();
+        for (e, f) in distinct.iter().zip(filler.iter().chain(std::iter::repeat(&empty))) {
+            if !f.is_empty() {
+                words.push(f);
+            }
+            words.push(e);
+        }
+        let text = words.join(" ");
+        let found: std::collections::BTreeSet<String> =
+            r.recognize(&text).into_iter().map(|m| m.canonical).collect();
+        prop_assert_eq!(found, distinct);
+    }
+
+    #[test]
+    fn recognizer_never_panics_on_arbitrary_text(s in ".{0,200}") {
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Concept, ["machine learning", "databases"]);
+        let r = Recognizer::compile(&g);
+        let _ = r.recognize(&s);
+    }
+}

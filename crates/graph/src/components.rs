@@ -1,0 +1,63 @@
+//! Connected components / transitive closure clustering.
+//!
+//! The paper's default clustering: "In our recent implementation we compute
+//! the transitive closure of the graph G_combined". Taking connected
+//! components of the decision graph *is* the transitive closure of the
+//! asserted equivalences.
+
+use crate::decision::DecisionGraph;
+use crate::partition::Partition;
+use crate::union_find::UnionFind;
+
+/// Partition the nodes of `g` into its connected components.
+pub fn connected_components(g: &DecisionGraph) -> Partition {
+    let mut uf = UnionFind::new(g.len());
+    for (i, j) in g.edges() {
+        uf.union(i, j);
+    }
+    uf.into_partition()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_singletons() {
+        let g = DecisionGraph::new(4);
+        let p = connected_components(&g);
+        assert_eq!(p, Partition::singletons(4));
+    }
+
+    #[test]
+    fn chain_becomes_one_component() {
+        let mut g = DecisionGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let p = connected_components(&g);
+        assert_eq!(p.cluster_count(), 1);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = DecisionGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let p = connected_components(&g);
+        assert_eq!(p.labels(), &[0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn closure_of_partition_graph_recovers_partition() {
+        let truth = Partition::from_labels(vec![0, 1, 0, 2, 1, 0]);
+        let g = DecisionGraph::from_partition(&truth);
+        assert_eq!(connected_components(&g), truth);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let p = connected_components(&DecisionGraph::new(0));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Correlation clustering (Bansal, Blum, Chawla 2004).
+//!
+//! The paper's alternative clustering back-end: "we also experimented with
+//! several other clustering techniques, such as correlation clustering".
+//!
+//! Given per-pair link probabilities `p_ij ∈ [0, 1]`, a clustering earns
+//! agreement `p_ij − ½` for every intra-cluster pair and `½ − p_ij` for
+//! every inter-cluster pair; we maximise total agreement. Exact optimisation
+//! is NP-hard, so we use the standard pipeline: the CC-Pivot randomised
+//! 3-approximation (Ailon, Charikar, Newman) as a seed, refined by a
+//! best-move local search until a local optimum (or an iteration cap) is
+//! reached.
+
+use crate::partition::Partition;
+use crate::weighted::WeightedGraph;
+
+/// Configuration for [`correlation_cluster`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationConfig {
+    /// Seed for the pivot order (deterministic for a fixed seed).
+    pub seed: u64,
+    /// Number of independent pivot restarts; the best local optimum wins.
+    pub restarts: usize,
+    /// Cap on full local-search sweeps per restart.
+    pub max_sweeps: usize,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED,
+            restarts: 4,
+            max_sweeps: 50,
+        }
+    }
+}
+
+/// splitmix64 — a tiny deterministic PRNG, enough for pivot shuffles without
+/// pulling a dependency into this leaf crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Total agreement of `p` under link probabilities `g`.
+pub fn agreement(g: &WeightedGraph, p: &Partition) -> f64 {
+    g.edges()
+        .map(|(i, j, w)| {
+            if p.same_cluster(i, j) {
+                w - 0.5
+            } else {
+                0.5 - w
+            }
+        })
+        .sum()
+}
+
+/// Cluster the nodes of `g` by (approximate) correlation clustering.
+pub fn correlation_cluster(g: &WeightedGraph, config: CorrelationConfig) -> Partition {
+    let n = g.len();
+    if n == 0 {
+        return Partition::from_labels(vec![]);
+    }
+    let mut rng = SplitMix64(config.seed);
+    let mut best: Option<(f64, Partition)> = None;
+    for _ in 0..config.restarts.max(1) {
+        let mut labels = pivot_pass(g, &mut rng);
+        local_search(g, &mut labels, config.max_sweeps);
+        let p = Partition::from_labels(labels);
+        let score = agreement(g, &p);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, p));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+/// CC-Pivot: pick a random unclustered pivot; absorb all unclustered nodes
+/// with link probability ≥ ½ to it.
+fn pivot_pass(g: &WeightedGraph, rng: &mut SplitMix64) -> Vec<u32> {
+    let n = g.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for &pivot in &order {
+        if labels[pivot] != u32::MAX {
+            continue;
+        }
+        labels[pivot] = next;
+        for &other in &order {
+            if labels[other] == u32::MAX && g.get(pivot, other) >= 0.5 {
+                labels[other] = next;
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// Best-move local search: move one node at a time to the cluster (existing
+/// or fresh singleton) with the largest agreement gain, until a sweep makes
+/// no move.
+fn local_search(g: &WeightedGraph, labels: &mut [u32], max_sweeps: usize) {
+    let n = g.len();
+    if n < 2 {
+        return;
+    }
+    for _ in 0..max_sweeps {
+        let mut moved = false;
+        for node in 0..n {
+            let n_clusters = labels.iter().copied().max().unwrap_or(0) + 1;
+            // gain[c]: agreement delta of moving `node` into cluster c.
+            // Moving into cluster c adds sum over members m of
+            // (w - 0.5) - (0.5 - w) = 2w - 1 relative to being separate.
+            let mut gain = vec![0.0f64; n_clusters as usize + 1];
+            for other in 0..n {
+                if other == node {
+                    continue;
+                }
+                let delta = 2.0 * g.get(node, other) - 1.0;
+                gain[labels[other] as usize] += delta;
+            }
+            // gain[n_clusters] = 0.0 stands for "fresh singleton".
+            let current = labels[node] as usize;
+            let (best_cluster, best_gain) = gain
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("gain is non-empty");
+            if best_cluster != current && best_gain > gain[current] + 1e-12 {
+                labels[node] = best_cluster as u32;
+                moved = true;
+            }
+        }
+        if !moved {
+            return;
+        }
+        // Compact labels so the gain vector stays small.
+        let compact = Partition::from_labels(labels.to_vec());
+        labels.copy_from_slice(compact.labels());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(n: usize, links: &[(usize, usize)]) -> WeightedGraph {
+        WeightedGraph::from_fn(n, |i, j| {
+            if links.contains(&(i, j)) || links.contains(&(j, i)) {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_clean_clusters() {
+        // Two cliques {0,1,2} and {3,4}.
+        let g = probs(5, &[(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let p = correlation_cluster(&g, CorrelationConfig::default());
+        assert_eq!(p, Partition::from_labels(vec![0, 0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn all_low_probabilities_give_singletons() {
+        let g = WeightedGraph::from_fn(4, |_, _| 0.05);
+        let p = correlation_cluster(&g, CorrelationConfig::default());
+        assert_eq!(p.cluster_count(), 4);
+    }
+
+    #[test]
+    fn all_high_probabilities_give_one_cluster() {
+        let g = WeightedGraph::from_fn(4, |_, _| 0.95);
+        let p = correlation_cluster(&g, CorrelationConfig::default());
+        assert_eq!(p.cluster_count(), 1);
+    }
+
+    #[test]
+    fn repairs_one_noisy_edge() {
+        // Clique {0,1,2} but edge (1,2) reported low; transitive closure
+        // would still merge; correlation clustering should too, because two
+        // strong edges outvote one weak edge.
+        let g = WeightedGraph::from_fn(3, |i, j| match (i, j) {
+            (0, 1) | (0, 2) => 0.9,
+            _ => 0.3,
+        });
+        let p = correlation_cluster(&g, CorrelationConfig::default());
+        assert_eq!(p.cluster_count(), 1);
+    }
+
+    #[test]
+    fn splits_weakly_bridged_cliques() {
+        // Two tight cliques joined by a single mid bridge: the bridge must
+        // not merge them (cost of merging: many low cross edges).
+        let g = WeightedGraph::from_fn(6, |i, j| {
+            let same_side = (i < 3) == (j < 3);
+            if same_side {
+                0.95
+            } else if (i, j) == (2, 3) {
+                0.55
+            } else {
+                0.05
+            }
+        });
+        let p = correlation_cluster(&g, CorrelationConfig::default());
+        assert_eq!(p.cluster_count(), 2);
+        assert!(p.same_cluster(0, 2));
+        assert!(p.same_cluster(3, 5));
+        assert!(!p.same_cluster(2, 3));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = probs(6, &[(0, 1), (2, 3), (4, 5)]);
+        let c = CorrelationConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(correlation_cluster(&g, c), correlation_cluster(&g, c));
+    }
+
+    #[test]
+    fn agreement_is_maximal_for_truth_on_clean_input() {
+        let truth = Partition::from_labels(vec![0, 0, 1, 1]);
+        let g = WeightedGraph::from_fn(4, |i, j| {
+            if truth.same_cluster(i, j) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let best = agreement(&g, &truth);
+        for other in [
+            Partition::singletons(4),
+            Partition::single_cluster(4),
+            Partition::from_labels(vec![0, 1, 0, 1]),
+        ] {
+            assert!(agreement(&g, &other) <= best);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let p = correlation_cluster(&WeightedGraph::new(0), CorrelationConfig::default());
+        assert!(p.is_empty());
+        let p = correlation_cluster(&WeightedGraph::new(1), CorrelationConfig::default());
+        assert_eq!(p.cluster_count(), 1);
+    }
+}

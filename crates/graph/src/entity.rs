@@ -1,0 +1,63 @@
+//! Entity-graph invariants.
+//!
+//! "The entity graph has very specific properties: it is not a connected
+//! graph, it is a union of pairwise disjunct connected components and each
+//! component is a clique" (§II). These helpers verify and quantify that
+//! property for a decision graph.
+
+use crate::components::connected_components;
+use crate::decision::DecisionGraph;
+
+/// True if every connected component of `g` is a complete subgraph, i.e.
+/// `g` is a valid (transitively closed) entity graph.
+pub fn is_clique_union(g: &DecisionGraph) -> bool {
+    clique_violations(g) == 0
+}
+
+/// Number of node pairs that are in the same connected component but not
+/// directly connected — the count of transitivity violations.
+pub fn clique_violations(g: &DecisionGraph) -> usize {
+    let p = connected_components(g);
+    p.positive_pairs()
+        .filter(|&(i, j)| !g.has_edge(i, j))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+
+    #[test]
+    fn partition_graphs_are_clique_unions() {
+        let p = Partition::from_labels(vec![0, 0, 1, 0, 1, 2]);
+        let g = DecisionGraph::from_partition(&p);
+        assert!(is_clique_union(&g));
+        assert_eq!(clique_violations(&g), 0);
+    }
+
+    #[test]
+    fn chain_violates_cliqueness() {
+        let mut g = DecisionGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(!is_clique_union(&g));
+        assert_eq!(clique_violations(&g), 1); // (0, 2) missing
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_valid() {
+        assert!(is_clique_union(&DecisionGraph::new(5)));
+        assert!(is_clique_union(&DecisionGraph::new(0)));
+    }
+
+    #[test]
+    fn star_counts_all_missing_leaf_pairs() {
+        let mut g = DecisionGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        // leaves {1,2,3} pairwise unconnected -> 3 violations.
+        assert_eq!(clique_violations(&g), 3);
+    }
+}

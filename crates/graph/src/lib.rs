@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # weber-graph
+//!
+//! Graph substrate for the entity-resolution framework.
+//!
+//! The paper models a block of documents as graphs over document nodes:
+//!
+//! - a complete **weighted graph** `G_w^{f_i}` per similarity function, whose
+//!   edge weights are similarity values ([`WeightedGraph`]);
+//! - a **decision graph** `G_{D_j}` per (function, decision-criterion) pair,
+//!   whose edges assert "these two documents are the same person"
+//!   ([`DecisionGraph`]);
+//! - a **multigraph** overlaying the decision graphs with accuracy weights,
+//!   from which a combined graph is derived ([`MultiGraph`]);
+//! - the final **entity graph**, which must be a union of pairwise disjoint
+//!   cliques because equivalence is transitive ([`entity`]).
+//!
+//! Clustering back-ends: transitive closure over connected components
+//! ([`components`]) — the paper's default — correlation clustering
+//! ([`correlation`]) as the alternative it also experimented with, and
+//! greedy incremental clustering ([`incremental`]) as the related-work
+//! baseline it contrasts against.
+
+pub mod components;
+pub mod correlation;
+pub mod decision;
+pub mod entity;
+pub mod incremental;
+pub mod multigraph;
+pub mod partition;
+pub mod union_find;
+pub mod weighted;
+
+pub use components::connected_components;
+pub use correlation::{correlation_cluster, CorrelationConfig};
+pub use decision::DecisionGraph;
+pub use entity::{clique_violations, is_clique_union};
+pub use incremental::{incremental_cluster, Linkage};
+pub use multigraph::MultiGraph;
+pub use partition::Partition;
+pub use union_find::UnionFind;
+pub use weighted::WeightedGraph;

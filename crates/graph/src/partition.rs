@@ -1,0 +1,206 @@
+//! Partitions of a document block: the output of entity resolution and the
+//! representation of ground truth.
+
+use std::collections::HashMap;
+
+/// A partition of `0..n` items into clusters, stored as per-item labels.
+///
+/// Labels are always canonicalised to first-occurrence order: the first item
+/// has label 0, the first item not in cluster 0 has label 1, and so on. Two
+/// `Partition`s are therefore equal iff they induce the same grouping,
+/// regardless of how they were labelled originally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    labels: Vec<u32>,
+    n_clusters: u32,
+}
+
+impl Partition {
+    /// Build from arbitrary labels; canonicalises them.
+    ///
+    /// ```
+    /// use weber_graph::Partition;
+    ///
+    /// // Label values do not matter, only the grouping:
+    /// let a = Partition::from_labels(vec![7, 7, 3]);
+    /// let b = Partition::from_labels(vec![0, 0, 1]);
+    /// assert_eq!(a, b);
+    /// assert_eq!(a.cluster_count(), 2);
+    /// ```
+    pub fn from_labels(raw: Vec<u32>) -> Self {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        for l in raw {
+            let next = remap.len() as u32;
+            let canon = *remap.entry(l).or_insert(next);
+            labels.push(canon);
+        }
+        let n_clusters = remap.len() as u32;
+        Self { labels, n_clusters }
+    }
+
+    /// Build from explicit clusters (item indices). Every index in `0..n`
+    /// must appear exactly once; panics otherwise (programmer error).
+    pub fn from_clusters(n: usize, clusters: &[Vec<usize>]) -> Self {
+        let mut raw = vec![u32::MAX; n];
+        for (label, cluster) in clusters.iter().enumerate() {
+            for &item in cluster {
+                assert!(
+                    raw[item] == u32::MAX,
+                    "item {item} appears in more than one cluster"
+                );
+                raw[item] = label as u32;
+            }
+        }
+        assert!(
+            raw.iter().all(|&l| l != u32::MAX),
+            "every item in 0..{n} must be assigned to a cluster"
+        );
+        Self::from_labels(raw)
+    }
+
+    /// The partition where every item is its own cluster.
+    pub fn singletons(n: usize) -> Self {
+        Self::from_labels((0..n as u32).collect())
+    }
+
+    /// The partition with a single cluster containing everything.
+    pub fn single_cluster(n: usize) -> Self {
+        Self::from_labels(vec![0; n])
+    }
+
+    /// Per-item canonical labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for a partition of zero items.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.n_clusters as usize
+    }
+
+    /// The label of `item`.
+    pub fn label_of(&self, item: usize) -> u32 {
+        self.labels[item]
+    }
+
+    /// True if `a` and `b` are in the same cluster.
+    pub fn same_cluster(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+
+    /// Materialise clusters as item-index lists, ordered by label.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters as usize];
+        for (item, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(item);
+        }
+        out
+    }
+
+    /// Sizes of the clusters, ordered by label.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_clusters as usize];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of intra-cluster (positive) pairs.
+    pub fn positive_pair_count(&self) -> usize {
+        self.cluster_sizes().iter().map(|&s| s * (s - 1) / 2).sum()
+    }
+
+    /// Iterate all intra-cluster pairs `(i, j)` with `i < j`.
+    pub fn positive_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.clusters().into_iter().flat_map(|c| {
+            let mut pairs = Vec::with_capacity(c.len() * (c.len().saturating_sub(1)) / 2);
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    pairs.push((c[i].min(c[j]), c[i].max(c[j])));
+                }
+            }
+            pairs
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalises_labels() {
+        let a = Partition::from_labels(vec![7, 7, 3, 7, 3]);
+        let b = Partition::from_labels(vec![0, 0, 1, 0, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.labels(), &[0, 0, 1, 0, 1]);
+        assert_eq!(a.cluster_count(), 2);
+    }
+
+    #[test]
+    fn from_clusters_roundtrip() {
+        let p = Partition::from_clusters(5, &[vec![0, 2], vec![1], vec![3, 4]]);
+        assert_eq!(p.clusters(), vec![vec![0, 2], vec![1], vec![3, 4]]);
+        assert!(p.same_cluster(0, 2));
+        assert!(!p.same_cluster(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in more than one cluster")]
+    fn from_clusters_rejects_overlap() {
+        Partition::from_clusters(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be assigned")]
+    fn from_clusters_rejects_missing_items() {
+        Partition::from_clusters(3, &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn singletons_and_single_cluster() {
+        let s = Partition::singletons(4);
+        assert_eq!(s.cluster_count(), 4);
+        assert_eq!(s.positive_pair_count(), 0);
+        let o = Partition::single_cluster(4);
+        assert_eq!(o.cluster_count(), 1);
+        assert_eq!(o.positive_pair_count(), 6);
+    }
+
+    #[test]
+    fn cluster_sizes_and_pairs() {
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1]);
+        assert_eq!(p.cluster_sizes(), vec![3, 2]);
+        assert_eq!(p.positive_pair_count(), 3 + 1);
+        let pairs: Vec<_> = p.positive_pairs().collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::from_labels(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.cluster_count(), 0);
+        assert_eq!(p.positive_pair_count(), 0);
+    }
+
+    #[test]
+    fn label_of_matches_labels() {
+        let p = Partition::from_labels(vec![5, 9, 5]);
+        assert_eq!(p.label_of(0), 0);
+        assert_eq!(p.label_of(1), 1);
+        assert_eq!(p.label_of(2), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Disjoint-set forest with path compression and union by rank.
+
+use crate::partition::Partition;
+
+/// A union-find (disjoint-set) structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when constructed over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression pass.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (ra, rb) = (ra as u32, rb as u32);
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Extract the partition induced by the current sets, with canonical
+    /// (first-occurrence) labels.
+    pub fn into_partition(mut self) -> Partition {
+        let n = self.parent.len();
+        let labels: Vec<u32> = (0..n).map(|i| self.find(i) as u32).collect();
+        Partition::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.find(3), 3);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn transitivity_through_chains() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.connected(0, 7));
+    }
+
+    #[test]
+    fn into_partition_has_canonical_labels() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 4);
+        uf.union(0, 2);
+        let p = uf.into_partition();
+        // first-occurrence labelling: 0->0, 1->1, 2->0, 3->2, 4->2
+        assert_eq!(p.labels(), &[0, 1, 0, 2, 2]);
+        assert_eq!(p.cluster_count(), 3);
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+        assert!(uf.into_partition().labels().is_empty());
+    }
+}

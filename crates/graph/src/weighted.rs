@@ -1,0 +1,163 @@
+//! Complete weighted graphs over a document block.
+//!
+//! `G_w^{f_i}` in the paper: nodes are the documents of one block (same
+//! ambiguous name), the weight on edge `{i, j}` is the similarity value
+//! `f_i(d_i, d_j) ∈ [0, 1]`. Stored as a flat upper-triangular matrix —
+//! blocks are small (≈100–150 documents), so the dense representation is
+//! both the fastest and the simplest.
+
+/// A complete undirected weighted graph over `n` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    n: usize,
+    /// Upper-triangular weights, row-major: entry for (i, j), i < j.
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// A graph over `n` nodes with all weights zero.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            weights: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Build by evaluating `f(i, j)` for every pair `i < j`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut g = Self::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.set(i, j, f(i, j));
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a graph over zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of (unordered) edges, `n·(n−1)/2`.
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n, "need i < j < n, got ({i}, {j})");
+        // Offset of row i in the upper triangle, plus column offset.
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// The weight of edge `{i, j}` (order-insensitive). Panics if `i == j`
+    /// or out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "no self-edges in a pairwise similarity graph");
+        let (i, j) = (i.min(j), i.max(j));
+        self.weights[self.index(i, j)]
+    }
+
+    /// Set the weight of edge `{i, j}` (order-insensitive).
+    pub fn set(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i != j, "no self-edges in a pairwise similarity graph");
+        let (i, j) = (i.min(j), i.max(j));
+        let idx = self.index(i, j);
+        self.weights[idx] = w;
+    }
+
+    /// Iterate `(i, j, weight)` over all pairs `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (i + 1..self.n).map(move |j| (i, j, self.weights[self.index(i, j)]))
+        })
+    }
+
+    /// All edge weights in `(i, j)` lexicographic order.
+    pub fn weight_values(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mean edge weight, or 0 for graphs with fewer than 2 nodes.
+    pub fn mean_weight(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.weights.iter().sum::<f64>() / self.weights.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_indexing_is_bijective() {
+        let n = 7;
+        let g = WeightedGraph::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                assert!(seen.insert(g.index(i, j)), "duplicate index for ({i},{j})");
+            }
+        }
+        assert_eq!(seen.len(), g.edge_count());
+        assert_eq!(*seen.iter().max().unwrap(), g.edge_count() - 1);
+    }
+
+    #[test]
+    fn get_set_symmetry() {
+        let mut g = WeightedGraph::new(4);
+        g.set(2, 1, 0.75);
+        assert_eq!(g.get(1, 2), 0.75);
+        assert_eq!(g.get(2, 1), 0.75);
+        assert_eq!(g.get(0, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-edges")]
+    fn rejects_self_edges() {
+        WeightedGraph::new(3).get(1, 1);
+    }
+
+    #[test]
+    fn from_fn_fills_all_pairs() {
+        let g = WeightedGraph::from_fn(4, |i, j| (i + j) as f64);
+        assert_eq!(g.get(0, 1), 1.0);
+        assert_eq!(g.get(2, 3), 5.0);
+        assert_eq!(g.edges().count(), 6);
+    }
+
+    #[test]
+    fn edges_iterates_lexicographically() {
+        let g = WeightedGraph::from_fn(3, |i, j| (10 * i + j) as f64);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 12.0)]
+        );
+    }
+
+    #[test]
+    fn mean_weight() {
+        let g = WeightedGraph::from_fn(3, |_, _| 0.5);
+        assert!((g.mean_weight() - 0.5).abs() < 1e-12);
+        assert_eq!(WeightedGraph::new(1).mean_weight(), 0.0);
+        assert_eq!(WeightedGraph::new(0).mean_weight(), 0.0);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert!(WeightedGraph::new(0).is_empty());
+        let g = WeightedGraph::new(1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the graph substrate.
+#![allow(clippy::needless_range_loop)] // brute-force reference impls index deliberately
+
+use proptest::prelude::*;
+
+use weber_graph::components::connected_components;
+use weber_graph::correlation::{agreement, correlation_cluster, CorrelationConfig};
+use weber_graph::decision::DecisionGraph;
+use weber_graph::entity::{clique_violations, is_clique_union};
+use weber_graph::partition::Partition;
+use weber_graph::union_find::UnionFind;
+use weber_graph::weighted::WeightedGraph;
+
+/// Strategy: an edge list over `n` nodes.
+fn edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..n * 2)
+        .prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .filter(|&(i, j)| i != j)
+                .collect::<Vec<_>>()
+        })
+}
+
+/// Strategy: arbitrary partition labels for `n` items.
+fn labels(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..(n as u32).max(1), n)
+}
+
+proptest! {
+    #[test]
+    fn union_find_is_an_equivalence_relation(es in edges(20)) {
+        let mut uf = UnionFind::new(20);
+        for &(i, j) in &es {
+            uf.union(i, j);
+        }
+        // Reflexive & symmetric & transitive by construction of find();
+        // check against a brute-force closure.
+        #[allow(clippy::needless_range_loop)]
+        let mut adj = vec![vec![false; 20]; 20];
+        for &(i, j) in &es {
+            adj[i][j] = true;
+            adj[j][i] = true;
+        }
+        for k in 0..20 {
+            for i in 0..20 {
+                for j in 0..20 {
+                    if adj[i][k] && adj[k][j] {
+                        adj[i][j] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..20 {
+            for j in 0..20 {
+                let closure = i == j || adj[i][j];
+                prop_assert_eq!(uf.connected(i, j), closure, "pair ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn set_count_decreases_by_successful_unions(es in edges(15)) {
+        let mut uf = UnionFind::new(15);
+        let mut merges = 0;
+        for &(i, j) in &es {
+            if uf.union(i, j) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.set_count(), 15 - merges);
+    }
+
+    #[test]
+    fn partition_canonicalisation_is_idempotent(ls in labels(12)) {
+        let p = Partition::from_labels(ls);
+        let q = Partition::from_labels(p.labels().to_vec());
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn partition_pair_count_matches_enumeration(ls in labels(12)) {
+        let p = Partition::from_labels(ls);
+        prop_assert_eq!(p.positive_pair_count(), p.positive_pairs().count());
+        // Every enumerated pair really is intra-cluster.
+        for (i, j) in p.positive_pairs() {
+            prop_assert!(i < j);
+            prop_assert!(p.same_cluster(i, j));
+        }
+    }
+
+    #[test]
+    fn components_yield_partition_whose_cliques_contain_all_edges(es in edges(16)) {
+        let mut g = DecisionGraph::new(16);
+        for &(i, j) in &es {
+            g.add_edge(i, j);
+        }
+        let p = connected_components(&g);
+        for (i, j) in g.edges() {
+            prop_assert!(p.same_cluster(i, j));
+        }
+        // Closing the graph produces a valid entity graph.
+        let closed = DecisionGraph::from_partition(&p);
+        prop_assert!(is_clique_union(&closed));
+        prop_assert!(closed.edge_count() >= g.edge_count());
+    }
+
+    #[test]
+    fn clique_violations_zero_iff_partition_graph(ls in labels(10)) {
+        let p = Partition::from_labels(ls);
+        let g = DecisionGraph::from_partition(&p);
+        prop_assert_eq!(clique_violations(&g), 0);
+    }
+
+    #[test]
+    fn decision_graph_add_remove_roundtrip(es in edges(14)) {
+        let mut g = DecisionGraph::new(14);
+        let mut added = Vec::new();
+        for &(i, j) in &es {
+            if g.add_edge(i, j) {
+                added.push((i.min(j), i.max(j)));
+            }
+        }
+        prop_assert_eq!(g.edge_count(), added.len());
+        for &(i, j) in &added {
+            prop_assert!(g.has_edge(i, j));
+            prop_assert!(g.remove_edge(i, j));
+        }
+        prop_assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn weighted_graph_get_set_is_symmetric(
+        n in 2usize..12,
+        updates in proptest::collection::vec((0usize..12, 0usize..12, 0.0f64..1.0), 0..30),
+    ) {
+        let mut g = WeightedGraph::new(n);
+        for &(i, j, w) in updates.iter().filter(|&&(i, j, _)| i != j && i < n && j < n) {
+            g.set(i, j, w);
+            prop_assert_eq!(g.get(i, j), g.get(j, i));
+            prop_assert_eq!(g.get(i, j), w);
+        }
+    }
+
+    #[test]
+    fn correlation_clustering_result_is_no_worse_than_trivia(
+        n in 2usize..10,
+        ps in proptest::collection::vec(0.0f64..1.0, 45),
+    ) {
+        let mut it = ps.into_iter();
+        let g = WeightedGraph::from_fn(n, |_, _| it.next().unwrap_or(0.5));
+        let p = correlation_cluster(&g, CorrelationConfig::default());
+        prop_assert_eq!(p.len(), n);
+        let score = agreement(&g, &p);
+        // Must be at least as good as both trivial clusterings (local search
+        // can always reach either from any start).
+        let singles = agreement(&g, &Partition::singletons(n));
+        prop_assert!(score >= singles - 1e-9, "score {score} < singletons {singles}");
+    }
+
+    #[test]
+    fn correlation_clustering_is_deterministic(
+        n in 2usize..8,
+        seed in 0u64..1000,
+        ps in proptest::collection::vec(0.0f64..1.0, 28),
+    ) {
+        let mut it = ps.clone().into_iter();
+        let g = WeightedGraph::from_fn(n, |_, _| it.next().unwrap_or(0.5));
+        let cfg = CorrelationConfig { seed, ..Default::default() };
+        prop_assert_eq!(correlation_cluster(&g, cfg), correlation_cluster(&g, cfg));
+    }
+}

@@ -1,0 +1,187 @@
+//! One-dimensional k-means (Lloyd's algorithm).
+//!
+//! Used to derive value-space regions from the empirical distribution of a
+//! similarity function's training values — the paper's second region scheme
+//! ("we clustered the similarity values corresponding to the training set
+//! using the k-means clustering technique").
+
+/// The result of a 1-D k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans1d {
+    /// Cluster centres, sorted ascending. May be fewer than the requested
+    /// `k` when the data has fewer distinct values.
+    pub centers: Vec<f64>,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+impl KMeans1d {
+    /// Index of the centre nearest to `value`.
+    pub fn assign(&self, value: f64) -> usize {
+        nearest(&self.centers, value)
+    }
+}
+
+fn nearest(centers: &[f64], value: f64) -> usize {
+    debug_assert!(!centers.is_empty());
+    // Centers are sorted: binary search then compare neighbours.
+    let idx = centers.partition_point(|&c| c < value);
+    let mut best = idx.min(centers.len() - 1);
+    if idx > 0 && (value - centers[idx - 1]).abs() <= (centers[best] - value).abs() {
+        best = idx - 1;
+    }
+    best
+}
+
+/// Run 1-D k-means on `values` with at most `k` clusters.
+///
+/// Initialisation is deterministic: centres start at the `k` evenly spaced
+/// quantiles of the sorted data, which for one dimension is both stable and
+/// close to optimal. Duplicate centres are merged, so the output may contain
+/// fewer than `k` centres. Returns `None` if `values` is empty or `k == 0`.
+pub fn kmeans_1d(values: &[f64], k: usize, max_iters: usize) -> Option<KMeans1d> {
+    if values.is_empty() || k == 0 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    // Quantile initialisation over distinct values.
+    let mut distinct: Vec<f64> = Vec::with_capacity(sorted.len());
+    for &v in &sorted {
+        if distinct.last().is_none_or(|&d| v > d) {
+            distinct.push(v);
+        }
+    }
+    let k = k.min(distinct.len());
+    let mut centers: Vec<f64> = (0..k)
+        .map(|i| {
+            let pos = (i as f64 + 0.5) / k as f64 * (distinct.len() as f64 - 1.0);
+            distinct[pos.round() as usize]
+        })
+        .collect();
+    centers.dedup();
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment + mean update in one pass over sorted values: cluster
+        // boundaries are midpoints between consecutive centres.
+        let mut sums = vec![0.0f64; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for &v in &sorted {
+            let c = nearest(&centers, v);
+            sums[c] += v;
+            counts[c] += 1;
+        }
+        let mut next: Vec<f64> = Vec::with_capacity(centers.len());
+        for (c, (&s, &n)) in sums.iter().zip(&counts).enumerate() {
+            if n > 0 {
+                next.push(s / n as f64);
+            } else {
+                // Empty cluster: keep its centre (it may capture points later).
+                next.push(centers[c]);
+            }
+        }
+        next.sort_by(f64::total_cmp);
+        next.dedup();
+        let converged = next.len() == centers.len()
+            && next
+                .iter()
+                .zip(&centers)
+                .all(|(a, b)| (a - b).abs() < 1e-12);
+        centers = next;
+        if converged {
+            break;
+        }
+    }
+    Some(KMeans1d {
+        centers,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_groups() {
+        let values = [0.1, 0.12, 0.11, 0.9, 0.88, 0.92];
+        let km = kmeans_1d(&values, 2, 100).unwrap();
+        assert_eq!(km.centers.len(), 2);
+        assert!((km.centers[0] - 0.11).abs() < 0.02);
+        assert!((km.centers[1] - 0.90).abs() < 0.02);
+        assert_eq!(km.assign(0.05), 0);
+        assert_eq!(km.assign(0.95), 1);
+    }
+
+    #[test]
+    fn k_larger_than_distinct_values_collapses() {
+        let values = [0.5, 0.5, 0.5];
+        let km = kmeans_1d(&values, 4, 100).unwrap();
+        assert_eq!(km.centers, vec![0.5]);
+    }
+
+    #[test]
+    fn empty_or_zero_k_is_none() {
+        assert!(kmeans_1d(&[], 3, 10).is_none());
+        assert!(kmeans_1d(&[0.5], 0, 10).is_none());
+    }
+
+    #[test]
+    fn single_value_single_center() {
+        let km = kmeans_1d(&[0.3], 3, 10).unwrap();
+        assert_eq!(km.centers, vec![0.3]);
+        assert_eq!(km.assign(0.9), 0);
+    }
+
+    #[test]
+    fn centers_are_sorted() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64) / 100.0).collect();
+        let km = kmeans_1d(&values, 5, 100).unwrap();
+        for w in km.centers.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(km.centers.len(), 5);
+    }
+
+    #[test]
+    fn assignment_is_nearest_center() {
+        let km = KMeans1d {
+            centers: vec![0.2, 0.5, 0.8],
+            iterations: 0,
+        };
+        assert_eq!(km.assign(0.0), 0);
+        assert_eq!(km.assign(0.34), 0);
+        assert_eq!(km.assign(0.36), 1);
+        assert_eq!(km.assign(0.66), 2);
+        assert_eq!(km.assign(1.0), 2);
+    }
+
+    #[test]
+    fn converges_quickly_on_uniform_data() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64) / 1000.0).collect();
+        let km = kmeans_1d(&values, 10, 500).unwrap();
+        assert!(km.iterations < 500, "did not converge: {}", km.iterations);
+    }
+
+    #[test]
+    fn within_cluster_variance_not_worse_than_init() {
+        // k-means objective must not exceed the trivially computed objective
+        // of quantile initialisation.
+        let values = [0.05, 0.1, 0.2, 0.4, 0.45, 0.7, 0.75, 0.9];
+        let km = kmeans_1d(&values, 3, 100).unwrap();
+        let obj = |centers: &[f64]| -> f64 {
+            values
+                .iter()
+                .map(|&v| {
+                    let c = centers[nearest(centers, v)];
+                    (v - c) * (v - c)
+                })
+                .sum()
+        };
+        let final_obj = obj(&km.centers);
+        let init = [0.1, 0.45, 0.9];
+        assert!(final_obj <= obj(&init) + 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Seeded train/test sampling.
+//!
+//! The paper: "we use 10% of the complete dataset as the training set … we
+//! repeated the experiments for 5 runs and the averages of the observed
+//! results are presented. On each run we randomly choose the training subset
+//! from the complete dataset."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split indices `0..n` into (train, test) with `train_fraction` of the
+/// items (rounded, but at least 1 when `n > 0` and the fraction is positive)
+/// drawn uniformly at random with the given `seed`.
+///
+/// Both halves are returned sorted. Deterministic for a fixed `(n,
+/// train_fraction, seed)`.
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train_fraction must be in [0, 1], got {train_fraction}"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut take = (n as f64 * train_fraction).round() as usize;
+    if train_fraction > 0.0 && n > 0 {
+        take = take.max(1);
+    }
+    take = take.min(n);
+    let mut train: Vec<usize> = idx[..take].to_vec();
+    let mut test: Vec<usize> = idx[take..].to_vec();
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition_of_indices() {
+        let (train, test) = train_test_split(100, 0.1, 7);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 90);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_different_across_seeds() {
+        let a = train_test_split(50, 0.2, 1);
+        let b = train_test_split(50, 0.2, 1);
+        assert_eq!(a, b);
+        let c = train_test_split(50, 0.2, 2);
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    fn tiny_positive_fraction_takes_at_least_one() {
+        let (train, test) = train_test_split(5, 0.01, 3);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn zero_fraction_and_full_fraction() {
+        let (train, test) = train_test_split(10, 0.0, 3);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+        let (train, test) = train_test_split(10, 1.0, 3);
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (train, test) = train_test_split(0, 0.5, 3);
+        assert!(train.is_empty());
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn rejects_out_of_range_fraction() {
+        train_test_split(10, 1.5, 0);
+    }
+
+    #[test]
+    fn outputs_are_sorted() {
+        let (train, test) = train_test_split(30, 0.3, 11);
+        assert!(train.windows(2).all(|w| w[0] < w[1]));
+        assert!(test.windows(2).all(|w| w[0] < w[1]));
+    }
+}

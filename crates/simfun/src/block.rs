@@ -1,0 +1,191 @@
+//! A prepared block: the documents sharing one ambiguous name, with TF-IDF
+//! vectors materialised over a block-local index.
+//!
+//! The paper applies "a basic blocking technique, so essentially we only
+//! compute the similarity values between documents, which are about a
+//! person with the same name". TF-IDF statistics (document frequencies) are
+//! therefore block-local, exactly as a per-name Lucene index would be.
+
+use weber_extract::features::PageFeatures;
+use weber_textindex::index::CorpusIndex;
+use weber_textindex::minhash::MinHasher;
+use weber_textindex::sparse::SparseVector;
+use weber_textindex::tfidf::TfIdf;
+
+/// How word vectors for F8–F10 are weighted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WordVectorScheme {
+    /// A TF-IDF scheme (the paper's choice).
+    TfIdf(TfIdf),
+    /// BM25 weighting (length-normalised, saturating; extension).
+    Bm25 {
+        /// Term-frequency saturation parameter (standard: 1.2).
+        k1: f64,
+        /// Length-normalisation strength (standard: 0.75).
+        b: f64,
+    },
+}
+
+impl Default for WordVectorScheme {
+    fn default() -> Self {
+        WordVectorScheme::TfIdf(TfIdf::default())
+    }
+}
+
+impl WordVectorScheme {
+    /// Standard BM25 parameters.
+    pub fn bm25() -> Self {
+        WordVectorScheme::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A block of documents about one ambiguous person name, ready for
+/// similarity computation.
+#[derive(Debug)]
+pub struct PreparedBlock {
+    /// The ambiguous query name this block was retrieved for.
+    query_name: String,
+    /// Extracted features, one per document.
+    features: Vec<PageFeatures>,
+    /// TF-IDF word vectors, aligned with `features`.
+    tfidf: Vec<SparseVector>,
+    /// MinHash signatures over 3-token shingles, aligned with `features`
+    /// (near-duplicate / mirror detection).
+    minhash: Vec<Vec<u64>>,
+    /// Dimensionality of the word-vector space (block vocabulary size);
+    /// needed by Pearson correlation (F9).
+    vocab_dim: usize,
+}
+
+impl PreparedBlock {
+    /// Prepare a block: build the block-local TF-IDF index from each page's
+    /// analyzed tokens.
+    pub fn new(query_name: impl Into<String>, features: Vec<PageFeatures>, scheme: TfIdf) -> Self {
+        Self::with_scheme(query_name, features, WordVectorScheme::TfIdf(scheme))
+    }
+
+    /// Prepare a block under an explicit word-vector weighting scheme.
+    pub fn with_scheme(
+        query_name: impl Into<String>,
+        features: Vec<PageFeatures>,
+        scheme: WordVectorScheme,
+    ) -> Self {
+        let mut index = CorpusIndex::new();
+        for f in &features {
+            index.add_document(f.tokens.clone());
+        }
+        let tfidf = match scheme {
+            WordVectorScheme::TfIdf(t) => index.tfidf_vectors(t),
+            WordVectorScheme::Bm25 { k1, b } => index.bm25_vectors(k1, b),
+        };
+        let vocab_dim = index.vocabulary_size();
+        let hasher = MinHasher::new(64, 3, 0xD0C5);
+        let minhash = features.iter().map(|f| hasher.signature(&f.tokens)).collect();
+        Self {
+            query_name: query_name.into(),
+            features,
+            tfidf,
+            minhash,
+            vocab_dim,
+        }
+    }
+
+    /// The ambiguous name the block is about.
+    pub fn query_name(&self) -> &str {
+        &self.query_name
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True for a block with no documents.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Features of document `i`.
+    pub fn features(&self, i: usize) -> &PageFeatures {
+        &self.features[i]
+    }
+
+    /// All features.
+    pub fn all_features(&self) -> &[PageFeatures] {
+        &self.features
+    }
+
+    /// TF-IDF vector of document `i`.
+    pub fn tfidf(&self, i: usize) -> &SparseVector {
+        &self.tfidf[i]
+    }
+
+    /// Word-vector space dimensionality.
+    pub fn vocab_dim(&self) -> usize {
+        self.vocab_dim
+    }
+
+    /// MinHash signature of document `i` (64 hashes over 3-token
+    /// shingles) — the substrate for near-duplicate detection.
+    pub fn minhash_signature(&self, i: usize) -> &[u64] {
+        &self.minhash[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weber_extract::gazetteer::{EntityKind, Gazetteer};
+    use weber_extract::pipeline::Extractor;
+
+    fn block(texts: &[&str]) -> PreparedBlock {
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Concept, ["databases"]);
+        let e = Extractor::new(&g);
+        let features = texts.iter().map(|t| e.extract(t, None)).collect();
+        PreparedBlock::new("cohen", features, TfIdf::default())
+    }
+
+    #[test]
+    fn builds_aligned_tfidf_vectors() {
+        let b = block(&["databases are fun", "databases are hard", "gardening tips"]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.query_name(), "cohen");
+        assert!(b.tfidf(0).cosine(b.tfidf(1)) > b.tfidf(0).cosine(b.tfidf(2)));
+    }
+
+    #[test]
+    fn vocab_dim_counts_block_vocabulary() {
+        let b = block(&["alpha beta", "beta gamma"]);
+        assert_eq!(b.vocab_dim(), 3);
+    }
+
+    #[test]
+    fn bm25_scheme_produces_comparable_vectors() {
+        let mut g = weber_extract::gazetteer::Gazetteer::new();
+        g.add_phrases(weber_extract::gazetteer::EntityKind::Concept, ["databases"]);
+        let e = Extractor::new(&g);
+        let features: Vec<_> = ["databases are fun", "databases are hard", "gardening tips"]
+            .iter()
+            .map(|t| e.extract(t, None))
+            .collect();
+        let b = PreparedBlock::with_scheme("cohen", features, WordVectorScheme::bm25());
+        assert!(b.tfidf(0).cosine(b.tfidf(1)) > b.tfidf(0).cosine(b.tfidf(2)));
+    }
+
+    #[test]
+    fn minhash_signatures_flag_identical_documents() {
+        let b = block(&["databases are fun to study", "databases are fun to study", "totally different page text here"]);
+        let same = MinHasher::estimated_jaccard(b.minhash_signature(0), b.minhash_signature(1));
+        let diff = MinHasher::estimated_jaccard(b.minhash_signature(0), b.minhash_signature(2));
+        assert_eq!(same, 1.0);
+        assert!(diff < 0.3, "{diff}");
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = block(&[]);
+        assert!(b.is_empty());
+        assert_eq!(b.vocab_dim(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Set overlap similarities for entity sets (F4/F5/F6: "Number of
+//! overlapping concepts / organizations / persons").
+//!
+//! The raw overlap count is normalised into `[0, 1]` with the overlap
+//! coefficient `|A ∩ B| / min(|A|, |B|)`, which keeps the paper's intuition
+//! (any shared specific entity is strong evidence) while making values
+//! comparable across pages with different feature richness. Jaccard and
+//! Dice are provided as alternatives.
+
+use std::collections::BTreeSet;
+
+fn intersection_size<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> usize {
+    // Iterate the smaller set; BTreeSet::contains is O(log n).
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().filter(|x| large.contains(x)).count()
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`; 0 when either set is
+/// empty (a page with no extracted entities offers no evidence).
+pub fn overlap_coefficient<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Jaccard index `|A ∩ B| / |A ∪ B|`; 0 when both sets are empty.
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2·|A ∩ B| / (|A| + |B|)`; 0 when both sets are empty.
+pub fn dice<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn overlap_coefficient_hand_computed() {
+        let a = set(&["epfl", "ethz", "mit"]);
+        let b = set(&["epfl", "cmu"]);
+        assert!((overlap_coefficient(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_has_full_overlap_coefficient() {
+        let a = set(&["x", "y"]);
+        let b = set(&["x", "y", "z", "w"]);
+        assert_eq!(overlap_coefficient(&a, &b), 1.0);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_score_zero() {
+        let a = set(&["x"]);
+        let e = set(&[]);
+        assert_eq!(overlap_coefficient(&a, &e), 0.0);
+        assert_eq!(overlap_coefficient(&e, &e), 0.0);
+        assert_eq!(jaccard(&e, &e), 0.0);
+        assert_eq!(dice(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let a = set(&["a", "b", "c"]);
+        assert_eq!(overlap_coefficient(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(dice(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_and_dice_hand_computed() {
+        let a = set(&["a", "b", "c"]);
+        let b = set(&["b", "c", "d"]);
+        assert!((jaccard(&a, &b) - 2.0 / 4.0).abs() < 1e-12);
+        assert!((dice(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let a = set(&["a"]);
+        let b = set(&["b"]);
+        assert_eq!(overlap_coefficient(&a, &b), 0.0);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(dice(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = set(&["x", "y", "z"]);
+        let b = set(&["y", "q"]);
+        assert_eq!(overlap_coefficient(&a, &b), overlap_coefficient(&b, &a));
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+        assert_eq!(dice(&a, &b), dice(&b, &a));
+    }
+
+    #[test]
+    fn ordering_dice_le_jaccard_relationship() {
+        // For any sets: jaccard <= dice <= overlap_coefficient.
+        let a = set(&["a", "b", "c", "d"]);
+        let b = set(&["c", "d", "e"]);
+        let (j, d, o) = (jaccard(&a, &b), dice(&a, &b), overlap_coefficient(&a, &b));
+        assert!(j <= d + 1e-12);
+        assert!(d <= o + 1e-12);
+    }
+}

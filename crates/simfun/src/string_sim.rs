@@ -1,0 +1,230 @@
+//! String similarity measures.
+//!
+//! The paper's F2/F3/F7 are defined as "String Similarity" over URLs and
+//! names. We provide the standard family; the function suite uses
+//! Jaro–Winkler for person names (its classic application is exactly name
+//! matching in record linkage) and n-gram Dice for URLs.
+
+/// Levenshtein edit distance (insertions, deletions, substitutions).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 − dist / max_len`, in `[0, 1]`.
+/// Two empty strings are identical (1.0).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|&(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale 0.1 and prefix
+/// cap 4.
+///
+/// ```
+/// use weber_simfun::jaro_winkler;
+///
+/// assert_eq!(jaro_winkler("cohen", "cohen"), 1.0);
+/// let close = jaro_winkler("cohen", "kohen");
+/// assert!(close > 0.8 && close < 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * 0.1 * (1.0 - j)).clamp(0.0, 1.0)
+}
+
+/// Dice coefficient over character n-grams (default URL measure with
+/// `n = 2`). Strings shorter than `n` compare by exact equality.
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n >= 1, "n-gram size must be positive");
+    let grams = |s: &str| -> Vec<String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < n {
+            return vec![];
+        }
+        chars.windows(n).map(|w| w.iter().collect()).collect()
+    };
+    let (mut ga, mut gb) = (grams(a), grams(b));
+    if ga.is_empty() && gb.is_empty() {
+        // Both strings are shorter than n: compare exactly.
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    ga.sort();
+    gb.sort();
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i < ga.len() && j < gb.len() {
+        match ga[i].cmp(&gb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    2.0 * common as f64 / (ga.len() + gb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("kitten", "sitting");
+        assert!((v - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Canonical examples from the record-linkage literature.
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-5);
+        assert!((jaro("dixon", "dicksonx") - 0.766667).abs() < 1e-5);
+        assert!((jaro("jellyfish", "smellyfish") - 0.896296).abs() < 1e-5);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert!((jaro_winkler("martha", "marhta") - 0.961111).abs() < 1e-5);
+        assert!((jaro_winkler("dixon", "dicksonx") - 0.813333).abs() < 1e-5);
+        assert_eq!(jaro_winkler("cohen", "cohen"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_rewards_common_prefix() {
+        // Same Jaro-level difference, but one pair shares a prefix.
+        let with_prefix = jaro_winkler("cohenx", "cohen");
+        let without = jaro_winkler("xcohen", "cohen");
+        assert!(with_prefix > without);
+    }
+
+    #[test]
+    fn ngram_dice_basics() {
+        assert_eq!(ngram_dice("night", "night", 2), 1.0);
+        assert_eq!(ngram_dice("abc", "xyz", 2), 0.0);
+        // "night"/"nacht": bigrams ni,ig,gh,ht vs na,ac,ch,ht -> 1 common.
+        assert!((ngram_dice("night", "nacht", 2) - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ngram_dice_short_strings() {
+        assert_eq!(ngram_dice("a", "a", 2), 1.0);
+        assert_eq!(ngram_dice("a", "b", 2), 0.0);
+        assert_eq!(ngram_dice("", "", 2), 1.0);
+        assert_eq!(ngram_dice("", "abc", 2), 0.0);
+    }
+
+    #[test]
+    fn ngram_dice_counts_multiplicity() {
+        // "aaaa" vs "aa": bigrams [aa,aa,aa] vs [aa] -> 2*1/(3+1) = 0.5.
+        assert!((ngram_dice("aaaa", "aa", 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_measures_are_symmetric() {
+        let pairs = [("cohen", "kohen"), ("epfl.ch", "ethz.ch"), ("", "x")];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+            assert!((ngram_dice(a, b, 2) - ngram_dice(b, a, 2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unicode_safety() {
+        assert_eq!(levenshtein("miklós", "miklos"), 1);
+        assert!(jaro_winkler("miklós", "miklós") == 1.0);
+    }
+}

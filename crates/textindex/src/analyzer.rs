@@ -1,0 +1,148 @@
+//! The analysis pipeline: tokenize → stopword-filter → stem → intern.
+//!
+//! An [`Analyzer`] owns a shared [`Vocabulary`] so that every document
+//! analyzed through it maps identical (stemmed) terms to identical
+//! [`TermId`]s — the precondition for meaningful sparse-vector similarity.
+
+use std::sync::RwLock;
+use std::sync::RwLockReadGuard;
+
+use crate::stem::porter_stem;
+use crate::stopwords::is_stopword;
+use crate::token::tokenize;
+use crate::vocab::{TermId, Vocabulary};
+
+/// A configurable text analyzer with a shared vocabulary.
+///
+/// Thread-safe: the vocabulary is behind an `RwLock`, so one analyzer can be
+/// shared across worker threads when indexing a corpus in parallel.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    vocab: RwLock<Vocabulary>,
+    filter_stopwords: bool,
+    stem: bool,
+}
+
+impl Analyzer {
+    /// An analyzer with explicit settings.
+    pub fn new(filter_stopwords: bool, stem: bool) -> Self {
+        Self {
+            vocab: RwLock::new(Vocabulary::new()),
+            filter_stopwords,
+            stem,
+        }
+    }
+
+    /// The standard English pipeline: stopword filtering + Porter stemming.
+    pub fn english() -> Self {
+        Self::new(true, true)
+    }
+
+    /// A pipeline that only lowercases and tokenizes.
+    pub fn plain() -> Self {
+        Self::new(false, false)
+    }
+
+    /// Analyze `text` into a sequence of interned term ids.
+    pub fn analyze(&self, text: &str) -> Vec<TermId> {
+        let mut vocab = self.vocab.write().expect("vocabulary lock poisoned");
+        tokenize(text)
+            .into_iter()
+            .filter(|t| !self.filter_stopwords || !is_stopword(&t.text))
+            .map(|t| {
+                if self.stem {
+                    vocab.intern(&porter_stem(&t.text))
+                } else {
+                    vocab.intern(&t.text)
+                }
+            })
+            .collect()
+    }
+
+    /// Normalise a single term through the same pipeline (no interning).
+    /// Returns `None` if the term is filtered out.
+    pub fn normalize_term(&self, term: &str) -> Option<String> {
+        let toks = tokenize(term);
+        let tok = toks.first()?;
+        if self.filter_stopwords && is_stopword(&tok.text) {
+            return None;
+        }
+        Some(if self.stem {
+            porter_stem(&tok.text)
+        } else {
+            tok.text.clone()
+        })
+    }
+
+    /// Read access to the shared vocabulary.
+    pub fn vocabulary(&self) -> RwLockReadGuard<'_, Vocabulary> {
+        self.vocab.read().expect("vocabulary lock poisoned")
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwords_are_filtered() {
+        let a = Analyzer::english();
+        let ids = a.analyze("the quick brown fox");
+        assert_eq!(ids.len(), 3); // "the" dropped
+    }
+
+    #[test]
+    fn stemming_conflates_variants() {
+        let a = Analyzer::english();
+        let x = a.analyze("clustering");
+        let y = a.analyze("clustered");
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn plain_analyzer_keeps_everything() {
+        let a = Analyzer::plain();
+        let ids = a.analyze("the running dogs");
+        assert_eq!(ids.len(), 3);
+        let vocab = a.vocabulary();
+        assert_eq!(vocab.term(ids[1]), Some("running"));
+    }
+
+    #[test]
+    fn shared_vocabulary_across_documents() {
+        let a = Analyzer::english();
+        let x = a.analyze("database systems");
+        let y = a.analyze("database research");
+        assert_eq!(x[0], y[0]);
+        assert_eq!(a.vocabulary_size(), 3);
+    }
+
+    #[test]
+    fn normalize_term_matches_analyze() {
+        let a = Analyzer::english();
+        assert_eq!(a.normalize_term("Databases"), Some("databas".to_string()));
+        assert_eq!(a.normalize_term("the"), None);
+        assert_eq!(a.normalize_term(""), None);
+    }
+
+    #[test]
+    fn analyzer_is_shareable_across_threads() {
+        let a = std::sync::Arc::new(Analyzer::english());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let a = a.clone();
+                std::thread::spawn(move || a.analyze(&format!("document number {i} text")))
+            })
+            .collect();
+        for h in handles {
+            assert!(!h.join().unwrap().is_empty());
+        }
+        // "document", "number", "text" + 4 distinct digits
+        assert_eq!(a.vocabulary_size(), 7);
+    }
+}

@@ -1,0 +1,299 @@
+//! A corpus index: per-document term frequencies, corpus document
+//! frequencies, and TF-IDF vector materialisation.
+
+use std::collections::HashMap;
+
+use crate::sparse::SparseVector;
+use crate::tfidf::TfIdf;
+use crate::vocab::TermId;
+
+/// A dense identifier for a document within one [`CorpusIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Per-document term statistics.
+#[derive(Debug, Clone, Default)]
+struct DocStats {
+    /// Term counts, sorted by term id.
+    counts: Vec<(TermId, u32)>,
+    /// Highest single-term count in the document.
+    max_tf: u32,
+    /// Total number of token occurrences.
+    len: u32,
+}
+
+/// An in-memory inverted-statistics index over analyzed documents.
+///
+/// Documents are added as token-id sequences (see
+/// [`Analyzer::analyze`](crate::Analyzer)); the index tracks term and
+/// document frequencies and can materialise TF-IDF [`SparseVector`]s for all
+/// documents under any [`TfIdf`] scheme.
+#[derive(Debug, Default)]
+pub struct CorpusIndex {
+    docs: Vec<DocStats>,
+    /// Document frequency per term.
+    df: HashMap<TermId, u32>,
+}
+
+impl CorpusIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an analyzed document (sequence of term ids); returns its id.
+    pub fn add_document(&mut self, terms: Vec<TermId>) -> DocId {
+        let mut counts: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
+        let len = terms.len() as u32;
+        for t in terms {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        for &t in counts.keys() {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+        let max_tf = counts.values().copied().max().unwrap_or(0);
+        let mut counts: Vec<(TermId, u32)> = counts.into_iter().collect();
+        counts.sort_unstable_by_key(|&(t, _)| t);
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(DocStats {
+            counts,
+            max_tf,
+            len,
+        });
+        id
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if no documents have been added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Number of distinct terms seen across the corpus.
+    pub fn vocabulary_size(&self) -> usize {
+        self.df.len()
+    }
+
+    /// Document frequency of `term`.
+    pub fn document_frequency(&self, term: TermId) -> u32 {
+        self.df.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Token count of document `doc`, or 0 for an unknown id.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.docs.get(doc.0 as usize).map_or(0, |d| d.len)
+    }
+
+    /// Term frequency of `term` in `doc`.
+    pub fn term_frequency(&self, doc: DocId, term: TermId) -> u32 {
+        self.docs
+            .get(doc.0 as usize)
+            .and_then(|d| {
+                d.counts
+                    .binary_search_by_key(&term, |&(t, _)| t)
+                    .ok()
+                    .map(|pos| d.counts[pos].1)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Materialise the TF-IDF vector of one document.
+    pub fn tfidf_vector(&self, doc: DocId, scheme: TfIdf) -> SparseVector {
+        let n_docs = self.docs.len() as u32;
+        let Some(stats) = self.docs.get(doc.0 as usize) else {
+            return SparseVector::new();
+        };
+        stats
+            .counts
+            .iter()
+            .map(|&(term, tf)| {
+                let df = self.document_frequency(term);
+                (term, scheme.weight(tf, stats.max_tf, df, n_docs))
+            })
+            .collect()
+    }
+
+    /// Materialise TF-IDF vectors for every document, in doc-id order.
+    pub fn tfidf_vectors(&self, scheme: TfIdf) -> Vec<SparseVector> {
+        (0..self.docs.len() as u32)
+            .map(|i| self.tfidf_vector(DocId(i), scheme))
+            .collect()
+    }
+
+    /// Mean document length in tokens (0 for an empty index).
+    pub fn average_doc_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            return 0.0;
+        }
+        self.docs.iter().map(|d| f64::from(d.len)).sum::<f64>() / self.docs.len() as f64
+    }
+
+    /// Materialise the BM25-weighted vector of one document:
+    /// `idf · tf·(k1+1) / (tf + k1·(1 − b + b·dl/avgdl))` with the
+    /// probabilistic idf. Standard parameters are `k1 = 1.2`, `b = 0.75`.
+    ///
+    /// BM25 saturates term frequency and normalises for document length,
+    /// which makes long noisy pages less dominant than raw TF-IDF does.
+    pub fn bm25_vector(&self, doc: DocId, k1: f64, b: f64) -> SparseVector {
+        let n_docs = self.docs.len() as u32;
+        let avgdl = self.average_doc_len().max(1.0);
+        let Some(stats) = self.docs.get(doc.0 as usize) else {
+            return SparseVector::new();
+        };
+        let dl = f64::from(stats.len);
+        let idf_scheme = TfIdf::new(crate::tfidf::TfScheme::Raw, crate::tfidf::IdfScheme::Smooth);
+        stats
+            .counts
+            .iter()
+            .map(|&(term, tf)| {
+                let tf = f64::from(tf);
+                let idf = idf_scheme.idf_weight(self.document_frequency(term), n_docs);
+                let weight = idf * tf * (k1 + 1.0) / (tf + k1 * (1.0 - b + b * dl / avgdl));
+                (term, weight)
+            })
+            .collect()
+    }
+
+    /// BM25 vectors for every document, in doc-id order.
+    pub fn bm25_vectors(&self, k1: f64, b: f64) -> Vec<SparseVector> {
+        (0..self.docs.len() as u32)
+            .map(|i| self.bm25_vector(DocId(i), k1, b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfidf::{IdfScheme, TfScheme};
+    use crate::Analyzer;
+
+    fn build(texts: &[&str]) -> (CorpusIndex, Analyzer) {
+        let analyzer = Analyzer::english();
+        let mut index = CorpusIndex::new();
+        for t in texts {
+            index.add_document(analyzer.analyze(t));
+        }
+        (index, analyzer)
+    }
+
+    #[test]
+    fn counts_terms_and_docs() {
+        let (index, _) = build(&["data data systems", "systems research"]);
+        assert_eq!(index.len(), 2);
+        assert!(!index.is_empty());
+        assert_eq!(index.vocabulary_size(), 3);
+    }
+
+    #[test]
+    fn term_and_document_frequencies() {
+        let analyzer = Analyzer::english();
+        let mut index = CorpusIndex::new();
+        let d0 = index.add_document(analyzer.analyze("alpha alpha beta"));
+        let d1 = index.add_document(analyzer.analyze("beta gamma"));
+        let alpha = analyzer.vocabulary().get("alpha").unwrap();
+        let beta = analyzer.vocabulary().get("beta").unwrap();
+        assert_eq!(index.term_frequency(d0, alpha), 2);
+        assert_eq!(index.term_frequency(d1, alpha), 0);
+        assert_eq!(index.document_frequency(beta), 2);
+        assert_eq!(index.document_frequency(alpha), 1);
+        assert_eq!(index.doc_len(d0), 3);
+    }
+
+    #[test]
+    fn tfidf_vector_raw_plain_hand_computed() {
+        let analyzer = Analyzer::new(false, false); // no stopwords/stemming
+        let mut index = CorpusIndex::new();
+        let d0 = index.add_document(analyzer.analyze("cat cat dog"));
+        index.add_document(analyzer.analyze("dog fish"));
+        let scheme = TfIdf::new(TfScheme::Raw, IdfScheme::Plain);
+        let v = index.tfidf_vector(d0, scheme);
+        let cat = analyzer.vocabulary().get("cat").unwrap();
+        let dog = analyzer.vocabulary().get("dog").unwrap();
+        // cat: tf=2, df=1, N=2 -> 2*ln(2); dog: tf=1, df=2 -> ln(1)=0.
+        assert!((v.get(cat) - 2.0 * 2f64.ln()).abs() < 1e-12);
+        assert_eq!(v.get(dog), 0.0);
+    }
+
+    #[test]
+    fn unknown_doc_yields_empty_vector() {
+        let (index, _) = build(&["a b c"]);
+        assert!(index.tfidf_vector(DocId(99), TfIdf::default()).is_empty());
+        assert_eq!(index.doc_len(DocId(99)), 0);
+    }
+
+    #[test]
+    fn tfidf_vectors_cover_all_docs() {
+        let (index, _) = build(&["one two", "two three", "three four"]);
+        let vs = index.tfidf_vectors(TfIdf::default());
+        assert_eq!(vs.len(), 3);
+        assert!(vs.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn identical_docs_have_cosine_one() {
+        let (index, _) = build(&["entity resolution web", "entity resolution web"]);
+        let vs = index.tfidf_vectors(TfIdf::default());
+        assert!((vs[0].cosine(&vs[1]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bm25_weights_are_positive_and_saturating() {
+        let analyzer = Analyzer::plain();
+        let mut index = CorpusIndex::new();
+        // "cat" occurs 1x in d0 and 10x in d1; saturation means the weight
+        // ratio is far below 10x.
+        let d0 = index.add_document(analyzer.analyze("cat dog"));
+        let many_cats = "cat ".repeat(10) + "dog";
+        let d1 = index.add_document(analyzer.analyze(&many_cats));
+        let cat = analyzer.vocabulary().get("cat").unwrap();
+        let v0 = index.bm25_vector(d0, 1.2, 0.75);
+        let v1 = index.bm25_vector(d1, 1.2, 0.75);
+        assert!(v0.get(cat) > 0.0);
+        assert!(v1.get(cat) > v0.get(cat));
+        assert!(
+            v1.get(cat) / v0.get(cat) < 4.0,
+            "BM25 must saturate: ratio {}",
+            v1.get(cat) / v0.get(cat)
+        );
+    }
+
+    #[test]
+    fn bm25_normalises_for_document_length() {
+        let analyzer = Analyzer::plain();
+        let mut index = CorpusIndex::new();
+        // Same tf for "rare", but d1 is much longer.
+        let d0 = index.add_document(analyzer.analyze("rare word here"));
+        let long = format!("rare {}", "filler ".repeat(50));
+        let d1 = index.add_document(analyzer.analyze(&long));
+        let rare = analyzer.vocabulary().get("rare").unwrap();
+        let v0 = index.bm25_vector(d0, 1.2, 0.75);
+        let v1 = index.bm25_vector(d1, 1.2, 0.75);
+        assert!(
+            v0.get(rare) > v1.get(rare),
+            "short doc should weight the term higher"
+        );
+    }
+
+    #[test]
+    fn bm25_unknown_doc_and_avgdl() {
+        let (index, _) = build(&["xx yy zz", "ww vv"]);
+        assert!(index.bm25_vector(DocId(99), 1.2, 0.75).is_empty());
+        assert!((index.average_doc_len() - 2.5).abs() < 1e-12);
+        assert_eq!(CorpusIndex::new().average_doc_len(), 0.0);
+        assert_eq!(index.bm25_vectors(1.2, 0.75).len(), 2);
+    }
+
+    #[test]
+    fn empty_document_is_allowed() {
+        let analyzer = Analyzer::english();
+        let mut index = CorpusIndex::new();
+        let d = index.add_document(analyzer.analyze("the of and")); // all stopwords
+        assert_eq!(index.doc_len(d), 0);
+        assert!(index.tfidf_vector(d, TfIdf::default()).is_empty());
+    }
+}

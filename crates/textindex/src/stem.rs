@@ -1,0 +1,380 @@
+//! Porter stemming algorithm (M.F. Porter, 1980).
+//!
+//! A faithful implementation of the original five-step suffix-stripping
+//! algorithm, used by the analyzer so that TF-IDF vectors conflate
+//! morphological variants ("resolution", "resolutions"; "cluster",
+//! "clustering", "clustered") exactly as a Lucene English analyzer would.
+//!
+//! Only ASCII lowercase input is stemmed; tokens containing non-ASCII
+//! characters or digits are returned unchanged (names like "miklós" must not
+//! be mangled).
+
+/// Stem a single lowercase word with the Porter algorithm.
+///
+/// Words shorter than 3 characters, or containing characters outside
+/// `a..=z`, are returned unchanged.
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("stemmer operates on ASCII")
+}
+
+/// True if the character at `i` is a consonant in Porter's sense.
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's measure m of the stem `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants: one VC found.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// *v* — the stem `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// *d — the stem ends with a double consonant.
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// *o — the stem ends cvc where the final c is not w, x or y.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &[u8]) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix
+}
+
+/// If the word ends with `suffix` and the remaining stem has measure > `min_m`,
+/// replace the suffix with `repl` and return true.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &[u8], repl: &[u8], min_m: usize) -> bool {
+    if ends_with(w, suffix) {
+        let stem_len = w.len() - suffix.len();
+        if measure(w, stem_len) > min_m {
+            w.truncate(stem_len);
+            w.extend_from_slice(repl);
+        }
+        // Porter: once a suffix from the rule set matches, no later rule in
+        // the same step applies, even if the condition failed.
+        return true;
+    }
+    false
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    // SSES -> SS and IES -> I both drop the final two bytes.
+    if ends_with(w, b"sses") || ends_with(w, b"ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, b"ss") {
+        // unchanged
+    } else if ends_with(w, b"s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    let mut cleanup = false;
+    if ends_with(w, b"eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1);
+        }
+    } else if ends_with(w, b"ed") {
+        let stem_len = w.len() - 2;
+        if has_vowel(w, stem_len) {
+            w.truncate(stem_len);
+            cleanup = true;
+        }
+    } else if ends_with(w, b"ing") {
+        let stem_len = w.len() - 3;
+        if has_vowel(w, stem_len) {
+            w.truncate(stem_len);
+            cleanup = true;
+        }
+    }
+    if cleanup {
+        if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w, w.len())
+            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    for (suffix, repl) in RULES {
+        if replace_if_m(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    for (suffix, repl) in RULES {
+        if replace_if_m(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const RULES: &[&[u8]] = &[
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant",
+        b"ement", b"ment", b"ent", b"ou", b"ism", b"ate", b"iti", b"ous",
+        b"ive", b"ize",
+    ];
+    // "ion" requires the stem to end in s or t.
+    if ends_with(w, b"ion") {
+        let stem_len = w.len() - 3;
+        if stem_len >= 1
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in RULES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, b"e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w, w.len()) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(word: &str) -> String {
+        porter_stem(word)
+    }
+
+    #[test]
+    fn canonical_porter_examples() {
+        // Examples from the original paper / reference vocabulary.
+        assert_eq!(s("caresses"), "caress");
+        assert_eq!(s("ponies"), "poni");
+        assert_eq!(s("ties"), "ti");
+        assert_eq!(s("caress"), "caress");
+        assert_eq!(s("cats"), "cat");
+        assert_eq!(s("feed"), "feed");
+        assert_eq!(s("agreed"), "agre");
+        assert_eq!(s("plastered"), "plaster");
+        assert_eq!(s("bled"), "bled");
+        assert_eq!(s("motoring"), "motor");
+        assert_eq!(s("sing"), "sing");
+        assert_eq!(s("conflated"), "conflat");
+        assert_eq!(s("troubled"), "troubl");
+        assert_eq!(s("sized"), "size");
+        assert_eq!(s("hopping"), "hop");
+        assert_eq!(s("tanned"), "tan");
+        assert_eq!(s("falling"), "fall");
+        assert_eq!(s("hissing"), "hiss");
+        assert_eq!(s("fizzed"), "fizz");
+        assert_eq!(s("failing"), "fail");
+        assert_eq!(s("filing"), "file");
+        assert_eq!(s("happy"), "happi");
+        assert_eq!(s("sky"), "sky");
+    }
+
+    #[test]
+    fn step2_examples() {
+        assert_eq!(s("relational"), "relat");
+        assert_eq!(s("conditional"), "condit");
+        assert_eq!(s("rational"), "ration");
+        assert_eq!(s("valenci"), "valenc");
+        assert_eq!(s("digitizer"), "digit");
+        assert_eq!(s("operator"), "oper");
+        assert_eq!(s("feudalism"), "feudal");
+        assert_eq!(s("decisiveness"), "decis");
+        assert_eq!(s("hopefulness"), "hope");
+        assert_eq!(s("formaliti"), "formal");
+        assert_eq!(s("sensitiviti"), "sensit");
+        assert_eq!(s("sensibiliti"), "sensibl");
+    }
+
+    #[test]
+    fn step3_and_4_examples() {
+        assert_eq!(s("triplicate"), "triplic");
+        assert_eq!(s("formative"), "form");
+        assert_eq!(s("formalize"), "formal");
+        assert_eq!(s("electrical"), "electr");
+        assert_eq!(s("hopeful"), "hope");
+        assert_eq!(s("goodness"), "good");
+        assert_eq!(s("revival"), "reviv");
+        assert_eq!(s("allowance"), "allow");
+        assert_eq!(s("inference"), "infer");
+        assert_eq!(s("airliner"), "airlin");
+        assert_eq!(s("adoption"), "adopt");
+        assert_eq!(s("adjustment"), "adjust");
+        assert_eq!(s("effective"), "effect");
+        assert_eq!(s("bowdlerize"), "bowdler");
+    }
+
+    #[test]
+    fn step5_examples() {
+        assert_eq!(s("probate"), "probat");
+        assert_eq!(s("rate"), "rate");
+        assert_eq!(s("cease"), "ceas");
+        assert_eq!(s("controll"), "control");
+        assert_eq!(s("roll"), "roll");
+    }
+
+    #[test]
+    fn domain_vocabulary_conflates() {
+        assert_eq!(s("clustering"), s("clustered"));
+        assert_eq!(s("resolution"), s("resolutions"));
+        assert_eq!(s("databases"), s("database"));
+        assert_eq!(s("similarity"), s("similarities"));
+    }
+
+    #[test]
+    fn short_and_nonascii_words_unchanged() {
+        assert_eq!(s("go"), "go");
+        assert_eq!(s("be"), "be");
+        assert_eq!(s("miklós"), "miklós");
+        assert_eq!(s("weps2"), "weps2");
+    }
+
+    #[test]
+    fn measure_counts_vc_sequences() {
+        // From Porter's paper: tr=0, ee=0, tree=0, by=0, trouble=1, oats=1,
+        // trees=1, ivy=1, troubles=2, private=2, oaten=2.
+        assert_eq!(measure(b"tr", 2), 0);
+        assert_eq!(measure(b"tree", 4), 0);
+        assert_eq!(measure(b"trouble", 7), 1);
+        assert_eq!(measure(b"oats", 4), 1);
+        assert_eq!(measure(b"ivy", 3), 1);
+        assert_eq!(measure(b"troubles", 8), 2);
+        assert_eq!(measure(b"private", 7), 2);
+        assert_eq!(measure(b"oaten", 5), 2);
+    }
+
+    #[test]
+    fn y_is_contextual() {
+        // Leading y is a consonant; after a consonant it is a vowel.
+        assert!(is_consonant(b"yes", 0));
+        assert!(!is_consonant(b"by", 1));
+        assert!(!is_consonant(b"say", 1)); // 'a' is a vowel
+    }
+
+    #[test]
+    fn idempotent_on_already_stemmed() {
+        for w in ["caress", "cat", "plaster", "motor", "fall"] {
+            assert_eq!(s(&s(w)), s(w));
+        }
+    }
+}

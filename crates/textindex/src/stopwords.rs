@@ -1,0 +1,62 @@
+//! English stopword list and filtering.
+//!
+//! The list is the classic SMART-derived short list used by most analyzers;
+//! it is intentionally compact — the corpus generator produces text whose
+//! function words come from this list, so filtering it removes exactly the
+//! non-discriminative mass, as a Lucene `StandardAnalyzer` would.
+
+/// Alphabetically sorted stopword table (binary-searchable).
+pub static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an",
+    "and", "any", "are", "as", "at", "be", "because", "been", "before",
+    "being", "below", "between", "both", "but", "by", "can", "cannot",
+    "could", "did", "do", "does", "doing", "down", "during", "each", "few",
+    "for", "from", "further", "had", "has", "have", "having", "he", "her",
+    "here", "hers", "herself", "him", "himself", "his", "how", "i", "if",
+    "in", "into", "is", "it", "its", "itself", "me", "more", "most", "my",
+    "myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or",
+    "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these",
+    "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "with", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// Returns true if `word` (expected lowercase) is an English stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} >= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "a"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["database", "entity", "resolution", "cohen", "zurich"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lowercase first; uppercase forms are not in the table.
+        assert!(!is_stopword("The"));
+    }
+}

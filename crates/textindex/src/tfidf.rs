@@ -1,0 +1,148 @@
+//! TF-IDF weighting schemes.
+//!
+//! The paper's functions F8–F10 operate on "TF-IDF (based weights) words
+//! vector"s; this module provides the standard weighting variants so the
+//! exact scheme is a configuration choice rather than a hard-coded formula.
+
+/// Term-frequency component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TfScheme {
+    /// Raw count `tf`.
+    Raw,
+    /// `1 + ln(tf)` for `tf > 0` (sublinear scaling; Lucene-like).
+    #[default]
+    Log,
+    /// `tf / max_tf_in_doc` (augmented is `0.5 + 0.5 * this`).
+    MaxNormalized,
+    /// Binary presence: 1 if the term occurs.
+    Binary,
+}
+
+/// Inverse-document-frequency component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdfScheme {
+    /// No document-frequency damping (weight 1).
+    None,
+    /// `ln(N / df)`.
+    Plain,
+    /// `ln(1 + N / df)` — always positive, robust when `df == N`.
+    #[default]
+    Smooth,
+    /// `ln((N - df + 0.5) / (df + 0.5))` clamped at 0 (BM25-style).
+    Probabilistic,
+}
+
+/// A full TF-IDF configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TfIdf {
+    /// Term-frequency scheme.
+    pub tf: TfScheme,
+    /// Inverse-document-frequency scheme.
+    pub idf: IdfScheme,
+}
+
+impl TfIdf {
+    /// Construct from components.
+    pub fn new(tf: TfScheme, idf: IdfScheme) -> Self {
+        Self { tf, idf }
+    }
+
+    /// The TF component for a term occurring `tf` times in a document whose
+    /// most frequent term occurs `max_tf` times.
+    pub fn tf_weight(&self, tf: u32, max_tf: u32) -> f64 {
+        if tf == 0 {
+            return 0.0;
+        }
+        match self.tf {
+            TfScheme::Raw => f64::from(tf),
+            TfScheme::Log => 1.0 + f64::from(tf).ln(),
+            TfScheme::MaxNormalized => f64::from(tf) / f64::from(max_tf.max(1)),
+            TfScheme::Binary => 1.0,
+        }
+    }
+
+    /// The IDF component for a term appearing in `df` of `n_docs` documents.
+    pub fn idf_weight(&self, df: u32, n_docs: u32) -> f64 {
+        if df == 0 {
+            return 0.0;
+        }
+        let (df, n) = (f64::from(df), f64::from(n_docs));
+        match self.idf {
+            IdfScheme::None => 1.0,
+            IdfScheme::Plain => (n / df).ln().max(0.0),
+            IdfScheme::Smooth => (1.0 + n / df).ln(),
+            IdfScheme::Probabilistic => ((n - df + 0.5) / (df + 0.5)).ln().max(0.0),
+        }
+    }
+
+    /// Combined weight.
+    pub fn weight(&self, tf: u32, max_tf: u32, df: u32, n_docs: u32) -> f64 {
+        self.tf_weight(tf, max_tf) * self.idf_weight(df, n_docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tf_is_zero_weight() {
+        let w = TfIdf::default();
+        assert_eq!(w.weight(0, 10, 5, 100), 0.0);
+    }
+
+    #[test]
+    fn raw_and_log_tf() {
+        let raw = TfIdf::new(TfScheme::Raw, IdfScheme::None);
+        assert_eq!(raw.tf_weight(7, 10), 7.0);
+        let log = TfIdf::new(TfScheme::Log, IdfScheme::None);
+        assert!((log.tf_weight(1, 10) - 1.0).abs() < 1e-12);
+        assert!((log.tf_weight(10, 10) - (1.0 + 10f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_and_max_normalized_tf() {
+        let b = TfIdf::new(TfScheme::Binary, IdfScheme::None);
+        assert_eq!(b.tf_weight(42, 100), 1.0);
+        let m = TfIdf::new(TfScheme::MaxNormalized, IdfScheme::None);
+        assert_eq!(m.tf_weight(5, 10), 0.5);
+        assert_eq!(m.tf_weight(5, 0), 5.0); // max_tf clamped to 1
+    }
+
+    #[test]
+    fn idf_schemes_hand_computed() {
+        let t = TfIdf::new(TfScheme::Raw, IdfScheme::Plain);
+        assert!((t.idf_weight(10, 100) - 10f64.ln()).abs() < 1e-12);
+        let s = TfIdf::new(TfScheme::Raw, IdfScheme::Smooth);
+        assert!((s.idf_weight(10, 100) - 11f64.ln()).abs() < 1e-12);
+        let p = TfIdf::new(TfScheme::Raw, IdfScheme::Probabilistic);
+        assert!((p.idf_weight(10, 100) - (90.5f64 / 10.5).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ubiquitous_terms_get_low_idf() {
+        let plain = TfIdf::new(TfScheme::Raw, IdfScheme::Plain);
+        assert_eq!(plain.idf_weight(100, 100), 0.0);
+        let smooth = TfIdf::new(TfScheme::Raw, IdfScheme::Smooth);
+        assert!(smooth.idf_weight(100, 100) > 0.0); // never fully zero
+        let prob = TfIdf::new(TfScheme::Raw, IdfScheme::Probabilistic);
+        assert_eq!(prob.idf_weight(100, 100), 0.0);
+    }
+
+    #[test]
+    fn rarer_terms_weigh_more() {
+        for idf in [IdfScheme::Plain, IdfScheme::Smooth, IdfScheme::Probabilistic] {
+            let t = TfIdf::new(TfScheme::Raw, idf);
+            assert!(
+                t.idf_weight(1, 100) > t.idf_weight(50, 100),
+                "{idf:?} must be monotone decreasing in df"
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_term_idf_is_zero() {
+        let t = TfIdf::default();
+        assert_eq!(t.idf_weight(0, 100), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Unicode-aware word tokenisation.
+//!
+//! The tokenizer splits on any character that is not alphanumeric, lowercases
+//! the result, and records byte offsets so downstream extractors (e.g. the
+//! dictionary NER in `weber-extract`) can map matches back into the source
+//! text.
+
+/// A single token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased token text.
+    pub text: String,
+    /// Byte offset of the token start in the original input.
+    pub start: usize,
+    /// Byte offset one past the token end in the original input.
+    pub end: usize,
+}
+
+impl Token {
+    /// Length of the token in bytes of the lowercased form.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the token text is empty (never true for tokens from
+    /// [`tokenize`]).
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+/// Split `input` into lowercase alphanumeric tokens with byte offsets.
+///
+/// Apostrophes inside words are dropped together with their suffix when the
+/// suffix is a possessive (`'s`), matching common analyzer behaviour; other
+/// punctuation always terminates a token.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut start = 0usize;
+    for (idx, ch) in input.char_indices() {
+        if ch.is_alphanumeric() {
+            if cur.is_empty() {
+                start = idx;
+            }
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            tokens.push(Token {
+                text: std::mem::take(&mut cur),
+                start,
+                end: idx,
+            });
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(Token {
+            text: cur,
+            start,
+            end: input.len(),
+        });
+    }
+    // Strip possessive "s" tokens produced by "X's" if preceded by an
+    // apostrophe in the source: "cohen's" -> ["cohen"].
+    strip_possessives(input, tokens)
+}
+
+fn strip_possessives(input: &str, tokens: Vec<Token>) -> Vec<Token> {
+    let bytes = input.as_bytes();
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    for tok in tokens {
+        let is_possessive_s = tok.text == "s"
+            && tok.start > 0
+            && matches!(bytes.get(tok.start - 1), Some(b'\'') | Some(b'\xe2'));
+        let follows_word = out.last().is_some_and(|p: &Token| tok.start >= 1 && p.end + 1 >= tok.start);
+        if is_possessive_s && follows_word {
+            continue;
+        }
+        out.push(tok);
+    }
+    out
+}
+
+/// Convenience: tokenize and return just the token strings.
+pub fn tokenize_words(input: &str) -> Vec<String> {
+    tokenize(input).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        let words = tokenize_words("Hello, world! Entity-resolution.");
+        assert_eq!(words, ["hello", "world", "entity", "resolution"]);
+    }
+
+    #[test]
+    fn lowercases_and_keeps_digits() {
+        let words = tokenize_words("WePS-2 dataset from 2009");
+        assert_eq!(words, ["weps", "2", "dataset", "from", "2009"]);
+    }
+
+    #[test]
+    fn records_byte_offsets() {
+        let toks = tokenize("ab cd");
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[0].end, 2);
+        assert_eq!(toks[1].start, 3);
+        assert_eq!(toks[1].end, 5);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_lowercased() {
+        let words = tokenize_words("Zoltán MIKLÓS");
+        assert_eq!(words, ["zoltán", "miklós"]);
+    }
+
+    #[test]
+    fn possessive_s_is_dropped() {
+        let words = tokenize_words("Cohen's papers");
+        assert_eq!(words, ["cohen", "papers"]);
+    }
+
+    #[test]
+    fn trailing_token_without_delimiter() {
+        let words = tokenize_words("end token");
+        assert_eq!(words, ["end", "token"]);
+    }
+
+    #[test]
+    fn token_len_matches_text() {
+        let toks = tokenize("alpha beta");
+        assert_eq!(toks[0].len(), 5);
+        assert!(!toks[0].is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! String interning: a bidirectional map between terms and dense `u32` ids.
+//!
+//! Dense ids keep sparse vectors and posting lists compact (`u32` instead of
+//! `String`), which matters on the hot similarity paths.
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// An append-only term interner.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(self.by_id.len() as u32);
+        self.by_id.push(term.to_string());
+        self.by_term.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned term without inserting.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term string for `id`, if `id` was produced by this vocabulary.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        for (i, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(v.intern(w), TermId(i as u32));
+        }
+    }
+
+    #[test]
+    fn roundtrip_term_lookup() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("entity");
+        assert_eq!(v.term(id), Some("entity"));
+        assert_eq!(v.get("entity"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.term(TermId(999)), None);
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(TermId(0), "x"), (TermId(1), "y")]);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Dataset generation, persistence and reload.
+//!
+//! Generates a WePS-like corpus, inspects its statistics (cluster-count
+//! distribution, document lengths, feature coverage), writes it to JSON,
+//! reads it back and verifies the round trip — the workflow for sharing a
+//! fixed benchmark corpus between machines.
+//!
+//! Run with: `cargo run --release --example dataset_io`
+
+use weber::corpus::{generate, presets, Dataset};
+use weber::extract::pipeline::Extractor;
+
+fn main() {
+    let dataset = generate(&presets::weps_like(99));
+    println!(
+        "generated '{}' corpus (seed {}): {} names, {} documents",
+        dataset.label,
+        dataset.seed,
+        dataset.blocks.len(),
+        dataset.document_count()
+    );
+
+    // Corpus statistics.
+    println!("\nper-name statistics:");
+    for b in &dataset.blocks {
+        let lens: Vec<usize> = b
+            .documents
+            .iter()
+            .map(|d| d.text.split_whitespace().count())
+            .collect();
+        let with_url = b.documents.iter().filter(|d| d.url.is_some()).count();
+        println!(
+            "  {:9} {} docs, {} entities, {}-{} words, {}% with URL",
+            b.query_name,
+            b.len(),
+            b.entity_count(),
+            lens.iter().min().unwrap_or(&0),
+            lens.iter().max().unwrap_or(&0),
+            100 * with_url / b.len().max(1),
+        );
+    }
+
+    // Feature coverage through the extraction pipeline.
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let block = &dataset.blocks[0];
+    let mut persons = 0;
+    let mut orgs = 0;
+    let mut concepts = 0;
+    for d in &block.documents {
+        let f = extractor.extract(&d.text, d.url.as_deref());
+        persons += usize::from(f.most_frequent_person().is_some());
+        orgs += usize::from(!f.organizations.is_empty());
+        concepts += usize::from(!f.concepts.is_empty());
+    }
+    println!(
+        "\nextraction coverage on '{}': person names {}/{}, organizations {}/{}, concepts {}/{}",
+        block.query_name,
+        persons,
+        block.len(),
+        orgs,
+        block.len(),
+        concepts,
+        block.len()
+    );
+
+    // Persist and reload.
+    let json = dataset.to_json().expect("serialisable");
+    let path = std::env::temp_dir().join("weber_weps_like.json");
+    std::fs::write(&path, &json).expect("writable temp dir");
+    println!("\nwrote {} bytes to {}", json.len(), path.display());
+
+    let reloaded = Dataset::from_json(&std::fs::read_to_string(&path).expect("readable"))
+        .expect("valid JSON");
+    assert_eq!(reloaded.document_count(), dataset.document_count());
+    assert_eq!(reloaded.blocks.len(), dataset.blocks.len());
+    for (a, b) in reloaded.blocks.iter().zip(&dataset.blocks) {
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.truth_labels, b.truth_labels);
+    }
+    println!("reload verified: corpora are identical");
+}

@@ -1,0 +1,88 @@
+//! Web people search: the paper's motivating scenario.
+//!
+//! A user searches for an ambiguous name ("cohen") and gets 100 pages back
+//! that actually talk about several different people. We resolve the block
+//! and present the results *grouped by real-world person*, each group
+//! summarised by its most frequent full name, organizations and concepts.
+//!
+//! Run with: `cargo run --release --example web_people_search`
+
+use std::collections::BTreeMap;
+
+use weber::core::blocking::prepare_dataset;
+use weber::core::resolver::{Resolver, ResolverConfig};
+use weber::core::supervision::Supervision;
+use weber::corpus::{generate, presets};
+use weber::eval::MetricSet;
+use weber::textindex::TfIdf;
+
+fn main() {
+    let dataset = generate(&presets::www05_like(20100301));
+    let prepared = prepare_dataset(&dataset, TfIdf::default());
+    let query = "cohen";
+    let nb = prepared
+        .blocks
+        .iter()
+        .find(|b| b.block.query_name() == query)
+        .expect("the www05-like corpus contains a 'cohen' block");
+
+    println!("web people search: '{query}' ({} result pages)", nb.block.len());
+
+    let resolver = Resolver::new(ResolverConfig::default()).expect("valid configuration");
+    let supervision = Supervision::sample_from_truth(&nb.truth, 0.1, 7);
+    let resolution = resolver.resolve(&nb.block, &supervision).expect("resolution");
+
+    // Group result pages by resolved entity.
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (doc, &label) in resolution.partition.labels().iter().enumerate() {
+        groups.entry(label).or_default().push(doc);
+    }
+    println!(
+        "resolved into {} distinct people (ground truth: {})\n",
+        groups.len(),
+        nb.truth.cluster_count()
+    );
+
+    // Show the five largest groups with extracted profile summaries.
+    let mut ordered: Vec<(u32, Vec<usize>)> = groups.into_iter().collect();
+    ordered.sort_by_key(|(_, docs)| std::cmp::Reverse(docs.len()));
+    for (label, docs) in ordered.iter().take(5) {
+        let mut names: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut orgs: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut concepts: BTreeMap<&str, u32> = BTreeMap::new();
+        for &d in docs {
+            let f = nb.block.features(d);
+            if let Some(n) = f.most_frequent_person() {
+                *names.entry(n).or_insert(0) += 1;
+            }
+            for o in &f.organizations {
+                *orgs.entry(o).or_insert(0) += 1;
+            }
+            for c in &f.concepts {
+                *concepts.entry(c).or_insert(0) += 1;
+            }
+        }
+        let top = |m: &BTreeMap<&str, u32>| {
+            let mut v: Vec<_> = m.iter().collect();
+            v.sort_by_key(|(_, &c)| std::cmp::Reverse(c));
+            v.into_iter()
+                .take(2)
+                .map(|(s, _)| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "person #{label}: {} pages | name: {} | orgs: {} | topics: {}",
+            docs.len(),
+            top(&names),
+            top(&orgs),
+            top(&concepts),
+        );
+    }
+
+    let metrics = MetricSet::evaluate(&resolution.partition, &nb.truth);
+    println!(
+        "\nquality vs ground truth: Fp {:.3}, pairwise F {:.3}, Rand {:.3}",
+        metrics.fp, metrics.f, metrics.rand
+    );
+}

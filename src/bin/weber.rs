@@ -1,0 +1,241 @@
+//! `weber` — command-line front end for the entity-resolution library.
+//!
+//! ```text
+//! weber generate --preset www05|weps|small|tiny [--seed N] --out FILE
+//! weber stats    --dataset FILE
+//! weber resolve  --dataset FILE [--train FRAC] [--seed N] [--out FILE]
+//! weber experiment --dataset FILE [--train FRAC] [--runs N]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use weber::core::blocking::prepare_dataset;
+use weber::core::experiment::{run_experiment, ExperimentConfig};
+use weber::core::resolver::{Resolver, ResolverConfig};
+use weber::core::supervision::Supervision;
+use weber::corpus::{generate, presets, CorpusConfig, Dataset};
+use weber::eval::MetricSet;
+use weber::simfun::functions::subset_i10;
+use weber::textindex::TfIdf;
+
+const USAGE: &str = "\
+weber — entity resolution for web document collections
+
+USAGE:
+  weber generate  --preset <www05|weps|small|tiny> [--seed N] --out FILE
+  weber stats     --dataset FILE
+  weber resolve   --dataset FILE [--train FRAC] [--seed N] [--out FILE]
+  weber experiment --dataset FILE [--train FRAC] [--runs N]
+
+The resolve/experiment commands use the paper's full technique (functions
+F1–F10, threshold + region-accuracy criteria, best-graph combination,
+transitive closure).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `--key value` flags after the subcommand.
+fn flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{key}'"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --{name}")),
+    }
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = flags
+        .get("dataset")
+        .ok_or("missing required flag --dataset")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Dataset::from_json(&json).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    let flags = flags(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "resolve" => cmd_resolve(&flags),
+        "experiment" => cmd_experiment(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn preset_by_name(name: &str, seed: u64) -> Result<CorpusConfig, String> {
+    match name {
+        "www05" => Ok(presets::www05_like(seed)),
+        "weps" => Ok(presets::weps_like(seed)),
+        "small" => Ok(presets::small(seed)),
+        "tiny" => Ok(presets::tiny(seed)),
+        other => Err(format!("unknown preset '{other}'")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = flags.get("preset").ok_or("missing required flag --preset")?;
+    let seed: u64 = parse(flags, "seed", 0)?;
+    let out = flags.get("out").ok_or("missing required flag --out")?;
+    let dataset = generate(&preset_by_name(preset, seed)?);
+    let json = dataset.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote '{}' corpus: {} names, {} documents, {} bytes -> {}",
+        dataset.label,
+        dataset.blocks.len(),
+        dataset.document_count(),
+        json.len(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let stats = weber::corpus::DatasetStats::compute(&dataset);
+    println!(
+        "dataset '{}' (seed {}): {} names, {} documents, gazetteer {} entries",
+        dataset.label,
+        dataset.seed,
+        stats.blocks.len(),
+        stats.document_count(),
+        dataset.gazetteer.len(),
+    );
+    for b in &stats.blocks {
+        println!(
+            "  {:12} {:4} docs  {:3} entities (largest {:3})  {:3.0}% with URL  {:3}-{:3} words",
+            b.query_name,
+            b.documents,
+            b.entities,
+            b.dominant_size,
+            b.url_rate * 100.0,
+            b.doc_len.0,
+            b.doc_len.2,
+        );
+    }
+    println!(
+        "means: {:.1} entities per name, {:.0}% URL coverage",
+        stats.mean_entities(),
+        stats.mean_url_rate() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_resolve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let train: f64 = parse(flags, "train", 0.1)?;
+    if !(0.0..=1.0).contains(&train) {
+        return Err(format!("--train must be in [0, 1], got {train}"));
+    }
+    let seed: u64 = parse(flags, "seed", 1)?;
+    let prepared = prepare_dataset(&dataset, TfIdf::default());
+    let resolver = Resolver::new(ResolverConfig::default()).map_err(|e| e.to_string())?;
+    let mut output: Vec<(String, Vec<u32>)> = Vec::new();
+    println!("resolving with {:.0}% supervision (seed {seed})", train * 100.0);
+    for nb in &prepared.blocks {
+        let sup = Supervision::sample_from_truth(&nb.truth, train, seed);
+        let r = resolver
+            .resolve(&nb.block, &sup)
+            .map_err(|e| e.to_string())?;
+        let m = MetricSet::evaluate(&r.partition, &nb.truth);
+        println!(
+            "  {:12} {:3} entities (truth {:3})  Fp {:.4}  F {:.4}  Rand {:.4}",
+            nb.block.query_name(),
+            r.partition.cluster_count(),
+            nb.truth.cluster_count(),
+            m.fp,
+            m.f,
+            m.rand,
+        );
+        output.push((
+            nb.block.query_name().to_string(),
+            r.partition.labels().to_vec(),
+        ));
+    }
+    if let Some(out) = flags.get("out") {
+        let json = serde_json_out(&output);
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote resolution labels to {out}");
+    }
+    Ok(())
+}
+
+/// Hand-rolled JSON for the label map (avoids a serde derive on CLI-only
+/// output types).
+fn serde_json_out(blocks: &[(String, Vec<u32>)]) -> String {
+    let mut s = String::from("{\n");
+    for (i, (name, labels)) in blocks.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{name}\": {:?}{}\n",
+            labels,
+            if i + 1 < blocks.len() { "," } else { "" }
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let train: f64 = parse(flags, "train", 0.1)?;
+    if !(0.0..=1.0).contains(&train) {
+        return Err(format!("--train must be in [0, 1], got {train}"));
+    }
+    let runs: u64 = parse(flags, "runs", 5)?;
+    let prepared = prepare_dataset(&dataset, TfIdf::default());
+    let protocol = ExperimentConfig {
+        train_fraction: train,
+        runs,
+        base_seed: 1,
+    };
+    println!(
+        "protocol: {:.0}% training, {} runs averaged",
+        train * 100.0,
+        runs
+    );
+    for (label, cfg) in [
+        ("I10 (threshold only)", ResolverConfig::threshold_suite(subset_i10())),
+        ("C10 (region accuracy)", ResolverConfig::accuracy_suite(subset_i10())),
+        ("W (weighted average)", ResolverConfig::weighted_average(subset_i10())),
+    ] {
+        let out = run_experiment(&prepared, &cfg, &protocol).map_err(|e| e.to_string())?;
+        println!(
+            "  {:22} Fp {:.4}  F {:.4}  Rand {:.4}",
+            label, out.mean.fp, out.mean.f, out.mean.rand
+        );
+    }
+    Ok(())
+}

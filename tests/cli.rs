@@ -1,0 +1,114 @@
+//! Integration tests of the `weber` command-line binary.
+
+use std::process::Command;
+
+fn weber() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_weber"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("weber_cli_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = weber().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = weber().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn generate_stats_resolve_roundtrip() {
+    let dataset = temp_path("corpus.json");
+    let labels = temp_path("labels.json");
+
+    let out = weber()
+        .args(["generate", "--preset", "tiny", "--seed", "5", "--out"])
+        .arg(&dataset)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dataset.exists());
+
+    let out = weber()
+        .args(["stats", "--dataset"])
+        .arg(&dataset)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 names"));
+    assert!(text.contains("72 documents"));
+
+    let out = weber()
+        .args(["resolve", "--train", "0.25", "--dataset"])
+        .arg(&dataset)
+        .arg("--out")
+        .arg(&labels)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Fp"));
+    let label_json = std::fs::read_to_string(&labels).unwrap();
+    assert!(label_json.contains("cheyer"));
+
+    std::fs::remove_file(&dataset).ok();
+    std::fs::remove_file(&labels).ok();
+}
+
+#[test]
+fn generate_rejects_unknown_preset() {
+    let out = weber()
+        .args(["generate", "--preset", "bogus", "--out", "/tmp/never.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}
+
+#[test]
+fn resolve_requires_dataset_flag() {
+    let out = weber().arg("resolve").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dataset"));
+}
+
+#[test]
+fn flags_require_values() {
+    let out = weber().args(["stats", "--dataset"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}
+
+#[test]
+fn out_of_range_train_fraction_is_a_clean_error() {
+    let dataset = temp_path("range.json");
+    let out = weber()
+        .args(["generate", "--preset", "tiny", "--seed", "1", "--out"])
+        .arg(&dataset)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = weber()
+        .args(["resolve", "--train", "1.5", "--dataset"])
+        .arg(&dataset)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--train"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_file(&dataset).ok();
+}

@@ -1,0 +1,193 @@
+//! End-to-end integration tests: corpus generation → extraction →
+//! similarity → accuracy estimation → combination → clustering →
+//! evaluation, across all crates through the `weber` facade.
+
+use weber::core::blocking::prepare_dataset;
+use weber::core::experiment::{run_experiment, ExperimentConfig};
+use weber::core::resolver::{Resolver, ResolverConfig};
+use weber::core::supervision::Supervision;
+use weber::corpus::{generate, presets};
+use weber::eval::MetricSet;
+use weber::graph::Partition;
+use weber::simfun::functions::{subset_i10, FunctionId};
+use weber::textindex::TfIdf;
+
+fn protocol() -> ExperimentConfig {
+    ExperimentConfig {
+        train_fraction: 0.2,
+        runs: 3,
+        base_seed: 11,
+    }
+}
+
+#[test]
+fn full_pipeline_beats_trivial_baselines() {
+    let prepared = prepare_dataset(&generate(&presets::tiny(101)), TfIdf::default());
+    let combined = run_experiment(
+        &prepared,
+        &ResolverConfig::accuracy_suite(subset_i10()),
+        &protocol(),
+    )
+    .unwrap()
+    .mean;
+    // Trivial baselines: all singletons, one big cluster.
+    let mut singles = 0.0;
+    let mut lump = 0.0;
+    for nb in &prepared.blocks {
+        singles += MetricSet::evaluate(&Partition::singletons(nb.truth.len()), &nb.truth).fp;
+        lump += MetricSet::evaluate(&Partition::single_cluster(nb.truth.len()), &nb.truth).fp;
+    }
+    singles /= prepared.blocks.len() as f64;
+    lump /= prepared.blocks.len() as f64;
+    assert!(
+        combined.fp > singles && combined.fp > lump,
+        "combined {:.3} must beat singletons {:.3} and single-cluster {:.3}",
+        combined.fp,
+        singles,
+        lump
+    );
+}
+
+#[test]
+fn accuracy_criteria_beat_threshold_only_on_average() {
+    // The paper's central claim (C columns >= I columns), on three tiny
+    // corpora to smooth out seed noise.
+    let mut c_total = 0.0;
+    let mut i_total = 0.0;
+    for seed in [7, 19, 23] {
+        let prepared = prepare_dataset(&generate(&presets::small(seed)), TfIdf::default());
+        c_total += run_experiment(
+            &prepared,
+            &ResolverConfig::accuracy_suite(subset_i10()),
+            &protocol(),
+        )
+        .unwrap()
+        .mean
+        .fp;
+        i_total += run_experiment(
+            &prepared,
+            &ResolverConfig::threshold_suite(subset_i10()),
+            &protocol(),
+        )
+        .unwrap()
+        .mean
+        .fp;
+    }
+    assert!(
+        c_total >= i_total - 0.02,
+        "accuracy-estimation suite ({c_total:.3}) must not lose to threshold-only ({i_total:.3})"
+    );
+}
+
+#[test]
+fn combined_technique_is_at_least_best_individual_on_average() {
+    let prepared = prepare_dataset(&generate(&presets::tiny(303)), TfIdf::default());
+    let combined = run_experiment(
+        &prepared,
+        &ResolverConfig::accuracy_suite(subset_i10()),
+        &protocol(),
+    )
+    .unwrap()
+    .mean
+    .fp;
+    let mut best_individual: f64 = 0.0;
+    for id in FunctionId::ALL {
+        let fp = run_experiment(
+            &prepared,
+            &ResolverConfig::individual(id, weber::core::decision::DecisionCriterion::Threshold),
+            &protocol(),
+        )
+        .unwrap()
+        .mean
+        .fp;
+        best_individual = best_individual.max(fp);
+    }
+    assert!(
+        combined >= best_individual - 0.05,
+        "combined {combined:.3} fell more than noise below best individual {best_individual:.3}"
+    );
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let prepared = prepare_dataset(&generate(&presets::tiny(77)), TfIdf::default());
+    let cfg = ResolverConfig::accuracy_suite(subset_i10());
+    let a = run_experiment(&prepared, &cfg, &protocol()).unwrap();
+    let b = run_experiment(&prepared, &cfg, &protocol()).unwrap();
+    assert_eq!(a.mean, b.mean);
+    for ((na, ma), (nb, mb)) in a.per_name.iter().zip(&b.per_name) {
+        assert_eq!(na, nb);
+        assert_eq!(ma, mb);
+    }
+}
+
+#[test]
+fn supervision_improves_with_more_labels() {
+    // More supervision should help (or at least not hurt much) — averaged
+    // over seeds to damp noise.
+    let prepared = prepare_dataset(&generate(&presets::tiny(55)), TfIdf::default());
+    let run = |frac: f64| {
+        run_experiment(
+            &prepared,
+            &ResolverConfig::accuracy_suite(subset_i10()),
+            &ExperimentConfig {
+                train_fraction: frac,
+                runs: 4,
+                base_seed: 3,
+            },
+        )
+        .unwrap()
+        .mean
+        .fp
+    };
+    let low = run(0.05);
+    let high = run(0.5);
+    assert!(
+        high >= low - 0.02,
+        "more supervision should not hurt: 5% -> {low:.3}, 50% -> {high:.3}"
+    );
+}
+
+#[test]
+fn resolver_handles_single_document_blocks() {
+    // A degenerate block with one document must resolve to one singleton.
+    let dataset = generate(&presets::tiny(1));
+    let extractor = weber::extract::pipeline::Extractor::new(&dataset.gazetteer);
+    let doc = &dataset.blocks[0].documents[0];
+    let features = vec![extractor.extract(&doc.text, doc.url.as_deref())];
+    let block =
+        weber::simfun::block::PreparedBlock::new("solo", features, TfIdf::default());
+    let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+    let r = resolver.resolve(&block, &Supervision::empty()).unwrap();
+    assert_eq!(r.partition.len(), 1);
+    assert_eq!(r.partition.cluster_count(), 1);
+}
+
+#[test]
+fn clustering_backends_agree_on_easy_blocks() {
+    use weber::core::clustering::ClusteringMethod;
+    use weber::graph::correlation::CorrelationConfig;
+    // On an easy corpus with generous supervision, transitive closure and
+    // correlation clustering should produce similar-quality resolutions.
+    let prepared = prepare_dataset(&generate(&presets::tiny(13)), TfIdf::default());
+    let nb = &prepared.blocks[0];
+    let sup = Supervision::sample_from_truth(&nb.truth, 0.4, 2);
+    let closure = Resolver::new(ResolverConfig::accuracy_suite(subset_i10()))
+        .unwrap()
+        .resolve(&nb.block, &sup)
+        .unwrap();
+    let corr_cfg = ResolverConfig {
+        clustering: ClusteringMethod::Correlation(CorrelationConfig::default()),
+        ..ResolverConfig::accuracy_suite(subset_i10())
+    };
+    let correlation = Resolver::new(corr_cfg)
+        .unwrap()
+        .resolve(&nb.block, &sup)
+        .unwrap();
+    let fp_closure = MetricSet::evaluate(&closure.partition, &nb.truth).fp;
+    let fp_corr = MetricSet::evaluate(&correlation.partition, &nb.truth).fp;
+    assert!(
+        (fp_closure - fp_corr).abs() < 0.35,
+        "back-ends diverged wildly: closure {fp_closure:.3} vs correlation {fp_corr:.3}"
+    );
+}

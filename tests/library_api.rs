@@ -1,0 +1,163 @@
+//! Integration tests of the public library API: the facade re-exports,
+//! custom similarity functions, generic blocking, and dataset persistence.
+
+use std::sync::Arc;
+
+use weber::core::blocking::{key_blocks, prepare_dataset};
+use weber::core::resolver::{Resolver, ResolverConfig};
+use weber::core::supervision::Supervision;
+use weber::corpus::{generate, presets, Dataset};
+use weber::simfun::block::PreparedBlock;
+use weber::simfun::functions::SimilarityFunction;
+use weber::textindex::TfIdf;
+
+#[test]
+fn facade_reexports_every_subsystem() {
+    // Touch one item from each re-exported crate so the facade is honest.
+    let _ = weber::textindex::porter_stem("testing");
+    let _ = weber::extract::url::UrlFeatures::parse("http://example.com/x");
+    let _ = weber::simfun::jaro_winkler("a", "b");
+    let _ = weber::graph::Partition::singletons(3);
+    let _ = weber::ml::threshold::optimal_threshold(&[]);
+    let _ = weber::eval::MetricSet::default();
+    let _ = weber::corpus::presets::tiny(0);
+    let _ = weber::core::resolver::ResolverConfig::default();
+}
+
+/// A trivially constant custom function, to prove arbitrary trait objects
+/// flow through the whole resolver.
+#[derive(Debug)]
+struct Constant(f64);
+
+impl SimilarityFunction for Constant {
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+    fn description(&self) -> &'static str {
+        "constant similarity (test helper)"
+    }
+    fn compare(&self, _block: &PreparedBlock, _i: usize, _j: usize) -> f64 {
+        self.0
+    }
+}
+
+#[test]
+fn custom_functions_flow_through_the_resolver() {
+    let prepared = prepare_dataset(&generate(&presets::tiny(31)), TfIdf::default());
+    let nb = &prepared.blocks[0];
+    let sup = Supervision::sample_from_truth(&nb.truth, 0.3, 1);
+    let cfg = ResolverConfig::default().with_function(Arc::new(Constant(0.5)));
+    let resolver = Resolver::new(cfg).unwrap();
+    let r = resolver.resolve(&nb.block, &sup).unwrap();
+    // 10 standard functions + 1 custom, times 3 criteria.
+    assert_eq!(r.layers.len(), 33);
+    assert!(r.layers.iter().any(|l| l.function == "constant"));
+    assert_eq!(r.partition.len(), nb.block.len());
+}
+
+#[test]
+fn custom_only_resolver_works() {
+    let prepared = prepare_dataset(&generate(&presets::tiny(32)), TfIdf::default());
+    let nb = &prepared.blocks[0];
+    let cfg = ResolverConfig {
+        functions: vec![Arc::new(Constant(0.0))],
+        ..ResolverConfig::default()
+    };
+    let resolver = Resolver::new(cfg).unwrap();
+    let r = resolver
+        .resolve(&nb.block, &Supervision::sample_from_truth(&nb.truth, 0.3, 1))
+        .unwrap();
+    // Constant-zero similarity asserts nothing: everything is a singleton.
+    assert_eq!(r.partition.cluster_count(), nb.block.len());
+}
+
+#[test]
+fn key_blocking_groups_arbitrary_items() {
+    let docs = [
+        ("cohen", "page 1"),
+        ("ng", "page 2"),
+        ("cohen", "page 3"),
+        ("voss", "page 4"),
+        ("ng", "page 5"),
+    ];
+    let blocks = key_blocks(&docs, |d| d.0);
+    assert_eq!(blocks.len(), 3);
+    // BTreeMap ordering: cohen, ng, voss.
+    assert_eq!(blocks[0], vec![0, 2]);
+    assert_eq!(blocks[1], vec![1, 4]);
+    assert_eq!(blocks[2], vec![3]);
+}
+
+#[test]
+fn datasets_round_trip_through_json_files() {
+    let dataset = generate(&presets::tiny(64));
+    let json = dataset.to_json().unwrap();
+    let path = std::env::temp_dir().join("weber_api_test.json");
+    std::fs::write(&path, &json).unwrap();
+    let reloaded = Dataset::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded.label, dataset.label);
+    assert_eq!(reloaded.document_count(), dataset.document_count());
+    // A reloaded dataset must prepare and resolve identically.
+    let a = prepare_dataset(&dataset, TfIdf::default());
+    let b = prepare_dataset(&reloaded, TfIdf::default());
+    let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+    for (x, y) in a.blocks.iter().zip(&b.blocks) {
+        let sup = Supervision::sample_from_truth(&x.truth, 0.25, 5);
+        let rx = resolver.resolve(&x.block, &sup).unwrap();
+        let ry = resolver.resolve(&y.block, &sup).unwrap();
+        assert_eq!(rx.partition, ry.partition);
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    use weber::core::error::CoreError;
+    let cfg = ResolverConfig {
+        functions: vec![],
+        ..ResolverConfig::default()
+    };
+    match Resolver::new(cfg) {
+        Err(CoreError::NoFunctions) => {}
+        other => panic!("expected NoFunctions, got {other:?}"),
+    }
+}
+
+/// A hostile custom function returning NaN and out-of-range values.
+#[derive(Debug)]
+struct Hostile;
+
+impl SimilarityFunction for Hostile {
+    fn name(&self) -> &'static str {
+        "hostile"
+    }
+    fn description(&self) -> &'static str {
+        "returns NaN and out-of-range values (test helper)"
+    }
+    fn compare(&self, _block: &PreparedBlock, i: usize, j: usize) -> f64 {
+        match (i + j) % 3 {
+            0 => f64::NAN,
+            1 => -7.0,
+            _ => 42.0,
+        }
+    }
+}
+
+#[test]
+fn hostile_custom_functions_are_sanitised() {
+    let prepared = prepare_dataset(&generate(&presets::tiny(35)), TfIdf::default());
+    let nb = &prepared.blocks[0];
+    let cfg = ResolverConfig {
+        functions: vec![Arc::new(Hostile)],
+        ..ResolverConfig::default()
+    };
+    let resolver = Resolver::new(cfg).unwrap();
+    let sup = Supervision::sample_from_truth(&nb.truth, 0.25, 1);
+    let r = resolver.resolve(&nb.block, &sup).unwrap();
+    // No panics, a valid partition, and finite diagnostics.
+    assert_eq!(r.partition.len(), nb.block.len());
+    for l in &r.layers {
+        assert!(l.accuracy.is_finite());
+        assert!((0.0..=1.0).contains(&l.accuracy));
+    }
+}
