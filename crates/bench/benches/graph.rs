@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use weber_graph::components::connected_components;
 use weber_graph::correlation::{correlation_cluster, CorrelationConfig};
 use weber_graph::decision::DecisionGraph;
-use weber_graph::components::connected_components;
 use weber_graph::union_find::UnionFind;
 use weber_graph::weighted::WeightedGraph;
 
@@ -17,7 +17,9 @@ fn synthetic_decisions(n: usize, k: usize) -> DecisionGraph {
     let mut g = DecisionGraph::new(n);
     let mut state = 0x12345678u64;
     let mut rand01 = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     for i in 0..n {
@@ -58,13 +60,7 @@ fn bench_connected_components(c: &mut Criterion) {
 
 fn bench_correlation(c: &mut Criterion) {
     let truth = synthetic_decisions(100, 8);
-    let scores = WeightedGraph::from_fn(100, |i, j| {
-        if truth.has_edge(i, j) {
-            0.85
-        } else {
-            0.12
-        }
-    });
+    let scores = WeightedGraph::from_fn(100, |i, j| if truth.has_edge(i, j) { 0.85 } else { 0.12 });
     c.bench_function("correlation_cluster_100", |b| {
         b.iter(|| {
             correlation_cluster(black_box(&scores), CorrelationConfig::default()).cluster_count()

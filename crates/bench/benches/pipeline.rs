@@ -21,7 +21,12 @@ fn bench_extraction(c: &mut Criterion) {
     c.bench_function("extract_block_24_docs", |b| {
         b.iter(|| {
             docs.iter()
-                .map(|d| extractor.extract(black_box(&d.text), d.url.as_deref()).tokens.len())
+                .map(|d| {
+                    extractor
+                        .extract(black_box(&d.text), d.url.as_deref())
+                        .tokens
+                        .len()
+                })
                 .sum::<usize>()
         })
     });
@@ -30,7 +35,11 @@ fn bench_extraction(c: &mut Criterion) {
 fn bench_prepare_dataset(c: &mut Criterion) {
     let dataset = generate(&presets::tiny(7));
     c.bench_function("prepare_tiny_dataset", |b| {
-        b.iter(|| prepare_dataset(black_box(&dataset), TfIdf::default()).blocks.len())
+        b.iter(|| {
+            prepare_dataset(black_box(&dataset), TfIdf::default())
+                .blocks
+                .len()
+        })
     });
 }
 

@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the streaming resolver's hot paths.
+//!
+//! An `ingest` scores the arriving document against every existing member
+//! of its name's block with the trained decision model — that scan is the
+//! per-arrival critical path and scales linearly with block size, so it is
+//! benchmarked at block sizes 10 / 100 / 1000 with pair-decision
+//! throughput reported. Seeding (full best-graph training on a labelled
+//! batch) is benchmarked once at a realistic block size; it is the
+//! amortised checkpoint cost, not the per-arrival cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use weber_core::resolver::{Resolver, ResolverConfig};
+use weber_core::supervision::Supervision;
+use weber_core::TrainedModel;
+use weber_corpus::{generate, presets};
+use weber_extract::features::PageFeatures;
+use weber_extract::pipeline::Extractor;
+use weber_simfun::block::{PreparedBlock, WordVectorScheme};
+use weber_stream::{SeedDocument, StreamConfig, StreamResolver};
+
+/// A prepared block of `n` documents (cycling a generated corpus block)
+/// plus a model trained on the labelled originals — the state an ingest
+/// scores against.
+fn scoring_fixture(n: usize) -> (PreparedBlock, TrainedModel) {
+    let dataset = generate(&presets::tiny(3));
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let source = &dataset.blocks[0];
+    let features: Vec<PageFeatures> = (0..n)
+        .map(|i| {
+            let d = &source.documents[i % source.documents.len()];
+            extractor.extract(&d.text, d.url.as_deref())
+        })
+        .collect();
+    let block = PreparedBlock::with_scheme(
+        source.query_name.clone(),
+        features,
+        WordVectorScheme::default(),
+    );
+    let truth = source.truth();
+    let labelled = source.documents.len().min(n);
+    let sup = Supervision::new((0..labelled).map(|i| (i, truth.label_of(i))).collect());
+    let model = Resolver::new(ResolverConfig::default())
+        .unwrap()
+        .train(&block, &sup)
+        .unwrap();
+    (block, model)
+}
+
+fn bench_ingest_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest_scan");
+    for n in [10usize, 100, 1000] {
+        let (block, model) = scoring_fixture(n);
+        let doc = block.len() - 1;
+        group.throughput(Throughput::Elements(doc as u64));
+        group.bench_function(&format!("block_{n}"), |b| {
+            b.iter(|| {
+                (0..doc)
+                    .filter(|&j| model.decide(black_box(&block), doc, j))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed(c: &mut Criterion) {
+    let dataset = generate(&presets::tiny(3));
+    let source = &dataset.blocks[0];
+    let truth = source.truth();
+    let docs: Vec<SeedDocument> = source
+        .documents
+        .iter()
+        .zip(0..)
+        .map(|(d, i)| SeedDocument {
+            text: d.text.clone(),
+            url: d.url.clone(),
+            label: truth.label_of(i),
+        })
+        .collect();
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+    let mut group = c.benchmark_group("stream_seed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.bench_function(&format!("block_{}", docs.len()), |b| {
+        // seed() replaces the name's state wholesale, so repeated calls
+        // measure the same work every iteration.
+        b.iter(|| stream.seed(&source.query_name, black_box(&docs)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ingest_scan, bench_seed
+}
+criterion_main!(benches);

@@ -41,8 +41,11 @@ fn main() {
                 // (uncertainty needs nothing, but a seed batch is the
                 // standard protocol), then spend the rest by uncertainty.
                 let seed_budget = (budget / 3).max(1);
-                let seeded =
-                    Supervision::sample_from_truth(&nb.truth, seed_budget as f64 / nb.block.len() as f64, seed);
+                let seeded = Supervision::sample_from_truth(
+                    &nb.truth,
+                    seed_budget as f64 / nb.block.len() as f64,
+                    seed,
+                );
                 let extra = select_uncertain_docs(
                     &nb.block,
                     &functions,

@@ -5,7 +5,9 @@
 //! incremental clustering-based methods. This sweep compares all three
 //! (incremental under three linkages) under the full C10 configuration.
 
-use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_bench::{
+    metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED,
+};
 use weber_core::blocking::PreparedDataset;
 use weber_core::clustering::ClusteringMethod;
 use weber_core::experiment::run_experiment;
@@ -47,7 +49,10 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
         row.extend(metric_cells(&out.mean));
         rows.push(row);
     }
-    print_table(&["clustering", "Fp-measure", "F-measure", "RandIndex"], &rows);
+    print_table(
+        &["clustering", "Fp-measure", "F-measure", "RandIndex"],
+        &rows,
+    );
     println!();
 }
 

@@ -5,7 +5,9 @@
 //! vote, each clustered by transitive closure and by correlation
 //! clustering. Reported on both datasets.
 
-use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_bench::{
+    metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED,
+};
 use weber_core::blocking::PreparedDataset;
 use weber_core::clustering::ClusteringMethod;
 use weber_core::combine::{CombinationStrategy, WeightScheme};
@@ -59,7 +61,13 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
         }
     }
     print_table(
-        &["combination", "clustering", "Fp-measure", "F-measure", "RandIndex"],
+        &[
+            "combination",
+            "clustering",
+            "Fp-measure",
+            "F-measure",
+            "RandIndex",
+        ],
         &rows,
     );
     println!();

@@ -8,7 +8,9 @@
 //! function's feature vs not) with a separate threshold per cell, alone
 //! and combined with the value-based criteria.
 
-use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_bench::{
+    metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED,
+};
 use weber_core::blocking::PreparedDataset;
 use weber_core::experiment::run_experiment;
 use weber_core::resolver::ResolverConfig;

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use weber_bench::{metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED};
+use weber_bench::{
+    metric_cells, paper_protocol, prepared_weps, prepared_www05, print_table, DEFAULT_SEED,
+};
 use weber_core::blocking::PreparedDataset;
 use weber_core::decision::DecisionCriterion;
 use weber_core::experiment::run_experiment;
@@ -38,7 +40,10 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
         row.extend(metric_cells(&out.mean));
         rows.push(row);
     }
-    print_table(&["configuration", "Fp-measure", "F-measure", "RandIndex"], &rows);
+    print_table(
+        &["configuration", "Fp-measure", "F-measure", "RandIndex"],
+        &rows,
+    );
     println!();
 }
 

@@ -54,7 +54,13 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["configuration", "protocol", "Fp-measure", "F-measure", "RandIndex"],
+        &[
+            "configuration",
+            "protocol",
+            "Fp-measure",
+            "F-measure",
+            "RandIndex",
+        ],
         &rows,
     );
 }

@@ -73,7 +73,13 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
         ]);
     }
     print_table(
-        &["method", "Fp-measure", "F-measure", "RandIndex", "mean conf"],
+        &[
+            "method",
+            "Fp-measure",
+            "F-measure",
+            "RandIndex",
+            "mean conf",
+        ],
         &rows,
     );
     println!();

@@ -35,7 +35,10 @@ fn main() {
         ),
         (
             "maxnorm x prob-idf",
-            WordVectorScheme::TfIdf(TfIdf::new(TfScheme::MaxNormalized, IdfScheme::Probabilistic)),
+            WordVectorScheme::TfIdf(TfIdf::new(
+                TfScheme::MaxNormalized,
+                IdfScheme::Probabilistic,
+            )),
         ),
         ("bm25 (k1=1.2 b=0.75)", WordVectorScheme::bm25()),
     ];
@@ -60,8 +63,5 @@ fn main() {
         row.extend(metric_cells(&combined));
         rows.push(row);
     }
-    print_table(
-        &["scheme", "F8 Fp", "C10 Fp", "C10 F", "C10 Rand"],
-        &rows,
-    );
+    print_table(&["scheme", "F8 Fp", "C10 Fp", "C10 F", "C10 Rand"], &rows);
 }

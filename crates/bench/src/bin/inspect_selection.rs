@@ -28,7 +28,9 @@ fn inspect(label: &str, prepared: &weber_core::blocking::PreparedDataset) {
         ]);
     }
     print_table(
-        &["name", "entities", "selected", "est.Fp", "pair.acc", "edges", "true Fp"],
+        &[
+            "name", "entities", "selected", "est.Fp", "pair.acc", "edges", "true Fp",
+        ],
         &rows,
     );
     println!();

@@ -146,10 +146,7 @@ mod tests {
         let (_, truth) = prepared();
         let sup = label_docs(&truth, &[0, 3, 5]);
         assert_eq!(sup.len(), 3);
-        assert_eq!(
-            sup.same_entity(0, 3),
-            Some(truth.same_cluster(0, 3))
-        );
+        assert_eq!(sup.same_entity(0, 3), Some(truth.same_cluster(0, 3)));
     }
 
     #[test]

@@ -13,8 +13,7 @@ use crate::combine::Combined;
 
 /// Which clustering algorithm turns the combined graph into the final
 /// partition.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ClusteringMethod {
     /// Transitive closure: connected components of the decision graph
     /// (the paper's default).
@@ -29,15 +28,12 @@ pub enum ClusteringMethod {
     Incremental(Linkage),
 }
 
-
 impl ClusteringMethod {
     /// Cluster the combined evidence into the final entity resolution.
     pub fn cluster(&self, combined: &Combined) -> Partition {
         match self {
             ClusteringMethod::TransitiveClosure => connected_components(&combined.decisions),
-            ClusteringMethod::Correlation(config) => {
-                correlation_cluster(&combined.scores, *config)
-            }
+            ClusteringMethod::Correlation(config) => correlation_cluster(&combined.scores, *config),
             ClusteringMethod::Incremental(linkage) => incremental_cluster(
                 &combined.scores,
                 combined.threshold.unwrap_or(0.5),
@@ -58,13 +54,7 @@ mod tests {
         for &(i, j) in edges {
             d.add_edge(i, j);
         }
-        let scores = WeightedGraph::from_fn(n, |i, j| {
-            if d.has_edge(i, j) {
-                0.9
-            } else {
-                0.1
-            }
-        });
+        let scores = WeightedGraph::from_fn(n, |i, j| if d.has_edge(i, j) { 0.9 } else { 0.1 });
         Combined {
             decisions: d,
             scores,
@@ -111,6 +101,9 @@ mod tests {
 
     #[test]
     fn default_is_transitive_closure() {
-        assert_eq!(ClusteringMethod::default(), ClusteringMethod::TransitiveClosure);
+        assert_eq!(
+            ClusteringMethod::default(),
+            ClusteringMethod::TransitiveClosure
+        );
     }
 }

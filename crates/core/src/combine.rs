@@ -53,8 +53,7 @@ impl WeightScheme {
 }
 
 /// How to combine the evidence layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CombinationStrategy {
     /// Weighted average of link probabilities, thresholded; the threshold
     /// is fitted on the training pairs (paper's `W`).
@@ -66,7 +65,6 @@ pub enum CombinationStrategy {
     /// Edge iff more than half of the layers assert it.
     MajorityVote,
 }
-
 
 /// The combined evidence: the decision graph plus the per-pair combined
 /// scores (needed by score-based clustering back-ends).
@@ -128,8 +126,7 @@ impl CombinationStrategy {
                 let samples: Vec<LabeledValue> =
                     supervision.labeled_values(|i, j| scores.get(i, j));
                 let fit = optimal_threshold(&samples);
-                let decisions =
-                    DecisionGraph::from_weighted(&scores, |_, _, s| s >= fit.threshold);
+                let decisions = DecisionGraph::from_weighted(&scores, |_, _, s| s >= fit.threshold);
                 Combined {
                     decisions,
                     scores,
@@ -140,13 +137,9 @@ impl CombinationStrategy {
             CombinationStrategy::MajorityVote => {
                 let half = layers.len() as f64 / 2.0;
                 let votes = WeightedGraph::from_fn(n, |i, j| {
-                    layers
-                        .iter()
-                        .filter(|l| l.decisions.has_edge(i, j))
-                        .count() as f64
+                    layers.iter().filter(|l| l.decisions.has_edge(i, j)).count() as f64
                 });
-                let decisions =
-                    DecisionGraph::from_weighted(&votes, |_, _, v| v > half);
+                let decisions = DecisionGraph::from_weighted(&votes, |_, _, v| v > half);
                 let scores =
                     WeightedGraph::from_fn(n, |i, j| votes.get(i, j) / layers.len() as f64);
                 Combined {
@@ -235,19 +228,17 @@ mod tests {
         // elsewhere. Weak layer: asserts (1,2) but with near-chance
         // probability estimates.
         let mut accurate = layer(3, &[(0, 1)], 0.9);
-        accurate.link_probability = WeightedGraph::from_fn(3, |i, j| {
-            if (i, j) == (0, 1) {
-                0.9
-            } else {
-                0.1
-            }
-        });
+        accurate.link_probability =
+            WeightedGraph::from_fn(3, |i, j| if (i, j) == (0, 1) { 0.9 } else { 0.1 });
         let mut weak = layer(3, &[(1, 2)], 0.52);
         weak.link_probability = WeightedGraph::from_fn(3, |_, _| 0.52);
         // Supervision that confirms (0,1) is a link and (1,2) is not.
         let sup = Supervision::new([(0, 0), (1, 0), (2, 1)].into_iter().collect());
-        let c = CombinationStrategy::WeightedAverage(WeightScheme::Accuracy)
-            .combine(&[accurate, weak], &sup, 3);
+        let c = CombinationStrategy::WeightedAverage(WeightScheme::Accuracy).combine(
+            &[accurate, weak],
+            &sup,
+            3,
+        );
         assert!(c.scores.get(0, 1) > c.scores.get(1, 2));
         assert!(c.decisions.has_edge(0, 1));
         assert!(!c.decisions.has_edge(1, 2));
@@ -257,8 +248,11 @@ mod tests {
     #[test]
     fn weighted_average_without_supervision_still_produces_scores() {
         let layers = vec![layer(3, &[(0, 1)], 0.8)];
-        let c = CombinationStrategy::WeightedAverage(WeightScheme::Accuracy)
-            .combine(&layers, &Supervision::empty(), 3);
+        let c = CombinationStrategy::WeightedAverage(WeightScheme::Accuracy).combine(
+            &layers,
+            &Supervision::empty(),
+            3,
+        );
         assert!((c.scores.get(0, 1) - 0.8).abs() < 1e-12);
         // Default threshold 0.5 from the empty fit.
         assert_eq!(c.threshold, Some(0.5));
@@ -300,6 +294,9 @@ mod tests {
             .combine(&layers, &Supervision::empty(), 2)
             .scores
             .get(0, 1);
-        assert!(exc > acc, "excess weighting should trust the strong layer more: {exc} vs {acc}");
+        assert!(
+            exc > acc,
+            "excess weighting should trust the strong layer more: {exc} vs {acc}"
+        );
     }
 }

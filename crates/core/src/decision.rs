@@ -123,7 +123,9 @@ impl FittedDecision {
     /// [`decide`](Self::decide) for the value-based criteria.
     pub fn decide_in_cell(&self, value: f64, both_present: bool) -> bool {
         match self {
-            FittedDecision::InputCells { present, missing, .. } => {
+            FittedDecision::InputCells {
+                present, missing, ..
+            } => {
                 if both_present {
                     present.decide(value)
                 } else {
@@ -137,7 +139,9 @@ impl FittedDecision {
     /// Link probability for a value in a given input cell.
     pub fn link_probability_in_cell(&self, value: f64, both_present: bool) -> f64 {
         match self {
-            FittedDecision::InputCells { present, missing, .. } => {
+            FittedDecision::InputCells {
+                present, missing, ..
+            } => {
                 let fit = if both_present { present } else { missing };
                 if fit.decide(value) {
                     fit.training_accuracy
@@ -287,8 +291,14 @@ mod tests {
     fn input_cells_decide_per_cell() {
         use weber_ml::threshold::ThresholdFit;
         let fitted = FittedDecision::InputCells {
-            present: ThresholdFit { threshold: 0.6, training_accuracy: 0.9 },
-            missing: ThresholdFit { threshold: 0.2, training_accuracy: 0.7 },
+            present: ThresholdFit {
+                threshold: 0.6,
+                training_accuracy: 0.9,
+            },
+            missing: ThresholdFit {
+                threshold: 0.2,
+                training_accuracy: 0.7,
+            },
             training_accuracy: 0.85,
         };
         // Same value, different cells, different decisions.
@@ -316,7 +326,10 @@ mod tests {
         for v in [0.1, 0.5, 0.9] {
             assert_eq!(fit.decide_in_cell(v, true), fit.decide(v));
             assert_eq!(fit.decide_in_cell(v, false), fit.decide(v));
-            assert_eq!(fit.link_probability_in_cell(v, true), fit.link_probability(v));
+            assert_eq!(
+                fit.link_probability_in_cell(v, true),
+                fit.link_probability(v)
+            );
         }
     }
 }

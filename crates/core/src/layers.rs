@@ -4,13 +4,13 @@
 //! criterion on the training pairs, derive the decision graph `G^i_{D_j}`
 //! and its accuracy estimate `acc(G^i_{D_j})`.
 
+use std::sync::Arc;
 use weber_eval::purity::fp_measure;
 use weber_graph::components::connected_components;
 use weber_graph::decision::DecisionGraph;
 use weber_graph::multigraph::Layer;
 use weber_graph::weighted::WeightedGraph;
 use weber_graph::Partition;
-use std::sync::Arc;
 
 use weber_simfun::block::PreparedBlock;
 use weber_simfun::functions::SimilarityFunction;
@@ -68,8 +68,7 @@ pub fn training_fp(decisions: &DecisionGraph, supervision: &Supervision) -> f64 
     }
     let closed = connected_components(decisions);
     let docs = supervision.docs();
-    let predicted =
-        Partition::from_labels(docs.iter().map(|&d| closed.label_of(d)).collect());
+    let predicted = Partition::from_labels(docs.iter().map(|&d| closed.label_of(d)).collect());
     let truth_labels: Vec<u32> = {
         // Project the supervision labels onto the same doc order.
         let mut labels = Vec::with_capacity(docs.len());
@@ -124,8 +123,7 @@ pub fn build_layers(
         let samples = supervision.labeled_values(|i, j| sims.get(i, j));
         for &criterion in criteria {
             let fitted = criterion.fit(&samples);
-            let decisions =
-                DecisionGraph::from_weighted(&sims, |_, _, w| fitted.decide(w));
+            let decisions = DecisionGraph::from_weighted(&sims, |_, _, w| fitted.decide(w));
             let link_probability =
                 WeightedGraph::from_fn(block.len(), |i, j| fitted.link_probability(sims.get(i, j)));
             let accuracy = fitted.training_accuracy();

@@ -21,8 +21,10 @@
 //! [`clustering`] (transitive closure / correlation / incremental),
 //! [`resolver`] (the orchestrator), [`blocking`] (dataset → prepared
 //! blocks), [`experiment`] (the paper's evaluation protocol: 10% training,
-//! 5 runs, macro-averaged metrics), and [`swoosh`] (merge-based R-Swoosh
-//! with data confidences — the related-work baseline of §VI).
+//! 5 runs, macro-averaged metrics), [`swoosh`] (merge-based R-Swoosh
+//! with data confidences — the related-work baseline of §VI), and
+//! [`trained`] (the best-graph-selected layer extracted as a reusable
+//! decision model for streaming ingestion).
 
 pub mod active;
 pub mod blocking;
@@ -35,9 +37,12 @@ pub mod layers;
 pub mod resolver;
 pub mod supervision;
 pub mod swoosh;
+pub mod trained;
 
 pub use active::{label_docs, select_uncertain_docs, uncertainty_scores};
-pub use blocking::{key_blocks, prepare_dataset, prepare_dataset_with, sorted_neighborhood, PreparedDataset};
+pub use blocking::{
+    key_blocks, prepare_dataset, prepare_dataset_with, sorted_neighborhood, PreparedDataset,
+};
 pub use clustering::ClusteringMethod;
 pub use combine::{CombinationStrategy, WeightScheme};
 pub use decision::{DecisionCriterion, FittedDecision};
@@ -46,3 +51,4 @@ pub use experiment::{run_cross_validation, run_experiment, ExperimentConfig, Exp
 pub use resolver::{Resolution, Resolver, ResolverConfig};
 pub use supervision::Supervision;
 pub use swoosh::{r_swoosh, MatchFunction, MergeRecord, ProfileMatcher, SwooshOutcome};
+pub use trained::TrainedModel;

@@ -119,9 +119,7 @@ impl ResolverConfig {
         Self {
             functions: instantiate(functions),
             criteria: DecisionCriterion::standard_set(),
-            combination: CombinationStrategy::WeightedAverage(
-                crate::combine::WeightScheme::Excess,
-            ),
+            combination: CombinationStrategy::WeightedAverage(crate::combine::WeightScheme::Excess),
             clustering: ClusteringMethod::Correlation(
                 weber_graph::correlation::CorrelationConfig::default(),
             ),
@@ -228,8 +226,7 @@ impl Resolver {
                 .iter()
                 .map(|nb| {
                     scope.spawn(move || {
-                        let sup =
-                            Supervision::sample_from_truth(&nb.truth, train_fraction, seed);
+                        let sup = Supervision::sample_from_truth(&nb.truth, train_fraction, seed);
                         self.resolve(&nb.block, &sup)
                     })
                 })
@@ -409,9 +406,7 @@ mod tests {
         }
         // Matches the per-block path exactly.
         let sup = Supervision::sample_from_truth(&prepared.blocks[0].truth, 0.2, 4);
-        let single = resolver
-            .resolve(&prepared.blocks[0].block, &sup)
-            .unwrap();
+        let single = resolver.resolve(&prepared.blocks[0].block, &sup).unwrap();
         assert_eq!(all[0].partition, single.partition);
     }
 

@@ -30,10 +30,7 @@ impl Supervision {
     /// labels from `truth` (the paper's protocol).
     pub fn sample_from_truth(truth: &Partition, fraction: f64, seed: u64) -> Self {
         let (train, _) = train_test_split(truth.len(), fraction, seed);
-        let labels = train
-            .iter()
-            .map(|&d| (d, truth.label_of(d)))
-            .collect();
+        let labels = train.iter().map(|&d| (d, truth.label_of(d))).collect();
         Self {
             docs: train,
             labels,
@@ -70,10 +67,7 @@ impl Supervision {
     pub fn validate(&self, block_len: usize) -> Result<(), CoreError> {
         for &d in &self.docs {
             if d >= block_len {
-                return Err(CoreError::SupervisionOutOfRange {
-                    doc: d,
-                    block_len,
-                });
+                return Err(CoreError::SupervisionOutOfRange { doc: d, block_len });
             }
         }
         Ok(())
@@ -86,8 +80,7 @@ impl Supervision {
                 (
                     i,
                     j,
-                    self.same_entity(i, j)
-                        .expect("both endpoints are labelled"),
+                    self.same_entity(i, j).expect("both endpoints are labelled"),
                 )
             })
         })
@@ -146,10 +139,7 @@ mod tests {
     fn pairs_cover_all_labelled_combinations() {
         let s = Supervision::new([(0, 0), (2, 0), (5, 1)].into_iter().collect());
         let pairs: Vec<_> = s.pairs().collect();
-        assert_eq!(
-            pairs,
-            vec![(0, 2, true), (0, 5, false), (2, 5, false)]
-        );
+        assert_eq!(pairs, vec![(0, 2, true), (0, 5, false), (2, 5, false)]);
     }
 
     #[test]
@@ -167,7 +157,10 @@ mod tests {
         let s = Supervision::new([(9, 0)].into_iter().collect());
         assert!(matches!(
             s.validate(5),
-            Err(CoreError::SupervisionOutOfRange { doc: 9, block_len: 5 })
+            Err(CoreError::SupervisionOutOfRange {
+                doc: 9,
+                block_len: 5
+            })
         ));
     }
 

@@ -275,10 +275,7 @@ mod tests {
 
     #[test]
     fn no_matches_yields_singletons() {
-        let block = block_from(
-            &["about Org X", "about Org Y", "about Org Z"],
-            "cohen",
-        );
+        let block = block_from(&["about Org X", "about Org Y", "about Org Z"], "cohen");
         let out = r_swoosh(&block, &OrgCount { min_common: 1 });
         assert_eq!(out.partition.cluster_count(), 3);
         assert_eq!(out.merges, 0);
@@ -354,8 +351,7 @@ mod tests {
         let matcher = ProfileMatcher::fit(&block, &sup, 0.55);
         let out = r_swoosh(&block, &matcher);
         let fp = weber_eval::fp_measure(&out.partition, &truth);
-        let singles =
-            weber_eval::fp_measure(&Partition::singletons(truth.len()), &truth);
+        let singles = weber_eval::fp_measure(&Partition::singletons(truth.len()), &truth);
         assert!(
             fp > singles,
             "swoosh Fp {fp:.3} should beat singletons {singles:.3}"

@@ -39,7 +39,12 @@ pub fn generate(config: &CorpusConfig) -> Dataset {
     }
 }
 
-fn generate_block(config: &CorpusConfig, world: &World, wb: &WorldBlock, block_idx: u64) -> NameBlock {
+fn generate_block(
+    config: &CorpusConfig,
+    world: &World,
+    wb: &WorldBlock,
+    block_idx: u64,
+) -> NameBlock {
     let mut documents: Vec<GeneratedDocument> = Vec::with_capacity(wb.assignment.len());
     for (d, &persona_idx) in wb.assignment.iter().enumerate() {
         let doc_seed = config
@@ -55,14 +60,13 @@ fn generate_block(config: &CorpusConfig, world: &World, wb: &WorldBlock, block_i
         let earlier: Vec<usize> = (0..d)
             .filter(|&e| wb.assignment[e] == persona_idx)
             .collect();
-        let doc = if !earlier.is_empty()
-            && rng.random_bool(wb.quality.duplicate_prob.clamp(0.0, 1.0))
-        {
-            let source = &documents[earlier[rng.random_range(0..earlier.len())]];
-            mirror_document(world, source, &mut rng)
-        } else {
-            generate_document(world, persona, &wb.quality, &mut rng)
-        };
+        let doc =
+            if !earlier.is_empty() && rng.random_bool(wb.quality.duplicate_prob.clamp(0.0, 1.0)) {
+                let source = &documents[earlier[rng.random_range(0..earlier.len())]];
+                mirror_document(world, source, &mut rng)
+            } else {
+                generate_document(world, persona, &wb.quality, &mut rng)
+            };
         documents.push(doc);
     }
     NameBlock {
@@ -74,7 +78,11 @@ fn generate_block(config: &CorpusConfig, world: &World, wb: &WorldBlock, block_i
 
 /// A near-duplicate of `source`: identical body with a mirror notice, on a
 /// generic hosting domain.
-fn mirror_document(world: &World, source: &GeneratedDocument, rng: &mut StdRng) -> GeneratedDocument {
+fn mirror_document(
+    world: &World,
+    source: &GeneratedDocument,
+    rng: &mut StdRng,
+) -> GeneratedDocument {
     let path_word = world.content_words[world.zipf.sample(rng)].as_str();
     GeneratedDocument {
         url: Some(format!(
@@ -182,14 +190,13 @@ pub fn generate_document(
     };
     let mut prose: Vec<&str> = Vec::with_capacity(n_words * 3 / 2);
     for w in 0..n_words {
-        let word = if !persona.topic_words.is_empty()
-            && rng.random_bool(q.topic_purity.clamp(0.0, 1.0))
-        {
-            let idx = persona.topic_words[rng.random_range(0..persona.topic_words.len())];
-            world.content_words[idx].as_str()
-        } else {
-            world.content_words[world.zipf.sample(rng)].as_str()
-        };
+        let word =
+            if !persona.topic_words.is_empty() && rng.random_bool(q.topic_purity.clamp(0.0, 1.0)) {
+                let idx = persona.topic_words[rng.random_range(0..persona.topic_words.len())];
+                world.content_words[idx].as_str()
+            } else {
+                world.content_words[world.zipf.sample(rng)].as_str()
+            };
         prose.push(word);
         if w % 4 == 3 {
             prose.push(GLUE[rng.random_range(0..GLUE.len())]);
@@ -205,9 +212,7 @@ pub fn generate_document(
         if rng.random_bool(q.home_url.clamp(0.0, 1.0)) {
             Some(format!(
                 "http://{}/{}/{}",
-                persona.domain,
-                persona.surname,
-                path_word
+                persona.domain, persona.surname, path_word
             ))
         } else {
             Some(format!(

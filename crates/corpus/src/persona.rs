@@ -99,28 +99,23 @@ impl EntityPools {
             .iter()
             .map(|s| s.to_string())
             .filter(|f| !used_first_names.contains(f))
-            .nth(rng.random_range(0..vocab::FIRST_NAMES.len().saturating_sub(used_first_names.len()).max(1)))
+            .nth(
+                rng.random_range(
+                    0..vocab::FIRST_NAMES
+                        .len()
+                        .saturating_sub(used_first_names.len())
+                        .max(1),
+                ),
+            )
             .unwrap_or_else(|| format!("alt{}", used_first_names.len()));
         used_first_names.push(first.clone());
 
         let n_orgs = rng.random_range(1..=2);
-        let organizations: Vec<String> = self
-            .organizations
-            .sample(rng, n_orgs)
-            .cloned()
-            .collect();
+        let organizations: Vec<String> = self.organizations.sample(rng, n_orgs).cloned().collect();
         let n_concepts = rng.random_range(2..=5);
-        let concepts: Vec<String> = self
-            .concepts
-            .sample(rng, n_concepts)
-            .cloned()
-            .collect();
+        let concepts: Vec<String> = self.concepts.sample(rng, n_concepts).cloned().collect();
         let n_assoc = rng.random_range(2..=4);
-        let associates: Vec<String> = self
-            .associates
-            .sample(rng, n_assoc)
-            .cloned()
-            .collect();
+        let associates: Vec<String> = self.associates.sample(rng, n_assoc).cloned().collect();
         let location = vocab::LOCATIONS
             .choose(rng)
             .expect("locations pool non-empty")
@@ -212,7 +207,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut used = Vec::new();
         let names: Vec<String> = (0..10)
-            .map(|_| pools.make_persona("ng", &(0..80).collect::<Vec<_>>(), &mut used, &mut rng).full_name)
+            .map(|_| {
+                pools
+                    .make_persona("ng", &(0..80).collect::<Vec<_>>(), &mut used, &mut rng)
+                    .full_name
+            })
             .collect();
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());

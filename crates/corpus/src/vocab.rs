@@ -11,8 +11,8 @@ use rand::RngExt;
 use rand::SeedableRng;
 
 const CONSONANTS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s",
-    "t", "v", "w", "z", "br", "cl", "dr", "gr", "pl", "st", "tr",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "cl", "dr", "gr", "pl", "st", "tr",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 
@@ -77,63 +77,146 @@ impl Zipf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.random_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 }
 
 /// English glue words used to make sentences look like prose (these are all
 /// stopwords, so the analyzer strips them — they only shape raw text).
 pub const GLUE: &[&str] = &[
-    "the", "a", "of", "and", "in", "on", "with", "for", "at", "is", "was",
-    "has", "had", "this", "that", "from", "by", "an", "to",
+    "the", "a", "of", "and", "in", "on", "with", "for", "at", "is", "was", "has", "had", "this",
+    "that", "from", "by", "an", "to",
 ];
 
 /// First names for persona construction.
 pub const FIRST_NAMES: &[&str] = &[
-    "william", "andrew", "sarah", "david", "maria", "james", "linda",
-    "robert", "susan", "michael", "karen", "richard", "nancy", "thomas",
-    "elena", "daniel", "laura", "kevin", "julia", "steven", "anna", "paul",
-    "ruth", "george", "alice", "frank", "diane", "peter", "carol", "henry",
-    "grace", "victor", "irene", "oscar", "claire", "martin", "judith",
-    "walter", "helen", "arthur",
+    "william", "andrew", "sarah", "david", "maria", "james", "linda", "robert", "susan", "michael",
+    "karen", "richard", "nancy", "thomas", "elena", "daniel", "laura", "kevin", "julia", "steven",
+    "anna", "paul", "ruth", "george", "alice", "frank", "diane", "peter", "carol", "henry",
+    "grace", "victor", "irene", "oscar", "claire", "martin", "judith", "walter", "helen", "arthur",
 ];
 
 /// Ambiguous surnames (block keys). Mirrors the flavour of the WWW'05 set
 /// (Cheyer, Cohen, Hardt, Israel, Kaelbling, Mark, McCallum, Mitchell,
 /// Mulford, Ng, Pereira, Voss).
 pub const SURNAMES: &[&str] = &[
-    "cheyer", "cohen", "hardt", "israel", "kaelbling", "mark", "mccallum",
-    "mitchell", "mulford", "ng", "pereira", "voss", "smith", "lee", "brown",
-    "walker", "turner", "collins", "parker", "morris", "reed", "bailey",
-    "rivera", "cooper", "bell", "murphy", "ward", "cox", "diaz", "gray",
+    "cheyer",
+    "cohen",
+    "hardt",
+    "israel",
+    "kaelbling",
+    "mark",
+    "mccallum",
+    "mitchell",
+    "mulford",
+    "ng",
+    "pereira",
+    "voss",
+    "smith",
+    "lee",
+    "brown",
+    "walker",
+    "turner",
+    "collins",
+    "parker",
+    "morris",
+    "reed",
+    "bailey",
+    "rivera",
+    "cooper",
+    "bell",
+    "murphy",
+    "ward",
+    "cox",
+    "diaz",
+    "gray",
 ];
 
 /// Organization name stems; combined with suffixes to build the org pool.
 pub const ORG_STEMS: &[&str] = &[
-    "stanford", "carnegie", "cornell", "apex", "vertex", "quantum", "nimbus",
-    "zenith", "cascade", "aurora", "summit", "pioneer", "atlas", "horizon",
-    "meridian", "solstice", "rampart", "keystone", "lighthouse", "granite",
-    "harbor", "crescent", "obsidian", "palisade", "sequoia", "monarch",
+    "stanford",
+    "carnegie",
+    "cornell",
+    "apex",
+    "vertex",
+    "quantum",
+    "nimbus",
+    "zenith",
+    "cascade",
+    "aurora",
+    "summit",
+    "pioneer",
+    "atlas",
+    "horizon",
+    "meridian",
+    "solstice",
+    "rampart",
+    "keystone",
+    "lighthouse",
+    "granite",
+    "harbor",
+    "crescent",
+    "obsidian",
+    "palisade",
+    "sequoia",
+    "monarch",
 ];
 
 /// Organization suffixes.
 pub const ORG_SUFFIXES: &[&str] = &[
-    "university", "labs", "institute", "systems", "research", "college",
-    "corporation", "foundation", "group", "technologies",
+    "university",
+    "labs",
+    "institute",
+    "systems",
+    "research",
+    "college",
+    "corporation",
+    "foundation",
+    "group",
+    "technologies",
 ];
 
 /// Locations.
 pub const LOCATIONS: &[&str] = &[
-    "pittsburgh", "lausanne", "boston", "seattle", "amherst", "palo alto",
-    "zurich", "london", "tokyo", "toronto", "berlin", "madrid", "austin",
-    "dublin", "oslo", "prague", "lisbon", "geneva", "kyoto", "helsinki",
+    "pittsburgh",
+    "lausanne",
+    "boston",
+    "seattle",
+    "amherst",
+    "palo alto",
+    "zurich",
+    "london",
+    "tokyo",
+    "toronto",
+    "berlin",
+    "madrid",
+    "austin",
+    "dublin",
+    "oslo",
+    "prague",
+    "lisbon",
+    "geneva",
+    "kyoto",
+    "helsinki",
 ];
 
 /// Role words used in sentence templates (non-stopword, real-ish words kept
 /// distinct from pseudo-words; they add shared low-information content).
 pub const ROLES: &[&str] = &[
-    "professor", "researcher", "engineer", "artist", "director", "author",
-    "analyst", "consultant", "editor", "scientist", "manager", "curator",
+    "professor",
+    "researcher",
+    "engineer",
+    "artist",
+    "director",
+    "author",
+    "analyst",
+    "consultant",
+    "editor",
+    "scientist",
+    "manager",
+    "curator",
 ];
 
 #[cfg(test)]

@@ -136,7 +136,10 @@ impl World {
         }
         for (i, a) in self.pools.associates.iter().enumerate() {
             let _ = i;
-            add_unique(&mut g, GazetteerEntry::simple(a.clone(), EntityKind::Person));
+            add_unique(
+                &mut g,
+                GazetteerEntry::simple(a.clone(), EntityKind::Person),
+            );
         }
         for o in &self.pools.organizations {
             add_unique(

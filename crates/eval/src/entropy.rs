@@ -86,8 +86,7 @@ impl VMeasure {
         if self.homogeneity + self.completeness == 0.0 {
             0.0
         } else {
-            2.0 * self.homogeneity * self.completeness
-                / (self.homogeneity + self.completeness)
+            2.0 * self.homogeneity * self.completeness / (self.homogeneity + self.completeness)
         }
     }
 }
@@ -98,8 +97,16 @@ pub fn v_measure(predicted: &Partition, truth: &Partition) -> VMeasure {
     let (hp, ht) = (partition_entropy(predicted), partition_entropy(truth));
     let mi = mutual_information(predicted, truth);
     // H(T|P) = H(T) - I(T;P); homogeneity = 1 - H(T|P)/H(T).
-    let homogeneity = if ht == 0.0 { 1.0 } else { (mi / ht).clamp(0.0, 1.0) };
-    let completeness = if hp == 0.0 { 1.0 } else { (mi / hp).clamp(0.0, 1.0) };
+    let homogeneity = if ht == 0.0 {
+        1.0
+    } else {
+        (mi / ht).clamp(0.0, 1.0)
+    };
+    let completeness = if hp == 0.0 {
+        1.0
+    } else {
+        (mi / hp).clamp(0.0, 1.0)
+    };
     VMeasure {
         homogeneity,
         completeness,

@@ -112,8 +112,6 @@ mod tests {
         let a = p(&[0, 0, 1, 1, 2]);
         let b = p(&[0, 1, 1, 2, 2]);
         assert!((rand_index(&a, &b) - rand_index(&b, &a)).abs() < 1e-12);
-        assert!(
-            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
     }
 }

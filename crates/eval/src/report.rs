@@ -82,15 +82,30 @@ mod tests {
     fn evaluate_perfect() {
         let truth = p(&[0, 0, 1]);
         let m = MetricSet::evaluate(&truth, &truth);
-        assert_eq!(m, MetricSet { fp: 1.0, f: 1.0, rand: 1.0 });
+        assert_eq!(
+            m,
+            MetricSet {
+                fp: 1.0,
+                f: 1.0,
+                rand: 1.0
+            }
+        );
     }
 
     #[test]
     fn run_average_means() {
         let mut avg = RunAverage::new();
         assert!(avg.mean().is_none());
-        avg.push(MetricSet { fp: 0.8, f: 0.6, rand: 1.0 });
-        avg.push(MetricSet { fp: 0.6, f: 0.8, rand: 0.0 });
+        avg.push(MetricSet {
+            fp: 0.8,
+            f: 0.6,
+            rand: 1.0,
+        });
+        avg.push(MetricSet {
+            fp: 0.6,
+            f: 0.8,
+            rand: 0.0,
+        });
         let m = avg.mean().unwrap();
         assert!((m.fp - 0.7).abs() < 1e-12);
         assert!((m.f - 0.7).abs() < 1e-12);

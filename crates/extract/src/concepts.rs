@@ -68,7 +68,10 @@ impl ConceptTagger {
 
     /// Number of distinct concepts interned so far.
     pub fn vocabulary_size(&self) -> usize {
-        self.vocab.read().expect("concept vocabulary poisoned").len()
+        self.vocab
+            .read()
+            .expect("concept vocabulary poisoned")
+            .len()
     }
 }
 

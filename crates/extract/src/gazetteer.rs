@@ -158,7 +158,9 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let mut g = Gazetteer::new();
-        g.add(GazetteerEntry::simple("information retrieval", EntityKind::Concept).with_weight(0.4));
+        g.add(
+            GazetteerEntry::simple("information retrieval", EntityKind::Concept).with_weight(0.4),
+        );
         let json = serde_json::to_string(&g).unwrap();
         let back: Gazetteer = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries(), g.entries());

@@ -49,8 +49,8 @@ pub fn html_to_text(html: &str) -> String {
                         // Block-level elements break the text flow; emit
                         // the break when the element closes (or at a <br>),
                         // so nested openings don't double up.
-                        "p" | "div" | "li" | "tr" | "h1" | "h2" | "h3" | "h4" | "h5"
-                        | "h6" | "td" | "th" | "ul" | "ol" | "table" | "title"
+                        "p" | "div" | "li" | "tr" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6"
+                        | "td" | "th" | "ul" | "ol" | "table" | "title"
                             if closing =>
                         {
                             out.push_str(". ");
@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn decodes_common_entities() {
-        assert_eq!(html_to_text("Yerva &amp; Mikl&#243;s &lt;LSIR&gt;"), "Yerva & Miklós <LSIR>");
+        assert_eq!(
+            html_to_text("Yerva &amp; Mikl&#243;s &lt;LSIR&gt;"),
+            "Yerva & Miklós <LSIR>"
+        );
         assert_eq!(html_to_text("a&nbsp;b"), "a b");
         assert_eq!(html_to_text("x &#x41; y"), "x A y");
     }
@@ -197,11 +200,21 @@ mod tests {
     #[test]
     fn never_panics_on_malformed_html() {
         for bad in [
-            "<", "<<>>", "<unclosed", "</>", "<script>never closed",
-            "&#xZZ;", "<p", "a<b>c</", "<p attr='<'>x</p>",
+            "<",
+            "<<>>",
+            "<unclosed",
+            "</>",
+            "<script>never closed",
+            "&#xZZ;",
+            "<p",
+            "a<b>c</",
+            "<p attr='<'>x</p>",
             // Multibyte text around entity/tag machinery.
-            "&ééééé;", "&日本語の長い文字列;", "<script>日本語</script>done",
-            "&é", "日<em>本</em>語",
+            "&ééééé;",
+            "&日本語の長い文字列;",
+            "<script>日本語</script>done",
+            "&é",
+            "日<em>本</em>語",
         ] {
             let _ = html_to_text(bad);
         }

@@ -30,8 +30,8 @@ pub mod url;
 
 pub use concepts::ConceptTagger;
 pub use features::PageFeatures;
-pub use html::html_to_text;
 pub use gazetteer::{EntityKind, Gazetteer, GazetteerEntry};
+pub use html::html_to_text;
 pub use ner::{EntityMention, Recognizer};
 pub use pipeline::Extractor;
 pub use trie::TokenTrie;

@@ -109,7 +109,10 @@ mod tests {
     fn recognizer() -> Recognizer {
         let mut g = Gazetteer::new();
         g.add_phrases(EntityKind::Person, ["William Cohen", "Andrew McCallum"]);
-        g.add_phrases(EntityKind::Organization, ["Carnegie Mellon University", "EPFL"]);
+        g.add_phrases(
+            EntityKind::Organization,
+            ["Carnegie Mellon University", "EPFL"],
+        );
         g.add_phrases(EntityKind::Location, ["Pittsburgh"]);
         g.add(GazetteerEntry::simple("machine learning", EntityKind::Concept).with_weight(0.6));
         Recognizer::compile(&g)
@@ -118,11 +121,16 @@ mod tests {
     #[test]
     fn finds_multiword_entities_case_insensitively() {
         let r = recognizer();
-        let ms = r.recognize("WILLIAM COHEN works on Machine Learning at Carnegie Mellon University.");
+        let ms =
+            r.recognize("WILLIAM COHEN works on Machine Learning at Carnegie Mellon University.");
         let canon: Vec<&str> = ms.iter().map(|m| m.canonical.as_str()).collect();
         assert_eq!(
             canon,
-            ["William Cohen", "machine learning", "Carnegie Mellon University"]
+            [
+                "William Cohen",
+                "machine learning",
+                "Carnegie Mellon University"
+            ]
         );
     }
 

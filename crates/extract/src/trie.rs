@@ -125,7 +125,14 @@ mod tests {
         let toks = ["at", "epfl", "lab"];
         let ms = t.scan(&toks);
         assert_eq!(ms.len(), 1);
-        assert_eq!(ms[0], TrieMatch { payloads: vec![1], start: 1, end: 2 });
+        assert_eq!(
+            ms[0],
+            TrieMatch {
+                payloads: vec![1],
+                start: 1,
+                end: 2
+            }
+        );
     }
 
     #[test]

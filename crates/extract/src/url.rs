@@ -21,8 +21,8 @@ pub struct UrlFeatures {
 /// Second-level suffixes under which the registrable domain takes three
 /// labels (a pragmatic subset of the public-suffix list).
 const SECOND_LEVEL_SUFFIXES: &[&str] = &[
-    "ac.uk", "co.uk", "gov.uk", "org.uk", "co.jp", "ne.jp", "or.jp", "com.au",
-    "net.au", "org.au", "co.in", "co.nz", "com.br", "com.cn", "edu.cn",
+    "ac.uk", "co.uk", "gov.uk", "org.uk", "co.jp", "ne.jp", "or.jp", "com.au", "net.au", "org.au",
+    "co.in", "co.nz", "com.br", "com.cn", "edu.cn",
 ];
 
 impl UrlFeatures {
@@ -41,9 +41,7 @@ impl UrlFeatures {
         };
         // Host is everything up to the first '/', '?', '#'; strip userinfo
         // and port.
-        let host_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let host_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let mut host = &rest[..host_end];
         if let Some(at) = host.rfind('@') {
             host = &host[at + 1..];
@@ -56,9 +54,8 @@ impl UrlFeatures {
         }
         // Every label must be a non-empty run of letters, digits or
         // hyphens — reject garbage that merely contains a dot.
-        let valid_label = |l: &str| {
-            !l.is_empty() && l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
-        };
+        let valid_label =
+            |l: &str| !l.is_empty() && l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-');
         if !host.split('.').all(valid_label) {
             return None;
         }

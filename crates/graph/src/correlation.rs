@@ -240,13 +240,7 @@ mod tests {
     #[test]
     fn agreement_is_maximal_for_truth_on_clean_input() {
         let truth = Partition::from_labels(vec![0, 0, 1, 1]);
-        let g = WeightedGraph::from_fn(4, |i, j| {
-            if truth.same_cluster(i, j) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let g = WeightedGraph::from_fn(4, |i, j| if truth.same_cluster(i, j) { 1.0 } else { 0.0 });
         let best = agreement(&g, &truth);
         for other in [
             Partition::singletons(4),

@@ -26,7 +26,10 @@ impl DecisionGraph {
 
     /// Derive a decision graph from a weighted graph by a predicate on
     /// `(i, j, weight)`.
-    pub fn from_weighted(g: &WeightedGraph, mut keep: impl FnMut(usize, usize, f64) -> bool) -> Self {
+    pub fn from_weighted(
+        g: &WeightedGraph,
+        mut keep: impl FnMut(usize, usize, f64) -> bool,
+    ) -> Self {
         let mut d = Self::new(g.len());
         for (i, j, w) in g.edges() {
             if keep(i, j, w) {

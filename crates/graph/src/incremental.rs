@@ -25,9 +25,13 @@ pub enum Linkage {
 }
 
 impl Linkage {
-    fn score(&self, scores: &WeightedGraph, doc: usize, members: &[usize]) -> f64 {
-        debug_assert!(!members.is_empty());
-        let values = members.iter().map(|&m| scores.get(doc, m));
+    /// Combine member-wise link scores into one document-vs-cluster score.
+    ///
+    /// This is the linkage rule itself, decoupled from any graph storage so
+    /// online/streaming callers can feed scores computed on the fly.
+    /// Returns NaN for an empty iterator (a cluster always has members).
+    pub fn combine_scores(&self, values: impl IntoIterator<Item = f64>) -> f64 {
+        let values = values.into_iter();
         match self {
             Linkage::Single => values.fold(f64::NEG_INFINITY, f64::max),
             Linkage::Complete => values.fold(f64::INFINITY, f64::min),
@@ -37,6 +41,11 @@ impl Linkage {
             }
         }
     }
+
+    fn score(&self, scores: &WeightedGraph, doc: usize, members: &[usize]) -> f64 {
+        debug_assert!(!members.is_empty());
+        self.combine_scores(members.iter().map(|&m| scores.get(doc, m)))
+    }
 }
 
 /// Greedy sequential clustering over pairwise link scores.
@@ -45,11 +54,7 @@ impl Linkage {
 /// cluster with the highest linkage score, provided that score is at least
 /// `threshold`; otherwise it starts a new cluster. Deterministic; ties go
 /// to the earliest-founded cluster.
-pub fn incremental_cluster(
-    scores: &WeightedGraph,
-    threshold: f64,
-    linkage: Linkage,
-) -> Partition {
+pub fn incremental_cluster(scores: &WeightedGraph, threshold: f64, linkage: Linkage) -> Partition {
     let n = scores.len();
     let mut clusters: Vec<Vec<usize>> = Vec::new();
     let mut labels = Vec::with_capacity(n);

@@ -28,6 +28,7 @@ pub mod decision;
 pub mod entity;
 pub mod incremental;
 pub mod multigraph;
+pub mod online;
 pub mod partition;
 pub mod union_find;
 pub mod weighted;
@@ -38,6 +39,7 @@ pub use decision::DecisionGraph;
 pub use entity::{clique_violations, is_clique_union};
 pub use incremental::{incremental_cluster, Linkage};
 pub use multigraph::MultiGraph;
+pub use online::OnlinePartition;
 pub use partition::Partition;
 pub use union_find::UnionFind;
 pub use weighted::WeightedGraph;

@@ -124,13 +124,8 @@ mod tests {
         }
         // Directional probabilities, as FittedDecision produces them: the
         // asserted edges carry `prob`, the rest its complement.
-        let link_probability = WeightedGraph::from_fn(n, |i, j| {
-            if d.has_edge(i, j) {
-                prob
-            } else {
-                1.0 - prob
-            }
-        });
+        let link_probability =
+            WeightedGraph::from_fn(n, |i, j| if d.has_edge(i, j) { prob } else { 1.0 - prob });
         Layer {
             decisions: d,
             link_probability,

@@ -75,6 +75,37 @@ impl UnionFind {
         self.find(a) == self.find(b)
     }
 
+    /// Append a new element as its own singleton set; returns its index.
+    ///
+    /// This is the growth primitive for online clustering: arriving
+    /// documents join the structure one at a time instead of requiring the
+    /// element count up front.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id as u32);
+        self.rank.push(0);
+        self.sets += 1;
+        id
+    }
+
+    /// Representative of `x`'s set without path compression (read-only).
+    pub fn find_readonly(&self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root as usize
+    }
+
+    /// Snapshot of the partition induced by the current sets, with
+    /// canonical (first-occurrence) labels. Does not compress paths.
+    pub fn to_partition(&self) -> Partition {
+        let labels: Vec<u32> = (0..self.parent.len())
+            .map(|i| self.find_readonly(i) as u32)
+            .collect();
+        Partition::from_labels(labels)
+    }
+
     /// Extract the partition induced by the current sets, with canonical
     /// (first-occurrence) labels.
     pub fn into_partition(mut self) -> Partition {
@@ -126,6 +157,30 @@ mod tests {
         // first-occurrence labelling: 0->0, 1->1, 2->0, 3->2, 4->2
         assert_eq!(p.labels(), &[0, 1, 0, 2, 2]);
         assert_eq!(p.cluster_count(), 3);
+    }
+
+    #[test]
+    fn push_grows_with_singletons() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        let c = uf.push();
+        assert_eq!(c, 2);
+        assert_eq!(uf.set_count(), 2);
+        assert!(!uf.connected(0, 2));
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.push(), 3);
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn to_partition_matches_into_partition() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        let snap = uf.to_partition();
+        assert_eq!(uf.find_readonly(3), uf.find(3));
+        assert_eq!(snap, uf.into_partition());
     }
 
     #[test]

@@ -74,9 +74,8 @@ impl WeightedGraph {
 
     /// Iterate `(i, j, weight)` over all pairs `i < j`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            (i + 1..self.n).map(move |j| (i, j, self.weights[self.index(i, j)]))
-        })
+        (0..self.n)
+            .flat_map(move |i| (i + 1..self.n).map(move |j| (i, j, self.weights[self.index(i, j)])))
     }
 
     /// All edge weights in `(i, j)` lexicographic order.
@@ -139,10 +138,7 @@ mod tests {
     fn edges_iterates_lexicographically() {
         let g = WeightedGraph::from_fn(3, |i, j| (10 * i + j) as f64);
         let edges: Vec<_> = g.edges().collect();
-        assert_eq!(
-            edges,
-            vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 12.0)]
-        );
+        assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 12.0)]);
     }
 
     #[test]

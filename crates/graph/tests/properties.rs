@@ -13,13 +13,12 @@ use weber_graph::weighted::WeightedGraph;
 
 /// Strategy: an edge list over `n` nodes.
 fn edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec((0..n, 0..n), 0..n * 2)
-        .prop_map(|pairs| {
-            pairs
-                .into_iter()
-                .filter(|&(i, j)| i != j)
-                .collect::<Vec<_>>()
-        })
+    proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|&(i, j)| i != j)
+            .collect::<Vec<_>>()
+    })
 }
 
 /// Strategy: arbitrary partition labels for `n` items.

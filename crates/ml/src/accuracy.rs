@@ -200,8 +200,9 @@ mod tests {
     fn kmeans_regions_capture_skewed_distribution() {
         // Most mass near 0 with a small high-similarity cluster of links —
         // k-means regions adapt, equal-width would put them all in one bin.
-        let mut samples: Vec<LabeledValue> =
-            (0..90).map(|i| lv(0.01 + (i as f64) * 0.001, false)).collect();
+        let mut samples: Vec<LabeledValue> = (0..90)
+            .map(|i| lv(0.01 + (i as f64) * 0.001, false))
+            .collect();
         samples.extend((0..10).map(|i| lv(0.95 + (i as f64) * 0.001, true)));
         let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
         let regions = RegionScheme::kmeans(4).fit(&values);

@@ -110,8 +110,7 @@ impl Regions {
     pub fn region_of(&self, value: f64) -> usize {
         let v = value.clamp(0.0, 1.0);
         // partition_point over inner boundaries.
-        let idx = self.boundaries[1..self.boundaries.len() - 1]
-            .partition_point(|&b| b <= v);
+        let idx = self.boundaries[1..self.boundaries.len() - 1].partition_point(|&b| b <= v);
         idx.min(self.len() - 1)
     }
 

@@ -11,8 +11,11 @@ use weber_ml::threshold::optimal_threshold;
 use weber_ml::LabeledValue;
 
 fn samples() -> impl Strategy<Value = Vec<LabeledValue>> {
-    proptest::collection::vec((0.0f64..=1.0, proptest::bool::ANY), 0..60)
-        .prop_map(|v| v.into_iter().map(|(x, l)| LabeledValue::new(x, l)).collect())
+    proptest::collection::vec((0.0f64..=1.0, proptest::bool::ANY), 0..60).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, l)| LabeledValue::new(x, l))
+            .collect()
+    })
 }
 
 proptest! {

@@ -41,12 +41,25 @@ impl WordVectorScheme {
 
 /// A block of documents about one ambiguous person name, ready for
 /// similarity computation.
+///
+/// Blocks can be built in one shot ([`new`](Self::new) /
+/// [`with_scheme`](Self::with_scheme)) or grown one document at a time
+/// ([`push`](Self::push)) for streaming ingestion; both paths produce
+/// identical vectors because the block-local index is retained and word
+/// vectors are re-materialised whenever document frequencies change.
 #[derive(Debug)]
 pub struct PreparedBlock {
     /// The ambiguous query name this block was retrieved for.
     query_name: String,
     /// Extracted features, one per document.
     features: Vec<PageFeatures>,
+    /// The block-local term index word vectors are derived from (kept so
+    /// the block can grow incrementally).
+    index: CorpusIndex,
+    /// The weighting scheme vectors are materialised under.
+    scheme: WordVectorScheme,
+    /// The shingle hasher (fixed parameters, kept for incremental growth).
+    hasher: MinHasher,
     /// TF-IDF word vectors, aligned with `features`.
     tfidf: Vec<SparseVector>,
     /// MinHash signatures over 3-token shingles, aligned with `features`
@@ -74,20 +87,53 @@ impl PreparedBlock {
         for f in &features {
             index.add_document(f.tokens.clone());
         }
-        let tfidf = match scheme {
-            WordVectorScheme::TfIdf(t) => index.tfidf_vectors(t),
-            WordVectorScheme::Bm25 { k1, b } => index.bm25_vectors(k1, b),
-        };
-        let vocab_dim = index.vocabulary_size();
         let hasher = MinHasher::new(64, 3, 0xD0C5);
-        let minhash = features.iter().map(|f| hasher.signature(&f.tokens)).collect();
-        Self {
+        let minhash = features
+            .iter()
+            .map(|f| hasher.signature(&f.tokens))
+            .collect();
+        let mut block = Self {
             query_name: query_name.into(),
             features,
-            tfidf,
+            index,
+            scheme,
+            hasher,
+            tfidf: Vec::new(),
             minhash,
-            vocab_dim,
-        }
+            vocab_dim: 0,
+        };
+        block.refresh_vectors();
+        block
+    }
+
+    /// An empty block ready for incremental growth via [`push`](Self::push).
+    pub fn empty(query_name: impl Into<String>, scheme: WordVectorScheme) -> Self {
+        Self::with_scheme(query_name, Vec::new(), scheme)
+    }
+
+    /// Append one document to the block; returns its index.
+    ///
+    /// The document's tokens join the block-local index, its MinHash
+    /// signature is computed once, and all word vectors are re-materialised
+    /// so that inverse-document-frequency weights reflect the grown corpus —
+    /// an ingest therefore costs O(block tokens), the same order as scoring
+    /// the new document against every existing member.
+    pub fn push(&mut self, features: PageFeatures) -> usize {
+        let id = self.features.len();
+        self.index.add_document(features.tokens.clone());
+        self.minhash.push(self.hasher.signature(&features.tokens));
+        self.features.push(features);
+        self.refresh_vectors();
+        id
+    }
+
+    /// Re-materialise word vectors from the current index state.
+    fn refresh_vectors(&mut self) {
+        self.tfidf = match self.scheme {
+            WordVectorScheme::TfIdf(t) => self.index.tfidf_vectors(t),
+            WordVectorScheme::Bm25 { k1, b } => self.index.bm25_vectors(k1, b),
+        };
+        self.vocab_dim = self.index.vocabulary_size();
     }
 
     /// The ambiguous name the block is about.
@@ -175,7 +221,11 @@ mod tests {
 
     #[test]
     fn minhash_signatures_flag_identical_documents() {
-        let b = block(&["databases are fun to study", "databases are fun to study", "totally different page text here"]);
+        let b = block(&[
+            "databases are fun to study",
+            "databases are fun to study",
+            "totally different page text here",
+        ]);
         let same = MinHasher::estimated_jaccard(b.minhash_signature(0), b.minhash_signature(1));
         let diff = MinHasher::estimated_jaccard(b.minhash_signature(0), b.minhash_signature(2));
         assert_eq!(same, 1.0);
@@ -187,5 +237,51 @@ mod tests {
         let b = block(&[]);
         assert!(b.is_empty());
         assert_eq!(b.vocab_dim(), 0);
+    }
+
+    #[test]
+    fn pushed_block_equals_batch_block() {
+        let texts = ["databases are fun", "databases are hard", "gardening tips"];
+        let batch = block(&texts);
+
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Concept, ["databases"]);
+        let e = Extractor::new(&g);
+        let mut grown = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        for (i, t) in texts.iter().enumerate() {
+            assert_eq!(grown.push(e.extract(t, None)), i);
+        }
+
+        assert_eq!(grown.len(), batch.len());
+        assert_eq!(grown.vocab_dim(), batch.vocab_dim());
+        for i in 0..batch.len() {
+            assert_eq!(grown.minhash_signature(i), batch.minhash_signature(i));
+            for j in 0..batch.len() {
+                assert!(
+                    (grown.tfidf(i).cosine(grown.tfidf(j)) - batch.tfidf(i).cosine(batch.tfidf(j)))
+                        .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_updates_df_weights_of_earlier_documents() {
+        let mut b = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        let g = Gazetteer::new();
+        let e = Extractor::new(&g);
+        b.push(e.extract("alpha beta", None));
+        b.push(e.extract("gamma delta", None));
+        // "alpha" is rare (df=1): weight positive in doc 0.
+        let before = b.tfidf(0).norm();
+        // A third doc repeating doc 0's words raises their df, shrinking
+        // doc 0's idf weights — proof that old vectors are refreshed.
+        b.push(e.extract("alpha beta", None));
+        let after = b.tfidf(0).norm();
+        assert!(
+            after < before,
+            "idf must drop as df rises: {after} vs {before}"
+        );
     }
 }

@@ -193,7 +193,9 @@ impl SimilarityFunction for MostFrequentNameSimilarity {
         }
     }
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
-        f64::from(u8::from(block.features(doc).most_frequent_person().is_some()))
+        f64::from(u8::from(
+            block.features(doc).most_frequent_person().is_some(),
+        ))
     }
 }
 
@@ -303,17 +305,16 @@ impl SimilarityFunction for ClosestNameSimilarity {
         "The name closest to the search keyword / string similarity"
     }
     fn compare(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
-        match (
-            Self::closest_name(block, i),
-            Self::closest_name(block, j),
-        ) {
+        match (Self::closest_name(block, i), Self::closest_name(block, j)) {
             (Some(a), Some(b)) => jaro_winkler(&a, &b),
             _ => 0.0,
         }
     }
 
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
-        f64::from(u8::from(block.features(doc).person_names().next().is_some()))
+        f64::from(u8::from(
+            block.features(doc).person_names().next().is_some(),
+        ))
     }
 }
 
@@ -404,7 +405,9 @@ impl SimilarityFunction for StructuredNameSimilarity {
         }
     }
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
-        f64::from(u8::from(block.features(doc).most_frequent_person().is_some()))
+        f64::from(u8::from(
+            block.features(doc).most_frequent_person().is_some(),
+        ))
     }
 }
 
@@ -456,7 +459,12 @@ pub fn standard_suite() -> Vec<Arc<dyn SimilarityFunction>> {
 
 /// The paper's subset `I4 = {F4, F5, F7, F9}` (Table II).
 pub fn subset_i4() -> Vec<FunctionId> {
-    vec![FunctionId::F4, FunctionId::F5, FunctionId::F7, FunctionId::F9]
+    vec![
+        FunctionId::F4,
+        FunctionId::F5,
+        FunctionId::F7,
+        FunctionId::F9,
+    ]
 }
 
 /// The paper's subset `I7 = {F3, F4, F5, F7, F8, F9, F10}` (Table II).
@@ -495,7 +503,9 @@ mod tests {
             ["Carnegie Mellon University", "ISI", "Google"],
         );
         g.add(GazetteerEntry::simple("machine learning", EntityKind::Concept).with_weight(0.9));
-        g.add(GazetteerEntry::simple("information extraction", EntityKind::Concept).with_weight(0.8));
+        g.add(
+            GazetteerEntry::simple("information extraction", EntityKind::Concept).with_weight(0.8),
+        );
         g.add(GazetteerEntry::simple("genealogy", EntityKind::Concept).with_weight(0.7));
         g
     }
@@ -640,12 +650,23 @@ mod tests {
         let features = vec![
             e.extract(base, None),
             e.extract(&mirror, None),
-            e.extract("Don Cohen writes about genealogy at ISI in a wholly different style.", None),
+            e.extract(
+                "Don Cohen writes about genealogy at ISI in a wholly different style.",
+                None,
+            ),
         ];
         let b = PreparedBlock::new("Cohen", features, TfIdf::default());
         let f = NearDuplicateSimilarity;
-        assert!(f.compare(&b, 0, 1) > 0.7, "mirror sim {}", f.compare(&b, 0, 1));
-        assert!(f.compare(&b, 0, 2) < 0.3, "unrelated sim {}", f.compare(&b, 0, 2));
+        assert!(
+            f.compare(&b, 0, 1) > 0.7,
+            "mirror sim {}",
+            f.compare(&b, 0, 1)
+        );
+        assert!(
+            f.compare(&b, 0, 2) < 0.3,
+            "unrelated sim {}",
+            f.compare(&b, 0, 2)
+        );
     }
 
     #[test]
@@ -653,7 +674,10 @@ mod tests {
         // Build a block where the same person appears as "w cohen" on one
         // page and "william cohen" on another.
         let mut g = Gazetteer::new();
-        g.add_phrases(EntityKind::Person, ["William Cohen", "W Cohen", "Don Cohen"]);
+        g.add_phrases(
+            EntityKind::Person,
+            ["William Cohen", "W Cohen", "Don Cohen"],
+        );
         let e = Extractor::new(&g);
         let features = vec![
             e.extract("William Cohen writes pages.", None),

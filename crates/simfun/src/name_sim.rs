@@ -60,9 +60,7 @@ pub fn name_similarity(a: &str, b: &str) -> f64 {
         let at = offset < ta.len();
         let bt = offset < tb.len();
         total += match (at, bt) {
-            (true, true) => {
-                token_similarity(ta[ta.len() - 1 - offset], tb[tb.len() - 1 - offset])
-            }
+            (true, true) => token_similarity(ta[ta.len() - 1 - offset], tb[tb.len() - 1 - offset]),
             // A token present on one side only: consistent but unconfirmed.
             _ => 0.75,
         };
@@ -115,7 +113,10 @@ mod tests {
         // initial form where flat string similarity does not.
         let structured = name_similarity("w cohen", "william cohen");
         let flat = jaro_winkler("w cohen", "william cohen");
-        assert!(structured > flat + 0.2, "structured {structured} flat {flat}");
+        assert!(
+            structured > flat + 0.2,
+            "structured {structured} flat {flat}"
+        );
     }
 
     #[test]

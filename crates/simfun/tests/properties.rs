@@ -5,7 +5,9 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use weber_simfun::set_sim::{dice, jaccard, overlap_coefficient};
-use weber_simfun::string_sim::{jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein};
+use weber_simfun::string_sim::{
+    jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein,
+};
 
 fn string_set() -> impl Strategy<Value = BTreeSet<String>> {
     proptest::collection::btree_set("[a-c]{1,3}", 0..8)

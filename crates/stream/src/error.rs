@@ -1,0 +1,71 @@
+//! Error type for the streaming resolution service.
+
+use weber_core::CoreError;
+
+/// Errors surfaced by the streaming resolver and service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// An ingest referenced a name that was never seeded.
+    UnknownName(String),
+    /// A seed batch carried no documents (nothing to train on).
+    EmptySeed(String),
+    /// Training the decision model on the seed batch failed.
+    Training(CoreError),
+    /// A malformed protocol request (bad JSON, missing fields, unknown op).
+    InvalidRequest(String),
+    /// The admission queue is full; the request was rejected, not queued.
+    Overloaded,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnknownName(name) => {
+                write!(f, "name '{name}' has not been seeded")
+            }
+            StreamError::EmptySeed(name) => {
+                write!(f, "seed batch for '{name}' has no documents")
+            }
+            StreamError::Training(e) => write!(f, "training failed: {e}"),
+            StreamError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            StreamError::Overloaded => write!(f, "overloaded"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Training(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StreamError {
+    fn from(e: CoreError) -> Self {
+        StreamError::Training(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(StreamError::UnknownName("cohen".into())
+            .to_string()
+            .contains("cohen"));
+        assert!(StreamError::Overloaded.to_string().contains("overloaded"));
+        assert!(StreamError::Training(CoreError::NoFunctions)
+            .to_string()
+            .contains("similarity"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: StreamError = CoreError::NoCriteria.into();
+        assert!(matches!(e, StreamError::Training(_)));
+    }
+}

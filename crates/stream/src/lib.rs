@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # weber-stream
+//!
+//! Streaming resolution: incremental document ingestion against decision
+//! criteria trained on a seed batch.
+//!
+//! The paper's pipeline is batch — it sees a whole block of documents,
+//! fits every (similarity function × decision criterion) layer on the
+//! training subset, selects the best graph and closes it transitively. A
+//! crawler does not work that way: documents about an ambiguous name keep
+//! arriving. This crate keeps the trained half of the pipeline and makes
+//! the application half incremental:
+//!
+//! - per name, a **seed batch** with labels trains the decision model via
+//!   the batch resolver's best-graph selection
+//!   ([`weber_core::TrainedModel`]);
+//! - each arriving document joins the name's block-local index
+//!   (re-weighting earlier vectors — [`weber_simfun::block::PreparedBlock::push`]),
+//!   is scored **only against its block's members** with the trained
+//!   model, and is folded into the live partition
+//!   ([`weber_graph::OnlinePartition`]) under a configurable
+//!   [`AssignmentPolicy`];
+//! - the whole thing is wrapped in a daemon ([`server`]) speaking NDJSON
+//!   over stdin/stdout or TCP, with a bounded admission queue, a worker
+//!   pool, and explicit `overloaded` backpressure ([`service`]).
+//!
+//! Modules: [`config`] (resolver/service knobs), [`state`] (per-name
+//! block + model + live partition), [`resolver`] (the thread-safe
+//! multi-name façade), [`protocol`] (the NDJSON wire format), [`service`]
+//! (queue + workers + ordered responses), [`server`] (stdio/TCP loops),
+//! [`snapshot`] (serialisable state summaries), [`error`].
+
+pub mod config;
+pub mod error;
+pub mod protocol;
+pub mod resolver;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+pub mod state;
+
+pub use config::{AssignmentPolicy, StreamConfig};
+pub use error::StreamError;
+pub use resolver::{SeedDocument, SeedSummary, StreamResolver};
+pub use server::{serve_stdio, serve_tcp};
+pub use service::StreamService;
+pub use snapshot::{NameSnapshot, Snapshot};
+pub use state::{ClusterAssignment, NameState};

@@ -1,0 +1,284 @@
+//! The NDJSON wire protocol of `weber serve`.
+//!
+//! One JSON object per line in, one JSON object per line out, dispatched on
+//! the `"op"` field:
+//!
+//! ```text
+//! {"op":"seed","name":"cohen","docs":[{"text":"…","url":"…","label":0},…]}
+//! {"op":"ingest","name":"cohen","text":"…","url":"…"}
+//! {"op":"snapshot"}
+//! {"op":"flush"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every response carries `"ok"` and echoes the request's `"op"`; failures
+//! carry `"error"` instead of result fields. Responses are emitted in
+//! admission order, so a `flush` response proves every earlier request has
+//! been answered.
+
+use serde::Value;
+
+use crate::error::StreamError;
+use crate::resolver::{SeedDocument, SeedSummary};
+use crate::snapshot::Snapshot;
+use crate::state::ClusterAssignment;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Train a name on a labelled batch.
+    Seed {
+        /// The ambiguous name.
+        name: String,
+        /// The labelled documents.
+        docs: Vec<SeedDocument>,
+    },
+    /// Ingest one document for a seeded name.
+    Ingest {
+        /// The ambiguous name.
+        name: String,
+        /// Page text.
+        text: String,
+        /// Page URL, when known.
+        url: Option<String>,
+    },
+    /// Report per-name state summaries.
+    Snapshot,
+    /// Ordering barrier: answered after every earlier request.
+    Flush,
+    /// Stop the service after answering.
+    Shutdown,
+}
+
+impl Request {
+    /// The op label a response should echo.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Seed { .. } => "seed",
+            Request::Ingest { .. } => "ingest",
+            Request::Snapshot => "snapshot",
+            Request::Flush => "flush",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn field<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, StreamError> {
+    obj.get(key)
+        .ok_or_else(|| StreamError::InvalidRequest(format!("missing field '{key}'")))
+}
+
+fn string_field(obj: &Value, key: &str) -> Result<String, StreamError> {
+    field(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| StreamError::InvalidRequest(format!("field '{key}' must be a string")))
+}
+
+fn optional_string(obj: &Value, key: &str) -> Result<Option<String>, StreamError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| StreamError::InvalidRequest(format!("field '{key}' must be a string"))),
+    }
+}
+
+/// Parse one NDJSON request line.
+pub fn parse_request(line: &str) -> Result<Request, StreamError> {
+    let value = serde_json::parse_value(line)
+        .map_err(|e| StreamError::InvalidRequest(format!("bad JSON: {e}")))?;
+    let op = string_field(&value, "op")?;
+    match op.as_str() {
+        "seed" => {
+            let name = string_field(&value, "name")?;
+            let docs_value = field(&value, "docs")?;
+            let entries = docs_value.as_array().ok_or_else(|| {
+                StreamError::InvalidRequest("field 'docs' must be an array".into())
+            })?;
+            let mut docs = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let label = field(entry, "label")?.as_u64().ok_or_else(|| {
+                    StreamError::InvalidRequest("field 'label' must be an integer".into())
+                })?;
+                docs.push(SeedDocument {
+                    text: string_field(entry, "text")?,
+                    url: optional_string(entry, "url")?,
+                    label: label as u32,
+                });
+            }
+            Ok(Request::Seed { name, docs })
+        }
+        "ingest" => Ok(Request::Ingest {
+            name: string_field(&value, "name")?,
+            text: string_field(&value, "text")?,
+            url: optional_string(&value, "url")?,
+        }),
+        "snapshot" => Ok(Request::Snapshot),
+        "flush" => Ok(Request::Flush),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(StreamError::InvalidRequest(format!("unknown op '{other}'"))),
+    }
+}
+
+/// True when the line is a shutdown request (cheap peek the server's read
+/// loop uses to know when to stop accepting input).
+pub fn is_shutdown(line: &str) -> bool {
+    matches!(parse_request(line), Ok(Request::Shutdown))
+}
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("protocol values serialise")
+}
+
+/// Response to a successful `seed`.
+pub fn ok_seed(name: &str, summary: &SeedSummary) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("seed".into())),
+        ("name", Value::String(name.to_string())),
+        ("docs", Value::Number(summary.docs as f64)),
+        ("clusters", Value::Number(summary.clusters as f64)),
+        ("function", Value::String(summary.function.clone())),
+        ("criterion", Value::String(summary.criterion.clone())),
+        ("accuracy", Value::Number(summary.accuracy)),
+    ]))
+}
+
+/// Response to a successful `ingest`.
+pub fn ok_ingest(name: &str, a: &ClusterAssignment) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("ingest".into())),
+        ("name", Value::String(name.to_string())),
+        ("doc", Value::Number(a.doc as f64)),
+        ("cluster", Value::Number(a.cluster as f64)),
+        ("new_cluster", Value::Bool(a.is_new_cluster)),
+        ("cluster_size", Value::Number(a.cluster_size as f64)),
+        ("linked_members", Value::Number(a.linked_members as f64)),
+    ]))
+}
+
+/// Response to `snapshot`.
+pub fn ok_snapshot(snapshot: &Snapshot) -> String {
+    let names = snapshot
+        .names
+        .iter()
+        .map(|n| {
+            object(vec![
+                ("name", Value::String(n.name.clone())),
+                ("docs", Value::Number(n.docs as f64)),
+                ("clusters", Value::Number(n.clusters as f64)),
+                ("function", Value::String(n.function.clone())),
+                ("criterion", Value::String(n.criterion.clone())),
+                ("accuracy", Value::Number(n.accuracy)),
+            ])
+        })
+        .collect();
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("snapshot".into())),
+        ("names", Value::Array(names)),
+    ]))
+}
+
+/// Response to `flush` / `shutdown` (plain acknowledgements).
+pub fn ok_plain(op: &str) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String(op.to_string())),
+    ]))
+}
+
+/// Error response; `overloaded` uses the stable error string clients
+/// should match on for backpressure.
+pub fn err_response(error: &StreamError) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::String(error.to_string())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let seed = parse_request(
+            r#"{"op":"seed","name":"cohen","docs":[{"text":"a","label":0},{"text":"b","url":"http://x.example.com","label":1}]}"#,
+        )
+        .unwrap();
+        match seed {
+            Request::Seed { name, docs } => {
+                assert_eq!(name, "cohen");
+                assert_eq!(docs.len(), 2);
+                assert_eq!(docs[0].url, None);
+                assert_eq!(docs[1].url.as_deref(), Some("http://x.example.com"));
+                assert_eq!(docs[1].label, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"op":"ingest","name":"cohen","text":"hello"}"#).unwrap(),
+            Request::Ingest {
+                name: "cohen".into(),
+                text: "hello".into(),
+                url: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"snapshot"}"#).unwrap(),
+            Request::Snapshot
+        );
+        assert_eq!(parse_request(r#"{"op":"flush"}"#).unwrap(), Request::Flush);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"name":"cohen"}"#).is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"op":"ingest","name":"cohen"}"#).is_err());
+        assert!(
+            parse_request(r#"{"op":"seed","name":"c","docs":[{"text":"a"}]}"#).is_err(),
+            "label is required"
+        );
+    }
+
+    #[test]
+    fn shutdown_peek() {
+        assert!(is_shutdown(r#"{"op":"shutdown"}"#));
+        assert!(!is_shutdown(r#"{"op":"flush"}"#));
+        assert!(!is_shutdown("garbage"));
+    }
+
+    #[test]
+    fn responses_are_parseable_json() {
+        for line in [
+            ok_plain("flush"),
+            err_response(&StreamError::Overloaded),
+            ok_snapshot(&Snapshot { names: Vec::new() }),
+        ] {
+            let v = serde_json::parse_value(&line).unwrap();
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+        let v = serde_json::parse_value(&err_response(&StreamError::Overloaded)).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
+    }
+}

@@ -1,0 +1,272 @@
+//! The streaming resolver: thread-safe per-name state behind one façade.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use weber_core::resolver::Resolver;
+use weber_extract::gazetteer::Gazetteer;
+use weber_extract::pipeline::Extractor;
+use weber_graph::Partition;
+
+use crate::config::StreamConfig;
+use crate::error::StreamError;
+use crate::snapshot::{NameSnapshot, Snapshot};
+use crate::state::{ClusterAssignment, NameState};
+
+/// One labelled document of a seed batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedDocument {
+    /// Page text.
+    pub text: String,
+    /// Page URL, when known.
+    pub url: Option<String>,
+    /// Entity label within the batch (documents with equal labels are the
+    /// same person).
+    pub label: u32,
+}
+
+/// What seeding a name produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedSummary {
+    /// Documents trained on.
+    pub docs: usize,
+    /// Clusters in the initial partition.
+    pub clusters: usize,
+    /// Selected similarity function.
+    pub function: String,
+    /// Selected decision criterion label.
+    pub criterion: String,
+    /// Training accuracy of the selected layer.
+    pub accuracy: f64,
+}
+
+/// A thread-safe streaming resolver over many ambiguous names.
+///
+/// Each name is seeded once with a labelled batch — which trains that
+/// name's decision model via the batch resolver's best-graph selection —
+/// and then grows one document at a time via [`ingest`](Self::ingest).
+/// Names are independently locked, so ingests for different names run in
+/// parallel; the feature extractor is shared (its vocabulary is global).
+pub struct StreamResolver {
+    extractor: Extractor,
+    resolver: Resolver,
+    config: StreamConfig,
+    names: RwLock<HashMap<String, Arc<Mutex<NameState>>>>,
+}
+
+impl std::fmt::Debug for StreamResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamResolver")
+            .field("config", &self.config)
+            .field("names", &self.names().len())
+            .finish()
+    }
+}
+
+impl StreamResolver {
+    /// Create a resolver over the given gazetteer (the dictionary feature
+    /// extraction recognises concepts and entities with).
+    pub fn new(config: StreamConfig, gazetteer: &Gazetteer) -> Result<Self, StreamError> {
+        let resolver = Resolver::new(config.resolver.clone())?;
+        Ok(Self {
+            extractor: Extractor::new(gazetteer),
+            resolver,
+            config,
+            names: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Seed (or re-seed, replacing all state for) one name from a labelled
+    /// batch. Trains the name's decision model and builds its initial
+    /// partition.
+    pub fn seed(&self, name: &str, docs: &[SeedDocument]) -> Result<SeedSummary, StreamError> {
+        let features = docs
+            .iter()
+            .map(|d| self.extractor.extract(&d.text, d.url.as_deref()))
+            .collect();
+        let labels: Vec<u32> = docs.iter().map(|d| d.label).collect();
+        let state = NameState::seed(
+            name,
+            features,
+            &labels,
+            &self.resolver,
+            self.config.scheme,
+            self.config.assignment,
+        )?;
+        let summary = SeedSummary {
+            docs: state.len(),
+            clusters: state.cluster_count(),
+            function: state.model().function_name().to_string(),
+            criterion: state.model().criterion().label(),
+            accuracy: state.model().accuracy,
+        };
+        self.names
+            .write()
+            .insert(name.to_string(), Arc::new(Mutex::new(state)));
+        Ok(summary)
+    }
+
+    /// Ingest one document for a seeded name, returning where it landed.
+    pub fn ingest(
+        &self,
+        name: &str,
+        text: &str,
+        url: Option<&str>,
+    ) -> Result<ClusterAssignment, StreamError> {
+        let state = self
+            .names
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StreamError::UnknownName(name.to_string()))?;
+        // Extraction happens outside the name lock (the extractor is
+        // thread-safe); only block growth and scoring are serialised.
+        let features = self.extractor.extract(text, url);
+        let mut state = state.lock();
+        Ok(state.ingest(features))
+    }
+
+    /// The live partition of a seeded name.
+    pub fn partition(&self, name: &str) -> Option<Partition> {
+        let state = self.names.read().get(name).cloned()?;
+        let state = state.lock();
+        Some(state.partition())
+    }
+
+    /// Seeded names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.names.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Summaries of every seeded name, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let handles: Vec<(String, Arc<Mutex<NameState>>)> = {
+            let map = self.names.read();
+            let mut v: Vec<_> = map
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let names = handles
+            .into_iter()
+            .map(|(name, state)| {
+                let state = state.lock();
+                NameSnapshot {
+                    name,
+                    docs: state.len(),
+                    clusters: state.cluster_count(),
+                    function: state.model().function_name().to_string(),
+                    criterion: state.model().criterion().label(),
+                    accuracy: state.model().accuracy,
+                }
+            })
+            .collect();
+        Snapshot { names }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gazetteer() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add_phrases(
+            weber_extract::gazetteer::EntityKind::Concept,
+            ["databases", "gardening"],
+        );
+        g
+    }
+
+    fn seed_docs() -> Vec<SeedDocument> {
+        [
+            ("databases are fun and databases are important", 0),
+            ("databases are hard but databases pay well", 0),
+            ("gardening tips for growing roses", 1),
+            ("gardening advice on pruning roses", 1),
+        ]
+        .iter()
+        .map(|&(t, l)| SeedDocument {
+            text: t.to_string(),
+            url: None,
+            label: l,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn seed_then_ingest() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        let summary = r.seed("cohen", &seed_docs()).unwrap();
+        assert_eq!(summary.docs, 4);
+        assert!(!summary.function.is_empty());
+        let a = r
+            .ingest("cohen", "databases are fun and databases are hard", None)
+            .unwrap();
+        assert_eq!(a.doc, 4);
+        assert_eq!(r.partition("cohen").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        assert!(matches!(
+            r.ingest("nobody", "text", None),
+            Err(StreamError::UnknownName(_))
+        ));
+        assert!(r.partition("nobody").is_none());
+    }
+
+    #[test]
+    fn names_are_independent() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        r.seed("smith", &seed_docs()).unwrap();
+        r.ingest("cohen", "databases again", None).unwrap();
+        assert_eq!(r.partition("cohen").unwrap().len(), 5);
+        assert_eq!(r.partition("smith").unwrap().len(), 4);
+        assert_eq!(r.names(), vec!["cohen".to_string(), "smith".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_covers_every_name() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        r.seed("smith", &seed_docs()).unwrap();
+        let s = r.snapshot();
+        assert_eq!(s.names.len(), 2);
+        assert_eq!(s.names[0].name, "cohen");
+        assert_eq!(s.total_docs(), 8);
+    }
+
+    #[test]
+    fn concurrent_ingests_across_names() {
+        let r = Arc::new(StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap());
+        r.seed("cohen", &seed_docs()).unwrap();
+        r.seed("smith", &seed_docs()).unwrap();
+        std::thread::scope(|scope| {
+            for name in ["cohen", "smith"] {
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    for i in 0..5 {
+                        r.ingest(name, &format!("databases text number {i}"), None)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.partition("cohen").unwrap().len(), 9);
+        assert_eq!(r.partition("smith").unwrap().len(), 9);
+    }
+}

@@ -1,0 +1,243 @@
+//! The `weber serve` daemon: NDJSON over stdin/stdout or a TCP socket.
+//!
+//! The read loop admits one request per line into the
+//! [`StreamService`](crate::service::StreamService); a writer thread
+//! drains the ordered response stream to the output. The loop stops on
+//! EOF or after admitting a `shutdown` request; either way the queue is
+//! drained and every admitted request is answered before the connection
+//! closes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use crate::protocol;
+use crate::resolver::StreamResolver;
+use crate::service::StreamService;
+
+/// Serve NDJSON over stdin/stdout until EOF or `shutdown`. Returns the
+/// number of requests admitted.
+pub fn serve_stdio(
+    resolver: Arc<StreamResolver>,
+    workers: usize,
+    queue_capacity: usize,
+) -> std::io::Result<u64> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let (admitted, _) = run_connection(resolver, stdin.lock(), &mut out, workers, queue_capacity)?;
+    out.flush()?;
+    Ok(admitted)
+}
+
+/// Bind `addr` and serve connections sequentially (one client at a time,
+/// all clients sharing the resolver state); a client sending `shutdown`
+/// stops the listener after its connection. Returns the total number of
+/// requests admitted.
+pub fn serve_tcp(
+    resolver: Arc<StreamResolver>,
+    addr: &str,
+    workers: usize,
+    queue_capacity: usize,
+) -> std::io::Result<u64> {
+    let listener = TcpListener::bind(addr)?;
+    let mut total = 0u64;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream.try_clone()?;
+        let (admitted, saw_shutdown) = run_connection(
+            Arc::clone(&resolver),
+            reader,
+            &mut writer,
+            workers,
+            queue_capacity,
+        )?;
+        writer.flush()?;
+        total += admitted;
+        if saw_shutdown {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+/// The shared connection loop: admit lines, stream ordered responses to
+/// the writer as they complete, stop on EOF or `shutdown`. Returns
+/// (admitted requests, whether shutdown was seen).
+fn run_connection<R: BufRead, W: Write>(
+    resolver: Arc<StreamResolver>,
+    reader: R,
+    writer: &mut W,
+    workers: usize,
+    queue_capacity: usize,
+) -> std::io::Result<(u64, bool)> {
+    let service = StreamService::start(resolver, workers, queue_capacity);
+    let mut admitted = 0u64;
+    let mut emitted = 0u64;
+    let responses = service.responses();
+    let mut saw_shutdown = false;
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        saw_shutdown = protocol::is_shutdown(&line);
+        service.submit(line);
+        admitted += 1;
+        // Opportunistically stream whatever responses are ready, keeping
+        // the writer hot without blocking admission on slow requests.
+        while let Ok(response) = responses.try_recv() {
+            writeln!(writer, "{response}")?;
+            emitted += 1;
+        }
+        writer.flush()?;
+        if saw_shutdown {
+            break;
+        }
+    }
+
+    // Drain: answer everything that was admitted.
+    let leftover = service.finish();
+    while emitted < admitted {
+        match leftover.recv() {
+            Ok(response) => {
+                writeln!(writer, "{response}")?;
+                emitted += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    writer.flush()?;
+    Ok((admitted, saw_shutdown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamConfig;
+    use std::io::Cursor;
+    use weber_extract::gazetteer::Gazetteer;
+
+    fn resolver() -> Arc<StreamResolver> {
+        let mut g = Gazetteer::new();
+        g.add_phrases(
+            weber_extract::gazetteer::EntityKind::Concept,
+            ["databases", "gardening"],
+        );
+        Arc::new(StreamResolver::new(StreamConfig::default(), &g).unwrap())
+    }
+
+    fn seed_line() -> String {
+        concat!(
+            r#"{"op":"seed","name":"cohen","docs":["#,
+            r#"{"text":"databases are fun and databases are important","label":0},"#,
+            r#"{"text":"databases are hard but databases pay well","label":0},"#,
+            r#"{"text":"gardening tips for growing roses","label":1},"#,
+            r#"{"text":"gardening advice on pruning roses","label":1}]}"#
+        )
+        .to_string()
+    }
+
+    fn run(input: String) -> Vec<String> {
+        let mut out: Vec<u8> = Vec::new();
+        let (admitted, _) =
+            run_connection(resolver(), Cursor::new(input), &mut out, 2, 16).unwrap();
+        let lines: Vec<String> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(lines.len() as u64, admitted);
+        lines
+    }
+
+    #[test]
+    fn answers_every_request_in_order() {
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            seed_line(),
+            r#"{"op":"ingest","name":"cohen","text":"databases are great"}"#,
+            r#"{"op":"snapshot"}"#,
+            r#"{"op":"flush"}"#
+        );
+        let lines = run(input);
+        assert_eq!(lines.len(), 4);
+        let ops: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                serde_json::parse_value(l)
+                    .unwrap()
+                    .get("op")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(ops, vec!["seed", "ingest", "snapshot", "flush"]);
+    }
+
+    #[test]
+    fn shutdown_stops_the_loop_early() {
+        let input = format!(
+            "{}\n{}\n{}\n",
+            seed_line(),
+            r#"{"op":"shutdown"}"#,
+            r#"{"op":"flush"}"#
+        );
+        let lines = run(input);
+        // The flush after shutdown is never admitted.
+        assert_eq!(lines.len(), 2);
+        let last = serde_json::parse_value(&lines[1]).unwrap();
+        assert_eq!(last.get("op").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_errors_are_answered() {
+        let input = "\n\ngarbage\n".to_string();
+        let lines = run(input);
+        assert_eq!(lines.len(), 1);
+        let v = serde_json::parse_value(&lines[0]).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        let resolver = resolver();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream.try_clone().unwrap();
+            run_connection(resolver, reader, &mut writer, 2, 16).unwrap()
+        });
+        let client = TcpStream::connect(addr).unwrap();
+        let mut writer = client.try_clone().unwrap();
+        let mut reader = BufReader::new(client);
+        writeln!(writer, "{}", seed_line()).unwrap();
+        writeln!(
+            writer,
+            r#"{{"op":"ingest","name":"cohen","text":"databases rock"}}"#
+        )
+        .unwrap();
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim().to_string());
+        }
+        let (admitted, saw_shutdown) = server.join().unwrap();
+        assert_eq!(admitted, 3);
+        assert!(saw_shutdown);
+        let ingest = serde_json::parse_value(&lines[1]).unwrap();
+        assert_eq!(ingest.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(ingest.get("doc").unwrap().as_u64(), Some(4));
+    }
+}

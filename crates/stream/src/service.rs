@@ -1,0 +1,361 @@
+//! The request-processing service: bounded admission queues, a worker
+//! pool, and an in-admission-order response stream.
+//!
+//! Requests enter through [`StreamService::submit`]. Data-plane requests
+//! (`seed`, `ingest`) never block: when the target queue is full they are
+//! rejected immediately with an `overloaded` response (explicit
+//! backpressure — clients retry, the daemon stays responsive). Rare
+//! control-plane requests (`snapshot`, `flush`, `shutdown`) instead wait
+//! for a queue slot — shedding a shutdown would be absurd.
+//! Requests are routed to workers by name
+//! (`hash(name) % workers`), so all operations on one name execute in
+//! admission order — a seed is always applied before the ingests admitted
+//! after it — while different names proceed in parallel. A collector
+//! thread reorders completions by admission sequence number so the
+//! response stream matches the request order exactly. That makes `flush`
+//! an ordering barrier for free: its response is emitted only after every
+//! earlier request has been answered.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use crate::error::StreamError;
+use crate::protocol::{self, Request};
+use crate::resolver::StreamResolver;
+
+struct Job {
+    seq: u64,
+    request: Request,
+}
+
+/// Handle to a running service: submit request lines, read response lines.
+pub struct StreamService {
+    queues: Vec<Sender<Job>>,
+    done_tx: Sender<(u64, String)>,
+    output: Receiver<String>,
+    next_seq: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+}
+
+/// Process one parsed request against the resolver.
+pub fn process_request(resolver: &StreamResolver, request: &Request) -> String {
+    match request {
+        Request::Seed { name, docs } => match resolver.seed(name, docs) {
+            Ok(summary) => protocol::ok_seed(name, &summary),
+            Err(e) => protocol::err_response(&e),
+        },
+        Request::Ingest { name, text, url } => match resolver.ingest(name, text, url.as_deref()) {
+            Ok(assignment) => protocol::ok_ingest(name, &assignment),
+            Err(e) => protocol::err_response(&e),
+        },
+        Request::Snapshot => protocol::ok_snapshot(&resolver.snapshot()),
+        Request::Flush => protocol::ok_plain("flush"),
+        Request::Shutdown => protocol::ok_plain("shutdown"),
+    }
+}
+
+/// Parse and process one request line synchronously (the queue-less
+/// convenience path; the service's own parsing happens at admission).
+pub fn process_line(resolver: &StreamResolver, line: &str) -> String {
+    match protocol::parse_request(line) {
+        Ok(request) => process_request(resolver, &request),
+        Err(e) => protocol::err_response(&e),
+    }
+}
+
+impl StreamService {
+    /// Start `workers` worker threads, each with a bounded queue of
+    /// `queue_capacity` slots (both clamped to at least 1).
+    pub fn start(resolver: Arc<StreamResolver>, workers: usize, queue_capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let per_queue = queue_capacity.max(1);
+        let (done_tx, done_rx) = unbounded::<(u64, String)>();
+        let (out_tx, output) = unbounded::<String>();
+
+        let mut queues = Vec::with_capacity(workers);
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let (tx, rx) = bounded::<Job>(per_queue);
+                queues.push(tx);
+                let done_tx = done_tx.clone();
+                let resolver = Arc::clone(&resolver);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let response = process_request(&resolver, &job.request);
+                        if done_tx.send((job.seq, response)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let collector = std::thread::spawn(move || {
+            let mut pending: HashMap<u64, String> = HashMap::new();
+            let mut next_emit: u64 = 0;
+            while let Ok((seq, response)) = done_rx.recv() {
+                pending.insert(seq, response);
+                while let Some(line) = pending.remove(&next_emit) {
+                    if out_tx.send(line).is_err() {
+                        return;
+                    }
+                    next_emit += 1;
+                }
+            }
+        });
+
+        Self {
+            queues,
+            done_tx,
+            output,
+            next_seq: AtomicU64::new(0),
+            workers: handles,
+            collector: Some(collector),
+        }
+    }
+
+    /// Which worker queue a request belongs to: named operations stick to
+    /// `hash(name) % workers` so same-name requests execute in admission
+    /// order; name-less operations go to queue 0.
+    fn route(&self, request: &Request) -> usize {
+        match request {
+            Request::Seed { name, .. } | Request::Ingest { name, .. } => {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                name.hash(&mut hasher);
+                (hasher.finish() % self.queues.len() as u64) as usize
+            }
+            _ => 0,
+        }
+    }
+
+    /// Admit one request line. Data-plane requests (`seed`, `ingest`)
+    /// never block: a malformed line or a full queue turns into an
+    /// immediate error response at this request's position in the response
+    /// stream. Control-plane requests (`snapshot`, `flush`, `shutdown`)
+    /// are never load-shed — they are rare and clients depend on them, so
+    /// a full queue makes the admission thread wait for a slot instead.
+    /// Returns the admission sequence number.
+    pub fn submit(&self, line: String) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let response = match protocol::parse_request(&line) {
+            Err(e) => Some(protocol::err_response(&e)),
+            Ok(request) => {
+                let queue = &self.queues[self.route(&request)];
+                if matches!(
+                    request,
+                    Request::Snapshot | Request::Flush | Request::Shutdown
+                ) {
+                    match queue.send(Job { seq, request }) {
+                        Ok(()) => None,
+                        Err(_) => Some(protocol::err_response(&StreamError::Overloaded)),
+                    }
+                } else {
+                    match queue.try_send(Job { seq, request }) {
+                        Ok(()) => None,
+                        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                            Some(protocol::err_response(&StreamError::Overloaded))
+                        }
+                    }
+                }
+            }
+        };
+        if let Some(response) = response {
+            let _ = self.done_tx.send((seq, response));
+        }
+        seq
+    }
+
+    /// Requests admitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst)
+    }
+
+    /// The response stream, in admission order. Clone it to read from
+    /// another thread; it disconnects when the service is finished.
+    pub fn responses(&self) -> Receiver<String> {
+        self.output.clone()
+    }
+
+    /// Stop accepting work, drain the queues, and wait for every response
+    /// to be emitted. Returns the response stream so late readers can
+    /// drain what is left.
+    pub fn finish(self) -> Receiver<String> {
+        drop(self.queues);
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        drop(self.done_tx);
+        if let Some(collector) = self.collector {
+            let _ = collector.join();
+        }
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamConfig;
+    use weber_extract::gazetteer::Gazetteer;
+
+    fn resolver() -> Arc<StreamResolver> {
+        let mut g = Gazetteer::new();
+        g.add_phrases(
+            weber_extract::gazetteer::EntityKind::Concept,
+            ["databases", "gardening"],
+        );
+        Arc::new(StreamResolver::new(StreamConfig::default(), &g).unwrap())
+    }
+
+    fn seed_line() -> String {
+        r#"{"op":"seed","name":"cohen","docs":[
+            {"text":"databases are fun and databases are important","label":0},
+            {"text":"databases are hard but databases pay well","label":0},
+            {"text":"gardening tips for growing roses","label":1},
+            {"text":"gardening advice on pruning roses","label":1}]}"#
+            .replace('\n', " ")
+    }
+
+    #[test]
+    fn processes_in_admission_order() {
+        let service = StreamService::start(resolver(), 3, 16);
+        service.submit(seed_line());
+        for i in 0..5 {
+            service.submit(format!(
+                r#"{{"op":"ingest","name":"cohen","text":"databases text number {i}"}}"#
+            ));
+        }
+        service.submit(r#"{"op":"flush"}"#.to_string());
+        assert_eq!(service.submitted(), 7);
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 7);
+        let first = serde_json::parse_value(&responses[0]).unwrap();
+        assert_eq!(first.get("op").unwrap().as_str(), Some("seed"));
+        // Same-name requests are routed to one worker, so the seed applies
+        // before any ingest, and ingests take block slots in admission
+        // order.
+        for (i, line) in responses[1..6].iter().enumerate() {
+            let v = serde_json::parse_value(line).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+            assert_eq!(v.get("doc").unwrap().as_u64(), Some(4 + i as u64));
+        }
+        let last = serde_json::parse_value(&responses[6]).unwrap();
+        assert_eq!(last.get("op").unwrap().as_str(), Some("flush"));
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses_not_crashes() {
+        let service = StreamService::start(resolver(), 2, 8);
+        service.submit("garbage".to_string());
+        service.submit(r#"{"op":"ingest","name":"never-seeded","text":"x"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 2);
+        for line in &responses {
+            let v = serde_json::parse_value(line).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{line}");
+        }
+    }
+
+    #[test]
+    fn full_queue_returns_overloaded() {
+        // One worker, capacity-1 queue, and an ingest burst big enough
+        // that admissions outpace processing: some responses must be
+        // `overloaded`, and the service must neither block nor crash.
+        let service = StreamService::start(resolver(), 1, 1);
+        service.submit(seed_line());
+        let total = 64;
+        for i in 0..total {
+            service.submit(format!(
+                r#"{{"op":"ingest","name":"cohen","text":"databases text number {i}"}}"#
+            ));
+        }
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), total + 1);
+        let overloaded = responses
+            .iter()
+            .filter(|l| {
+                serde_json::parse_value(l)
+                    .unwrap()
+                    .get("error")
+                    .and_then(|e| e.as_str().map(|s| s == "overloaded"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            overloaded > 0,
+            "a capacity-1 queue under a 64-request burst must shed load"
+        );
+        // Accepted requests were still processed correctly.
+        let ok = responses
+            .iter()
+            .filter(|l| {
+                serde_json::parse_value(l)
+                    .unwrap()
+                    .get("ok")
+                    .unwrap()
+                    .as_bool()
+                    == Some(true)
+            })
+            .count();
+        assert!(ok >= 1);
+    }
+
+    #[test]
+    fn control_requests_are_never_load_shed() {
+        // Same saturation setup as above, but the burst is followed by
+        // snapshot + flush + shutdown: control-plane requests must wait
+        // for a slot rather than answer `overloaded`.
+        let service = StreamService::start(resolver(), 1, 1);
+        service.submit(seed_line());
+        for i in 0..32 {
+            service.submit(format!(
+                r#"{{"op":"ingest","name":"cohen","text":"databases text number {i}"}}"#
+            ));
+        }
+        service.submit(r#"{"op":"snapshot"}"#.to_string());
+        service.submit(r#"{"op":"flush"}"#.to_string());
+        service.submit(r#"{"op":"shutdown"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 36);
+        for line in &responses[33..] {
+            let v = serde_json::parse_value(line).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+        }
+    }
+
+    #[test]
+    fn names_route_to_stable_workers() {
+        let service = StreamService::start(resolver(), 4, 32);
+        service.submit(seed_line());
+        service.submit(seed_line().replace("cohen", "smith"));
+        for i in 0..4 {
+            let name = if i % 2 == 0 { "cohen" } else { "smith" };
+            service.submit(format!(
+                r#"{{"op":"ingest","name":"{name}","text":"databases text {i}"}}"#
+            ));
+        }
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 6);
+        for line in &responses {
+            let v = serde_json::parse_value(line).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+        }
+    }
+
+    #[test]
+    fn process_line_works_without_a_queue() {
+        let r = resolver();
+        let response = process_line(&r, &seed_line());
+        let v = serde_json::parse_value(&response).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let snap = process_line(&r, r#"{"op":"snapshot"}"#);
+        let v = serde_json::parse_value(&snap).unwrap();
+        assert_eq!(v.get("names").unwrap().as_array().unwrap().len(), 1);
+    }
+}

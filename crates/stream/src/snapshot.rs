@@ -1,0 +1,83 @@
+//! Serialisable summaries of the live streaming state.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one name's streaming state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameSnapshot {
+    /// The ambiguous name.
+    pub name: String,
+    /// Documents held (seed + ingested).
+    pub docs: usize,
+    /// Live cluster count.
+    pub clusters: usize,
+    /// Name of the best-graph-selected similarity function.
+    pub function: String,
+    /// Label of the selected decision criterion.
+    pub criterion: String,
+    /// Training accuracy of the selected layer.
+    pub accuracy: f64,
+}
+
+/// Summary of the whole service state, one entry per seeded name,
+/// sorted by name for deterministic output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Per-name summaries.
+    pub names: Vec<NameSnapshot>,
+}
+
+impl Snapshot {
+    /// Total documents across names.
+    pub fn total_docs(&self) -> usize {
+        self.names.iter().map(|n| n.docs).sum()
+    }
+
+    /// Total clusters across names.
+    pub fn total_clusters(&self) -> usize {
+        self.names.iter().map(|n| n.clusters).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> Snapshot {
+        Snapshot {
+            names: vec![
+                NameSnapshot {
+                    name: "cohen".into(),
+                    docs: 5,
+                    clusters: 2,
+                    function: "F8".into(),
+                    criterion: "thr".into(),
+                    accuracy: 0.9,
+                },
+                NameSnapshot {
+                    name: "smith".into(),
+                    docs: 3,
+                    clusters: 3,
+                    function: "F4".into(),
+                    criterion: "eq10".into(),
+                    accuracy: 0.8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_names() {
+        let s = snapshot();
+        assert_eq!(s.total_docs(), 8);
+        assert_eq!(s.total_clusters(), 5);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,343 @@
+//! Per-name streaming state: the grown block, the trained decision model,
+//! and the live partition.
+
+use std::collections::HashMap;
+
+use weber_core::resolver::Resolver;
+use weber_core::supervision::Supervision;
+use weber_core::TrainedModel;
+use weber_extract::features::PageFeatures;
+use weber_graph::{OnlinePartition, Partition};
+use weber_simfun::block::{PreparedBlock, WordVectorScheme};
+
+use crate::config::AssignmentPolicy;
+use crate::error::StreamError;
+
+/// Where an arriving document landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterAssignment {
+    /// Index of the document within its name's block.
+    pub doc: usize,
+    /// Cluster representative (the smallest-rooted member index; stable
+    /// until a later arrival merges the cluster).
+    pub cluster: usize,
+    /// True when the document founded a new singleton cluster.
+    pub is_new_cluster: bool,
+    /// Size of the cluster after assignment.
+    pub cluster_size: usize,
+    /// How many existing members the document linked to.
+    pub linked_members: usize,
+}
+
+/// All streaming state for one ambiguous name.
+///
+/// Seeded once from a labelled batch (which trains the decision model via
+/// best-graph selection), then grown one document at a time: each arrival
+/// joins the block-local index, is scored against every existing member
+/// with the trained model, and is folded into the live partition under the
+/// configured [`AssignmentPolicy`].
+#[derive(Debug)]
+pub struct NameState {
+    block: PreparedBlock,
+    model: TrainedModel,
+    partition: OnlinePartition,
+    assignment: AssignmentPolicy,
+    /// The seed labels, retained so the model can be re-calibrated as the
+    /// block's document frequencies drift away from the seed statistics.
+    supervision: Supervision,
+    /// The batch resolver, retained for checkpoint re-training.
+    resolver: Resolver,
+    /// Block size at which the next checkpoint rebuild runs.
+    retrain_at: usize,
+}
+
+/// Transitive closure of the model's pairwise decisions over the whole
+/// block, with the supervision's known same-entity pairs merged on top
+/// (seed labels are ground truth for their documents).
+fn closure_partition(
+    block: &PreparedBlock,
+    model: &TrainedModel,
+    supervision: &Supervision,
+) -> OnlinePartition {
+    let mut partition = OnlinePartition::new();
+    for i in 0..block.len() {
+        let links: Vec<usize> = (0..i).filter(|&j| model.decide(block, i, j)).collect();
+        partition.insert(links);
+    }
+    for (i, j, link) in supervision.pairs() {
+        if link {
+            partition.merge(i, j);
+        }
+    }
+    partition
+}
+
+impl NameState {
+    /// Train on a labelled seed batch and build the initial partition.
+    ///
+    /// The partition over the seed documents is the transitive closure of
+    /// the trained model's pairwise decisions, with same-label pairs merged
+    /// on top (the seed labels are ground truth for their documents).
+    pub fn seed(
+        name: &str,
+        features: Vec<PageFeatures>,
+        labels: &[u32],
+        resolver: &Resolver,
+        scheme: WordVectorScheme,
+        assignment: AssignmentPolicy,
+    ) -> Result<Self, StreamError> {
+        if features.is_empty() {
+            return Err(StreamError::EmptySeed(name.to_string()));
+        }
+        debug_assert_eq!(features.len(), labels.len());
+        let block = PreparedBlock::with_scheme(name, features, scheme);
+        let supervision = Supervision::new(
+            labels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (i, l))
+                .collect::<HashMap<_, _>>(),
+        );
+        let model = resolver.train(&block, &supervision)?;
+        let partition = closure_partition(&block, &model, &supervision);
+        let retrain_at = block.len() * 2;
+        Ok(Self {
+            block,
+            model,
+            partition,
+            assignment,
+            supervision,
+            resolver: resolver.clone(),
+            retrain_at,
+        })
+    }
+
+    /// Checkpoint: re-run full best-graph training on the grown block and
+    /// rebuild the partition from the new model's decision closure.
+    ///
+    /// The seed model was selected on seed-only statistics, where a
+    /// threshold layer can look perfect (a handful of labelled documents is
+    /// easy to separate) yet over-link badly on the unlabelled stream. The
+    /// batch resolver never has this problem because its layers are built
+    /// over *all* documents — unlabelled ones participate in the closure, so
+    /// over-linking layers get punished at selection time. Re-training at
+    /// doubling block sizes restores that selection pressure: total rebuild
+    /// cost is a geometric series dominated by the final rebuild, i.e. the
+    /// same order as one batch resolution.
+    fn checkpoint(&mut self) {
+        if let Ok(model) = self.resolver.train(&self.block, &self.supervision) {
+            self.model = model;
+        } else {
+            // Training can only fail on invalid supervision, which seed()
+            // already validated; fall back to re-calibration just in case.
+            self.model.refit(&self.block, &self.supervision);
+        }
+        self.partition = closure_partition(&self.block, &self.model, &self.supervision);
+        self.retrain_at = self.block.len() * 2;
+    }
+
+    /// Ingest one document: grow the block, re-calibrate the model's fit
+    /// on the retained seed labels (document frequencies just shifted),
+    /// score against every existing member, update the partition.
+    ///
+    /// Under [`AssignmentPolicy::TransitiveClosure`] the state additionally
+    /// re-trains and rebuilds at doubling block sizes (see
+    /// [`NameState::checkpoint`]); the per-arrival path below handles every
+    /// document in between. The [`AssignmentPolicy::Linkage`] policy is
+    /// strictly incremental — it promises never to merge existing clusters,
+    /// which a closure rebuild could not honour.
+    pub fn ingest(&mut self, features: PageFeatures) -> ClusterAssignment {
+        let doc = self.block.push(features);
+        if matches!(self.assignment, AssignmentPolicy::TransitiveClosure)
+            && self.block.len() >= self.retrain_at
+        {
+            self.checkpoint();
+            let linked_members = (0..doc)
+                .filter(|&j| self.model.decide(&self.block, doc, j))
+                .count();
+            let cluster_size = self.partition.members_of(doc).len();
+            return ClusterAssignment {
+                doc,
+                cluster: self.partition.representative(doc),
+                is_new_cluster: cluster_size == 1,
+                cluster_size,
+                linked_members,
+            };
+        }
+        self.model.refit(&self.block, &self.supervision);
+        let links: Vec<usize> = match self.assignment {
+            AssignmentPolicy::TransitiveClosure => (0..doc)
+                .filter(|&j| self.model.decide(&self.block, doc, j))
+                .collect(),
+            AssignmentPolicy::Linkage { linkage, threshold } => {
+                let mut best: Option<(usize, f64)> = None;
+                for members in self.partition.clusters() {
+                    let score = linkage.combine_scores(
+                        members
+                            .iter()
+                            .map(|&m| self.model.link_probability(&self.block, doc, m)),
+                    );
+                    if score >= threshold && best.is_none_or(|(_, b)| score > b) {
+                        best = Some((members[0], score));
+                    }
+                }
+                best.map(|(m, _)| vec![m]).unwrap_or_default()
+            }
+        };
+        let linked_members = links.len();
+        let id = self.partition.insert(links);
+        debug_assert_eq!(id, doc);
+        let cluster_size = self.partition.members_of(doc).len();
+        ClusterAssignment {
+            doc,
+            cluster: self.partition.representative(doc),
+            is_new_cluster: cluster_size == 1,
+            cluster_size,
+            linked_members,
+        }
+    }
+
+    /// Number of documents (seed + ingested).
+    pub fn len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// A seeded state always has documents.
+    pub fn is_empty(&self) -> bool {
+        self.block.is_empty()
+    }
+
+    /// Number of live clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.partition.cluster_count()
+    }
+
+    /// Snapshot of the live partition (canonical first-occurrence labels).
+    pub fn partition(&self) -> Partition {
+        self.partition.partition()
+    }
+
+    /// The trained decision model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The grown block.
+    pub fn block(&self) -> &PreparedBlock {
+        &self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weber_core::resolver::ResolverConfig;
+    use weber_extract::gazetteer::Gazetteer;
+    use weber_extract::pipeline::Extractor;
+
+    fn extractor() -> Extractor {
+        let mut g = Gazetteer::new();
+        g.add_phrases(
+            weber_extract::gazetteer::EntityKind::Concept,
+            ["databases", "gardening"],
+        );
+        Extractor::new(&g)
+    }
+
+    fn seeded() -> (NameState, Extractor) {
+        let e = extractor();
+        let texts = [
+            "databases are fun and databases are important",
+            "databases are hard but databases pay well",
+            "gardening tips for growing roses",
+            "gardening advice on pruning roses",
+        ];
+        let features: Vec<PageFeatures> = texts.iter().map(|t| e.extract(t, None)).collect();
+        let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+        let state = NameState::seed(
+            "cohen",
+            features,
+            &[0, 0, 1, 1],
+            &resolver,
+            WordVectorScheme::default(),
+            AssignmentPolicy::TransitiveClosure,
+        )
+        .unwrap();
+        (state, e)
+    }
+
+    #[test]
+    fn seed_trains_and_partitions() {
+        let (state, _) = seeded();
+        assert_eq!(state.len(), 4);
+        // Same-label pairs are merged in the seed partition.
+        let p = state.partition();
+        assert!(p.same_cluster(0, 1));
+        assert!(p.same_cluster(2, 3));
+        assert!(!p.same_cluster(0, 2));
+    }
+
+    #[test]
+    fn empty_seed_is_rejected() {
+        let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+        let err = NameState::seed(
+            "cohen",
+            Vec::new(),
+            &[],
+            &resolver,
+            WordVectorScheme::default(),
+            AssignmentPolicy::TransitiveClosure,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::EmptySeed(_)));
+    }
+
+    #[test]
+    fn ingest_grows_the_block_and_partition() {
+        let (mut state, e) = seeded();
+        let a = state.ingest(e.extract("databases are fun and databases are hard", None));
+        assert_eq!(a.doc, 4);
+        assert_eq!(state.len(), 5);
+        assert_eq!(state.partition().len(), 5);
+    }
+
+    #[test]
+    fn dissimilar_document_founds_a_new_cluster() {
+        let (mut state, e) = seeded();
+        let a = state.ingest(e.extract("zebra xylophone quantum baseball", None));
+        assert!(a.is_new_cluster, "{a:?}");
+        assert_eq!(a.cluster_size, 1);
+        assert_eq!(a.linked_members, 0);
+    }
+
+    #[test]
+    fn linkage_policy_never_merges_existing_clusters() {
+        let e = extractor();
+        let texts = [
+            "databases are fun and databases are important",
+            "databases are hard but databases pay well",
+            "gardening tips for growing roses",
+            "gardening advice on pruning roses",
+        ];
+        let features: Vec<PageFeatures> = texts.iter().map(|t| e.extract(t, None)).collect();
+        let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+        let mut state = NameState::seed(
+            "cohen",
+            features,
+            &[0, 0, 1, 1],
+            &resolver,
+            WordVectorScheme::default(),
+            AssignmentPolicy::Linkage {
+                linkage: weber_graph::incremental::Linkage::Average,
+                threshold: 0.5,
+            },
+        )
+        .unwrap();
+        let before = state.cluster_count();
+        state.ingest(e.extract("databases and gardening together", None));
+        // Linkage assignment joins at most one cluster; the count can only
+        // stay (joined) or grow by one (new singleton).
+        assert!(state.cluster_count() >= before);
+        assert!(state.cluster_count() <= before + 1);
+    }
+}

@@ -94,7 +94,10 @@ pub fn near_duplicates(
         return Vec::new();
     };
     let k = first.len();
-    assert!(bands > 0 && k % bands == 0, "bands must divide the signature length");
+    assert!(
+        bands > 0 && k % bands == 0,
+        "bands must divide the signature length"
+    );
     let rows = k / bands;
     let mut candidates: std::collections::BTreeSet<(usize, usize)> = Default::default();
     for band in 0..bands {

@@ -74,11 +74,7 @@ impl SparseVector {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Dot product via a sorted merge join.
@@ -196,10 +192,7 @@ mod tests {
     #[test]
     fn from_pairs_sorts_dedups_and_drops_zeros() {
         let a = v(&[(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0)]);
-        assert_eq!(
-            a.entries(),
-            &[(TermId(1), 2.0), (TermId(3), 3.0)]
-        );
+        assert_eq!(a.entries(), &[(TermId(1), 2.0), (TermId(3), 3.0)]);
     }
 
     #[test]
@@ -271,7 +264,10 @@ mod tests {
         let b = v(&[(5, 3.0)]);
         assert!((a.extended_jaccard(&a) - 1.0).abs() < 1e-12);
         assert_eq!(a.extended_jaccard(&b), 0.0);
-        assert_eq!(SparseVector::new().extended_jaccard(&SparseVector::new()), 0.0);
+        assert_eq!(
+            SparseVector::new().extended_jaccard(&SparseVector::new()),
+            0.0
+        );
     }
 
     #[test]

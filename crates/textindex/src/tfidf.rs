@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn rarer_terms_weigh_more() {
-        for idf in [IdfScheme::Plain, IdfScheme::Smooth, IdfScheme::Probabilistic] {
+        for idf in [
+            IdfScheme::Plain,
+            IdfScheme::Smooth,
+            IdfScheme::Probabilistic,
+        ] {
             let t = TfIdf::new(TfScheme::Raw, idf);
             assert!(
                 t.idf_weight(1, 100) > t.idf_weight(50, 100),

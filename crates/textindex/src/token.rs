@@ -73,7 +73,9 @@ fn strip_possessives(input: &str, tokens: Vec<Token>) -> Vec<Token> {
         let is_possessive_s = tok.text == "s"
             && tok.start > 0
             && matches!(bytes.get(tok.start - 1), Some(b'\'') | Some(b'\xe2'));
-        let follows_word = out.last().is_some_and(|p: &Token| tok.start >= 1 && p.end + 1 >= tok.start);
+        let follows_word = out
+            .last()
+            .is_some_and(|p: &Token| tok.start >= 1 && p.end + 1 >= tok.start);
         if is_possessive_s && follows_word {
             continue;
         }

@@ -11,10 +11,9 @@ use weber_textindex::{Analyzer, CorpusIndex};
 
 /// Strategy: a sparse vector with non-negative weights over small term ids.
 fn nonneg_vector() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..64, 0.0f64..10.0), 0..20)
-        .prop_map(|pairs| SparseVector::from_pairs(
-            pairs.into_iter().map(|(i, w)| (TermId(i), w)).collect(),
-        ))
+    proptest::collection::vec((0u32..64, 0.0f64..10.0), 0..20).prop_map(|pairs| {
+        SparseVector::from_pairs(pairs.into_iter().map(|(i, w)| (TermId(i), w)).collect())
+    })
 }
 
 proptest! {

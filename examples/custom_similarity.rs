@@ -46,16 +46,24 @@ fn main() {
 
     // Baseline: the standard ten functions.
     let standard = Resolver::new(ResolverConfig::default()).expect("valid configuration");
-    let base = standard.resolve(&nb.block, &supervision).expect("resolution");
+    let base = standard
+        .resolve(&nb.block, &supervision)
+        .expect("resolution");
     let base_metrics = MetricSet::evaluate(&base.partition, &nb.truth);
 
     // Extended: the same configuration plus our custom function.
     let extended_config = ResolverConfig::default().with_function(Arc::new(LocationOverlap));
     let extended = Resolver::new(extended_config).expect("valid configuration");
-    let ext = extended.resolve(&nb.block, &supervision).expect("resolution");
+    let ext = extended
+        .resolve(&nb.block, &supervision)
+        .expect("resolution");
     let ext_metrics = MetricSet::evaluate(&ext.partition, &nb.truth);
 
-    println!("block '{}', {} documents", nb.block.query_name(), nb.block.len());
+    println!(
+        "block '{}', {} documents",
+        nb.block.query_name(),
+        nb.block.len()
+    );
     println!(
         "standard suite:  Fp {:.3}  (selected layer {})",
         base_metrics.fp,

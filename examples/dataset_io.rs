@@ -69,8 +69,8 @@ fn main() {
     std::fs::write(&path, &json).expect("writable temp dir");
     println!("\nwrote {} bytes to {}", json.len(), path.display());
 
-    let reloaded = Dataset::from_json(&std::fs::read_to_string(&path).expect("readable"))
-        .expect("valid JSON");
+    let reloaded =
+        Dataset::from_json(&std::fs::read_to_string(&path).expect("readable")).expect("valid JSON");
     assert_eq!(reloaded.document_count(), dataset.document_count());
     assert_eq!(reloaded.blocks.len(), dataset.blocks.len());
     for (a, b) in reloaded.blocks.iter().zip(&dataset.blocks) {

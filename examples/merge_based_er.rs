@@ -37,9 +37,7 @@ fn main() {
             out.records.len(),
             out.merges,
             m.fp,
-            matcher
-                .weights
-                .map(|w| (w * 100.0).round() / 100.0),
+            matcher.weights.map(|w| (w * 100.0).round() / 100.0),
         );
         println!(
             "    least confident record: {} pages, confidence {:.3} (review candidate)",

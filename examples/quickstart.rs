@@ -35,7 +35,9 @@ fn main() {
     //    so we label 25% to get a comparable number of training pairs.
     for nb in &prepared.blocks {
         let supervision = Supervision::sample_from_truth(&nb.truth, 0.25, 42);
-        let resolution = resolver.resolve(&nb.block, &supervision).expect("resolution");
+        let resolution = resolver
+            .resolve(&nb.block, &supervision)
+            .expect("resolution");
         let metrics = MetricSet::evaluate(&resolution.partition, &nb.truth);
         let selected = resolution
             .selected()

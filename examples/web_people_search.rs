@@ -26,11 +26,16 @@ fn main() {
         .find(|b| b.block.query_name() == query)
         .expect("the www05-like corpus contains a 'cohen' block");
 
-    println!("web people search: '{query}' ({} result pages)", nb.block.len());
+    println!(
+        "web people search: '{query}' ({} result pages)",
+        nb.block.len()
+    );
 
     let resolver = Resolver::new(ResolverConfig::default()).expect("valid configuration");
     let supervision = Supervision::sample_from_truth(&nb.truth, 0.1, 7);
-    let resolution = resolver.resolve(&nb.block, &supervision).expect("resolution");
+    let resolution = resolver
+        .resolve(&nb.block, &supervision)
+        .expect("resolution");
 
     // Group result pages by resolved entity.
     let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();

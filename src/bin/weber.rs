@@ -5,6 +5,7 @@
 //! weber stats    --dataset FILE
 //! weber resolve  --dataset FILE [--train FRAC] [--seed N] [--out FILE]
 //! weber experiment --dataset FILE [--train FRAC] [--runs N]
+//! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
 //! ```
 
 use std::collections::HashMap;
@@ -17,6 +18,7 @@ use weber::core::supervision::Supervision;
 use weber::corpus::{generate, presets, CorpusConfig, Dataset};
 use weber::eval::MetricSet;
 use weber::simfun::functions::subset_i10;
+use weber::stream::{serve_stdio, serve_tcp, StreamConfig, StreamResolver};
 use weber::textindex::TfIdf;
 
 const USAGE: &str = "\
@@ -27,10 +29,20 @@ USAGE:
   weber stats     --dataset FILE
   weber resolve   --dataset FILE [--train FRAC] [--seed N] [--out FILE]
   weber experiment --dataset FILE [--train FRAC] [--runs N]
+  weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
+  weber --version | --help
 
 The resolve/experiment commands use the paper's full technique (functions
 F1–F10, threshold + region-accuracy criteria, best-graph combination,
-transitive closure).";
+transitive closure).
+
+The serve command runs a streaming resolution daemon speaking NDJSON, one
+request per line, over stdin/stdout (default) or a TCP socket (--listen).
+Seed a name with a labelled batch, then ingest documents one at a time:
+  {\"op\":\"seed\",\"name\":\"cohen\",\"docs\":[{\"text\":\"…\",\"label\":0},…]}
+  {\"op\":\"ingest\",\"name\":\"cohen\",\"text\":\"…\"}
+--dataset seeds the gazetteer from a generated corpus file; --workers and
+--queue size the worker pool and per-worker admission queue.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,7 +72,11 @@ fn flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(out)
 }
 
-fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, String> {
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -87,8 +103,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&flags),
         "resolve" => cmd_resolve(&flags),
         "experiment" => cmd_experiment(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
+            Ok(())
+        }
+        "version" | "--version" | "-V" => {
+            println!("weber {}", env!("CARGO_PKG_VERSION"));
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
@@ -106,7 +127,9 @@ fn preset_by_name(name: &str, seed: u64) -> Result<CorpusConfig, String> {
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let preset = flags.get("preset").ok_or("missing required flag --preset")?;
+    let preset = flags
+        .get("preset")
+        .ok_or("missing required flag --preset")?;
     let seed: u64 = parse(flags, "seed", 0)?;
     let out = flags.get("out").ok_or("missing required flag --out")?;
     let dataset = generate(&preset_by_name(preset, seed)?);
@@ -164,7 +187,10 @@ fn cmd_resolve(flags: &HashMap<String, String>) -> Result<(), String> {
     let prepared = prepare_dataset(&dataset, TfIdf::default());
     let resolver = Resolver::new(ResolverConfig::default()).map_err(|e| e.to_string())?;
     let mut output: Vec<(String, Vec<u32>)> = Vec::new();
-    println!("resolving with {:.0}% supervision (seed {seed})", train * 100.0);
+    println!(
+        "resolving with {:.0}% supervision (seed {seed})",
+        train * 100.0
+    );
     for nb in &prepared.blocks {
         let sup = Supervision::sample_from_truth(&nb.truth, train, seed);
         let r = resolver
@@ -227,9 +253,18 @@ fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
         runs
     );
     for (label, cfg) in [
-        ("I10 (threshold only)", ResolverConfig::threshold_suite(subset_i10())),
-        ("C10 (region accuracy)", ResolverConfig::accuracy_suite(subset_i10())),
-        ("W (weighted average)", ResolverConfig::weighted_average(subset_i10())),
+        (
+            "I10 (threshold only)",
+            ResolverConfig::threshold_suite(subset_i10()),
+        ),
+        (
+            "C10 (region accuracy)",
+            ResolverConfig::accuracy_suite(subset_i10()),
+        ),
+        (
+            "W (weighted average)",
+            ResolverConfig::weighted_average(subset_i10()),
+        ),
     ] {
         let out = run_experiment(&prepared, &cfg, &protocol).map_err(|e| e.to_string())?;
         println!(
@@ -237,5 +272,31 @@ fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
             label, out.mean.fp, out.mean.f, out.mean.rand
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let workers: usize = parse(flags, "workers", 2)?;
+    let queue: usize = parse(flags, "queue", 64)?;
+    let gazetteer = match flags.get("dataset") {
+        Some(_) => load_dataset(flags)?.gazetteer,
+        None => weber::extract::gazetteer::Gazetteer::new(),
+    };
+    let config = StreamConfig::default()
+        .with_workers(workers)
+        .with_queue_capacity(queue);
+    let resolver =
+        std::sync::Arc::new(StreamResolver::new(config, &gazetteer).map_err(|e| e.to_string())?);
+    let admitted = match flags.get("listen") {
+        Some(addr) => {
+            eprintln!("serving NDJSON on {addr} ({workers} workers, queue {queue})");
+            serve_tcp(resolver, addr, workers, queue).map_err(|e| e.to_string())?
+        }
+        None => {
+            eprintln!("serving NDJSON on stdin/stdout ({workers} workers, queue {queue})");
+            serve_stdio(resolver, workers, queue).map_err(|e| e.to_string())?
+        }
+    };
+    eprintln!("served {admitted} requests");
     Ok(())
 }

@@ -23,6 +23,9 @@
 //!   (`www05_like`, `weps_like` presets) with ground truth.
 //! - [`core`] — the entity-resolution framework tying it all together
 //!   (Algorithm 1 of the paper).
+//! - [`stream`] — streaming resolution: per-name decision models trained
+//!   on seed batches, incremental ingestion, and the `weber serve` NDJSON
+//!   daemon.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
 //! tables/figures.
@@ -34,4 +37,5 @@ pub use weber_extract as extract;
 pub use weber_graph as graph;
 pub use weber_ml as ml;
 pub use weber_simfun as simfun;
+pub use weber_stream as stream;
 pub use weber_textindex as textindex;

@@ -20,6 +20,69 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn long_help_flag_succeeds() {
+    let out = weber().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn version_flag_prints_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = weber().arg(flag).output().unwrap();
+        assert!(out.status.success(), "{flag} must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.starts_with("weber ") && text.contains(env!("CARGO_PKG_VERSION")),
+            "{flag} printed: {text}"
+        );
+    }
+}
+
+#[test]
+fn serve_round_trips_ndjson_over_stdio() {
+    use std::io::Write;
+    let mut child = weber()
+        .args(["serve", "--workers", "2", "--queue", "8"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let requests = concat!(
+        r#"{"op":"seed","name":"cohen","docs":[{"text":"databases and systems","label":0},{"text":"databases research","label":0},{"text":"gardening and roses","label":1}]}"#,
+        "\n",
+        r#"{"op":"ingest","name":"cohen","text":"more databases work"}"#,
+        "\n",
+        r#"{"op":"snapshot"}"#,
+        "\n",
+        r#"{"op":"shutdown"}"#,
+        "\n",
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(requests.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(lines.len(), 4, "one response per request: {lines:?}");
+    assert!(lines[0].contains(r#""ok":true"#) && lines[0].contains(r#""op":"seed""#));
+    assert!(lines[1].contains(r#""op":"ingest""#) && lines[1].contains(r#""doc":3"#));
+    assert!(lines[2].contains(r#""op":"snapshot""#) && lines[2].contains("cohen"));
+    assert!(lines[3].contains(r#""op":"shutdown""#));
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = weber().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
@@ -38,7 +101,11 @@ fn generate_stats_resolve_roundtrip() {
         .arg(&dataset)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dataset.exists());
 
     let out = weber()
@@ -58,7 +125,11 @@ fn generate_stats_resolve_roundtrip() {
         .arg(&labels)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Fp"));
     let label_json = std::fs::read_to_string(&labels).unwrap();

@@ -155,8 +155,7 @@ fn resolver_handles_single_document_blocks() {
     let extractor = weber::extract::pipeline::Extractor::new(&dataset.gazetteer);
     let doc = &dataset.blocks[0].documents[0];
     let features = vec![extractor.extract(&doc.text, doc.url.as_deref())];
-    let block =
-        weber::simfun::block::PreparedBlock::new("solo", features, TfIdf::default());
+    let block = weber::simfun::block::PreparedBlock::new("solo", features, TfIdf::default());
     let resolver = Resolver::new(ResolverConfig::default()).unwrap();
     let r = resolver.resolve(&block, &Supervision::empty()).unwrap();
     assert_eq!(r.partition.len(), 1);

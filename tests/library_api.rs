@@ -65,7 +65,10 @@ fn custom_only_resolver_works() {
     };
     let resolver = Resolver::new(cfg).unwrap();
     let r = resolver
-        .resolve(&nb.block, &Supervision::sample_from_truth(&nb.truth, 0.3, 1))
+        .resolve(
+            &nb.block,
+            &Supervision::sample_from_truth(&nb.truth, 0.3, 1),
+        )
         .unwrap();
     // Constant-zero similarity asserts nothing: everything is a singleton.
     assert_eq!(r.partition.cluster_count(), nb.block.len());

@@ -1,0 +1,136 @@
+//! Streaming-vs-batch equivalence: feeding a corpus document-by-document
+//! through the streaming resolver must track the batch resolver's quality.
+//!
+//! Protocol per block: sample supervision from the ground truth (the same
+//! labelled subset both paths see), resolve the whole block in batch, then
+//! seed a streaming resolver with only the labelled documents and ingest
+//! the rest one at a time. The streamed partition — reassembled in original
+//! document order — is scored with B-Cubed F against the ground truth and
+//! must come within a fixed tolerance of the batch score. The streamed
+//! model is trained on the seed subset's block-local statistics (it has not
+//! seen the unlabelled documents at fit time), so exact equality is not
+//! expected; staying close is the point of the subsystem.
+
+use proptest::prelude::*;
+
+use weber::core::blocking::prepare_dataset;
+use weber::core::resolver::{Resolver, ResolverConfig};
+use weber::core::supervision::Supervision;
+use weber::corpus::{generate, presets, CorpusConfig};
+use weber::eval::bcubed;
+use weber::graph::Partition;
+use weber::stream::{SeedDocument, StreamConfig, StreamResolver};
+use weber::textindex::TfIdf;
+
+/// Mean B-Cubed F of both paths over a dataset's blocks:
+/// `(batch, stream, blocks_compared)`.
+fn stream_vs_batch(config: &CorpusConfig, fraction: f64, seed: u64) -> (f64, f64, usize) {
+    let dataset = generate(config);
+    let prepared = prepare_dataset(&dataset, TfIdf::default());
+    let batch = Resolver::new(ResolverConfig::default()).unwrap();
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+
+    let (mut batch_sum, mut stream_sum, mut compared) = (0.0, 0.0, 0usize);
+    for (nb, raw) in prepared.blocks.iter().zip(&dataset.blocks) {
+        let truth = &nb.truth;
+        let sup = Supervision::sample_from_truth(truth, fraction, seed);
+        if sup.len() < 2 || sup.len() == truth.len() {
+            continue; // nothing to train on, or nothing left to stream
+        }
+
+        let resolution = batch.resolve(&nb.block, &sup).unwrap();
+        let batch_f = bcubed(&resolution.partition, truth).f_measure();
+
+        let seed_docs: Vec<usize> = sup.docs().to_vec();
+        let batch_docs: Vec<SeedDocument> = seed_docs
+            .iter()
+            .map(|&d| SeedDocument {
+                text: raw.documents[d].text.clone(),
+                url: raw.documents[d].url.clone(),
+                label: truth.label_of(d),
+            })
+            .collect();
+        stream.seed(&raw.query_name, &batch_docs).unwrap();
+
+        // Ingest every unlabelled document, one at a time, in order.
+        let mut order = seed_docs.clone();
+        for d in 0..truth.len() {
+            if !seed_docs.contains(&d) {
+                let doc = &raw.documents[d];
+                stream
+                    .ingest(&raw.query_name, &doc.text, doc.url.as_deref())
+                    .unwrap();
+                order.push(d);
+            }
+        }
+
+        // Reassemble the streamed partition in original document order.
+        let streamed = stream.partition(&raw.query_name).unwrap();
+        let mut labels = vec![0u32; truth.len()];
+        for (pos, &original) in order.iter().enumerate() {
+            labels[original] = streamed.label_of(pos);
+        }
+        let stream_f = bcubed(&Partition::from_labels(labels), truth).f_measure();
+
+        batch_sum += batch_f;
+        stream_sum += stream_f;
+        compared += 1;
+    }
+    (batch_sum, stream_sum, compared)
+}
+
+/// Fixed tolerance on the mean B-Cubed F gap between the two paths.
+const TOLERANCE: f64 = 0.15;
+
+fn assert_equivalent(config: &CorpusConfig, fraction: f64, seed: u64) {
+    let (batch_sum, stream_sum, compared) = stream_vs_batch(config, fraction, seed);
+    assert!(compared > 0, "no block had a usable training sample");
+    let batch_mean = batch_sum / compared as f64;
+    let stream_mean = stream_sum / compared as f64;
+    assert!(
+        stream_mean >= batch_mean - TOLERANCE,
+        "streaming fell behind batch: stream {stream_mean:.4} vs batch {batch_mean:.4} \
+         over {compared} blocks (tolerance {TOLERANCE})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn streaming_tracks_batch_on_tiny_corpora(seed in 1u64..1000) {
+        assert_equivalent(&presets::tiny(seed), 0.3, seed);
+    }
+}
+
+#[test]
+fn streaming_tracks_batch_on_small_corpus() {
+    assert_equivalent(&presets::small(77), 0.25, 77);
+}
+
+#[test]
+fn streaming_handles_every_block_of_a_dataset() {
+    // Coverage sanity: on a tiny corpus with generous supervision, every
+    // block either trains or is skipped for a principled reason, and the
+    // streamed state answers for each trained name.
+    let dataset = generate(&presets::tiny(5));
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+    let mut seeded = 0;
+    for block in &dataset.blocks {
+        let truth = block.truth();
+        let docs: Vec<SeedDocument> = block
+            .documents
+            .iter()
+            .zip(0..)
+            .map(|(d, i)| SeedDocument {
+                text: d.text.clone(),
+                url: d.url.clone(),
+                label: truth.label_of(i),
+            })
+            .collect();
+        stream.seed(&block.query_name, &docs).unwrap();
+        seeded += 1;
+    }
+    assert_eq!(seeded, dataset.blocks.len());
+    assert_eq!(stream.snapshot().names.len(), dataset.blocks.len());
+}

@@ -1,0 +1,392 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Provides the `channel` module (mpmc bounded/unbounded channels with
+//! `try_send` backpressure semantics) and re-exports `std::thread::scope`
+//! under `crossbeam::scope`'s modern name. Built on `Mutex` + `Condvar`
+//! rather than lock-free queues — same semantics, adequate throughput for
+//! this workspace's worker pools.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error from [`Sender::send`]: all receivers dropped. Returns the value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value is returned.
+        Full(T),
+        /// All receivers dropped; the value is returned.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// True if this is the `Full` variant.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+    /// Error from [`Receiver::recv`]: channel empty and all senders dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// The sending half; clone for multiple producers.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clone for multiple consumers.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake receivers blocked in recv().
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = match self.inner.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = match self.inner.not_full.wait(queue) {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send without blocking; a full channel returns
+        /// [`TrySendError::Full`] immediately (backpressure signal).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = match self.inner.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.inner.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            match self.inner.queue.lock() {
+                Ok(g) => g.len(),
+                Err(p) => p.into_inner().len(),
+            }
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = match self.inner.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = match self.inner.not_empty.wait(queue) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = match self.inner.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return Ok(value);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            match self.inner.queue.lock() {
+                Ok(g) => g.len(),
+                Err(p) => p.into_inner().len(),
+            }
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator draining the channel until disconnected.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator over received messages; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// A channel holding at most `cap` messages; `try_send` on a full
+    /// channel fails fast with [`TrySendError::Full`]. A capacity of 0 is
+    /// treated as capacity 1 (the stub has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+}
+
+/// `crossbeam::thread`-alike over `std::thread::scope`.
+pub mod thread {
+    /// Spawn scoped threads; `f` receives the [`std::thread::Scope`].
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError, TrySendError};
+
+    #[test]
+    fn bounded_backpressure() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        match tx.try_send(1) {
+            Err(TrySendError::Disconnected(1)) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = bounded::<usize>(4);
+        let total: usize = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || rx.iter().sum::<usize>())
+                })
+                .collect();
+            drop(rx);
+            for chunk in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        tx.send(chunk * 25 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, (0..100).sum::<usize>());
+    }
+}

@@ -1,0 +1,620 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`], the [`Strategy`] trait with
+//! `prop_map`, numeric-range and regex-string strategies, tuple strategies,
+//! and `collection::{vec, btree_set}`.
+//!
+//! Cases are generated from a deterministic per-test seed (hash of the test
+//! name), so failures are reproducible. There is **no shrinking**: a failing
+//! case reports its inputs via the assertion message only.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Test-case generation RNG (a seeded [`StdRng`]).
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG derived from the test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Record a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ------------------------------------------------------------- regex strings
+
+/// `&str` strategies are regex patterns (a generative subset: literals,
+/// `.`, character classes, groups, and `{m}`/`{m,n}` repetition).
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = regex::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex::generate(&atoms, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use super::TestRng;
+    use rand::RngExt;
+
+    pub enum Atom {
+        Literal(char),
+        /// Candidate characters of a class or of `.`.
+        Class(Vec<char>),
+        Group(Vec<(Atom, Repeat)>),
+    }
+
+    pub struct Repeat {
+        pub min: u32,
+        pub max: u32,
+    }
+
+    /// Characters `.` draws from: printable ASCII plus a few multi-byte
+    /// code points so robustness tests see non-ASCII input.
+    fn dot_chars() -> Vec<char> {
+        let mut v: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+        v.extend(['é', 'ß', 'λ', '中', '☃']);
+        v
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<(Atom, Repeat)>, String> {
+        let mut chars = pattern.chars().peekable();
+        parse_seq(&mut chars, None)
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        until: Option<char>,
+    ) -> Result<Vec<(Atom, Repeat)>, String> {
+        let mut atoms = Vec::new();
+        loop {
+            let Some(&c) = chars.peek() else {
+                return if until.is_none() {
+                    Ok(atoms)
+                } else {
+                    Err("unterminated group".into())
+                };
+            };
+            if Some(c) == until {
+                chars.next();
+                return Ok(atoms);
+            }
+            chars.next();
+            let atom = match c {
+                '.' => Atom::Class(dot_chars()),
+                '[' => Atom::Class(parse_class(chars)?),
+                '(' => Atom::Group(parse_seq(chars, Some(')'))?),
+                '\\' => {
+                    let esc = chars.next().ok_or("trailing backslash")?;
+                    Atom::Literal(esc)
+                }
+                '*' | '+' | '?' | '|' => {
+                    return Err(format!("unsupported regex operator `{c}`"));
+                }
+                c => Atom::Literal(c),
+            };
+            let repeat = parse_repeat(chars)?;
+            atoms.push((atom, repeat));
+        }
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Vec<char>, String> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars.next().ok_or("unterminated character class")?;
+            match c {
+                ']' => return Ok(set),
+                '\\' => set.push(chars.next().ok_or("trailing backslash in class")?),
+                c => {
+                    if chars.peek() == Some(&'-') {
+                        // Possible range; `-` before `]` is a literal.
+                        chars.next();
+                        match chars.peek() {
+                            Some(&']') | None => {
+                                set.push(c);
+                                set.push('-');
+                            }
+                            Some(&end) => {
+                                chars.next();
+                                if (c as u32) > (end as u32) {
+                                    return Err(format!("bad range {c}-{end}"));
+                                }
+                                for v in (c as u32)..=(end as u32) {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Repeat, String> {
+        if chars.peek() != Some(&'{') {
+            return Ok(Repeat { min: 1, max: 1 });
+        }
+        chars.next();
+        let mut spec = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => spec.push(c),
+                None => return Err("unterminated repetition".into()),
+            }
+        }
+        let parse_u32 = |s: &str| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad repetition `{spec}`"))
+        };
+        match spec.split_once(',') {
+            None => {
+                let n = parse_u32(&spec)?;
+                Ok(Repeat { min: n, max: n })
+            }
+            Some((lo, hi)) => Ok(Repeat {
+                min: parse_u32(lo)?,
+                max: parse_u32(hi)?,
+            }),
+        }
+    }
+
+    pub fn generate(atoms: &[(Atom, Repeat)], rng: &mut TestRng, out: &mut String) {
+        for (atom, repeat) in atoms {
+            let n = rng.random_range(repeat.min..=repeat.max);
+            for _ in 0..n {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        let i = rng.random_range(0..set.len());
+                        out.push(set[i]);
+                    }
+                    Atom::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..self.max)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; sizes are upper bounds (duplicates
+    /// collapse, as in real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Define property tests (see crate docs for the supported forms).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("case {} of {}: {}", case, stringify!($name), e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn labels(n: usize) -> impl Strategy<Value = Vec<u32>> {
+        collection::vec(0u32..(n as u32).max(1), n)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps(x in 3usize..10, f in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-c]{2,5}", t in ".{0,8}", u in "[a-z]{1,3}(\\.[a-z]{1,3}){1,2}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.chars().count() <= 8);
+            prop_assert!(u.contains('.'), "{}", u);
+        }
+
+        #[test]
+        fn collections(v in labels(7), set in collection::btree_set("[a-b]{1,2}", 0..8)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(set.len() <= 7);
+        }
+
+        #[test]
+        fn tuples_and_prop_map(
+            pairs in collection::vec((0usize..5, 0usize..5), 0..10)
+                .prop_map(|ps| ps.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>())
+        ) {
+            prop_assert!(pairs.iter().all(|&(a, b)| a != b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_applies(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = collection::vec(0u32..100, 5..20);
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

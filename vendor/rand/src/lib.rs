@@ -1,0 +1,308 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! a minimal, deterministic implementation of exactly the API surface the
+//! `weber` crates use: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! the [`Rng`]/[`RngExt`] method pair (`random_range`, `random_bool`), and
+//! the slice helpers [`seq::SliceRandom::shuffle`] /
+//! [`seq::IndexedRandom::choose`].
+//!
+//! The generator is `xoshiro256**` seeded via SplitMix64 — high-quality,
+//! fast, and fully deterministic per seed, which is all the corpus
+//! generator and sampling code require. It makes no attempt to be
+//! value-compatible with the real `rand` crate.
+
+/// A source of random 64-bit values.
+pub trait Rng {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw value.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Extension methods over any [`Rng`] (mirrors `rand::Rng`'s convenience
+/// surface under its 0.9+ naming).
+pub trait RngExt: Rng {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+/// A range that can be sampled uniformly, yielding `T`. Implemented once,
+/// generically over [`SampleUniform`], so integer-literal ranges leave `T`
+/// as a plain inference variable that the use site resolves — the same
+/// inference shape as the real crate.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample. Panics on an empty range, like `rand`.
+    fn sample_in<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampling rule over an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_in<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_in<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+// The span is computed in the type's unsigned twin so signed intervals wider
+// than the signed max still measure correctly, then widened to u64.
+macro_rules! impl_int_uniform {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                if span == u64::MAX {
+                    // Interval covers the whole 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + rng.next_f64() * (hi - lo)
+    }
+    fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + (rng.next_f64() as f32) * (hi - lo)
+    }
+    fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + (rng.next_f64() as f32) * (hi - lo)
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator: `xoshiro256**`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Random element selection from slices.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Item;
+        /// A uniformly chosen element, or `None` for an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// `amount` distinct elements sampled without replacement (fewer if
+        /// the slice is shorter), in random order.
+        fn sample<R: Rng>(&self, rng: &mut R, amount: usize) -> SliceSample<'_, Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+
+        fn sample<R: Rng>(&self, rng: &mut R, amount: usize) -> SliceSample<'_, T> {
+            // Partial Fisher–Yates over an index vector.
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            let take = amount.min(self.len());
+            for i in 0..take {
+                let j = i + (rng.next_u64() % (self.len() - i) as u64) as usize;
+                indices.swap(i, j);
+            }
+            indices.truncate(take);
+            SliceSample {
+                slice: self,
+                indices: indices.into_iter(),
+            }
+        }
+    }
+
+    /// Iterator returned by [`IndexedRandom::sample`].
+    pub struct SliceSample<'a, T> {
+        slice: &'a [T],
+        indices: std::vec::IntoIter<usize>,
+    }
+
+    impl<'a, T> Iterator for SliceSample<'a, T> {
+        type Item = &'a T;
+        fn next(&mut self) -> Option<&'a T> {
+            self.indices.next().map(|i| &self.slice[i])
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.indices.size_hint()
+        }
+    }
+
+    impl<T> ExactSizeIterator for SliceSample<'_, T> {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let i = rng.random_range(0u32..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_and_choose_cover_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
