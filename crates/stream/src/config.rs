@@ -43,6 +43,15 @@ pub struct StreamConfig {
     pub queue_capacity: usize,
     /// Worker threads of the service.
     pub workers: usize,
+    /// Directory per-name state records persist into (and restore from).
+    /// `None` disables persistence: `persist`/`restore` become no-ops and
+    /// eviction is unavailable.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// Upper bound on names held live in memory; exceeding it
+    /// persists-then-drops the least-recently-touched name, which is
+    /// transparently restored on its next touch. Requires `state_dir`.
+    /// `None` (the default) keeps every seeded name live.
+    pub max_names: Option<usize>,
 }
 
 impl Default for StreamConfig {
@@ -53,6 +62,8 @@ impl Default for StreamConfig {
             assignment: AssignmentPolicy::default(),
             queue_capacity: 64,
             workers: 2,
+            state_dir: None,
+            max_names: None,
         }
     }
 }
@@ -75,6 +86,19 @@ impl StreamConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Enable persistence into the given state directory.
+    pub fn with_state_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Bound the number of live names (clamped to at least 1); the
+    /// coldest name beyond the bound is persisted and dropped.
+    pub fn with_max_names(mut self, max_names: usize) -> Self {
+        self.max_names = Some(max_names.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,8 +117,19 @@ mod tests {
     fn builders_clamp() {
         let c = StreamConfig::default()
             .with_queue_capacity(0)
-            .with_workers(0);
+            .with_workers(0)
+            .with_max_names(0);
         assert_eq!(c.queue_capacity, 1);
         assert_eq!(c.workers, 1);
+        assert_eq!(c.max_names, Some(1));
+    }
+
+    #[test]
+    fn persistence_is_off_by_default() {
+        let c = StreamConfig::default();
+        assert_eq!(c.state_dir, None);
+        assert_eq!(c.max_names, None);
+        let c = c.with_state_dir("/tmp/weber-state");
+        assert!(c.state_dir.is_some());
     }
 }

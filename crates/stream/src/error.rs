@@ -9,12 +9,30 @@ pub enum StreamError {
     UnknownName(String),
     /// A seed batch carried no documents (nothing to train on).
     EmptySeed(String),
+    /// A seed batch's parallel arrays disagree in length (e.g. more
+    /// features than labels). Rejected eagerly: in release builds a
+    /// mismatched batch would otherwise mistrain or panic later.
+    SeedMismatch {
+        /// The name being seeded.
+        name: String,
+        /// Number of documents / feature rows supplied.
+        docs: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
     /// Training the decision model on the seed batch failed.
     Training(CoreError),
     /// A malformed protocol request (bad JSON, missing fields, unknown op).
     InvalidRequest(String),
     /// The admission queue is full; the request was rejected, not queued.
     Overloaded,
+    /// Reading or writing persisted state failed (I/O, missing state
+    /// directory, unparseable file).
+    Persistence(String),
+    /// A persisted state file was recognisably wrong — bad magic, wrong
+    /// version, or a replay that did not reproduce the recorded partition —
+    /// and was rejected rather than misread.
+    SnapshotRejected(String),
 }
 
 impl std::fmt::Display for StreamError {
@@ -26,9 +44,17 @@ impl std::fmt::Display for StreamError {
             StreamError::EmptySeed(name) => {
                 write!(f, "seed batch for '{name}' has no documents")
             }
+            StreamError::SeedMismatch { name, docs, labels } => {
+                write!(
+                    f,
+                    "seed batch for '{name}' is inconsistent: {docs} documents but {labels} labels"
+                )
+            }
             StreamError::Training(e) => write!(f, "training failed: {e}"),
             StreamError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             StreamError::Overloaded => write!(f, "overloaded"),
+            StreamError::Persistence(msg) => write!(f, "persistence failed: {msg}"),
+            StreamError::SnapshotRejected(msg) => write!(f, "state file rejected: {msg}"),
         }
     }
 }
@@ -58,6 +84,16 @@ mod tests {
             .to_string()
             .contains("cohen"));
         assert!(StreamError::Overloaded.to_string().contains("overloaded"));
+        let mismatch = StreamError::SeedMismatch {
+            name: "cohen".into(),
+            docs: 4,
+            labels: 3,
+        };
+        assert!(mismatch.to_string().contains('4'));
+        assert!(mismatch.to_string().contains('3'));
+        assert!(StreamError::SnapshotRejected("bad version".into())
+            .to_string()
+            .contains("rejected"));
         assert!(StreamError::Training(CoreError::NoFunctions)
             .to_string()
             .contains("similarity"));

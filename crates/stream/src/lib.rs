@@ -22,14 +22,20 @@
 //!   ([`weber_graph::OnlinePartition`]) under a configurable
 //!   [`AssignmentPolicy`];
 //! - the whole thing is wrapped in a daemon ([`server`]) speaking NDJSON
-//!   over stdin/stdout or TCP, with a bounded admission queue, a worker
-//!   pool, and explicit `overloaded` backpressure ([`service`]).
+//!   over stdin/stdout or TCP — concurrent connections over one shared
+//!   resolver, with a bounded admission queue, a worker pool, and
+//!   explicit `overloaded` backpressure ([`service`]);
+//! - per-name state optionally **persists** to a state directory as
+//!   atomic, versioned records (`persist`/`restore` ops, replay-based
+//!   restore) and an LRU bound (`max_names`) **evicts** cold names to
+//!   disk, restoring them transparently on their next touch
+//!   ([`snapshot`], [`resolver`]).
 //!
 //! Modules: [`config`] (resolver/service knobs), [`state`] (per-name
 //! block + model + live partition), [`resolver`] (the thread-safe
 //! multi-name façade), [`protocol`] (the NDJSON wire format), [`service`]
 //! (queue + workers + ordered responses), [`server`] (stdio/TCP loops),
-//! [`snapshot`] (serialisable state summaries), [`error`].
+//! [`snapshot`] (state summaries + the on-disk record format), [`error`].
 
 pub mod config;
 pub mod error;
@@ -43,7 +49,7 @@ pub mod state;
 pub use config::{AssignmentPolicy, StreamConfig};
 pub use error::StreamError;
 pub use resolver::{SeedDocument, SeedSummary, StreamResolver};
-pub use server::{serve_stdio, serve_tcp};
+pub use server::{serve_listener, serve_stdio, serve_tcp, TcpOptions};
 pub use service::StreamService;
-pub use snapshot::{NameSnapshot, Snapshot};
+pub use snapshot::{NameRecord, NameSnapshot, Snapshot, StoredDocument};
 pub use state::{ClusterAssignment, NameState};

@@ -7,6 +7,8 @@
 //! {"op":"seed","name":"cohen","docs":[{"text":"…","url":"…","label":0},…]}
 //! {"op":"ingest","name":"cohen","text":"…","url":"…"}
 //! {"op":"snapshot"}
+//! {"op":"persist"}
+//! {"op":"restore"}
 //! {"op":"flush"}
 //! {"op":"shutdown"}
 //! ```
@@ -44,6 +46,10 @@ pub enum Request {
     },
     /// Report per-name state summaries.
     Snapshot,
+    /// Write every live name's state to the configured state directory.
+    Persist,
+    /// Load every on-disk name that is not already live.
+    Restore,
     /// Ordering barrier: answered after every earlier request.
     Flush,
     /// Stop the service after answering.
@@ -57,6 +63,8 @@ impl Request {
             Request::Seed { .. } => "seed",
             Request::Ingest { .. } => "ingest",
             Request::Snapshot => "snapshot",
+            Request::Persist => "persist",
+            Request::Restore => "restore",
             Request::Flush => "flush",
             Request::Shutdown => "shutdown",
         }
@@ -103,10 +111,19 @@ pub fn parse_request(line: &str) -> Result<Request, StreamError> {
                 let label = field(entry, "label")?.as_u64().ok_or_else(|| {
                     StreamError::InvalidRequest("field 'label' must be an integer".into())
                 })?;
+                // Labels are u32 downstream; reject out-of-range values
+                // here instead of silently truncating them (which would
+                // alias distinct entities).
+                let label = u32::try_from(label).map_err(|_| {
+                    StreamError::InvalidRequest(format!(
+                        "label {label} is out of range (max {})",
+                        u32::MAX
+                    ))
+                })?;
                 docs.push(SeedDocument {
                     text: string_field(entry, "text")?,
                     url: optional_string(entry, "url")?,
-                    label: label as u32,
+                    label,
                 });
             }
             Ok(Request::Seed { name, docs })
@@ -117,6 +134,8 @@ pub fn parse_request(line: &str) -> Result<Request, StreamError> {
             url: optional_string(&value, "url")?,
         }),
         "snapshot" => Ok(Request::Snapshot),
+        "persist" => Ok(Request::Persist),
+        "restore" => Ok(Request::Restore),
         "flush" => Ok(Request::Flush),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(StreamError::InvalidRequest(format!("unknown op '{other}'"))),
@@ -201,6 +220,16 @@ pub fn ok_plain(op: &str) -> String {
     ]))
 }
 
+/// Response to `persist` / `restore`: how many names were written or
+/// loaded.
+pub fn ok_count(op: &str, names: usize) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String(op.to_string())),
+        ("names", Value::Number(names as f64)),
+    ]))
+}
+
 /// Error response; `overloaded` uses the stable error string clients
 /// should match on for backpressure.
 pub fn err_response(error: &StreamError) -> String {
@@ -244,6 +273,14 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"op":"flush"}"#).unwrap(), Request::Flush);
         assert_eq!(
+            parse_request(r#"{"op":"persist"}"#).unwrap(),
+            Request::Persist
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"restore"}"#).unwrap(),
+            Request::Restore
+        );
+        assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
@@ -262,6 +299,20 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_labels_are_rejected_not_truncated() {
+        // 2^32 truncates to label 0 under `as u32`; it must be an error.
+        let line = r#"{"op":"seed","name":"c","docs":[{"text":"a","label":4294967296}]}"#;
+        let err = parse_request(line).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidRequest(msg) if msg.contains("out of range")));
+        // The boundary value itself is fine.
+        let line = r#"{"op":"seed","name":"c","docs":[{"text":"a","label":4294967295}]}"#;
+        match parse_request(line).unwrap() {
+            Request::Seed { docs, .. } => assert_eq!(docs[0].label, u32::MAX),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn shutdown_peek() {
         assert!(is_shutdown(r#"{"op":"shutdown"}"#));
         assert!(!is_shutdown(r#"{"op":"flush"}"#));
@@ -272,6 +323,7 @@ mod tests {
     fn responses_are_parseable_json() {
         for line in [
             ok_plain("flush"),
+            ok_count("persist", 3),
             err_response(&StreamError::Overloaded),
             ok_snapshot(&Snapshot { names: Vec::new() }),
         ] {

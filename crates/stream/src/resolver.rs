@@ -1,6 +1,8 @@
-//! The streaming resolver: thread-safe per-name state behind one façade.
+//! The streaming resolver: thread-safe per-name state behind one façade,
+//! with optional disk persistence and LRU eviction of cold names.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -12,7 +14,9 @@ use weber_graph::Partition;
 
 use crate::config::StreamConfig;
 use crate::error::StreamError;
-use crate::snapshot::{NameSnapshot, Snapshot};
+use crate::snapshot::{
+    self, NameRecord, NameSnapshot, Snapshot, StoredDocument, STATE_FILE_MAGIC, STATE_FILE_VERSION,
+};
 use crate::state::{ClusterAssignment, NameState};
 
 /// One labelled document of a seed batch.
@@ -42,6 +46,23 @@ pub struct SeedSummary {
     pub accuracy: f64,
 }
 
+/// A name's live state plus its LRU stamp.
+struct NameEntry {
+    state: Mutex<NameState>,
+    /// Logical time of the last touch (monotone ticket from the resolver's
+    /// clock); the eviction victim is the entry with the smallest stamp.
+    touched: AtomicU64,
+}
+
+impl NameEntry {
+    fn new(state: NameState, stamp: u64) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(state),
+            touched: AtomicU64::new(stamp),
+        })
+    }
+}
+
 /// A thread-safe streaming resolver over many ambiguous names.
 ///
 /// Each name is seeded once with a labelled batch — which trains that
@@ -49,11 +70,41 @@ pub struct SeedSummary {
 /// and then grows one document at a time via [`ingest`](Self::ingest).
 /// Names are independently locked, so ingests for different names run in
 /// parallel; the feature extractor is shared (its vocabulary is global).
+///
+/// # Persistence and eviction
+///
+/// With a state directory configured ([`StreamConfig::with_state_dir`]),
+/// per-name state survives restarts: [`persist_all`](Self::persist_all)
+/// writes one atomic versioned record per name, and a later
+/// [`restore_all`](Self::restore_all) — or any touch of a name that is on
+/// disk but not in memory — replays it back. With
+/// [`StreamConfig::with_max_names`] additionally set, the resolver keeps
+/// at most that many names live, persisting-then-dropping the
+/// least-recently-touched when the bound is exceeded; evicted names
+/// restore transparently on their next touch.
+///
+/// Restore *replays* the recorded documents through the deterministic
+/// seed/ingest pipeline rather than deserialising model internals (term
+/// ids are interned in a process-global vocabulary, so raw vectors would
+/// not survive a restart), then verifies the replayed partition and model
+/// selection against the record; any divergence — config drift, a stale
+/// or foreign file — rejects the file with
+/// [`StreamError::SnapshotRejected`].
+///
+/// # Locking discipline
+///
+/// Two lock levels: the names map (`RwLock`) and each entry's state
+/// (`Mutex`). No path holds a *map guard* while blocking on a state lock
+/// (handles are cloned out first), so holding a state lock while briefly
+/// taking the map lock — which the stale-entry re-check and the evictor
+/// both do — cannot deadlock.
 pub struct StreamResolver {
     extractor: Extractor,
     resolver: Resolver,
     config: StreamConfig,
-    names: RwLock<HashMap<String, Arc<Mutex<NameState>>>>,
+    names: RwLock<HashMap<String, Arc<NameEntry>>>,
+    /// Monotone source of LRU stamps.
+    clock: AtomicU64,
 }
 
 impl std::fmt::Debug for StreamResolver {
@@ -68,13 +119,23 @@ impl std::fmt::Debug for StreamResolver {
 impl StreamResolver {
     /// Create a resolver over the given gazetteer (the dictionary feature
     /// extraction recognises concepts and entities with).
+    ///
+    /// Rejects a configuration with `max_names` but no `state_dir`:
+    /// eviction persists state before dropping it, and without a state
+    /// directory evicted names would simply be lost.
     pub fn new(config: StreamConfig, gazetteer: &Gazetteer) -> Result<Self, StreamError> {
+        if config.max_names.is_some() && config.state_dir.is_none() {
+            return Err(StreamError::Persistence(
+                "max_names (eviction) requires a state_dir to evict into".into(),
+            ));
+        }
         let resolver = Resolver::new(config.resolver.clone())?;
         Ok(Self {
             extractor: Extractor::new(gazetteer),
             resolver,
             config,
             names: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
         })
     }
 
@@ -83,10 +144,21 @@ impl StreamResolver {
         &self.config
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Seed (or re-seed, replacing all state for) one name from a labelled
     /// batch. Trains the name's decision model and builds its initial
     /// partition.
     pub fn seed(&self, name: &str, docs: &[SeedDocument]) -> Result<SeedSummary, StreamError> {
+        let documents: Vec<StoredDocument> = docs
+            .iter()
+            .map(|d| StoredDocument {
+                text: d.text.clone(),
+                url: d.url.clone(),
+            })
+            .collect();
         let features = docs
             .iter()
             .map(|d| self.extractor.extract(&d.text, d.url.as_deref()))
@@ -94,6 +166,7 @@ impl StreamResolver {
         let labels: Vec<u32> = docs.iter().map(|d| d.label).collect();
         let state = NameState::seed(
             name,
+            documents,
             features,
             &labels,
             &self.resolver,
@@ -109,34 +182,263 @@ impl StreamResolver {
         };
         self.names
             .write()
-            .insert(name.to_string(), Arc::new(Mutex::new(state)));
+            .insert(name.to_string(), NameEntry::new(state, self.tick()));
+        self.maybe_evict(name)?;
         Ok(summary)
     }
 
     /// Ingest one document for a seeded name, returning where it landed.
+    ///
+    /// If the name's state was evicted to disk it is transparently
+    /// restored first. The apply is raced-checked: locking the state and
+    /// *then* re-checking the map entry guarantees the mutation lands in
+    /// the state the map currently serves — a concurrent re-seed or
+    /// eviction between lookup and lock makes this attempt retry against
+    /// the fresh entry instead of mutating an orphan.
     pub fn ingest(
         &self,
         name: &str,
         text: &str,
         url: Option<&str>,
     ) -> Result<ClusterAssignment, StreamError> {
-        let state = self
-            .names
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| StreamError::UnknownName(name.to_string()))?;
-        // Extraction happens outside the name lock (the extractor is
+        // Extraction happens outside any lock (the extractor is
         // thread-safe); only block growth and scoring are serialised.
         let features = self.extractor.extract(text, url);
-        let mut state = state.lock();
-        Ok(state.ingest(features))
+        let document = StoredDocument {
+            text: text.to_string(),
+            url: url.map(str::to_string),
+        };
+        loop {
+            let entry = self.lookup_or_restore(name)?;
+            if let Some(assignment) = self.try_apply(name, &entry, |state| {
+                state.ingest(document.clone(), features.clone())
+            }) {
+                return Ok(assignment);
+            }
+            // Lost the race (entry replaced or evicted after lookup):
+            // loop and apply to whatever the map serves now.
+        }
     }
 
-    /// The live partition of a seeded name.
+    /// Lock `entry`'s state and, *under that lock*, re-check that the map
+    /// still serves this exact entry for `name`. Applies `f` and returns
+    /// its result only if so; `None` means the caller raced a re-seed or
+    /// eviction and must retry. Because every mutation goes through this
+    /// check, an evictor that observes the entry current while holding its
+    /// state lock knows the state can no longer change behind its back.
+    fn try_apply<T>(
+        &self,
+        name: &str,
+        entry: &Arc<NameEntry>,
+        f: impl FnOnce(&mut NameState) -> T,
+    ) -> Option<T> {
+        let mut state = entry.state.lock();
+        let is_current = matches!(
+            self.names.read().get(name), Some(current) if Arc::ptr_eq(current, entry)
+        );
+        if !is_current {
+            return None;
+        }
+        entry.touched.store(self.tick(), Ordering::Relaxed);
+        Some(f(&mut state))
+    }
+
+    /// The live entry for `name`, restoring it from disk on a miss when a
+    /// state directory is configured.
+    fn lookup_or_restore(&self, name: &str) -> Result<Arc<NameEntry>, StreamError> {
+        if let Some(entry) = self.names.read().get(name).cloned() {
+            entry.touched.store(self.tick(), Ordering::Relaxed);
+            return Ok(entry);
+        }
+        let Some(dir) = self.config.state_dir.as_deref() else {
+            return Err(StreamError::UnknownName(name.to_string()));
+        };
+        let Some(record) = snapshot::read_record(dir, name)? else {
+            return Err(StreamError::UnknownName(name.to_string()));
+        };
+        let state = self.replay(&record)?;
+        let restored = NameEntry::new(state, self.tick());
+        let entry = Arc::clone(
+            self.names
+                .write()
+                .entry(name.to_string())
+                // A concurrent seed/restore won the insert: keep theirs.
+                .or_insert(restored),
+        );
+        self.maybe_evict(name)?;
+        Ok(entry)
+    }
+
+    /// Rebuild a name's state from its persisted record by replaying the
+    /// recorded documents through the deterministic seed/ingest pipeline,
+    /// then verify the replay reproduced the recorded partition and model
+    /// selection exactly. The resolution pipeline is deterministic given
+    /// the same documents and configuration, so a divergence means the
+    /// record was written under a different configuration (or corrupted)
+    /// and must not be served.
+    fn replay(&self, record: &NameRecord) -> Result<NameState, StreamError> {
+        let seed_count = record.seed_labels.len();
+        let seed_docs: Vec<StoredDocument> = record.documents[..seed_count].to_vec();
+        let features = seed_docs
+            .iter()
+            .map(|d| self.extractor.extract(&d.text, d.url.as_deref()))
+            .collect();
+        let mut state = NameState::seed(
+            &record.name,
+            seed_docs,
+            features,
+            &record.seed_labels,
+            &self.resolver,
+            self.config.scheme,
+            self.config.assignment,
+        )?;
+        for doc in &record.documents[seed_count..] {
+            let features = self.extractor.extract(&doc.text, doc.url.as_deref());
+            state.ingest(doc.clone(), features);
+        }
+        if state.partition().labels() != record.partition.as_slice() {
+            return Err(StreamError::SnapshotRejected(format!(
+                "replayed partition for '{}' diverges from the recorded one \
+                 (was the record written under a different configuration?)",
+                record.name
+            )));
+        }
+        let function = state.model().function_name();
+        let criterion = state.model().criterion().label();
+        if function != record.function || criterion != record.criterion {
+            return Err(StreamError::SnapshotRejected(format!(
+                "replayed model for '{}' selected {function}/{criterion} but the \
+                 record expects {}/{}",
+                record.name, record.function, record.criterion
+            )));
+        }
+        Ok(state)
+    }
+
+    /// Write one name's state to the configured directory.
+    fn persist_state(&self, name: &str, state: &NameState) -> Result<(), StreamError> {
+        let dir = self
+            .config
+            .state_dir
+            .as_deref()
+            .ok_or_else(|| StreamError::Persistence("no state directory configured".into()))?;
+        let record = NameRecord {
+            magic: STATE_FILE_MAGIC.to_string(),
+            version: STATE_FILE_VERSION,
+            name: name.to_string(),
+            seed_labels: state.seed_labels().to_vec(),
+            documents: state.documents().to_vec(),
+            function: state.model().function_name().to_string(),
+            criterion: state.model().criterion().label(),
+            partition: state.partition().labels().to_vec(),
+        };
+        snapshot::write_record(dir, &record)?;
+        Ok(())
+    }
+
+    /// Persist every live name to the state directory; returns how many
+    /// records were written. Entries replaced concurrently (re-seeded
+    /// mid-walk) are skipped — the replacement is newer than anything we
+    /// could write for them.
+    pub fn persist_all(&self) -> Result<usize, StreamError> {
+        let mut written = 0;
+        for name in self.names() {
+            let Some(entry) = self.names.read().get(&name).cloned() else {
+                continue;
+            };
+            let state = entry.state.lock();
+            let is_current = matches!(
+                self.names.read().get(&name), Some(current) if Arc::ptr_eq(current, &entry)
+            );
+            if !is_current {
+                continue;
+            }
+            self.persist_state(&name, &state)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Restore every name recorded in the state directory that is not
+    /// already live; returns how many were restored. A resolver without a
+    /// state directory restores nothing.
+    pub fn restore_all(&self) -> Result<usize, StreamError> {
+        let Some(dir) = self.config.state_dir.as_deref() else {
+            return Ok(0);
+        };
+        let mut restored = 0;
+        for name in snapshot::stored_names(dir)? {
+            if self.names.read().contains_key(&name) {
+                continue;
+            }
+            let Some(record) = snapshot::read_record(dir, &name)? else {
+                continue;
+            };
+            let state = self.replay(&record)?;
+            self.names
+                .write()
+                .entry(name.clone())
+                .or_insert_with(|| NameEntry::new(state, self.tick()));
+            restored += 1;
+            self.maybe_evict(&name)?;
+        }
+        Ok(restored)
+    }
+
+    /// Enforce the `max_names` bound: while the map is over it, persist
+    /// and drop the least-recently-touched name (never `protect`, the name
+    /// that was just touched).
+    ///
+    /// Ordering is persist-*then*-remove, both while holding the victim's
+    /// state lock: the lock plus the currency re-check mean no mutation
+    /// can land between what the record captures and the removal, and any
+    /// toucher that misses the map afterwards restores from a file that is
+    /// already complete.
+    fn maybe_evict(&self, protect: &str) -> Result<(), StreamError> {
+        let Some(max_names) = self.config.max_names else {
+            return Ok(());
+        };
+        loop {
+            let victim = {
+                let map = self.names.read();
+                if map.len() <= max_names {
+                    return Ok(());
+                }
+                map.iter()
+                    .filter(|(name, _)| name.as_str() != protect)
+                    .min_by_key(|(_, entry)| entry.touched.load(Ordering::Relaxed))
+                    .map(|(name, entry)| (name.clone(), Arc::clone(entry)))
+            };
+            let Some((name, entry)) = victim else {
+                // Only the protected name is live; nothing evictable.
+                return Ok(());
+            };
+            let state = entry.state.lock();
+            let is_current = matches!(
+                self.names.read().get(&name), Some(current) if Arc::ptr_eq(current, &entry)
+            );
+            if !is_current {
+                // Re-seeded while we were choosing it; pick a new victim.
+                continue;
+            }
+            // With the state lock held and the entry current, no mutation
+            // can slip in (every apply re-checks currency under this very
+            // lock), so the record is complete when the entry disappears.
+            self.persist_state(&name, &state)?;
+            let mut map = self.names.write();
+            if let Some(current) = map.get(&name) {
+                if Arc::ptr_eq(current, &entry) {
+                    map.remove(&name);
+                }
+            }
+        }
+    }
+
+    /// The live partition of a seeded name (restored from disk first if it
+    /// was evicted); `None` when the name is unknown or unreadable.
     pub fn partition(&self, name: &str) -> Option<Partition> {
-        let state = self.names.read().get(name).cloned()?;
-        let state = state.lock();
+        let entry = self.lookup_or_restore(name).ok()?;
+        let state = entry.state.lock();
         Some(state.partition())
     }
 
@@ -147,9 +449,10 @@ impl StreamResolver {
         names
     }
 
-    /// Summaries of every seeded name, sorted by name.
+    /// Summaries of every seeded name, sorted by name. Does not count as a
+    /// touch for eviction purposes.
     pub fn snapshot(&self) -> Snapshot {
-        let handles: Vec<(String, Arc<Mutex<NameState>>)> = {
+        let handles: Vec<(String, Arc<NameEntry>)> = {
             let map = self.names.read();
             let mut v: Vec<_> = map
                 .iter()
@@ -160,8 +463,8 @@ impl StreamResolver {
         };
         let names = handles
             .into_iter()
-            .map(|(name, state)| {
-                let state = state.lock();
+            .map(|(name, entry)| {
+                let state = entry.state.lock();
                 NameSnapshot {
                     name,
                     docs: state.len(),
@@ -203,6 +506,16 @@ mod tests {
             label: l,
         })
         .collect()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "weber_resolver_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -268,5 +581,178 @@ mod tests {
         });
         assert_eq!(r.partition("cohen").unwrap().len(), 9);
         assert_eq!(r.partition("smith").unwrap().len(), 9);
+    }
+
+    /// White-box regression for the stale-state ingest race: an apply
+    /// against an entry the map no longer serves must be refused, leaving
+    /// the orphaned state untouched.
+    #[test]
+    fn apply_to_replaced_entry_is_refused() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        // Simulate the racer: grab the entry handle the way ingest does...
+        let orphan = r.names.read().get("cohen").cloned().unwrap();
+        // ...then a concurrent seed replaces the map entry.
+        r.seed("cohen", &seed_docs()).unwrap();
+        let text = "databases between lookup and lock";
+        let features = r.extractor.extract(text, None);
+        let refused = r.try_apply("cohen", &orphan, |state| {
+            state.ingest(
+                StoredDocument {
+                    text: text.to_string(),
+                    url: None,
+                },
+                features.clone(),
+            )
+        });
+        assert!(
+            refused.is_none(),
+            "apply must not land in an orphaned state"
+        );
+        assert_eq!(orphan.state.lock().len(), 4, "orphan must be untouched");
+        // The public path retries and lands in the current entry.
+        r.ingest("cohen", text, None).unwrap();
+        assert_eq!(r.partition("cohen").unwrap().len(), 5);
+    }
+
+    /// Stress the seed/ingest interleaving on one name: every ingest must
+    /// either land in the state the map serves or be retried — never
+    /// applied to an orphan — so after the dust settles the live document
+    /// count is exactly seed + ingests-since-last-seed.
+    #[test]
+    fn interleaved_seed_and_ingest_on_one_name() {
+        let r = Arc::new(StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap());
+        r.seed("cohen", &seed_docs()).unwrap();
+        let ingested = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            let reseeder = {
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        r.seed("cohen", &seed_docs()).unwrap();
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                })
+            };
+            for _ in 0..2 {
+                let r = Arc::clone(&r);
+                let ingested = Arc::clone(&ingested);
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        r.ingest("cohen", &format!("databases stress {i}"), None)
+                            .unwrap();
+                        ingested.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            reseeder.join().unwrap();
+        });
+        assert_eq!(ingested.load(Ordering::Relaxed), 20);
+        // Whatever interleaving happened, the live state is consistent:
+        // 4 seed docs plus however many ingests landed after the final
+        // re-seed, which is at most 20.
+        let live = r.partition("cohen").unwrap().len();
+        assert!((4..=24).contains(&live), "live count {live} out of range");
+        assert_eq!(r.snapshot().names.len(), 1);
+    }
+
+    #[test]
+    fn eviction_requires_a_state_dir() {
+        let config = StreamConfig::default().with_max_names(2);
+        assert!(matches!(
+            StreamResolver::new(config, &gazetteer()),
+            Err(StreamError::Persistence(_))
+        ));
+    }
+
+    #[test]
+    fn persist_restore_roundtrip_reproduces_the_partition() {
+        let dir = temp_dir("roundtrip");
+        let config = StreamConfig::default().with_state_dir(&dir);
+        let before = {
+            let r = StreamResolver::new(config.clone(), &gazetteer()).unwrap();
+            r.seed("cohen", &seed_docs()).unwrap();
+            r.seed("smith", &seed_docs()).unwrap();
+            for i in 0..3 {
+                r.ingest(
+                    "cohen",
+                    &format!("databases are important number {i}"),
+                    None,
+                )
+                .unwrap();
+            }
+            assert_eq!(r.persist_all().unwrap(), 2);
+            (r.partition("cohen").unwrap(), r.partition("smith").unwrap())
+        };
+        // A fresh resolver (fresh process stand-in: nothing in memory).
+        let r = StreamResolver::new(config, &gazetteer()).unwrap();
+        assert_eq!(r.restore_all().unwrap(), 2);
+        assert_eq!(r.partition("cohen").unwrap(), before.0);
+        assert_eq!(r.partition("smith").unwrap(), before.1);
+        assert_eq!(r.snapshot().total_docs(), 11);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn touching_a_name_on_disk_restores_it_transparently() {
+        let dir = temp_dir("lazy");
+        let config = StreamConfig::default().with_state_dir(&dir);
+        {
+            let r = StreamResolver::new(config.clone(), &gazetteer()).unwrap();
+            r.seed("cohen", &seed_docs()).unwrap();
+            r.persist_all().unwrap();
+        }
+        let r = StreamResolver::new(config, &gazetteer()).unwrap();
+        assert!(r.names().is_empty());
+        // No restore_all: the first ingest touch restores from disk.
+        let a = r.ingest("cohen", "databases once more", None).unwrap();
+        assert_eq!(a.doc, 4);
+        assert_eq!(r.partition("cohen").unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_names_are_evicted_and_restored_on_touch() {
+        let dir = temp_dir("evict");
+        let config = StreamConfig::default()
+            .with_state_dir(&dir)
+            .with_max_names(1);
+        let r = StreamResolver::new(config, &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        // Seeding a second name evicts the colder first one to disk.
+        r.seed("smith", &seed_docs()).unwrap();
+        assert_eq!(r.names(), vec!["smith".to_string()]);
+        assert!(snapshot::read_record(&dir, "cohen").unwrap().is_some());
+        // Touching the evicted name restores it (and evicts the other).
+        let a = r.ingest("cohen", "databases resurface", None).unwrap();
+        assert_eq!(a.doc, 4);
+        assert_eq!(r.names(), vec!["cohen".to_string()]);
+        assert!(snapshot::read_record(&dir, "smith").unwrap().is_some());
+        // The evicted-and-restored partition kept every document.
+        assert_eq!(r.partition("cohen").unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_records_are_rejected_on_restore() {
+        let dir = temp_dir("tamper");
+        let config = StreamConfig::default().with_state_dir(&dir);
+        {
+            let r = StreamResolver::new(config.clone(), &gazetteer()).unwrap();
+            r.seed("cohen", &seed_docs()).unwrap();
+            r.persist_all().unwrap();
+        }
+        // Corrupt the recorded partition: replay will not reproduce it.
+        let mut record = snapshot::read_record(&dir, "cohen").unwrap().unwrap();
+        for label in &mut record.partition {
+            *label = 9;
+        }
+        snapshot::write_record(&dir, &record).unwrap();
+        let r = StreamResolver::new(config, &gazetteer()).unwrap();
+        assert!(matches!(
+            r.restore_all(),
+            Err(StreamError::SnapshotRejected(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,19 +1,71 @@
 //! The `weber serve` daemon: NDJSON over stdin/stdout or a TCP socket.
 //!
-//! The read loop admits one request per line into the
-//! [`StreamService`](crate::service::StreamService); a writer thread
-//! drains the ordered response stream to the output. The loop stops on
-//! EOF or after admitting a `shutdown` request; either way the queue is
-//! drained and every admitted request is answered before the connection
-//! closes.
+//! Each connection gets its own [`StreamService`](crate::service::StreamService)
+//! read loop: admit one request per line, stream the ordered response lines
+//! back, stop on EOF or after admitting a `shutdown` request; either way the
+//! queue is drained and every admitted request is answered before the
+//! connection closes.
+//!
+//! The TCP front end is concurrent: an acceptor thread polls the listener
+//! and spawns one handler thread per client, all sharing one
+//! `Arc<StreamResolver>` (per-name locks make cross-client ingests safe).
+//! Connection-level I/O errors — a client resetting mid-line, a dead peer
+//! on write — are logged to stderr and isolated to that connection; only
+//! listener-level failures (`bind`, fatal `accept`) end the daemon. Any
+//! client sending `shutdown` raises a shared flag: the acceptor stops
+//! accepting and every in-flight connection notices the flag at its next
+//! read-timeout tick, drains its admitted requests, and closes.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::error::StreamError;
 use crate::protocol;
 use crate::resolver::StreamResolver;
 use crate::service::StreamService;
+
+/// How often blocked reads and the acceptor wake up to check the shared
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Per-connection socket read timeout; bounds how long a shutdown can
+/// wait on an idle connection.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Tuning knobs of the TCP front end.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Worker threads per connection's service.
+    pub workers: usize,
+    /// Admission-queue capacity per worker.
+    pub queue_capacity: usize,
+    /// Maximum simultaneous client connections; clients beyond the cap
+    /// are answered with an `overloaded` error line and closed.
+    pub max_connections: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            max_connections: 64,
+        }
+    }
+}
+
+/// What one connection's read loop did.
+struct ConnectionOutcome {
+    /// Requests admitted on this connection.
+    admitted: u64,
+    /// Whether this connection requested daemon shutdown.
+    saw_shutdown: bool,
+    /// The connection-level I/O error that ended the loop, if any. Every
+    /// request admitted before the error was still processed.
+    error: Option<std::io::Error>,
+}
 
 /// Serve NDJSON over stdin/stdout until EOF or `shutdown`. Returns the
 /// number of requests admitted.
@@ -25,92 +77,268 @@ pub fn serve_stdio(
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let (admitted, _) = run_connection(resolver, stdin.lock(), &mut out, workers, queue_capacity)?;
+    let outcome = run_connection(
+        resolver,
+        stdin.lock(),
+        &mut out,
+        workers,
+        queue_capacity,
+        None,
+    );
+    if let Some(e) = outcome.error {
+        return Err(e);
+    }
     out.flush()?;
-    Ok(admitted)
+    Ok(outcome.admitted)
 }
 
-/// Bind `addr` and serve connections sequentially (one client at a time,
-/// all clients sharing the resolver state); a client sending `shutdown`
-/// stops the listener after its connection. Returns the total number of
-/// requests admitted.
+/// Bind `addr` and serve clients concurrently (see the module docs for
+/// the concurrency and shutdown model). Returns the total number of
+/// requests admitted across all connections.
 pub fn serve_tcp(
     resolver: Arc<StreamResolver>,
     addr: &str,
-    workers: usize,
-    queue_capacity: usize,
+    options: &TcpOptions,
 ) -> std::io::Result<u64> {
     let listener = TcpListener::bind(addr)?;
-    let mut total = 0u64;
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream.try_clone()?;
-        let (admitted, saw_shutdown) = run_connection(
-            Arc::clone(&resolver),
+    serve_listener(resolver, listener, options)
+}
+
+/// [`serve_tcp`] over an already-bound listener (callers that need the
+/// ephemeral port bind with `:0` themselves and pass the listener in).
+pub fn serve_listener(
+    resolver: Arc<StreamResolver>,
+    listener: TcpListener,
+    options: &TcpOptions,
+) -> std::io::Result<u64> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if active.load(Ordering::Relaxed) >= options.max_connections.max(1) {
+                    refuse_connection(stream, &peer.to_string());
+                    continue;
+                }
+                match spawn_handler(
+                    Arc::clone(&resolver),
+                    stream,
+                    peer.to_string(),
+                    options,
+                    Arc::clone(&shutdown),
+                    Arc::clone(&active),
+                    Arc::clone(&total),
+                ) {
+                    Ok(handle) => handles.push(handle),
+                    // Socket setup failed for this one client; the daemon
+                    // keeps serving everyone else.
+                    Err(e) => eprintln!("weber serve: connection setup failed ({peer}): {e}"),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                // A client gave up between SYN and accept; not a listener
+                // failure.
+                eprintln!("weber serve: transient accept error: {e}");
+            }
+            Err(e) => {
+                // Listener-level failure: drain in-flight connections,
+                // then report it.
+                shutdown.store(true, Ordering::Relaxed);
+                for handle in handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    // Graceful shutdown: every in-flight connection notices the flag at
+    // its next read-timeout tick and drains.
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(total.load(Ordering::Relaxed))
+}
+
+/// Answer an over-cap client with one `overloaded` error line and close.
+fn refuse_connection(mut stream: TcpStream, peer: &str) {
+    let _ = stream.set_nonblocking(false);
+    let line = protocol::err_response(&StreamError::Overloaded);
+    if writeln!(stream, "{line}").is_err() {
+        eprintln!("weber serve: could not refuse connection {peer}");
+    }
+}
+
+/// Spawn the handler thread for one accepted client.
+fn spawn_handler(
+    resolver: Arc<StreamResolver>,
+    stream: TcpStream,
+    peer: String,
+    options: &TcpOptions,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    total: Arc<AtomicU64>,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    // The listener is non-blocking; the per-connection socket must block,
+    // but only up to the read timeout so the loop can poll the shutdown
+    // flag while idle.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let workers = options.workers;
+    let queue_capacity = options.queue_capacity;
+    // Count the connection before the thread starts so the cap check in
+    // the acceptor never over-admits.
+    active.fetch_add(1, Ordering::Relaxed);
+    Ok(std::thread::spawn(move || {
+        let outcome = run_connection(
+            resolver,
             reader,
             &mut writer,
             workers,
             queue_capacity,
-        )?;
-        writer.flush()?;
-        total += admitted;
-        if saw_shutdown {
-            break;
+            Some(&shutdown),
+        );
+        total.fetch_add(outcome.admitted, Ordering::Relaxed);
+        if outcome.saw_shutdown {
+            shutdown.store(true, Ordering::Relaxed);
         }
-    }
-    Ok(total)
+        if let Some(e) = outcome.error {
+            // Isolated: this connection dies, the daemon keeps serving.
+            eprintln!("weber serve: connection {peer}: {e} (closing this connection only)");
+        }
+        let _ = writer.flush();
+        active.fetch_sub(1, Ordering::Relaxed);
+    }))
+}
+
+/// True when the error is a read-timeout tick rather than a dead peer.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// The shared connection loop: admit lines, stream ordered responses to
-/// the writer as they complete, stop on EOF or `shutdown`. Returns
-/// (admitted requests, whether shutdown was seen).
+/// the writer as they complete, stop on EOF, `shutdown`, a raised stop
+/// flag, or a connection-level I/O error. Every admitted request is
+/// processed before the loop returns, even when the peer is gone.
 fn run_connection<R: BufRead, W: Write>(
     resolver: Arc<StreamResolver>,
-    reader: R,
+    mut reader: R,
     writer: &mut W,
     workers: usize,
     queue_capacity: usize,
-) -> std::io::Result<(u64, bool)> {
+    stop: Option<&AtomicBool>,
+) -> ConnectionOutcome {
     let service = StreamService::start(resolver, workers, queue_capacity);
     let mut admitted = 0u64;
     let mut emitted = 0u64;
     let responses = service.responses();
     let mut saw_shutdown = false;
+    let mut error: Option<std::io::Error> = None;
+    // Partial lines survive read-timeout ticks: read_line appends, and the
+    // buffer is only cleared once a complete line has been taken out.
+    let mut buf = String::new();
 
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        saw_shutdown = protocol::is_shutdown(&line);
-        service.submit(line);
-        admitted += 1;
-        // Opportunistically stream whatever responses are ready, keeping
-        // the writer hot without blocking admission on slow requests.
-        while let Ok(response) = responses.try_recv() {
-            writeln!(writer, "{response}")?;
-            emitted += 1;
-        }
-        writer.flush()?;
-        if saw_shutdown {
+    'read: loop {
+        if stop.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
             break;
+        }
+        match reader.read_line(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let line = buf.trim().to_string();
+                buf.clear();
+                if line.is_empty() {
+                    continue;
+                }
+                saw_shutdown = protocol::is_shutdown(&line);
+                service.submit(line);
+                admitted += 1;
+                // Opportunistically stream whatever responses are ready,
+                // keeping the writer hot without blocking admission on
+                // slow requests.
+                while let Ok(response) = responses.try_recv() {
+                    if let Err(e) = writeln!(writer, "{response}") {
+                        error = Some(e);
+                        break 'read;
+                    }
+                    emitted += 1;
+                }
+                if let Err(e) = writer.flush() {
+                    error = Some(e);
+                    break;
+                }
+                if saw_shutdown {
+                    break;
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                // Idle tick: flush anything that completed meanwhile, then
+                // go back to polling (the stop check above runs first).
+                while let Ok(response) = responses.try_recv() {
+                    if let Err(e) = writeln!(writer, "{response}") {
+                        error = Some(e);
+                        break 'read;
+                    }
+                    emitted += 1;
+                }
+                if let Err(e) = writer.flush() {
+                    error = Some(e);
+                    break;
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
         }
     }
 
-    // Drain: answer everything that was admitted.
+    // Drain: process everything that was admitted, answering the peer as
+    // long as it is still there (a vanished peer only stops the writes).
     let leftover = service.finish();
     while emitted < admitted {
         match leftover.recv() {
             Ok(response) => {
-                writeln!(writer, "{response}")?;
+                if error.is_none() {
+                    if let Err(e) = writeln!(writer, "{response}") {
+                        error = Some(e);
+                    }
+                }
                 emitted += 1;
             }
             Err(_) => break,
         }
     }
-    writer.flush()?;
-    Ok((admitted, saw_shutdown))
+    if error.is_none() {
+        if let Err(e) = writer.flush() {
+            error = Some(e);
+        }
+    }
+    ConnectionOutcome {
+        admitted,
+        saw_shutdown,
+        error,
+    }
 }
 
 #[cfg(test)]
@@ -142,14 +370,14 @@ mod tests {
 
     fn run(input: String) -> Vec<String> {
         let mut out: Vec<u8> = Vec::new();
-        let (admitted, _) =
-            run_connection(resolver(), Cursor::new(input), &mut out, 2, 16).unwrap();
+        let outcome = run_connection(resolver(), Cursor::new(input), &mut out, 2, 16, None);
+        assert!(outcome.error.is_none(), "{:?}", outcome.error);
         let lines: Vec<String> = String::from_utf8(out)
             .unwrap()
             .lines()
             .map(str::to_string)
             .collect();
-        assert_eq!(lines.len() as u64, admitted);
+        assert_eq!(lines.len() as u64, outcome.admitted);
         lines
     }
 
@@ -204,17 +432,56 @@ mod tests {
     }
 
     #[test]
+    fn a_raised_stop_flag_ends_the_loop_before_reading() {
+        let stop = AtomicBool::new(true);
+        let mut out: Vec<u8> = Vec::new();
+        let input = format!("{}\n", seed_line());
+        let outcome = run_connection(resolver(), Cursor::new(input), &mut out, 2, 16, Some(&stop));
+        assert_eq!(outcome.admitted, 0);
+        assert!(!outcome.saw_shutdown);
+        assert!(outcome.error.is_none());
+    }
+
+    #[test]
+    fn a_dead_writer_is_reported_not_propagated_as_panic() {
+        /// Writer that fails after the first byte, like a peer that reset.
+        struct DeadWriter;
+        impl Write for DeadWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "peer gone",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let input = format!(
+            "{}\n{}\n",
+            seed_line(),
+            r#"{"op":"ingest","name":"cohen","text":"databases still count"}"#
+        );
+        let mut writer = DeadWriter;
+        let outcome = run_connection(resolver(), Cursor::new(input), &mut writer, 2, 16, None);
+        assert!(
+            outcome.error.is_some(),
+            "the write failure must be surfaced"
+        );
+        // Everything read before the failure was still admitted and
+        // processed; the error is the connection's problem, not the
+        // daemon's.
+        assert!(outcome.admitted >= 1);
+    }
+
+    #[test]
     fn tcp_round_trip() {
-        use std::io::{BufRead, BufReader, Write};
         use std::net::TcpStream;
         let resolver = resolver();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            let (stream, _) = listener.accept().unwrap();
-            let reader = BufReader::new(stream.try_clone().unwrap());
-            let mut writer = stream.try_clone().unwrap();
-            run_connection(resolver, reader, &mut writer, 2, 16).unwrap()
+            serve_listener(resolver, listener, &TcpOptions::default()).unwrap()
         });
         let client = TcpStream::connect(addr).unwrap();
         let mut writer = client.try_clone().unwrap();
@@ -233,11 +500,46 @@ mod tests {
             reader.read_line(&mut line).unwrap();
             lines.push(line.trim().to_string());
         }
-        let (admitted, saw_shutdown) = server.join().unwrap();
+        let admitted = server.join().unwrap();
         assert_eq!(admitted, 3);
-        assert!(saw_shutdown);
         let ingest = serde_json::parse_value(&lines[1]).unwrap();
         assert_eq!(ingest.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(ingest.get("doc").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn over_cap_clients_are_refused_with_an_overloaded_line() {
+        use std::net::TcpStream;
+        let resolver = resolver();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = TcpOptions {
+            max_connections: 1,
+            ..TcpOptions::default()
+        };
+        let server =
+            std::thread::spawn(move || serve_listener(resolver, listener, &options).unwrap());
+        // First client occupies the single slot.
+        let first = TcpStream::connect(addr).unwrap();
+        let mut first_writer = first.try_clone().unwrap();
+        let mut first_reader = BufReader::new(first);
+        writeln!(first_writer, "{}", seed_line()).unwrap();
+        let mut line = String::new();
+        first_reader.read_line(&mut line).unwrap();
+        // Second client is over the cap: one overloaded line, then EOF.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut second_reader = BufReader::new(second);
+        let mut refusal = String::new();
+        second_reader.read_line(&mut refusal).unwrap();
+        let v = serde_json::parse_value(refusal.trim()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
+        let mut rest = String::new();
+        assert_eq!(second_reader.read_line(&mut rest).unwrap(), 0, "{rest}");
+        // The first client still works, and can stop the daemon.
+        writeln!(first_writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        line.clear();
+        first_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("shutdown"), "{line}");
+        server.join().unwrap();
     }
 }

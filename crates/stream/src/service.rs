@@ -5,8 +5,9 @@
 //! (`seed`, `ingest`) never block: when the target queue is full they are
 //! rejected immediately with an `overloaded` response (explicit
 //! backpressure — clients retry, the daemon stays responsive). Rare
-//! control-plane requests (`snapshot`, `flush`, `shutdown`) instead wait
-//! for a queue slot — shedding a shutdown would be absurd.
+//! control-plane requests (`snapshot`, `persist`, `restore`, `flush`,
+//! `shutdown`) instead wait for a queue slot — shedding a shutdown would
+//! be absurd.
 //! Requests are routed to workers by name
 //! (`hash(name) % workers`), so all operations on one name execute in
 //! admission order — a seed is always applied before the ingests admitted
@@ -55,6 +56,14 @@ pub fn process_request(resolver: &StreamResolver, request: &Request) -> String {
             Err(e) => protocol::err_response(&e),
         },
         Request::Snapshot => protocol::ok_snapshot(&resolver.snapshot()),
+        Request::Persist => match resolver.persist_all() {
+            Ok(written) => protocol::ok_count("persist", written),
+            Err(e) => protocol::err_response(&e),
+        },
+        Request::Restore => match resolver.restore_all() {
+            Ok(restored) => protocol::ok_count("restore", restored),
+            Err(e) => protocol::err_response(&e),
+        },
         Request::Flush => protocol::ok_plain("flush"),
         Request::Shutdown => protocol::ok_plain("shutdown"),
     }
@@ -137,10 +146,10 @@ impl StreamService {
     /// Admit one request line. Data-plane requests (`seed`, `ingest`)
     /// never block: a malformed line or a full queue turns into an
     /// immediate error response at this request's position in the response
-    /// stream. Control-plane requests (`snapshot`, `flush`, `shutdown`)
-    /// are never load-shed — they are rare and clients depend on them, so
-    /// a full queue makes the admission thread wait for a slot instead.
-    /// Returns the admission sequence number.
+    /// stream. Control-plane requests (`snapshot`, `persist`, `restore`,
+    /// `flush`, `shutdown`) are never load-shed — they are rare and
+    /// clients depend on them, so a full queue makes the admission thread
+    /// wait for a slot instead. Returns the admission sequence number.
     pub fn submit(&self, line: String) -> u64 {
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let response = match protocol::parse_request(&line) {
@@ -149,7 +158,11 @@ impl StreamService {
                 let queue = &self.queues[self.route(&request)];
                 if matches!(
                     request,
-                    Request::Snapshot | Request::Flush | Request::Shutdown
+                    Request::Snapshot
+                        | Request::Persist
+                        | Request::Restore
+                        | Request::Flush
+                        | Request::Shutdown
                 ) {
                     match queue.send(Job { seq, request }) {
                         Ok(()) => None,
@@ -346,6 +359,42 @@ mod tests {
             let v = serde_json::parse_value(line).unwrap();
             assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
         }
+    }
+
+    #[test]
+    fn persist_and_restore_round_trip_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!(
+            "weber_service_persist_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = Gazetteer::new();
+        g.add_phrases(
+            weber_extract::gazetteer::EntityKind::Concept,
+            ["databases", "gardening"],
+        );
+        let config = StreamConfig::default().with_state_dir(&dir);
+        let r = Arc::new(StreamResolver::new(config.clone(), &g).unwrap());
+        let service = StreamService::start(Arc::clone(&r), 2, 16);
+        service.submit(seed_line());
+        service.submit(r#"{"op":"persist"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        let persisted = serde_json::parse_value(&responses[1]).unwrap();
+        assert_eq!(persisted.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(persisted.get("names").unwrap().as_u64(), Some(1));
+        // A fresh resolver restores it over the wire.
+        let r2 = Arc::new(StreamResolver::new(config, &g).unwrap());
+        let service = StreamService::start(Arc::clone(&r2), 2, 16);
+        service.submit(r#"{"op":"restore"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        let restored = serde_json::parse_value(&responses[0]).unwrap();
+        assert_eq!(restored.get("names").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            r2.partition("cohen").unwrap(),
+            r.partition("cohen").unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

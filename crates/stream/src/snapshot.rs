@@ -1,6 +1,42 @@
-//! Serialisable summaries of the live streaming state.
+//! Serialisable summaries of the live streaming state, and the on-disk
+//! per-name state records `persist`/`restore` round-trip through.
+//!
+//! # On-disk format
+//!
+//! One JSON file per name, named `<hex(name)>.state.json` inside the
+//! configured state directory (hex-encoding the name keeps arbitrary
+//! names filesystem-safe and reversible). Every file starts with a
+//! versioned header — `magic` and `version` fields — that is validated
+//! *before* the typed decode, so a stale or foreign file is rejected with
+//! an explicit [`StreamError::SnapshotRejected`] instead of being
+//! misread.
+//!
+//! The record stores the durable form of a name's state: the raw
+//! documents (seed batch first, in block order) plus the seed labels,
+//! alongside the *expected* trained-model selection and partition
+//! labelling. Restoring replays the documents through the deterministic
+//! seed/ingest pipeline and then verifies the replayed state against the
+//! recorded expectation; a mismatch (e.g. the daemon was restarted under
+//! a different resolver configuration) rejects the file rather than
+//! silently serving a different partition.
+//!
+//! Writes are atomic per file: the record is written to a `.tmp` sibling
+//! and renamed into place, so a crash mid-write never leaves a truncated
+//! `.state.json` behind.
+
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
+
+use crate::error::StreamError;
+
+/// Magic string identifying a weber-stream state file.
+pub const STATE_FILE_MAGIC: &str = "weber-stream-state";
+/// Current on-disk format version; files with any other version are
+/// rejected.
+pub const STATE_FILE_VERSION: u32 = 1;
+/// File-name suffix of per-name state records.
+pub const STATE_FILE_SUFFIX: &str = ".state.json";
 
 /// Summary of one name's streaming state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +75,194 @@ impl Snapshot {
     }
 }
 
+/// One raw document retained for persistence: the exact text and URL the
+/// feature extractor saw, which is the durable (extractor-independent)
+/// form of per-document state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredDocument {
+    /// Page text.
+    pub text: String,
+    /// Page URL, when known.
+    pub url: Option<String>,
+}
+
+/// The persisted record of one name's full streaming state.
+///
+/// `documents` holds every document in block order, the first
+/// `seed_labels.len()` of which form the labelled seed batch.
+/// `function`, `criterion` and `partition` record what the live state
+/// looked like at persist time; restore replays the documents and
+/// verifies the replayed state reproduces them exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameRecord {
+    /// File-format magic ([`STATE_FILE_MAGIC`]).
+    pub magic: String,
+    /// File-format version ([`STATE_FILE_VERSION`]).
+    pub version: u32,
+    /// The ambiguous name.
+    pub name: String,
+    /// Entity labels of the seed batch (documents `0..seed_labels.len()`).
+    pub seed_labels: Vec<u32>,
+    /// Every document in block order, seed batch first.
+    pub documents: Vec<StoredDocument>,
+    /// Selected similarity function at persist time (verified on restore).
+    pub function: String,
+    /// Selected decision criterion at persist time (verified on restore).
+    pub criterion: String,
+    /// Canonical partition labels at persist time (verified on restore).
+    pub partition: Vec<u32>,
+}
+
+impl NameRecord {
+    /// Serialise to the on-disk JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("state records serialise")
+    }
+
+    /// Parse and validate an on-disk record. The header (magic + version)
+    /// is checked against the raw value tree before the typed decode, so
+    /// files written by anything else — or by a different format version —
+    /// fail with [`StreamError::SnapshotRejected`], never a misread.
+    pub fn from_json(json: &str) -> Result<Self, StreamError> {
+        let value = serde_json::parse_value(json)
+            .map_err(|e| StreamError::SnapshotRejected(format!("not valid JSON: {e}")))?;
+        match value.get("magic").and_then(|m| m.as_str()) {
+            Some(STATE_FILE_MAGIC) => {}
+            Some(other) => {
+                return Err(StreamError::SnapshotRejected(format!(
+                    "wrong magic '{other}' (expected '{STATE_FILE_MAGIC}')"
+                )))
+            }
+            None => {
+                return Err(StreamError::SnapshotRejected(
+                    "missing 'magic' header field".into(),
+                ))
+            }
+        }
+        match value.get("version").and_then(|v| v.as_u64()) {
+            Some(v) if v == u64::from(STATE_FILE_VERSION) => {}
+            Some(v) => {
+                return Err(StreamError::SnapshotRejected(format!(
+                    "unsupported version {v} (this build reads version {STATE_FILE_VERSION})"
+                )))
+            }
+            None => {
+                return Err(StreamError::SnapshotRejected(
+                    "missing 'version' header field".into(),
+                ))
+            }
+        }
+        let record: NameRecord = serde_json::from_value(&value)
+            .map_err(|e| StreamError::SnapshotRejected(format!("malformed record: {e}")))?;
+        if record.seed_labels.is_empty() || record.seed_labels.len() > record.documents.len() {
+            return Err(StreamError::SnapshotRejected(format!(
+                "inconsistent record: {} seed labels over {} documents",
+                record.seed_labels.len(),
+                record.documents.len()
+            )));
+        }
+        Ok(record)
+    }
+}
+
+/// Hex-encode a name into its filesystem-safe state-file name.
+pub fn state_file_name(name: &str) -> String {
+    let mut hex = String::with_capacity(name.len() * 2 + STATE_FILE_SUFFIX.len());
+    for b in name.bytes() {
+        hex.push_str(&format!("{b:02x}"));
+    }
+    hex.push_str(STATE_FILE_SUFFIX);
+    hex
+}
+
+/// Recover the name a state file was written for; `None` when the file
+/// name is not a well-formed `<hex>.state.json`.
+pub fn name_from_state_file(file_name: &str) -> Option<String> {
+    let hex = file_name.strip_suffix(STATE_FILE_SUFFIX)?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for i in (0..hex.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// Path of `name`'s state file inside `dir`.
+pub fn state_file_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(state_file_name(name))
+}
+
+/// Atomically write a record into `dir` (creating the directory if
+/// needed): write to a `.tmp` sibling, then rename into place. Returns
+/// the final path.
+pub fn write_record(dir: &Path, record: &NameRecord) -> Result<PathBuf, StreamError> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        StreamError::Persistence(format!("cannot create state dir {}: {e}", dir.display()))
+    })?;
+    let path = state_file_path(dir, &record.name);
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, record.to_json())
+        .map_err(|e| StreamError::Persistence(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        // Leave no temp file behind on a failed rename.
+        let _ = std::fs::remove_file(&tmp);
+        StreamError::Persistence(format!("cannot rename into {}: {e}", path.display()))
+    })?;
+    Ok(path)
+}
+
+/// Read and validate `name`'s record from `dir`; `Ok(None)` when no file
+/// exists for the name.
+pub fn read_record(dir: &Path, name: &str) -> Result<Option<NameRecord>, StreamError> {
+    let path = state_file_path(dir, name);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(StreamError::Persistence(format!(
+                "cannot read {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let record = NameRecord::from_json(&json)?;
+    if record.name != name {
+        return Err(StreamError::SnapshotRejected(format!(
+            "file for '{name}' records state of '{}'",
+            record.name
+        )));
+    }
+    Ok(Some(record))
+}
+
+/// Names with a state file inside `dir`, sorted; an absent directory is
+/// simply empty.
+pub fn stored_names(dir: &Path) -> Result<Vec<String>, StreamError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(StreamError::Persistence(format!(
+                "cannot list state dir {}: {e}",
+                dir.display()
+            )))
+        }
+    };
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| {
+            StreamError::Persistence(format!("cannot list state dir {}: {e}", dir.display()))
+        })?;
+        if let Some(name) = entry.file_name().to_str().and_then(name_from_state_file) {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +290,36 @@ mod tests {
         }
     }
 
+    fn record() -> NameRecord {
+        NameRecord {
+            magic: STATE_FILE_MAGIC.into(),
+            version: STATE_FILE_VERSION,
+            name: "cohen".into(),
+            seed_labels: vec![0, 0, 1],
+            documents: vec![
+                StoredDocument {
+                    text: "databases".into(),
+                    url: None,
+                },
+                StoredDocument {
+                    text: "more databases".into(),
+                    url: Some("http://db.example.com".into()),
+                },
+                StoredDocument {
+                    text: "gardening".into(),
+                    url: None,
+                },
+                StoredDocument {
+                    text: "streamed later".into(),
+                    url: None,
+                },
+            ],
+            function: "F8".into(),
+            criterion: "thr".into(),
+            partition: vec![0, 0, 1, 0],
+        }
+    }
+
     #[test]
     fn totals_sum_over_names() {
         let s = snapshot();
@@ -79,5 +333,94 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Snapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let r = record();
+        let back = NameRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected_not_misread() {
+        let mut r = record();
+        r.magic = "not-a-weber-file".into();
+        assert!(matches!(
+            NameRecord::from_json(&r.to_json()),
+            Err(StreamError::SnapshotRejected(msg)) if msg.contains("magic")
+        ));
+        let mut r = record();
+        r.version = STATE_FILE_VERSION + 1;
+        assert!(matches!(
+            NameRecord::from_json(&r.to_json()),
+            Err(StreamError::SnapshotRejected(msg)) if msg.contains("version")
+        ));
+        assert!(matches!(
+            NameRecord::from_json("{}"),
+            Err(StreamError::SnapshotRejected(_))
+        ));
+        assert!(matches!(
+            NameRecord::from_json("garbage"),
+            Err(StreamError::SnapshotRejected(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_seed_counts_are_rejected() {
+        let mut r = record();
+        r.seed_labels = vec![0; r.documents.len() + 1];
+        assert!(matches!(
+            NameRecord::from_json(&r.to_json()),
+            Err(StreamError::SnapshotRejected(msg)) if msg.contains("seed labels")
+        ));
+        let mut r = record();
+        r.seed_labels.clear();
+        assert!(NameRecord::from_json(&r.to_json()).is_err());
+    }
+
+    #[test]
+    fn file_names_roundtrip_arbitrary_names() {
+        for name in ["cohen", "name with spaces", "päivi/δ:*?", ""] {
+            let file = state_file_name(name);
+            assert!(file.ends_with(STATE_FILE_SUFFIX));
+            assert!(!file.trim_end_matches(STATE_FILE_SUFFIX).contains('/'));
+            assert_eq!(name_from_state_file(&file).as_deref(), Some(name));
+        }
+        assert_eq!(name_from_state_file("nope.json"), None);
+        assert_eq!(name_from_state_file("xyz.state.json"), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join(format!(
+            "weber_snapshot_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = record();
+        let path = write_record(&dir, &r).unwrap();
+        assert!(path.exists());
+        // No temp residue once the write has landed.
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp")
+            })
+            .collect();
+        assert!(residue.is_empty());
+        assert_eq!(read_record(&dir, "cohen").unwrap().unwrap(), r);
+        assert_eq!(read_record(&dir, "nobody").unwrap(), None);
+        assert_eq!(stored_names(&dir).unwrap(), vec!["cohen".to_string()]);
+        assert_eq!(
+            stored_names(&dir.join("missing")).unwrap(),
+            Vec::<String>::new()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,6 +12,7 @@ use weber_simfun::block::{PreparedBlock, WordVectorScheme};
 
 use crate::config::AssignmentPolicy;
 use crate::error::StreamError;
+use crate::snapshot::StoredDocument;
 
 /// Where an arriving document landed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +50,13 @@ pub struct NameState {
     resolver: Resolver,
     /// Block size at which the next checkpoint rebuild runs.
     retrain_at: usize,
+    /// The raw documents, in block order (seed batch first). Retained as
+    /// the durable form of the state: feature vectors reference term ids
+    /// interned in a process-global vocabulary, so persistence stores the
+    /// documents and restore replays them through extraction.
+    documents: Vec<StoredDocument>,
+    /// The seed batch's entity labels (documents `0..seed_labels.len()`).
+    seed_labels: Vec<u32>,
 }
 
 /// Transitive closure of the model's pairwise decisions over the whole
@@ -80,6 +88,7 @@ impl NameState {
     /// on top (the seed labels are ground truth for their documents).
     pub fn seed(
         name: &str,
+        documents: Vec<StoredDocument>,
         features: Vec<PageFeatures>,
         labels: &[u32],
         resolver: &Resolver,
@@ -89,7 +98,16 @@ impl NameState {
         if features.is_empty() {
             return Err(StreamError::EmptySeed(name.to_string()));
         }
-        debug_assert_eq!(features.len(), labels.len());
+        // A mismatched batch must fail loudly in every build: proceeding
+        // would mistrain (labels attached to the wrong documents) or panic
+        // later inside supervision pair enumeration.
+        if features.len() != labels.len() || documents.len() != features.len() {
+            return Err(StreamError::SeedMismatch {
+                name: name.to_string(),
+                docs: documents.len().max(features.len()),
+                labels: labels.len(),
+            });
+        }
         let block = PreparedBlock::with_scheme(name, features, scheme);
         let supervision = Supervision::new(
             labels
@@ -101,6 +119,7 @@ impl NameState {
         let model = resolver.train(&block, &supervision)?;
         let partition = closure_partition(&block, &model, &supervision);
         let retrain_at = block.len() * 2;
+        let seed_labels = labels.to_vec();
         Ok(Self {
             block,
             model,
@@ -109,6 +128,8 @@ impl NameState {
             supervision,
             resolver: resolver.clone(),
             retrain_at,
+            documents,
+            seed_labels,
         })
     }
 
@@ -146,7 +167,12 @@ impl NameState {
     /// document in between. The [`AssignmentPolicy::Linkage`] policy is
     /// strictly incremental — it promises never to merge existing clusters,
     /// which a closure rebuild could not honour.
-    pub fn ingest(&mut self, features: PageFeatures) -> ClusterAssignment {
+    pub fn ingest(
+        &mut self,
+        document: StoredDocument,
+        features: PageFeatures,
+    ) -> ClusterAssignment {
+        self.documents.push(document);
         let doc = self.block.push(features);
         if matches!(self.assignment, AssignmentPolicy::TransitiveClosure)
             && self.block.len() >= self.retrain_at
@@ -226,6 +252,16 @@ impl NameState {
     pub fn block(&self) -> &PreparedBlock {
         &self.block
     }
+
+    /// The raw documents in block order (seed batch first).
+    pub fn documents(&self) -> &[StoredDocument] {
+        &self.documents
+    }
+
+    /// The seed batch's entity labels.
+    pub fn seed_labels(&self) -> &[u32] {
+        &self.seed_labels
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +280,13 @@ mod tests {
         Extractor::new(&g)
     }
 
+    fn stored(text: &str) -> StoredDocument {
+        StoredDocument {
+            text: text.to_string(),
+            url: None,
+        }
+    }
+
     fn seeded() -> (NameState, Extractor) {
         let e = extractor();
         let texts = [
@@ -252,10 +295,12 @@ mod tests {
             "gardening tips for growing roses",
             "gardening advice on pruning roses",
         ];
+        let documents: Vec<StoredDocument> = texts.iter().map(|t| stored(t)).collect();
         let features: Vec<PageFeatures> = texts.iter().map(|t| e.extract(t, None)).collect();
         let resolver = Resolver::new(ResolverConfig::default()).unwrap();
         let state = NameState::seed(
             "cohen",
+            documents,
             features,
             &[0, 0, 1, 1],
             &resolver,
@@ -283,6 +328,7 @@ mod tests {
         let err = NameState::seed(
             "cohen",
             Vec::new(),
+            Vec::new(),
             &[],
             &resolver,
             WordVectorScheme::default(),
@@ -293,18 +339,49 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_seed_batch_is_rejected_in_release_builds_too() {
+        let e = extractor();
+        let texts = ["databases one", "databases two", "gardening three"];
+        let documents: Vec<StoredDocument> = texts.iter().map(|t| stored(t)).collect();
+        let features: Vec<PageFeatures> = texts.iter().map(|t| e.extract(t, None)).collect();
+        let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+        let err = NameState::seed(
+            "cohen",
+            documents,
+            features,
+            &[0, 1], // one label short
+            &resolver,
+            WordVectorScheme::default(),
+            AssignmentPolicy::TransitiveClosure,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::SeedMismatch {
+                name: "cohen".into(),
+                docs: 3,
+                labels: 2,
+            }
+        );
+    }
+
+    #[test]
     fn ingest_grows_the_block_and_partition() {
         let (mut state, e) = seeded();
-        let a = state.ingest(e.extract("databases are fun and databases are hard", None));
+        let text = "databases are fun and databases are hard";
+        let a = state.ingest(stored(text), e.extract(text, None));
         assert_eq!(a.doc, 4);
         assert_eq!(state.len(), 5);
         assert_eq!(state.partition().len(), 5);
+        assert_eq!(state.documents().len(), 5);
+        assert_eq!(state.seed_labels(), &[0, 0, 1, 1]);
     }
 
     #[test]
     fn dissimilar_document_founds_a_new_cluster() {
         let (mut state, e) = seeded();
-        let a = state.ingest(e.extract("zebra xylophone quantum baseball", None));
+        let text = "zebra xylophone quantum baseball";
+        let a = state.ingest(stored(text), e.extract(text, None));
         assert!(a.is_new_cluster, "{a:?}");
         assert_eq!(a.cluster_size, 1);
         assert_eq!(a.linked_members, 0);
@@ -319,10 +396,12 @@ mod tests {
             "gardening tips for growing roses",
             "gardening advice on pruning roses",
         ];
+        let documents: Vec<StoredDocument> = texts.iter().map(|t| stored(t)).collect();
         let features: Vec<PageFeatures> = texts.iter().map(|t| e.extract(t, None)).collect();
         let resolver = Resolver::new(ResolverConfig::default()).unwrap();
         let mut state = NameState::seed(
             "cohen",
+            documents,
             features,
             &[0, 0, 1, 1],
             &resolver,
@@ -334,7 +413,8 @@ mod tests {
         )
         .unwrap();
         let before = state.cluster_count();
-        state.ingest(e.extract("databases and gardening together", None));
+        let text = "databases and gardening together";
+        state.ingest(stored(text), e.extract(text, None));
         // Linkage assignment joins at most one cluster; the count can only
         // stay (joined) or grow by one (new singleton).
         assert!(state.cluster_count() >= before);

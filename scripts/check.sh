@@ -14,4 +14,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> streaming stress: cargo test -q --release -p weber-stream"
+cargo test -q --release -p weber-stream
+
 echo "All checks passed."

@@ -6,6 +6,7 @@
 //! weber resolve  --dataset FILE [--train FRAC] [--seed N] [--out FILE]
 //! weber experiment --dataset FILE [--train FRAC] [--runs N]
 //! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
+//!                [--max-connections N] [--state-dir DIR] [--max-names N]
 //! ```
 
 use std::collections::HashMap;
@@ -18,7 +19,7 @@ use weber::core::supervision::Supervision;
 use weber::corpus::{generate, presets, CorpusConfig, Dataset};
 use weber::eval::MetricSet;
 use weber::simfun::functions::subset_i10;
-use weber::stream::{serve_stdio, serve_tcp, StreamConfig, StreamResolver};
+use weber::stream::{serve_stdio, serve_tcp, StreamConfig, StreamResolver, TcpOptions};
 use weber::textindex::TfIdf;
 
 const USAGE: &str = "\
@@ -30,6 +31,7 @@ USAGE:
   weber resolve   --dataset FILE [--train FRAC] [--seed N] [--out FILE]
   weber experiment --dataset FILE [--train FRAC] [--runs N]
   weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
+                  [--max-connections N] [--state-dir DIR] [--max-names N]
   weber --version | --help
 
 The resolve/experiment commands use the paper's full technique (functions
@@ -42,7 +44,13 @@ Seed a name with a labelled batch, then ingest documents one at a time:
   {\"op\":\"seed\",\"name\":\"cohen\",\"docs\":[{\"text\":\"…\",\"label\":0},…]}
   {\"op\":\"ingest\",\"name\":\"cohen\",\"text\":\"…\"}
 --dataset seeds the gazetteer from a generated corpus file; --workers and
---queue size the worker pool and per-worker admission queue.";
+--queue size the worker pool and per-worker admission queue. With --listen
+the daemon serves clients concurrently, up to --max-connections at once
+(default 64). --state-dir DIR persists per-name state: existing records
+are restored at startup, the whole state is written back at shutdown, and
+the protocol gains explicit persist/restore ops. --max-names N (requires
+--state-dir) bounds live names, evicting the least-recently-touched to
+disk and restoring it transparently on its next touch.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -278,25 +286,50 @@ fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let workers: usize = parse(flags, "workers", 2)?;
     let queue: usize = parse(flags, "queue", 64)?;
+    let max_connections: usize = parse(flags, "max-connections", 64)?;
     let gazetteer = match flags.get("dataset") {
         Some(_) => load_dataset(flags)?.gazetteer,
         None => weber::extract::gazetteer::Gazetteer::new(),
     };
-    let config = StreamConfig::default()
+    let mut config = StreamConfig::default()
         .with_workers(workers)
         .with_queue_capacity(queue);
+    if let Some(dir) = flags.get("state-dir") {
+        config = config.with_state_dir(dir);
+    }
+    if flags.contains_key("max-names") {
+        config = config.with_max_names(parse(flags, "max-names", 1024)?);
+    }
     let resolver =
         std::sync::Arc::new(StreamResolver::new(config, &gazetteer).map_err(|e| e.to_string())?);
+    if let Some(dir) = flags.get("state-dir") {
+        let restored = resolver.restore_all().map_err(|e| e.to_string())?;
+        if restored > 0 {
+            eprintln!("restored {restored} names from {dir}");
+        }
+    }
     let admitted = match flags.get("listen") {
         Some(addr) => {
-            eprintln!("serving NDJSON on {addr} ({workers} workers, queue {queue})");
-            serve_tcp(resolver, addr, workers, queue).map_err(|e| e.to_string())?
+            eprintln!(
+                "serving NDJSON on {addr} ({workers} workers, queue {queue}, \
+                 up to {max_connections} connections)"
+            );
+            let options = TcpOptions {
+                workers,
+                queue_capacity: queue,
+                max_connections,
+            };
+            serve_tcp(resolver.clone(), addr, &options).map_err(|e| e.to_string())?
         }
         None => {
             eprintln!("serving NDJSON on stdin/stdout ({workers} workers, queue {queue})");
-            serve_stdio(resolver, workers, queue).map_err(|e| e.to_string())?
+            serve_stdio(resolver.clone(), workers, queue).map_err(|e| e.to_string())?
         }
     };
+    if let Some(dir) = flags.get("state-dir") {
+        let written = resolver.persist_all().map_err(|e| e.to_string())?;
+        eprintln!("persisted {written} names to {dir}");
+    }
     eprintln!("served {admitted} requests");
     Ok(())
 }

@@ -83,6 +83,76 @@ fn serve_round_trips_ndjson_over_stdio() {
 }
 
 #[test]
+fn serve_state_dir_survives_a_daemon_restart() {
+    use std::io::Write;
+    let dir = temp_path("state_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |requests: &str| {
+        let mut child = weber()
+            .args(["serve", "--state-dir"])
+            .arg(&dir)
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(requests.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    // First lifetime: seed + ingest; state is persisted at shutdown.
+    let (_, stderr) = run(concat!(
+        r#"{"op":"seed","name":"cohen","docs":[{"text":"databases and systems","label":0},{"text":"databases research","label":0},{"text":"gardening and roses","label":1}]}"#,
+        "\n",
+        r#"{"op":"ingest","name":"cohen","text":"more databases work"}"#,
+        "\n",
+        r#"{"op":"shutdown"}"#,
+        "\n",
+    ));
+    assert!(stderr.contains("persisted 1 names"), "stderr: {stderr}");
+    // Second lifetime: the state is restored at startup, so the name
+    // answers a snapshot with all four documents without being re-seeded.
+    let (stdout, stderr) = run(concat!(
+        r#"{"op":"snapshot"}"#,
+        "\n",
+        r#"{"op":"shutdown"}"#,
+        "\n"
+    ));
+    assert!(stderr.contains("restored 1 names"), "stderr: {stderr}");
+    let snapshot = stdout.lines().next().unwrap();
+    assert!(snapshot.contains("cohen"), "{snapshot}");
+    assert!(snapshot.contains(r#""docs":4"#), "{snapshot}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_max_names_without_state_dir() {
+    let out = weber()
+        .args(["serve", "--max-names", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("state_dir") || err.contains("state dir"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = weber().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

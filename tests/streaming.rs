@@ -108,6 +108,215 @@ fn streaming_tracks_batch_on_small_corpus() {
     assert_equivalent(&presets::small(77), 0.25, 77);
 }
 
+mod tcp {
+    //! Daemon-level behaviour over real sockets: concurrent clients,
+    //! crash isolation, and persistence across "restarts".
+
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    use weber::extract::gazetteer::{EntityKind, Gazetteer};
+    use weber::stream::{serve_listener, StreamConfig, StreamResolver, TcpOptions};
+
+    fn gazetteer() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add_phrases(EntityKind::Concept, ["databases", "gardening"]);
+        g
+    }
+
+    fn start_server(config: StreamConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<u64>) {
+        let resolver = Arc::new(StreamResolver::new(config, &gazetteer()).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            serve_listener(resolver, listener, &TcpOptions::default()).unwrap()
+        });
+        (addr, handle)
+    }
+
+    fn seed_line(name: &str) -> String {
+        format!(
+            concat!(
+                r#"{{"op":"seed","name":"{}","docs":["#,
+                r#"{{"text":"databases are fun and databases are important","label":0}},"#,
+                r#"{{"text":"databases are hard but databases pay well","label":0}},"#,
+                r#"{{"text":"gardening tips for growing roses","label":1}},"#,
+                r#"{{"text":"gardening advice on pruning roses","label":1}}]}}"#
+            ),
+            name
+        )
+    }
+
+    /// Send one line, read one response line.
+    fn round_trip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim().to_string()
+    }
+
+    fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn two_simultaneous_clients_are_both_served() {
+        let (addr, server) = start_server(StreamConfig::default());
+        // Client A connects, seeds, and stays connected — under the old
+        // sequential accept loop this would block client B forever.
+        let (mut a_writer, mut a_reader) = connect(addr);
+        let seeded = round_trip(&mut a_writer, &mut a_reader, &seed_line("cohen"));
+        assert!(seeded.contains("\"ok\":true"), "{seeded}");
+        // Client B completes a full exchange while A's connection is open.
+        let (mut b_writer, mut b_reader) = connect(addr);
+        let seeded = round_trip(&mut b_writer, &mut b_reader, &seed_line("smith"));
+        assert!(seeded.contains("\"ok\":true"), "{seeded}");
+        let ingested = round_trip(
+            &mut b_writer,
+            &mut b_reader,
+            r#"{"op":"ingest","name":"smith","text":"gardening again"}"#,
+        );
+        assert!(ingested.contains("\"ok\":true"), "{ingested}");
+        // A is still alive too, and both names exist in the shared state.
+        let snap = round_trip(&mut a_writer, &mut a_reader, r#"{"op":"snapshot"}"#);
+        assert!(snap.contains("cohen") && snap.contains("smith"), "{snap}");
+        drop((b_writer, b_reader));
+        let bye = round_trip(&mut a_writer, &mut a_reader, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("shutdown"), "{bye}");
+        let admitted = server.join().unwrap();
+        assert_eq!(admitted, 5);
+    }
+
+    #[test]
+    fn n_parallel_clients_ingest_disjoint_names() {
+        let (addr, server) = start_server(StreamConfig::default());
+        let clients = 4;
+        let ingests_per_client = 5;
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                scope.spawn(move || {
+                    let (mut writer, mut reader) = connect(addr);
+                    let name = format!("name{c}");
+                    let seeded = round_trip(&mut writer, &mut reader, &seed_line(&name));
+                    assert!(seeded.contains("\"ok\":true"), "{seeded}");
+                    for i in 0..ingests_per_client {
+                        let response = round_trip(
+                            &mut writer,
+                            &mut reader,
+                            &format!(
+                                r#"{{"op":"ingest","name":"{name}","text":"databases item {i}"}}"#
+                            ),
+                        );
+                        assert!(response.contains("\"ok\":true"), "{response}");
+                    }
+                });
+            }
+        });
+        // After the burst, snapshot totals must account for every client's
+        // documents: clients × (4 seed docs + 5 ingested).
+        let (mut writer, mut reader) = connect(addr);
+        let snap = round_trip(&mut writer, &mut reader, r#"{"op":"snapshot"}"#);
+        let value = serde_json::parse_value(&snap).unwrap();
+        let names = value.get("names").unwrap().as_array().unwrap();
+        assert_eq!(names.len(), clients);
+        let total_docs: u64 = names
+            .iter()
+            .map(|n| n.get("docs").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total_docs, (clients as u64) * (4 + ingests_per_client));
+        round_trip(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn a_client_dying_mid_stream_does_not_kill_the_daemon() {
+        let (addr, server) = start_server(StreamConfig::default());
+        // Victim client seeds, then fires a burst of ingests without ever
+        // reading a response, and vanishes. The server's writes land on a
+        // closed socket (RST once the unread data is discarded), which the
+        // old implementation propagated out of the accept loop.
+        {
+            let (mut writer, mut reader) = connect(addr);
+            let seeded = round_trip(&mut writer, &mut reader, &seed_line("victim"));
+            assert!(seeded.contains("\"ok\":true"), "{seeded}");
+            for i in 0..64 {
+                writeln!(
+                    writer,
+                    r#"{{"op":"ingest","name":"victim","text":"databases burst {i}"}}"#
+                )
+                .unwrap();
+            }
+            writer.flush().unwrap();
+            // Reset on close (unread responses in the receive buffer turn
+            // the close into an abortive RST on most stacks); at minimum
+            // the peer disappears mid-conversation.
+            drop(reader);
+            drop(writer);
+        }
+        // Give the server a moment to trip over the dead socket.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        // A second client must still get served.
+        let (mut writer, mut reader) = connect(addr);
+        let seeded = round_trip(&mut writer, &mut reader, &seed_line("survivor"));
+        assert!(seeded.contains("\"ok\":true"), "{seeded}");
+        let bye = round_trip(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("shutdown"), "{bye}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn persist_restart_restore_reproduces_the_partition() {
+        let dir =
+            std::env::temp_dir().join(format!("weber_streaming_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StreamConfig::default().with_state_dir(&dir);
+
+        // First daemon lifetime: seed, ingest, persist over the wire.
+        let (addr, server) = start_server(config.clone());
+        let (mut writer, mut reader) = connect(addr);
+        round_trip(&mut writer, &mut reader, &seed_line("cohen"));
+        round_trip(&mut writer, &mut reader, &seed_line("smith"));
+        for i in 0..3 {
+            round_trip(
+                &mut writer,
+                &mut reader,
+                &format!(r#"{{"op":"ingest","name":"cohen","text":"databases live {i}"}}"#),
+            );
+        }
+        let persisted = round_trip(&mut writer, &mut reader, r#"{"op":"persist"}"#);
+        assert!(persisted.contains("\"names\":2"), "{persisted}");
+        let snap_before = round_trip(&mut writer, &mut reader, r#"{"op":"snapshot"}"#);
+        round_trip(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+        server.join().unwrap();
+
+        // The "restarted" daemon shares nothing in memory with the first.
+        let (addr, server) = start_server(config);
+        let (mut writer, mut reader) = connect(addr);
+        let restored = round_trip(&mut writer, &mut reader, r#"{"op":"restore"}"#);
+        assert!(restored.contains("\"names\":2"), "{restored}");
+        let snap_after = round_trip(&mut writer, &mut reader, r#"{"op":"snapshot"}"#);
+        // Same names, same document counts, same cluster structure.
+        assert_eq!(snap_before, snap_after);
+        // And the restored state keeps serving ingests.
+        let response = round_trip(
+            &mut writer,
+            &mut reader,
+            r#"{"op":"ingest","name":"cohen","text":"databases after restart"}"#,
+        );
+        assert!(response.contains("\"doc\":7"), "{response}");
+        round_trip(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+        server.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn streaming_handles_every_block_of_a_dataset() {
     // Coverage sanity: on a tiny corpus with generous supervision, every
