@@ -91,9 +91,49 @@ fn bench_seed(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ingest_200(c: &mut Criterion) {
+    // End-to-end streaming ingest: seed a daemon-shaped resolver with one
+    // labelled batch and grow the name's block to 200 documents, one
+    // arrival at a time — checkpoint retrains, cached similarity rows,
+    // deferred vector syncs and all. This is the scenario the BENCH_stream
+    // acceptance numbers are recorded on.
+    let dataset = generate(&presets::tiny(3));
+    let source = &dataset.blocks[0];
+    let truth = source.truth();
+    let docs: Vec<SeedDocument> = source
+        .documents
+        .iter()
+        .zip(0..)
+        .map(|(d, i)| SeedDocument {
+            text: d.text.clone(),
+            url: d.url.clone(),
+            label: truth.label_of(i),
+        })
+        .collect();
+    let total = 200usize;
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+    let mut group = c.benchmark_group("stream_ingest_200");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("tiny_seed", |b| {
+        b.iter(|| {
+            // Re-seeding resets the name's state, so each iteration grows
+            // the block from scratch.
+            stream.seed(&source.query_name, black_box(&docs)).unwrap();
+            for i in docs.len()..total {
+                let d = &source.documents[i % source.documents.len()];
+                stream
+                    .ingest(&source.query_name, &d.text, d.url.as_deref())
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_ingest_scan, bench_seed
+    targets = bench_ingest_scan, bench_seed, bench_ingest_200
 }
 criterion_main!(benches);

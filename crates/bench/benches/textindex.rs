@@ -59,7 +59,7 @@ fn bench_index_build(c: &mut Criterion) {
             |analyzer| {
                 let mut index = CorpusIndex::new();
                 for t in &texts {
-                    index.add_document(analyzer.analyze(black_box(t)));
+                    index.add_document(&analyzer.analyze(black_box(t)));
                 }
                 index.tfidf_vectors(TfIdf::default()).len()
             },
@@ -73,7 +73,7 @@ fn bench_vector_similarity(c: &mut Criterion) {
     let analyzer = Analyzer::english();
     let mut index = CorpusIndex::new();
     for t in &texts {
-        index.add_document(analyzer.analyze(t));
+        index.add_document(&analyzer.analyze(t));
     }
     let vectors = index.tfidf_vectors(TfIdf::default());
     let dim = index.vocabulary_size();

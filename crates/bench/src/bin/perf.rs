@@ -1,0 +1,281 @@
+//! Machine-readable performance harness for the perf trajectory across PRs.
+//!
+//! Two wall-clock scenarios, each emitted as a JSON report:
+//!
+//! - **stream**: seed a [`StreamResolver`] with one generated block's
+//!   labelled documents, then ingest cycled copies one at a time until the
+//!   block holds `--docs` documents (checkpoint retraining included). This
+//!   is the end-to-end ingest path `weber serve` runs per request.
+//! - **pipeline**: batch-resolve one prepared block of `--pipeline-docs`
+//!   documents under the default configuration (all ten functions, three
+//!   criteria, best-graph selection).
+//!
+//! Reports carry documents-per-second / pairs-per-second so runs are
+//! comparable across machines only in ratio form; pass `--stream-baseline`
+//! / `--pipeline-baseline` pointing at an earlier report to get a
+//! `speedup` field computed against it. `scripts/bench.sh` wires this up.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use weber_core::resolver::{Resolver, ResolverConfig};
+use weber_core::supervision::Supervision;
+use weber_corpus::{generate, presets};
+use weber_extract::features::PageFeatures;
+use weber_extract::pipeline::Extractor;
+use weber_simfun::block::{PreparedBlock, WordVectorScheme};
+use weber_stream::{SeedDocument, StreamConfig, StreamResolver};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StreamReport {
+    scenario: String,
+    total_docs: u64,
+    seed_docs: u64,
+    ingested_docs: u64,
+    reps: u64,
+    /// Best wall time over the reps, seconds (seed + every ingest).
+    wall_seconds: f64,
+    /// `total_docs / wall_seconds`.
+    docs_per_second: f64,
+    baseline_wall_seconds: Option<f64>,
+    baseline_docs_per_second: Option<f64>,
+    /// `baseline_wall_seconds / wall_seconds` (higher is better).
+    speedup: Option<f64>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PipelineReport {
+    scenario: String,
+    block_docs: u64,
+    functions: u64,
+    /// Pairwise similarity evaluations one resolve implies:
+    /// `functions × n·(n−1)/2`.
+    pairs_scored: u64,
+    reps: u64,
+    /// Best wall time over the reps, seconds (resolve only; block
+    /// preparation excluded).
+    wall_seconds: f64,
+    /// `pairs_scored / wall_seconds`.
+    pairs_per_second: f64,
+    baseline_wall_seconds: Option<f64>,
+    baseline_pairs_per_second: Option<f64>,
+    speedup: Option<f64>,
+}
+
+struct Options {
+    docs: usize,
+    pipeline_docs: usize,
+    reps: usize,
+    stream_out: String,
+    pipeline_out: String,
+    stream_baseline: Option<String>,
+    pipeline_baseline: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            docs: 200,
+            pipeline_docs: 120,
+            reps: 3,
+            stream_out: "BENCH_stream.json".into(),
+            pipeline_out: "BENCH_pipeline.json".into(),
+            stream_baseline: None,
+            pipeline_baseline: None,
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--docs" => opts.docs = value("--docs").parse().expect("--docs: integer"),
+            "--pipeline-docs" => {
+                opts.pipeline_docs = value("--pipeline-docs")
+                    .parse()
+                    .expect("--pipeline-docs: integer");
+            }
+            "--reps" => opts.reps = value("--reps").parse::<usize>().expect("--reps").max(1),
+            "--stream-out" => opts.stream_out = value("--stream-out"),
+            "--pipeline-out" => opts.pipeline_out = value("--pipeline-out"),
+            "--stream-baseline" => opts.stream_baseline = Some(value("--stream-baseline")),
+            "--pipeline-baseline" => opts.pipeline_baseline = Some(value("--pipeline-baseline")),
+            "--smoke" => {
+                opts.docs = 40;
+                opts.pipeline_docs = 40;
+                opts.reps = 1;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    opts
+}
+
+/// One timed streaming run: seed with the source block's labelled
+/// documents, ingest cycled copies until `total` documents are held.
+fn run_stream(total: usize) -> (f64, usize) {
+    let dataset = generate(&presets::tiny(3));
+    let source = &dataset.blocks[0];
+    let truth = source.truth();
+    let seed_docs: Vec<SeedDocument> = source
+        .documents
+        .iter()
+        .zip(0..)
+        .map(|(d, i)| SeedDocument {
+            text: d.text.clone(),
+            url: d.url.clone(),
+            label: truth.label_of(i),
+        })
+        .collect();
+    assert!(
+        total > seed_docs.len(),
+        "--docs must exceed the seed batch ({})",
+        seed_docs.len()
+    );
+    let arrivals: Vec<(String, Option<String>)> = (seed_docs.len()..total)
+        .map(|i| {
+            let d = &source.documents[i % source.documents.len()];
+            (d.text.clone(), d.url.clone())
+        })
+        .collect();
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+    let start = Instant::now();
+    stream.seed(&source.query_name, &seed_docs).unwrap();
+    for (text, url) in &arrivals {
+        stream
+            .ingest(&source.query_name, text, url.as_deref())
+            .unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(stream.partition(&source.query_name).unwrap());
+    (secs, seed_docs.len())
+}
+
+/// One timed batch resolve over a freshly prepared `n`-document block
+/// (preparation excluded from the timing).
+fn run_pipeline(n: usize) -> (f64, usize) {
+    let dataset = generate(&presets::tiny(3));
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let source = &dataset.blocks[0];
+    let features: Vec<PageFeatures> = (0..n)
+        .map(|i| {
+            let d = &source.documents[i % source.documents.len()];
+            extractor.extract(&d.text, d.url.as_deref())
+        })
+        .collect();
+    let block = PreparedBlock::with_scheme(
+        source.query_name.clone(),
+        features,
+        WordVectorScheme::default(),
+    );
+    let truth = source.truth();
+    let labelled = source.documents.len().min(n);
+    let sup = Supervision::new((0..labelled).map(|i| (i, truth.label_of(i))).collect());
+    let config = ResolverConfig::default();
+    let functions = config.functions.len();
+    let resolver = Resolver::new(config).unwrap();
+    let start = Instant::now();
+    let resolution = resolver.resolve(&block, &sup).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(resolution.partition.len());
+    (secs, functions)
+}
+
+fn best_of(reps: usize, run: impl Fn() -> f64) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn load<T: Deserialize>(path: &str) -> T {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e:?}"))
+}
+
+fn write(path: &str, json: String) {
+    std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let (_, seed_len) = run_stream(opts.docs.max(30)); // warm-up + seed size probe
+    let wall = best_of(opts.reps, || run_stream(opts.docs).0);
+    let mut stream = StreamReport {
+        scenario: "stream_ingest".into(),
+        total_docs: opts.docs as u64,
+        seed_docs: seed_len as u64,
+        ingested_docs: (opts.docs - seed_len) as u64,
+        reps: opts.reps as u64,
+        wall_seconds: wall,
+        docs_per_second: opts.docs as f64 / wall,
+        baseline_wall_seconds: None,
+        baseline_docs_per_second: None,
+        speedup: None,
+    };
+    if let Some(path) = &opts.stream_baseline {
+        let base: StreamReport = load(path);
+        stream.baseline_wall_seconds = Some(base.wall_seconds);
+        stream.baseline_docs_per_second = Some(base.docs_per_second);
+        stream.speedup = Some(base.wall_seconds / stream.wall_seconds);
+    }
+    eprintln!(
+        "stream: {} docs in {:.3}s ({:.1} docs/s{})",
+        stream.total_docs,
+        stream.wall_seconds,
+        stream.docs_per_second,
+        stream
+            .speedup
+            .map(|s| format!(", {s:.2}x vs baseline"))
+            .unwrap_or_default()
+    );
+    write(
+        &opts.stream_out,
+        serde_json::to_string_pretty(&stream).unwrap(),
+    );
+
+    let (_, functions) = run_pipeline(opts.pipeline_docs.min(40)); // warm-up
+    let wall = best_of(opts.reps, || run_pipeline(opts.pipeline_docs).0);
+    let n = opts.pipeline_docs as u64;
+    let pairs = functions as u64 * n * (n - 1) / 2;
+    let mut pipeline = PipelineReport {
+        scenario: "pipeline_resolve".into(),
+        block_docs: n,
+        functions: functions as u64,
+        pairs_scored: pairs,
+        reps: opts.reps as u64,
+        wall_seconds: wall,
+        pairs_per_second: pairs as f64 / wall,
+        baseline_wall_seconds: None,
+        baseline_pairs_per_second: None,
+        speedup: None,
+    };
+    if let Some(path) = &opts.pipeline_baseline {
+        let base: PipelineReport = load(path);
+        pipeline.baseline_wall_seconds = Some(base.wall_seconds);
+        pipeline.baseline_pairs_per_second = Some(base.pairs_per_second);
+        pipeline.speedup = Some(base.wall_seconds / pipeline.wall_seconds);
+    }
+    eprintln!(
+        "pipeline: {} docs ({} pairs) in {:.3}s ({:.0} pairs/s{})",
+        pipeline.block_docs,
+        pipeline.pairs_scored,
+        pipeline.wall_seconds,
+        pipeline.pairs_per_second,
+        pipeline
+            .speedup
+            .map(|s| format!(", {s:.2}x vs baseline"))
+            .unwrap_or_default()
+    );
+    write(
+        &opts.pipeline_out,
+        serde_json::to_string_pretty(&pipeline).unwrap(),
+    );
+}

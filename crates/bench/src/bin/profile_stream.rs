@@ -1,0 +1,83 @@
+//! Phase breakdown of the streaming ingest scenario: where does the wall
+//! time of `perf --docs N` actually go? Not part of the reported numbers —
+//! a diagnosis tool for optimisation work.
+
+use std::time::Instant;
+
+use weber_corpus::{generate, presets};
+use weber_extract::pipeline::Extractor;
+use weber_simfun::block::PreparedBlock;
+use weber_simfun::functions::standard_suite;
+use weber_stream::{SeedDocument, StreamConfig, StreamResolver};
+use weber_textindex::tfidf::TfIdf;
+
+fn main() {
+    let total: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let dataset = generate(&presets::tiny(3));
+    let source = &dataset.blocks[0];
+    let truth = source.truth();
+    let seed_docs: Vec<SeedDocument> = source
+        .documents
+        .iter()
+        .zip(0..)
+        .map(|(d, i)| SeedDocument {
+            text: d.text.clone(),
+            url: d.url.clone(),
+            label: truth.label_of(i),
+        })
+        .collect();
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+
+    let t = Instant::now();
+    let summary = stream.seed(&source.query_name, &seed_docs).unwrap();
+    println!(
+        "seed: {} docs in {:.3}s (model {} / {})",
+        seed_docs.len(),
+        t.elapsed().as_secs_f64(),
+        summary.function,
+        summary.criterion,
+    );
+
+    let mut ingest_total = 0.0f64;
+    let mut slowest: Vec<(usize, f64)> = Vec::new();
+    for i in seed_docs.len()..total {
+        let d = &source.documents[i % source.documents.len()];
+        let t = Instant::now();
+        stream
+            .ingest(&source.query_name, &d.text, d.url.as_deref())
+            .unwrap();
+        let dt = t.elapsed().as_secs_f64();
+        ingest_total += dt;
+        slowest.push((i + 1, dt));
+    }
+    slowest.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "ingest: {} docs in {ingest_total:.3}s",
+        total - seed_docs.len()
+    );
+    println!("slowest arrivals (block size, secs):");
+    for (n, dt) in slowest.iter().take(8) {
+        println!("  n={n}: {dt:.4}s");
+    }
+    let tail: f64 = slowest.iter().skip(8).map(|&(_, dt)| dt).sum();
+    println!("  rest: {tail:.4}s");
+
+    // Per-function graph-build cost at the final block size.
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let features: Vec<_> = (0..total)
+        .map(|i| {
+            let d = &source.documents[i % source.documents.len()];
+            extractor.extract(&d.text, d.url.as_deref())
+        })
+        .collect();
+    let block = PreparedBlock::new(source.query_name.clone(), features, TfIdf::default());
+    println!("full graph builds at n={total}:");
+    for f in standard_suite() {
+        let t = Instant::now();
+        std::hint::black_box(block.similarity_graph_with(f.as_ref(), None));
+        println!("  {}: {:.4}s", f.name(), t.elapsed().as_secs_f64());
+    }
+}

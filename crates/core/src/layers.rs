@@ -4,6 +4,7 @@
 //! criterion on the training pairs, derive the decision graph `G^i_{D_j}`
 //! and its accuracy estimate `acc(G^i_{D_j})`.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use weber_eval::purity::fp_measure;
 use weber_graph::components::connected_components;
@@ -69,23 +70,18 @@ pub fn training_fp(decisions: &DecisionGraph, supervision: &Supervision) -> f64 
     let closed = connected_components(decisions);
     let docs = supervision.docs();
     let predicted = Partition::from_labels(docs.iter().map(|&d| closed.label_of(d)).collect());
-    let truth_labels: Vec<u32> = {
-        // Project the supervision labels onto the same doc order.
-        let mut labels = Vec::with_capacity(docs.len());
-        for (pos, &d) in docs.iter().enumerate() {
-            // Find the first earlier doc with the same entity; reuse its
-            // position as a label to build a partition of the subset.
-            let mut label = pos as u32;
-            for (earlier_pos, &e) in docs[..pos].iter().enumerate() {
-                if supervision.same_entity(d, e) == Some(true) {
-                    label = earlier_pos as u32;
-                    break;
-                }
-            }
-            labels.push(label);
-        }
-        labels
-    };
+    // Project the supervision labels onto the same doc order: each entity is
+    // relabelled with the position of its first supervised document, in one
+    // pass over the docs.
+    let mut first_pos: HashMap<u32, u32> = HashMap::with_capacity(docs.len());
+    let truth_labels: Vec<u32> = docs
+        .iter()
+        .zip(0u32..)
+        .map(|(&d, pos)| {
+            let entity = supervision.label_of(d).expect("supervised doc has a label");
+            *first_pos.entry(entity).or_insert(pos)
+        })
+        .collect();
     let truth = Partition::from_labels(truth_labels);
     fp_measure(&predicted, &truth)
 }
@@ -95,40 +91,100 @@ pub fn training_fp(decisions: &DecisionGraph, supervision: &Supervision) -> f64 
 /// Values are sanitised into `[0, 1]`: the contract says similarity
 /// functions stay in the unit interval, but a buggy custom function must
 /// not poison thresholds, region fits or combined scores — NaN becomes 0
-/// (no evidence), out-of-range values are clamped.
+/// (no evidence), out-of-range values are clamped. Served from the block's
+/// similarity cache, so repeated calls (and streaming growth) don't
+/// recompute pairs.
 pub fn similarity_graph(block: &PreparedBlock, f: &dyn SimilarityFunction) -> WeightedGraph {
-    WeightedGraph::from_fn(block.len(), |i, j| {
-        let v = f.compare(block, i, j);
-        if v.is_nan() {
-            0.0
-        } else {
-            v.clamp(0.0, 1.0)
-        }
-    })
+    block.similarity_graph_with(f, None)
 }
+
+/// Tuning knobs for layer construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerOptions {
+    /// MinHash prefilter threshold for word-vector functions: pairs whose
+    /// estimated shingle Jaccard falls below it score 0 without computing
+    /// the vector similarity. `None` (the default) is the exact path; see
+    /// [`ResolverConfig::word_vector_prefilter`](crate::resolver::ResolverConfig::word_vector_prefilter).
+    pub word_vector_prefilter: Option<f64>,
+}
+
+/// Blocks at or above this size fan per-function layer construction across
+/// scoped worker threads (the same pattern `Resolver::resolve_all` uses
+/// across blocks). The gate is on block size, not core count, so the
+/// parallel path is exercised deterministically everywhere; results are
+/// identical to the sequential path because workers are joined in function
+/// order and share nothing mutable.
+const PARALLEL_BLOCK_LEN: usize = 64;
 
 /// Build all evidence layers for the given functions and criteria.
 ///
-/// The similarity graph per function is computed once and shared across
-/// criteria.
+/// The similarity graph per function is computed once (through the block's
+/// cache) and shared across criteria.
 pub fn build_layers(
     block: &PreparedBlock,
     functions: &[Arc<dyn SimilarityFunction>],
     criteria: &[DecisionCriterion],
     supervision: &Supervision,
 ) -> Vec<EvidenceLayer> {
-    let mut layers = Vec::with_capacity(functions.len() * criteria.len());
-    for f in functions {
-        let sims = similarity_graph(block, f.as_ref());
-        let samples = supervision.labeled_values(|i, j| sims.get(i, j));
-        for &criterion in criteria {
+    build_layers_with(
+        block,
+        functions,
+        criteria,
+        supervision,
+        LayerOptions::default(),
+    )
+}
+
+/// [`build_layers`] with explicit [`LayerOptions`].
+pub fn build_layers_with(
+    block: &PreparedBlock,
+    functions: &[Arc<dyn SimilarityFunction>],
+    criteria: &[DecisionCriterion],
+    supervision: &Supervision,
+    options: LayerOptions,
+) -> Vec<EvidenceLayer> {
+    if functions.len() > 1 && block.len() >= PARALLEL_BLOCK_LEN {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = functions
+                .iter()
+                .map(|f| {
+                    scope.spawn(move || {
+                        function_layers(block, f.as_ref(), criteria, supervision, options)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("layer worker panicked"))
+                .collect()
+        })
+    } else {
+        functions
+            .iter()
+            .flat_map(|f| function_layers(block, f.as_ref(), criteria, supervision, options))
+            .collect()
+    }
+}
+
+/// All layers of one similarity function (one per criterion).
+fn function_layers(
+    block: &PreparedBlock,
+    f: &dyn SimilarityFunction,
+    criteria: &[DecisionCriterion],
+    supervision: &Supervision,
+    options: LayerOptions,
+) -> Vec<EvidenceLayer> {
+    let sims = block.similarity_graph_with(f, options.word_vector_prefilter);
+    let samples = supervision.labeled_values(|i, j| sims.get(i, j));
+    criteria
+        .iter()
+        .map(|&criterion| {
             let fitted = criterion.fit(&samples);
             let decisions = DecisionGraph::from_weighted(&sims, |_, _, w| fitted.decide(w));
-            let link_probability =
-                WeightedGraph::from_fn(block.len(), |i, j| fitted.link_probability(sims.get(i, j)));
+            let link_probability = sims.map(|w| fitted.link_probability(w));
             let accuracy = fitted.training_accuracy();
             let selection_score = training_fp(&decisions, supervision);
-            layers.push(EvidenceLayer {
+            EvidenceLayer {
                 function: f.name(),
                 criterion,
                 fitted,
@@ -137,10 +193,9 @@ pub fn build_layers(
                 link_probability,
                 accuracy,
                 selection_score,
-            });
-        }
-    }
-    layers
+            }
+        })
+        .collect()
 }
 
 /// Build input-partitioned evidence layers, one per function (§IV-A's
@@ -158,64 +213,100 @@ pub fn build_input_partitioned_layers(
     functions: &[Arc<dyn SimilarityFunction>],
     supervision: &Supervision,
 ) -> Vec<EvidenceLayer> {
-    let mut layers = Vec::with_capacity(functions.len());
-    for f in functions {
-        let sims = similarity_graph(block, f.as_ref());
-        let presence: Vec<bool> = (0..block.len())
-            .map(|d| f.feature_presence(block, d) > 0.5)
-            .collect();
-        let both = |i: usize, j: usize| presence[i] && presence[j];
-        // Split the training pairs by input cell and fit each.
-        let mut cell_present: Vec<LabeledValue> = Vec::new();
-        let mut cell_missing: Vec<LabeledValue> = Vec::new();
-        for (i, j, link) in supervision.pairs() {
-            let sample = LabeledValue::new(sims.get(i, j), link);
-            if both(i, j) {
-                cell_present.push(sample);
-            } else {
-                cell_missing.push(sample);
+    build_input_partitioned_layers_with(block, functions, supervision, LayerOptions::default())
+}
+
+/// [`build_input_partitioned_layers`] with explicit [`LayerOptions`].
+pub fn build_input_partitioned_layers_with(
+    block: &PreparedBlock,
+    functions: &[Arc<dyn SimilarityFunction>],
+    supervision: &Supervision,
+    options: LayerOptions,
+) -> Vec<EvidenceLayer> {
+    if functions.len() > 1 && block.len() >= PARALLEL_BLOCK_LEN {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = functions
+                .iter()
+                .map(|f| {
+                    scope.spawn(move || {
+                        input_partitioned_layer(block, f.as_ref(), supervision, options)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("layer worker panicked"))
+                .collect()
+        })
+    } else {
+        functions
+            .iter()
+            .map(|f| input_partitioned_layer(block, f.as_ref(), supervision, options))
+            .collect()
+    }
+}
+
+/// The input-partitioned layer of one similarity function.
+fn input_partitioned_layer(
+    block: &PreparedBlock,
+    f: &dyn SimilarityFunction,
+    supervision: &Supervision,
+    options: LayerOptions,
+) -> EvidenceLayer {
+    let sims = block.similarity_graph_with(f, options.word_vector_prefilter);
+    let presence: Vec<bool> = (0..block.len())
+        .map(|d| f.feature_presence(block, d) > 0.5)
+        .collect();
+    let both = |i: usize, j: usize| presence[i] && presence[j];
+    // Split the training pairs by input cell and fit each.
+    let mut cell_present: Vec<LabeledValue> = Vec::new();
+    let mut cell_missing: Vec<LabeledValue> = Vec::new();
+    for (i, j, link) in supervision.pairs() {
+        let sample = LabeledValue::new(sims.get(i, j), link);
+        if both(i, j) {
+            cell_present.push(sample);
+        } else {
+            cell_missing.push(sample);
+        }
+    }
+    let fit_present = optimal_threshold(&cell_present);
+    let fit_missing = optimal_threshold(&cell_missing);
+    let total = cell_present.len() + cell_missing.len();
+    let training_accuracy = if total == 0 {
+        0.5
+    } else {
+        (fit_present.training_accuracy * cell_present.len() as f64
+            + fit_missing.training_accuracy * cell_missing.len() as f64)
+            / total as f64
+    };
+    let fitted = FittedDecision::InputCells {
+        present: fit_present,
+        missing: fit_missing,
+        training_accuracy,
+    };
+    let decisions = {
+        let mut d = DecisionGraph::new(block.len());
+        for (i, j, w) in sims.edges() {
+            if fitted.decide_in_cell(w, both(i, j)) {
+                d.add_edge(i, j);
             }
         }
-        let fit_present = optimal_threshold(&cell_present);
-        let fit_missing = optimal_threshold(&cell_missing);
-        let total = cell_present.len() + cell_missing.len();
-        let training_accuracy = if total == 0 {
-            0.5
-        } else {
-            (fit_present.training_accuracy * cell_present.len() as f64
-                + fit_missing.training_accuracy * cell_missing.len() as f64)
-                / total as f64
-        };
-        let fitted = FittedDecision::InputCells {
-            present: fit_present,
-            missing: fit_missing,
-            training_accuracy,
-        };
-        let decisions = {
-            let mut d = DecisionGraph::new(block.len());
-            for (i, j, w) in sims.edges() {
-                if fitted.decide_in_cell(w, both(i, j)) {
-                    d.add_edge(i, j);
-                }
-            }
-            d
-        };
-        let link_probability = WeightedGraph::from_fn(block.len(), |i, j| {
-            fitted.link_probability_in_cell(sims.get(i, j), both(i, j))
-        });
-        let selection_score = training_fp(&decisions, supervision);
-        layers.push(EvidenceLayer {
-            function: f.name(),
-            criterion: DecisionCriterion::InputPartitioned,
-            fitted,
-            similarities: sims,
-            decisions,
-            link_probability,
-            accuracy: training_accuracy,
-            selection_score,
-        });
+        d
+    };
+    let link_probability = WeightedGraph::from_fn(block.len(), |i, j| {
+        fitted.link_probability_in_cell(sims.get(i, j), both(i, j))
+    });
+    let selection_score = training_fp(&decisions, supervision);
+    EvidenceLayer {
+        function: f.name(),
+        criterion: DecisionCriterion::InputPartitioned,
+        fitted,
+        similarities: sims,
+        decisions,
+        link_probability,
+        accuracy: training_accuracy,
+        selection_score,
     }
-    layers
 }
 
 #[cfg(test)]
@@ -324,6 +415,53 @@ mod tests {
             &Supervision::empty(),
         );
         assert_eq!(layers[0].accuracy, 0.5);
+    }
+
+    #[test]
+    fn parallel_layer_build_matches_sequential() {
+        // Grow a block past PARALLEL_BLOCK_LEN by cycling preset documents,
+        // then check that the threaded fan-out produces exactly the layers
+        // the sequential path would, in the same order.
+        let dataset = generate(&presets::tiny(11));
+        let extractor = Extractor::new(&dataset.gazetteer);
+        let b = &dataset.blocks[0];
+        let features: Vec<_> = b
+            .documents
+            .iter()
+            .cycle()
+            .take(PARALLEL_BLOCK_LEN)
+            .map(|d| extractor.extract(&d.text, d.url.as_deref()))
+            .collect();
+        let block = PreparedBlock::new(b.query_name.clone(), features, TfIdf::default());
+        let truth: Vec<u32> = (0..PARALLEL_BLOCK_LEN as u32)
+            .map(|i| i % b.documents.len() as u32)
+            .collect();
+        let sup = Supervision::sample_from_truth(&Partition::from_labels(truth), 0.3, 5);
+        let functions = vec![
+            function(FunctionId::F2),
+            function(FunctionId::F4),
+            function(FunctionId::F8),
+        ];
+        let criteria = DecisionCriterion::standard_set();
+        assert!(block.len() >= PARALLEL_BLOCK_LEN, "parallel gate must open");
+        let parallel =
+            build_layers_with(&block, &functions, &criteria, &sup, LayerOptions::default());
+        let sequential: Vec<EvidenceLayer> = functions
+            .iter()
+            .flat_map(|f| {
+                function_layers(&block, f.as_ref(), &criteria, &sup, LayerOptions::default())
+            })
+            .collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.function, s.function);
+            assert_eq!(p.criterion, s.criterion);
+            assert_eq!(p.similarities, s.similarities);
+            assert_eq!(p.link_probability, s.link_probability);
+            assert_eq!(p.accuracy, s.accuracy);
+            assert_eq!(p.selection_score, s.selection_score);
+            assert_eq!(p.decisions.edge_count(), s.decisions.edge_count());
+        }
     }
 
     #[test]

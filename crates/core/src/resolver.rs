@@ -10,7 +10,7 @@ use crate::clustering::ClusteringMethod;
 use crate::combine::CombinationStrategy;
 use crate::decision::DecisionCriterion;
 use crate::error::CoreError;
-use crate::layers::build_layers;
+use crate::layers::{build_layers_with, LayerOptions};
 use crate::supervision::Supervision;
 
 /// Configuration of a resolution run: which functions, which decision
@@ -30,6 +30,12 @@ pub struct ResolverConfig {
     /// (feature-presence cells with per-cell thresholds; §IV-A's
     /// "regions based on some properties of the input").
     pub input_partitioned: bool,
+    /// Optional MinHash prefilter threshold for word-vector similarity
+    /// functions (F8–F10): pairs whose estimated token-set Jaccard falls
+    /// below the threshold short-circuit to similarity 0 without touching
+    /// the TF-IDF vectors. `None` (the default) disables the prefilter;
+    /// `Some(0.0)` is provably identical to `None`.
+    pub word_vector_prefilter: Option<f64>,
 }
 
 impl Default for ResolverConfig {
@@ -49,6 +55,7 @@ impl std::fmt::Debug for ResolverConfig {
             .field("combination", &self.combination)
             .field("clustering", &self.clustering)
             .field("input_partitioned", &self.input_partitioned)
+            .field("word_vector_prefilter", &self.word_vector_prefilter)
             .finish()
     }
 }
@@ -67,6 +74,7 @@ impl ResolverConfig {
             combination: CombinationStrategy::BestGraph,
             clustering: ClusteringMethod::TransitiveClosure,
             input_partitioned: false,
+            word_vector_prefilter: None,
         }
     }
 
@@ -79,6 +87,7 @@ impl ResolverConfig {
             combination: CombinationStrategy::BestGraph,
             clustering: ClusteringMethod::TransitiveClosure,
             input_partitioned: false,
+            word_vector_prefilter: None,
         }
     }
 
@@ -91,6 +100,7 @@ impl ResolverConfig {
             combination: CombinationStrategy::BestGraph,
             clustering: ClusteringMethod::TransitiveClosure,
             input_partitioned: false,
+            word_vector_prefilter: None,
         }
     }
 
@@ -103,6 +113,15 @@ impl ResolverConfig {
     /// Enable the input-partitioned layers.
     pub fn with_input_partitioning(mut self) -> Self {
         self.input_partitioned = true;
+        self
+    }
+
+    /// Enable the MinHash prefilter for word-vector functions (F8–F10):
+    /// pairs whose estimated token-set Jaccard is below `threshold` are
+    /// scored 0 without computing the exact vector similarity. Thresholds
+    /// are validated to `[0, 1]` by [`validate`](Self::validate).
+    pub fn with_word_vector_prefilter(mut self, threshold: f64) -> Self {
+        self.word_vector_prefilter = Some(threshold);
         self
     }
 
@@ -124,6 +143,7 @@ impl ResolverConfig {
                 weber_graph::correlation::CorrelationConfig::default(),
             ),
             input_partitioned: false,
+            word_vector_prefilter: None,
         }
     }
 
@@ -134,6 +154,11 @@ impl ResolverConfig {
         }
         if self.criteria.is_empty() {
             return Err(CoreError::NoCriteria);
+        }
+        if let Some(t) = self.word_vector_prefilter {
+            if !(0.0..=1.0).contains(&t) || t.is_nan() {
+                return Err(CoreError::InvalidPrefilterThreshold(t));
+            }
         }
         Ok(())
     }
@@ -246,17 +271,22 @@ impl Resolver {
         supervision: &Supervision,
     ) -> Result<Resolution, CoreError> {
         supervision.validate(block.len())?;
-        let mut layers = build_layers(
+        let options = LayerOptions {
+            word_vector_prefilter: self.config.word_vector_prefilter,
+        };
+        let mut layers = build_layers_with(
             block,
             &self.config.functions,
             &self.config.criteria,
             supervision,
+            options,
         );
         if self.config.input_partitioned {
-            layers.extend(crate::layers::build_input_partitioned_layers(
+            layers.extend(crate::layers::build_input_partitioned_layers_with(
                 block,
                 &self.config.functions,
                 supervision,
+                options,
             ));
         }
         let combined = self
@@ -420,6 +450,40 @@ mod tests {
             resolver.resolve_all(&prepared, 1.5, 1),
             Err(CoreError::InvalidTrainFraction(_))
         ));
+    }
+
+    #[test]
+    fn zero_prefilter_matches_unfiltered_resolution() {
+        // `Some(0.0)` never suppresses a pair (estimated Jaccard >= 0), so
+        // the entire resolution — layers, selection, partition — must be
+        // identical to running without the prefilter.
+        let blocks = prepared();
+        let (block, truth) = &blocks[0];
+        let sup = Supervision::sample_from_truth(truth, 0.25, 6);
+        let plain = Resolver::new(ResolverConfig::accuracy_suite(subset_i10()))
+            .unwrap()
+            .resolve(block, &sup)
+            .unwrap();
+        let filtered = Resolver::new(
+            ResolverConfig::accuracy_suite(subset_i10()).with_word_vector_prefilter(0.0),
+        )
+        .unwrap()
+        .resolve(block, &sup)
+        .unwrap();
+        assert_eq!(plain.partition, filtered.partition);
+        assert_eq!(plain.layers, filtered.layers);
+        assert_eq!(plain.selected_layer, filtered.selected_layer);
+    }
+
+    #[test]
+    fn out_of_range_prefilter_is_rejected() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let c = ResolverConfig::default().with_word_vector_prefilter(bad);
+            assert!(matches!(
+                Resolver::new(c),
+                Err(CoreError::InvalidPrefilterThreshold(_))
+            ));
+        }
     }
 
     #[test]

@@ -57,6 +57,11 @@ impl Supervision {
         self.docs.is_empty()
     }
 
+    /// The entity label of `doc`, if it is labelled.
+    pub fn label_of(&self, doc: usize) -> Option<u32> {
+        self.labels.get(&doc).copied()
+    }
+
     /// Whether documents `a` and `b` are known to co-refer (both must be
     /// labelled).
     pub fn same_entity(&self, a: usize, b: usize) -> Option<bool> {
@@ -127,6 +132,14 @@ mod tests {
         let s = Supervision::sample_from_truth(&truth(), 1.0, 0);
         assert_eq!(s.same_entity(0, 1), Some(true));
         assert_eq!(s.same_entity(0, 2), Some(false));
+    }
+
+    #[test]
+    fn label_of_reports_only_labelled_docs() {
+        let s = Supervision::new([(0, 7), (3, 9)].into_iter().collect());
+        assert_eq!(s.label_of(0), Some(7));
+        assert_eq!(s.label_of(3), Some(9));
+        assert_eq!(s.label_of(1), None);
     }
 
     #[test]

@@ -12,13 +12,14 @@
 
 use std::sync::Arc;
 
+use weber_graph::WeightedGraph;
 use weber_simfun::block::PreparedBlock;
 use weber_simfun::functions::SimilarityFunction;
 
 use crate::combine::CombinationStrategy;
 use crate::decision::{DecisionCriterion, FittedDecision};
 use crate::error::CoreError;
-use crate::layers::{build_input_partitioned_layers, build_layers};
+use crate::layers::{build_input_partitioned_layers_with, build_layers_with, LayerOptions};
 use crate::resolver::Resolver;
 use crate::supervision::Supervision;
 
@@ -30,6 +31,9 @@ pub struct TrainedModel {
     function: Arc<dyn SimilarityFunction>,
     fitted: FittedDecision,
     criterion: DecisionCriterion,
+    /// MinHash prefilter threshold the model was trained with; pair
+    /// similarities replay it so streaming decisions match the batch layer.
+    prefilter: Option<f64>,
     /// Training accuracy `acc(G^i_{D_j})` of the selected layer.
     pub accuracy: f64,
     /// Training-Fp selection score of the selected layer.
@@ -63,22 +67,45 @@ impl TrainedModel {
         &self.fitted
     }
 
+    /// Whether the selected function reads the block's word-vector space —
+    /// if not, cached similarity rows survive pushes unchanged and vector
+    /// refreshes can be deferred entirely.
+    pub fn uses_word_vectors(&self) -> bool {
+        self.function.uses_word_vectors()
+    }
+
     /// Similarity value of pair `(i, j)` under the selected function,
     /// sanitised into `[0, 1]` exactly as the batch layers sanitise it
-    /// (NaN becomes 0, out-of-range values are clamped).
+    /// (NaN becomes 0, out-of-range values are clamped) and subject to the
+    /// trained prefilter, if any.
     pub fn similarity(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
-        let v = self.function.compare(block, i, j);
-        if v.is_nan() {
-            0.0
-        } else {
-            v.clamp(0.0, 1.0)
-        }
+        block.pair_similarity(self.function.as_ref(), self.prefilter, i, j)
+    }
+
+    /// The full similarity graph of the selected function over `block`,
+    /// served from (and feeding) the block's incremental similarity cache.
+    pub fn similarity_graph(&self, block: &PreparedBlock) -> WeightedGraph {
+        block.similarity_graph_with(self.function.as_ref(), self.prefilter)
+    }
+
+    /// Similarities of `doc` against every *earlier* block member: entry
+    /// `i < doc` is the pair value of `(i, doc)`, reusing cached rows where
+    /// the block's cache allows. This is the per-arrival scan shape — an
+    /// arriving document is always the newest, so the earlier members are
+    /// the whole block.
+    pub fn similarity_row(&self, block: &PreparedBlock, doc: usize) -> Vec<f64> {
+        block.similarity_row_with(self.function.as_ref(), self.prefilter, doc)
     }
 
     /// Link / no-link decision for pair `(i, j)`, matching the decision the
     /// batch layer would have made for the same pair.
     pub fn decide(&self, block: &PreparedBlock, i: usize, j: usize) -> bool {
-        let value = self.similarity(block, i, j);
+        self.decide_value(block, i, j, self.similarity(block, i, j))
+    }
+
+    /// [`decide`](Self::decide) with the similarity value already in hand
+    /// (e.g. read from a cached graph or row).
+    pub fn decide_value(&self, block: &PreparedBlock, i: usize, j: usize, value: f64) -> bool {
         if matches!(self.fitted, FittedDecision::InputCells { .. }) {
             self.fitted
                 .decide_in_cell(value, self.both_present(block, i, j))
@@ -89,7 +116,18 @@ impl TrainedModel {
 
     /// Estimated link probability for pair `(i, j)`.
     pub fn link_probability(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
-        let value = self.similarity(block, i, j);
+        self.link_probability_value(block, i, j, self.similarity(block, i, j))
+    }
+
+    /// [`link_probability`](Self::link_probability) with the similarity
+    /// value already in hand.
+    pub fn link_probability_value(
+        &self,
+        block: &PreparedBlock,
+        i: usize,
+        j: usize,
+        value: f64,
+    ) -> f64 {
         if matches!(self.fitted, FittedDecision::InputCells { .. }) {
             self.fitted
                 .link_probability_in_cell(value, self.both_present(block, i, j))
@@ -165,12 +203,22 @@ impl Resolver {
     ) -> Result<TrainedModel, CoreError> {
         supervision.validate(block.len())?;
         let config = self.config();
-        let mut layers = build_layers(block, &config.functions, &config.criteria, supervision);
+        let options = LayerOptions {
+            word_vector_prefilter: config.word_vector_prefilter,
+        };
+        let mut layers = build_layers_with(
+            block,
+            &config.functions,
+            &config.criteria,
+            supervision,
+            options,
+        );
         if config.input_partitioned {
-            layers.extend(build_input_partitioned_layers(
+            layers.extend(build_input_partitioned_layers_with(
                 block,
                 &config.functions,
                 supervision,
+                options,
             ));
         }
         let combined = CombinationStrategy::BestGraph.combine(&layers, supervision, block.len());
@@ -191,6 +239,7 @@ impl Resolver {
             function,
             fitted: layer.fitted.clone(),
             criterion: layer.criterion,
+            prefilter: config.word_vector_prefilter,
             accuracy: layer.accuracy,
             selection_score: layer.selection_score,
         })
@@ -200,6 +249,7 @@ impl Resolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layers::build_layers;
     use crate::resolver::ResolverConfig;
     use weber_corpus::{generate, presets};
     use weber_extract::pipeline::Extractor;

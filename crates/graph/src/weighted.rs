@@ -5,12 +5,21 @@
 //! `f_i(d_i, d_j) ∈ [0, 1]`. Stored as a flat upper-triangular matrix —
 //! blocks are small (≈100–150 documents), so the dense representation is
 //! both the fastest and the simplest.
+//!
+//! The triangle is laid out in *colexicographic* (column-major) order:
+//! entry `{i, j}` with `i < j` lives at `j·(j−1)/2 + i`, so all edges of
+//! the highest-numbered node form the tail of the buffer. That makes
+//! [`push_node`](WeightedGraph::push_node) — appending one node with its
+//! row of weights against every existing node — a pure `extend`, which is
+//! what lets streaming blocks grow a cached similarity graph by one row
+//! per ingested document instead of rebuilding the whole matrix.
 
 /// A complete undirected weighted graph over `n` nodes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedGraph {
     n: usize,
-    /// Upper-triangular weights, row-major: entry for (i, j), i < j.
+    /// Upper-triangular weights in colex order: entry for (i, j), i < j,
+    /// at `j·(j−1)/2 + i`.
     weights: Vec<f64>,
 }
 
@@ -25,13 +34,80 @@ impl WeightedGraph {
 
     /// Build by evaluating `f(i, j)` for every pair `i < j`.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut g = Self::new(n);
-        for i in 0..n {
-            for j in i + 1..n {
-                g.set(i, j, f(i, j));
+        let mut weights = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for j in 1..n {
+            for i in 0..j {
+                weights.push(f(i, j));
             }
         }
-        g
+        Self { n, weights }
+    }
+
+    /// Build by evaluating `f(i, j)` for every pair `i < j`, splitting the
+    /// triangle into contiguous column runs of roughly equal edge count and
+    /// filling each run on its own scoped worker thread.
+    ///
+    /// The thread count is explicit so callers can match it to their own
+    /// scheduling (and tests can exercise the parallel path on any
+    /// machine); `threads <= 1` falls back to the sequential build. The
+    /// result is identical to [`from_fn`](Self::from_fn) for any pure `f`.
+    pub fn from_fn_par(n: usize, threads: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let edge_count = n * n.saturating_sub(1) / 2;
+        let threads = threads.min(edge_count);
+        if threads <= 1 {
+            return Self::from_fn(n, f);
+        }
+        let mut weights = vec![0.0; edge_count];
+        let target = edge_count.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest: &mut [f64] = &mut weights;
+            let mut first_col = 1usize;
+            while first_col < n {
+                // Column j holds j edges; take columns until the run
+                // reaches the per-thread target.
+                let mut end_col = first_col;
+                let mut run_len = 0usize;
+                while end_col < n && run_len < target {
+                    run_len += end_col;
+                    end_col += 1;
+                }
+                let (run, tail) = rest.split_at_mut(run_len);
+                rest = tail;
+                scope.spawn(move || {
+                    let mut k = 0;
+                    for j in first_col..end_col {
+                        for i in 0..j {
+                            run[k] = f(i, j);
+                            k += 1;
+                        }
+                    }
+                });
+                first_col = end_col;
+            }
+        });
+        Self { n, weights }
+    }
+
+    /// Append one node, with `row[i]` the weight of its edge to existing
+    /// node `i`. O(n): the new node's edges are the tail of the colex
+    /// buffer, so no existing entry moves.
+    pub fn push_node(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.n,
+            "push_node needs one weight per existing node"
+        );
+        self.weights.extend_from_slice(row);
+        self.n += 1;
+    }
+
+    /// A graph with the same nodes and `f` applied to every edge weight.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Self {
+        Self {
+            n: self.n,
+            weights: self.weights.iter().map(|&w| f(w)).collect(),
+        }
     }
 
     /// Number of nodes.
@@ -52,8 +128,7 @@ impl WeightedGraph {
     #[inline]
     fn index(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < j && j < self.n, "need i < j < n, got ({i}, {j})");
-        // Offset of row i in the upper triangle, plus column offset.
-        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+        j * (j - 1) / 2 + i
     }
 
     /// The weight of edge `{i, j}` (order-insensitive). Panics if `i == j`
@@ -72,13 +147,15 @@ impl WeightedGraph {
         self.weights[idx] = w;
     }
 
-    /// Iterate `(i, j, weight)` over all pairs `i < j`.
+    /// Iterate `(i, j, weight)` over all pairs `i < j` in lexicographic
+    /// order.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n)
             .flat_map(move |i| (i + 1..self.n).map(move |j| (i, j, self.weights[self.index(i, j)])))
     }
 
-    /// All edge weights in `(i, j)` lexicographic order.
+    /// All edge weights in colex order: pair `(i, j)` with `i < j`, sorted
+    /// by `j` then `i` (the storage order; see the type docs).
     pub fn weight_values(&self) -> &[f64] {
         &self.weights
     }
@@ -139,6 +216,47 @@ mod tests {
         let g = WeightedGraph::from_fn(3, |i, j| (10 * i + j) as f64);
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 12.0)]);
+    }
+
+    #[test]
+    fn push_node_matches_batch_build() {
+        let weight = |i: usize, j: usize| (100 * i + j) as f64;
+        let n = 9;
+        let batch = WeightedGraph::from_fn(n, weight);
+        let mut grown = WeightedGraph::new(0);
+        for j in 0..n {
+            let row: Vec<f64> = (0..j).map(|i| weight(i, j)).collect();
+            grown.push_node(&row);
+        }
+        assert_eq!(grown, batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per existing node")]
+    fn push_node_rejects_wrong_row_length() {
+        WeightedGraph::new(3).push_node(&[0.5]);
+    }
+
+    #[test]
+    fn from_fn_par_matches_sequential_for_any_thread_count() {
+        let weight = |i: usize, j: usize| 1.0 / (1.0 + (i * 31 + j) as f64);
+        for n in [0usize, 1, 2, 3, 17, 64] {
+            let sequential = WeightedGraph::from_fn(n, weight);
+            for threads in [1usize, 2, 3, 4, 100] {
+                let parallel = WeightedGraph::from_fn_par(n, threads, weight);
+                assert_eq!(parallel, sequential, "n={n}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_transforms_every_weight_in_place_order() {
+        let g = WeightedGraph::from_fn(4, |i, j| (i + j) as f64);
+        let doubled = g.map(|w| 2.0 * w);
+        assert_eq!(doubled.len(), g.len());
+        for (i, j, w) in g.edges() {
+            assert_eq!(doubled.get(i, j), 2.0 * w);
+        }
     }
 
     #[test]

@@ -5,39 +5,94 @@
 //! compute the similarity values between documents, which are about a
 //! person with the same name". TF-IDF statistics (document frequencies) are
 //! therefore block-local, exactly as a per-name Lucene index would be.
+//!
+//! Beyond the vectors, the block owns the *similarity cache*: one
+//! [`WeightedGraph`] per `(function, prefilter)` key, grown by appending one
+//! row per new document instead of recomputing all `n·(n−1)/2` pairs. Entry
+//! validity is structural — a cached graph is current when it covers every
+//! document and (for word-vector functions) was computed at the current
+//! vector [generation](PreparedBlock::vector_generation) — so the cache
+//! needs no explicit invalidation calls and stays bit-identical to a
+//! from-scratch computation.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
 
 use weber_extract::features::PageFeatures;
+use weber_graph::weighted::WeightedGraph;
+use weber_textindex::incremental::VectorStore;
 use weber_textindex::index::CorpusIndex;
 use weber_textindex::minhash::MinHasher;
 use weber_textindex::sparse::SparseVector;
 use weber_textindex::tfidf::TfIdf;
 
-/// How word vectors for F8–F10 are weighted.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum WordVectorScheme {
-    /// A TF-IDF scheme (the paper's choice).
-    TfIdf(TfIdf),
-    /// BM25 weighting (length-normalised, saturating; extension).
-    Bm25 {
-        /// Term-frequency saturation parameter (standard: 1.2).
-        k1: f64,
-        /// Length-normalisation strength (standard: 0.75).
-        b: f64,
-    },
+use crate::functions::SimilarityFunction;
+use crate::string_sim::{char_bigrams_sorted, jaro_winkler};
+
+pub use weber_textindex::incremental::WordVectorScheme;
+
+/// Cache key: the function's unique name plus the prefilter threshold (as
+/// bits, so the key is hashable); `None` is the exact, unfiltered graph.
+type CacheKey = (&'static str, Option<u64>);
+
+/// Per-document features derived once at indexing time, so the name- and
+/// URL-based similarity functions (F2, F3, F6, F7) compare precomputed
+/// values instead of re-deriving (and re-allocating) them on every one of
+/// the `n·(n−1)/2` pairs.
+#[derive(Debug, Clone)]
+pub struct DerivedFeatures {
+    /// Lowercased person names except the block's query name — F6's
+    /// "other person-names on the page".
+    pub other_persons_lower: BTreeSet<String>,
+    /// Lowercased person name closest (Jaro–Winkler) to the query name,
+    /// ties broken towards the lexicographically smaller name — F7's
+    /// feature.
+    pub closest_person_lower: Option<String>,
+    /// Lowercased most frequent person name — F3's feature.
+    pub most_frequent_person_lower: Option<String>,
+    /// Sorted, `u64`-encoded character bigrams of the normalised URL — the
+    /// precomputable half of F2's bigram Dice. Empty when the page has no
+    /// URL or the normalised URL is shorter than two characters (F2 then
+    /// falls back to exact equality, matching `ngram_dice`).
+    pub url_bigrams: Vec<u64>,
 }
 
-impl Default for WordVectorScheme {
-    fn default() -> Self {
-        WordVectorScheme::TfIdf(TfIdf::default())
+fn derive_features(query_name: &str, features: &PageFeatures) -> DerivedFeatures {
+    let q = query_name.to_lowercase();
+    DerivedFeatures {
+        other_persons_lower: features
+            .other_person_names(query_name)
+            .into_iter()
+            .map(str::to_lowercase)
+            .collect(),
+        closest_person_lower: features
+            .person_names()
+            .map(|n| n.to_lowercase())
+            .max_by(|a, b| {
+                jaro_winkler(a, &q)
+                    .total_cmp(&jaro_winkler(b, &q))
+                    .then_with(|| b.cmp(a))
+            }),
+        most_frequent_person_lower: features.most_frequent_person().map(str::to_lowercase),
+        url_bigrams: features
+            .url
+            .as_ref()
+            .map(|u| char_bigrams_sorted(&u.normalized))
+            .unwrap_or_default(),
     }
 }
 
-impl WordVectorScheme {
-    /// Standard BM25 parameters.
-    pub fn bm25() -> Self {
-        WordVectorScheme::Bm25 { k1: 1.2, b: 0.75 }
-    }
+#[derive(Debug, Clone)]
+struct CachedGraph {
+    graph: WeightedGraph,
+    /// The vector generation the graph was computed at; only meaningful for
+    /// word-vector functions (feature-function values never go stale).
+    generation: u64,
 }
+
+/// Blocks at or above this size use every available core to fill a
+/// similarity graph that cannot be grown row-by-row from the cache.
+const PARALLEL_BUILD_LEN: usize = 256;
 
 /// A block of documents about one ambiguous person name, ready for
 /// similarity computation.
@@ -46,28 +101,36 @@ impl WordVectorScheme {
 /// [`with_scheme`](Self::with_scheme)) or grown one document at a time
 /// ([`push`](Self::push)) for streaming ingestion; both paths produce
 /// identical vectors because the block-local index is retained and word
-/// vectors are re-materialised whenever document frequencies change.
+/// vectors are refreshed — incrementally, via dirty-term tracking in
+/// [`VectorStore`] — whenever document frequencies change.
 #[derive(Debug)]
 pub struct PreparedBlock {
     /// The ambiguous query name this block was retrieved for.
     query_name: String,
     /// Extracted features, one per document.
     features: Vec<PageFeatures>,
+    /// Precomputed per-document name features, aligned with `features`.
+    derived: Vec<DerivedFeatures>,
     /// The block-local term index word vectors are derived from (kept so
     /// the block can grow incrementally).
     index: CorpusIndex,
-    /// The weighting scheme vectors are materialised under.
-    scheme: WordVectorScheme,
+    /// Incrementally maintained word vectors with dirty-term tracking.
+    store: VectorStore,
     /// The shingle hasher (fixed parameters, kept for incremental growth).
     hasher: MinHasher,
-    /// TF-IDF word vectors, aligned with `features`.
-    tfidf: Vec<SparseVector>,
     /// MinHash signatures over 3-token shingles, aligned with `features`
-    /// (near-duplicate / mirror detection).
+    /// (near-duplicate / mirror detection, and the optional prefilter).
     minhash: Vec<Vec<u64>>,
     /// Dimensionality of the word-vector space (block vocabulary size);
     /// needed by Pearson correlation (F9).
     vocab_dim: usize,
+    /// True when documents were pushed with [`push_deferred`](Self::push_deferred)
+    /// and the word vectors have not been re-synced yet.
+    vectors_stale: bool,
+    /// Per-(function, prefilter) similarity graphs. Interior-mutable so
+    /// read paths (`&self`) can populate it; computation happens outside
+    /// the lock, which is only held to clone a graph in or out.
+    sim_cache: Mutex<HashMap<CacheKey, CachedGraph>>,
 }
 
 impl PreparedBlock {
@@ -83,27 +146,35 @@ impl PreparedBlock {
         features: Vec<PageFeatures>,
         scheme: WordVectorScheme,
     ) -> Self {
+        let query_name = query_name.into();
         let mut index = CorpusIndex::new();
         for f in &features {
-            index.add_document(f.tokens.clone());
+            index.add_document(&f.tokens);
         }
         let hasher = MinHasher::new(64, 3, 0xD0C5);
         let minhash = features
             .iter()
             .map(|f| hasher.signature(&f.tokens))
             .collect();
-        let mut block = Self {
-            query_name: query_name.into(),
+        let derived = features
+            .iter()
+            .map(|f| derive_features(&query_name, f))
+            .collect();
+        let mut store = VectorStore::new(scheme);
+        store.sync(&index);
+        let vocab_dim = index.vocabulary_size();
+        Self {
+            query_name,
             features,
+            derived,
             index,
-            scheme,
+            store,
             hasher,
-            tfidf: Vec::new(),
             minhash,
-            vocab_dim: 0,
-        };
-        block.refresh_vectors();
-        block
+            vocab_dim,
+            vectors_stale: false,
+            sim_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// An empty block ready for incremental growth via [`push`](Self::push).
@@ -114,26 +185,50 @@ impl PreparedBlock {
     /// Append one document to the block; returns its index.
     ///
     /// The document's tokens join the block-local index, its MinHash
-    /// signature is computed once, and all word vectors are re-materialised
-    /// so that inverse-document-frequency weights reflect the grown corpus —
-    /// an ingest therefore costs O(block tokens), the same order as scoring
-    /// the new document against every existing member.
+    /// signature is computed once, and word vectors are refreshed so that
+    /// inverse-document-frequency weights reflect the grown corpus. The
+    /// refresh is incremental: only vectors holding a term whose idf factor
+    /// actually changed are rewritten (in place), and the result is
+    /// bit-identical to a from-scratch rebuild.
     pub fn push(&mut self, features: PageFeatures) -> usize {
-        let id = self.features.len();
-        self.index.add_document(features.tokens.clone());
-        self.minhash.push(self.hasher.signature(&features.tokens));
-        self.features.push(features);
-        self.refresh_vectors();
+        let id = self.push_deferred(features);
+        self.ensure_vectors();
         id
     }
 
-    /// Re-materialise word vectors from the current index state.
-    fn refresh_vectors(&mut self) {
-        self.tfidf = match self.scheme {
-            WordVectorScheme::TfIdf(t) => self.index.tfidf_vectors(t),
-            WordVectorScheme::Bm25 { k1, b } => self.index.bm25_vectors(k1, b),
-        };
-        self.vocab_dim = self.index.vocabulary_size();
+    /// Append one document *without* refreshing word vectors; returns its
+    /// index. Callers that don't read word vectors between arrivals (e.g. a
+    /// streaming resolver whose selected model only looks at names, URLs or
+    /// entity sets) batch many deferred pushes and pay for one vector sync
+    /// at [`ensure_vectors`](Self::ensure_vectors) time.
+    ///
+    /// Until `ensure_vectors` runs, [`tfidf`](Self::tfidf),
+    /// [`vocab_dim`](Self::vocab_dim) and [`vector_generation`](Self::vector_generation)
+    /// reflect the last synced state and must not be used for scoring.
+    pub fn push_deferred(&mut self, features: PageFeatures) -> usize {
+        let id = self.features.len();
+        self.index.add_document(&features.tokens);
+        self.minhash.push(self.hasher.signature(&features.tokens));
+        self.derived
+            .push(derive_features(&self.query_name, &features));
+        self.features.push(features);
+        self.vectors_stale = true;
+        id
+    }
+
+    /// Bring word vectors up to date after [`push_deferred`](Self::push_deferred).
+    /// A no-op when they already are.
+    pub fn ensure_vectors(&mut self) {
+        if self.vectors_stale {
+            self.store.sync(&self.index);
+            self.vocab_dim = self.index.vocabulary_size();
+            self.vectors_stale = false;
+        }
+    }
+
+    /// True when word vectors reflect every pushed document.
+    pub fn vectors_current(&self) -> bool {
+        !self.vectors_stale
     }
 
     /// The ambiguous name the block is about.
@@ -161,9 +256,18 @@ impl PreparedBlock {
         &self.features
     }
 
+    /// Precomputed name features of document `i`.
+    pub fn derived(&self, i: usize) -> &DerivedFeatures {
+        &self.derived[i]
+    }
+
     /// TF-IDF vector of document `i`.
     pub fn tfidf(&self, i: usize) -> &SparseVector {
-        &self.tfidf[i]
+        debug_assert!(
+            !self.vectors_stale,
+            "word vectors read after push_deferred without ensure_vectors"
+        );
+        self.store.vector(i)
     }
 
     /// Word-vector space dimensionality.
@@ -171,26 +275,164 @@ impl PreparedBlock {
         self.vocab_dim
     }
 
+    /// A counter that advances exactly when an already-materialised word
+    /// vector changed value during a refresh. Cached similarity graphs for
+    /// word-vector functions are valid only at the generation they were
+    /// computed at; feature-function graphs ignore it.
+    pub fn vector_generation(&self) -> u64 {
+        self.store.generation()
+    }
+
     /// MinHash signature of document `i` (64 hashes over 3-token
     /// shingles) — the substrate for near-duplicate detection.
     pub fn minhash_signature(&self, i: usize) -> &[u64] {
         &self.minhash[i]
+    }
+
+    /// The similarity of documents `i` and `j` under `f`, sanitised into
+    /// `[0, 1]` (NaN ↦ 0) and short-circuited to 0 by the optional MinHash
+    /// `prefilter` for word-vector functions whose estimated shingle
+    /// Jaccard falls below the threshold. This is the single definition of
+    /// a pairwise value; graphs, rows and model replay all route through it.
+    pub fn pair_similarity(
+        &self,
+        f: &dyn SimilarityFunction,
+        prefilter: Option<f64>,
+        i: usize,
+        j: usize,
+    ) -> f64 {
+        if let Some(threshold) = prefilter {
+            if f.uses_word_vectors()
+                && MinHasher::estimated_jaccard(&self.minhash[i], &self.minhash[j]) < threshold
+            {
+                return 0.0;
+            }
+        }
+        let v = f.compare(self, i, j);
+        if v.is_nan() {
+            0.0
+        } else {
+            v.clamp(0.0, 1.0)
+        }
+    }
+
+    /// The full pairwise similarity graph of `f` over the block, served
+    /// from the block's cache.
+    ///
+    /// Cache policy:
+    /// - a cached graph covering all `n` documents is returned as-is;
+    /// - a cached graph covering a prefix of the documents is *grown* by
+    ///   appending one row per missing document (valid for feature
+    ///   functions always, and for word-vector functions when the vector
+    ///   generation is unchanged — earlier pairs' values are immutable in
+    ///   both cases);
+    /// - otherwise the graph is rebuilt from scratch, fanning row chunks
+    ///   across all cores for blocks of ≥ 256 documents.
+    ///
+    /// The refreshed entry is stored back, so repeated calls (layer builds,
+    /// checkpoint retraining, transitive-closure rebuilds) cost one memcpy.
+    pub fn similarity_graph_with(
+        &self,
+        f: &dyn SimilarityFunction,
+        prefilter: Option<f64>,
+    ) -> WeightedGraph {
+        let n = self.len();
+        let word = f.uses_word_vectors();
+        debug_assert!(
+            !(word && self.vectors_stale),
+            "word-vector graph requested after push_deferred without ensure_vectors"
+        );
+        let generation = self.store.generation();
+        let key: CacheKey = (f.name(), prefilter.map(f64::to_bits));
+        let cached = self.sim_cache.lock().unwrap().get(&key).cloned();
+        let graph = match cached {
+            Some(c) if (!word || c.generation == generation) && c.graph.len() == n => {
+                return c.graph;
+            }
+            Some(c) if (!word || c.generation == generation) && c.graph.len() < n => {
+                let mut g = c.graph;
+                let mut row = Vec::with_capacity(n - 1);
+                for j in g.len()..n {
+                    row.clear();
+                    row.extend((0..j).map(|i| self.pair_similarity(f, prefilter, i, j)));
+                    g.push_node(&row);
+                }
+                g
+            }
+            _ => {
+                let threads = if n >= PARALLEL_BUILD_LEN {
+                    std::thread::available_parallelism().map_or(1, |t| t.get())
+                } else {
+                    1
+                };
+                WeightedGraph::from_fn_par(n, threads, |i, j| {
+                    self.pair_similarity(f, prefilter, i, j)
+                })
+            }
+        };
+        self.sim_cache.lock().unwrap().insert(
+            key,
+            CachedGraph {
+                graph: graph.clone(),
+                generation,
+            },
+        );
+        graph
+    }
+
+    /// The similarity row of document `doc` against documents `0..doc`
+    /// under `f` — the values a streaming resolver needs to place one new
+    /// arrival.
+    ///
+    /// For feature functions the row is read from the cached graph (growing
+    /// it on the way, so the work is reused by the next checkpoint). For
+    /// word-vector functions the row is computed directly: their cached
+    /// graphs go stale on almost every push, and caching a row that the
+    /// next arrival invalidates would just add a full-matrix rebuild per
+    /// ingest.
+    pub fn similarity_row_with(
+        &self,
+        f: &dyn SimilarityFunction,
+        prefilter: Option<f64>,
+        doc: usize,
+    ) -> Vec<f64> {
+        if f.uses_word_vectors() {
+            (0..doc)
+                .map(|i| self.pair_similarity(f, prefilter, i, doc))
+                .collect()
+        } else {
+            let g = self.similarity_graph_with(f, prefilter);
+            (0..doc).map(|i| g.get(i, doc)).collect()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::functions::{standard_suite, NearDuplicateSimilarity, TfIdfCosine};
     use weber_extract::gazetteer::{EntityKind, Gazetteer};
     use weber_extract::pipeline::Extractor;
 
-    fn block(texts: &[&str]) -> PreparedBlock {
+    fn extractor() -> Extractor {
         let mut g = Gazetteer::new();
         g.add_phrases(EntityKind::Concept, ["databases"]);
-        let e = Extractor::new(&g);
+        Extractor::new(&g)
+    }
+
+    fn block(texts: &[&str]) -> PreparedBlock {
+        let e = extractor();
         let features = texts.iter().map(|t| e.extract(t, None)).collect();
         PreparedBlock::new("cohen", features, TfIdf::default())
     }
+
+    const TEXTS: &[&str] = &[
+        "databases are fun",
+        "databases are hard",
+        "gardening tips",
+        "fun databases for gardening",
+        "hard tips about databases",
+    ];
 
     #[test]
     fn builds_aligned_tfidf_vectors() {
@@ -208,9 +450,7 @@ mod tests {
 
     #[test]
     fn bm25_scheme_produces_comparable_vectors() {
-        let mut g = weber_extract::gazetteer::Gazetteer::new();
-        g.add_phrases(weber_extract::gazetteer::EntityKind::Concept, ["databases"]);
-        let e = Extractor::new(&g);
+        let e = extractor();
         let features: Vec<_> = ["databases are fun", "databases are hard", "gardening tips"]
             .iter()
             .map(|t| e.extract(t, None))
@@ -241,14 +481,10 @@ mod tests {
 
     #[test]
     fn pushed_block_equals_batch_block() {
-        let texts = ["databases are fun", "databases are hard", "gardening tips"];
-        let batch = block(&texts);
-
-        let mut g = Gazetteer::new();
-        g.add_phrases(EntityKind::Concept, ["databases"]);
-        let e = Extractor::new(&g);
+        let batch = block(TEXTS);
+        let e = extractor();
         let mut grown = PreparedBlock::empty("cohen", WordVectorScheme::default());
-        for (i, t) in texts.iter().enumerate() {
+        for (i, t) in TEXTS.iter().enumerate() {
             assert_eq!(grown.push(e.extract(t, None)), i);
         }
 
@@ -256,13 +492,39 @@ mod tests {
         assert_eq!(grown.vocab_dim(), batch.vocab_dim());
         for i in 0..batch.len() {
             assert_eq!(grown.minhash_signature(i), batch.minhash_signature(i));
-            for j in 0..batch.len() {
+            // Vectors are refreshed incrementally on the grown path and
+            // built in one shot on the batch path: bit-identical.
+            assert_eq!(grown.tfidf(i), batch.tfidf(i));
+        }
+        // And the full similarity engine agrees, for every function.
+        for f in standard_suite() {
+            let gg = grown.similarity_graph_with(f.as_ref(), None);
+            let bg = batch.similarity_graph_with(f.as_ref(), None);
+            for (i, j, w) in bg.edges() {
                 assert!(
-                    (grown.tfidf(i).cosine(grown.tfidf(j)) - batch.tfidf(i).cosine(batch.tfidf(j)))
-                        .abs()
-                        < 1e-12
+                    (gg.get(i, j) - w).abs() < 1e-12,
+                    "{} diverged at ({i},{j})",
+                    f.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn deferred_pushes_match_eager_pushes_after_sync() {
+        let e = extractor();
+        let mut eager = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        let mut deferred = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        for t in TEXTS {
+            eager.push(e.extract(t, None));
+            deferred.push_deferred(e.extract(t, None));
+        }
+        assert!(!deferred.vectors_current());
+        deferred.ensure_vectors();
+        assert!(deferred.vectors_current());
+        assert_eq!(deferred.vocab_dim(), eager.vocab_dim());
+        for i in 0..eager.len() {
+            assert_eq!(deferred.tfidf(i), eager.tfidf(i));
         }
     }
 
@@ -282,6 +544,108 @@ mod tests {
         assert!(
             after < before,
             "idf must drop as df rises: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn cached_feature_graph_grows_by_rows_and_stays_exact() {
+        let e = extractor();
+        let mut b = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        let f = NearDuplicateSimilarity;
+        for t in TEXTS {
+            b.push(e.extract(t, None));
+            let g = b.similarity_graph_with(&f, None);
+            assert_eq!(g.len(), b.len());
+            // Values always match a fresh, cache-free computation.
+            for (i, j, w) in g.edges() {
+                assert!((w - b.pair_similarity(&f, None, i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_word_vector_graph_tracks_the_generation() {
+        let e = extractor();
+        let mut b = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        let f = TfIdfCosine;
+        for t in &TEXTS[..3] {
+            b.push(e.extract(t, None));
+        }
+        let before = b.similarity_graph_with(&f, None);
+        assert_eq!(before.len(), 3);
+        // Pushing a document changes idf weights: the cached graph must not
+        // be served stale.
+        b.push(e.extract(TEXTS[3], None));
+        let after = b.similarity_graph_with(&f, None);
+        assert_eq!(after.len(), 4);
+        for (i, j, _) in after.edges() {
+            assert!(
+                (after.get(i, j) - b.pair_similarity(&f, None, i, j)).abs() < 1e-12,
+                "stale value served at ({i},{j})"
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_rows_match_the_graph_for_every_function() {
+        let e = extractor();
+        let mut b = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        for t in TEXTS {
+            b.push(e.extract(t, None));
+        }
+        let doc = b.len() - 1;
+        for f in standard_suite() {
+            let row = b.similarity_row_with(f.as_ref(), None, doc);
+            assert_eq!(row.len(), doc);
+            for (i, &v) in row.iter().enumerate() {
+                assert!(
+                    (v - b.pair_similarity(f.as_ref(), None, i, doc)).abs() < 1e-12,
+                    "{} row diverged at {i}",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_prefilter_is_bit_identical_to_no_prefilter() {
+        let e = extractor();
+        let features: Vec<_> = TEXTS.iter().map(|t| e.extract(t, None)).collect();
+        let b = PreparedBlock::new("cohen", features, TfIdf::default());
+        for f in standard_suite() {
+            let exact = b.similarity_graph_with(f.as_ref(), None);
+            let filtered = b.similarity_graph_with(f.as_ref(), Some(0.0));
+            assert_eq!(exact, filtered, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn prefilter_zeroes_dissimilar_word_vector_pairs_only() {
+        let e = extractor();
+        let features: Vec<_> = [
+            "databases are fun and databases are great to study every day",
+            "databases are fun and databases are great to study every night",
+            "totally unrelated gardening prose mentioning databases once, plus weather",
+        ]
+        .iter()
+        .map(|t| e.extract(t, None))
+        .collect();
+        let b = PreparedBlock::new("cohen", features, TfIdf::default());
+        let f = TfIdfCosine;
+        // The unrelated pair shares almost no shingles: the prefilter
+        // suppresses its (nonzero) cosine.
+        assert!(b.pair_similarity(&f, None, 0, 2) > 0.0);
+        assert_eq!(b.pair_similarity(&f, Some(0.5), 0, 2), 0.0);
+        // The near-identical pair passes the filter untouched.
+        assert_eq!(
+            b.pair_similarity(&f, Some(0.5), 0, 1),
+            b.pair_similarity(&f, None, 0, 1)
+        );
+        // Feature functions are never filtered.
+        let nd = NearDuplicateSimilarity;
+        assert_eq!(
+            b.pair_similarity(&nd, Some(0.5), 0, 2),
+            b.pair_similarity(&nd, None, 0, 2)
         );
     }
 }

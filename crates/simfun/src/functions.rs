@@ -17,13 +17,12 @@
 //! either page is missing the required feature (missing information is not
 //! evidence of similarity).
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::block::PreparedBlock;
 use crate::name_sim::name_similarity;
 use crate::set_sim::overlap_coefficient;
-use crate::string_sim::{jaro_winkler, ngram_dice};
+use crate::string_sim::{dice_sorted_bigrams, jaro_winkler};
 
 /// Identifier of a similarity function in the paper's numbering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -114,6 +113,18 @@ pub trait SimilarityFunction: Send + Sync {
     fn feature_presence(&self, _block: &PreparedBlock, _doc: usize) -> f64 {
         1.0
     }
+
+    /// True if [`compare`](Self::compare) reads the block's word vectors
+    /// ([`PreparedBlock::tfidf`] / [`PreparedBlock::vocab_dim`]), whose
+    /// values shift as the block grows and idf weights move. Functions over
+    /// per-document features (names, URLs, entity sets, MinHash signatures)
+    /// return the default `false`: their pairwise values are immutable once
+    /// both documents exist, which lets cached similarity rows be reused
+    /// verbatim as a streaming block grows. Only return `false` if every
+    /// input of `compare` is immutable after the documents are pushed.
+    fn uses_word_vectors(&self) -> bool {
+        false
+    }
 }
 
 /// F1: cosine similarity of weighted concept vectors.
@@ -156,7 +167,14 @@ impl SimilarityFunction for UrlStringSimilarity {
     fn compare(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
         match (&block.features(i).url, &block.features(j).url) {
             (Some(a), Some(b)) => {
-                let s = ngram_dice(&a.normalized, &b.normalized, 2);
+                let (ga, gb) = (&block.derived(i).url_bigrams, &block.derived(j).url_bigrams);
+                let s = if ga.is_empty() && gb.is_empty() {
+                    // Both URLs shorter than a bigram: exact equality, as
+                    // `ngram_dice` defines it.
+                    f64::from(u8::from(a.normalized == b.normalized))
+                } else {
+                    dice_sorted_bigrams(ga, gb)
+                };
                 if a.same_domain(b) {
                     s.max(0.75)
                 } else {
@@ -185,16 +203,16 @@ impl SimilarityFunction for MostFrequentNameSimilarity {
     }
     fn compare(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
         match (
-            block.features(i).most_frequent_person(),
-            block.features(j).most_frequent_person(),
+            &block.derived(i).most_frequent_person_lower,
+            &block.derived(j).most_frequent_person_lower,
         ) {
-            (Some(a), Some(b)) => jaro_winkler(&a.to_lowercase(), &b.to_lowercase()),
+            (Some(a), Some(b)) => jaro_winkler(a, b),
             _ => 0.0,
         }
     }
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
         f64::from(u8::from(
-            block.features(doc).most_frequent_person().is_some(),
+            block.derived(doc).most_frequent_person_lower.is_some(),
         ))
     }
 }
@@ -252,28 +270,14 @@ impl SimilarityFunction for OtherPersonOverlap {
         "Other person-names on the page / number of overlapping persons"
     }
     fn compare(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
-        let q = block.query_name();
-        let a: BTreeSet<String> = block
-            .features(i)
-            .other_person_names(q)
-            .into_iter()
-            .map(str::to_lowercase)
-            .collect();
-        let b: BTreeSet<String> = block
-            .features(j)
-            .other_person_names(q)
-            .into_iter()
-            .map(str::to_lowercase)
-            .collect();
-        overlap_coefficient(&a, &b)
+        overlap_coefficient(
+            &block.derived(i).other_persons_lower,
+            &block.derived(j).other_persons_lower,
+        )
     }
 
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
-        let has_others = !block
-            .features(doc)
-            .other_person_names(block.query_name())
-            .is_empty();
-        f64::from(u8::from(has_others))
+        f64::from(u8::from(!block.derived(doc).other_persons_lower.is_empty()))
     }
 }
 
@@ -281,21 +285,6 @@ impl SimilarityFunction for OtherPersonOverlap {
 /// then string-compare the two chosen names.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ClosestNameSimilarity;
-
-impl ClosestNameSimilarity {
-    fn closest_name(block: &PreparedBlock, doc: usize) -> Option<String> {
-        let q = block.query_name().to_lowercase();
-        block
-            .features(doc)
-            .person_names()
-            .map(|n| n.to_lowercase())
-            .max_by(|a, b| {
-                jaro_winkler(a, &q)
-                    .total_cmp(&jaro_winkler(b, &q))
-                    .then_with(|| b.cmp(a))
-            })
-    }
-}
 
 impl SimilarityFunction for ClosestNameSimilarity {
     fn name(&self) -> &'static str {
@@ -305,16 +294,17 @@ impl SimilarityFunction for ClosestNameSimilarity {
         "The name closest to the search keyword / string similarity"
     }
     fn compare(&self, block: &PreparedBlock, i: usize, j: usize) -> f64 {
-        match (Self::closest_name(block, i), Self::closest_name(block, j)) {
-            (Some(a), Some(b)) => jaro_winkler(&a, &b),
+        match (
+            &block.derived(i).closest_person_lower,
+            &block.derived(j).closest_person_lower,
+        ) {
+            (Some(a), Some(b)) => jaro_winkler(a, b),
             _ => 0.0,
         }
     }
 
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
-        f64::from(u8::from(
-            block.features(doc).person_names().next().is_some(),
-        ))
+        f64::from(u8::from(block.derived(doc).closest_person_lower.is_some()))
     }
 }
 
@@ -335,6 +325,10 @@ impl SimilarityFunction for TfIdfCosine {
 
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
         f64::from(u8::from(!block.tfidf(doc).is_empty()))
+    }
+
+    fn uses_word_vectors(&self) -> bool {
+        true
     }
 }
 
@@ -360,6 +354,10 @@ impl SimilarityFunction for TfIdfPearson {
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
         f64::from(u8::from(!block.tfidf(doc).is_empty()))
     }
+
+    fn uses_word_vectors(&self) -> bool {
+        true
+    }
 }
 
 /// F10: extended Jaccard (Tanimoto) similarity of TF-IDF word vectors.
@@ -379,6 +377,10 @@ impl SimilarityFunction for TfIdfExtendedJaccard {
 
     fn feature_presence(&self, block: &PreparedBlock, doc: usize) -> f64 {
         f64::from(u8::from(!block.tfidf(doc).is_empty()))
+    }
+
+    fn uses_word_vectors(&self) -> bool {
+        true
     }
 }
 
@@ -697,6 +699,16 @@ mod tests {
         assert_eq!(FunctionId::F10.label(), "F10");
         assert_eq!(format!("{}", FunctionId::F3), "F3");
         assert_eq!(FunctionId::ALL.len(), 10);
+    }
+
+    #[test]
+    fn only_tfidf_functions_use_word_vectors() {
+        for f in standard_suite() {
+            let expected = matches!(f.name(), "F8" | "F9" | "F10");
+            assert_eq!(f.uses_word_vectors(), expected, "{}", f.name());
+        }
+        assert!(!StructuredNameSimilarity.uses_word_vectors());
+        assert!(!NearDuplicateSimilarity.uses_word_vectors());
     }
 
     #[test]

@@ -140,6 +140,45 @@ pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
     2.0 * common as f64 / (ga.len() + gb.len()) as f64
 }
 
+/// Character bigrams of `s`, each encoded into one `u64`, sorted — the
+/// precomputable half of [`ngram_dice`] with `n = 2`. Strings shorter than
+/// two characters yield an empty list (callers fall back to exact
+/// equality, as `ngram_dice` does).
+pub fn char_bigrams_sorted(s: &str) -> Vec<u64> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return Vec::new();
+    }
+    let mut grams: Vec<u64> = chars
+        .windows(2)
+        .map(|w| ((w[0] as u64) << 32) | w[1] as u64)
+        .collect();
+    grams.sort_unstable();
+    grams
+}
+
+/// Dice coefficient over two pre-sorted bigram multisets from
+/// [`char_bigrams_sorted`]; equal to `ngram_dice(a, b, 2)` when both source
+/// strings have at least two characters.
+pub fn dice_sorted_bigrams(ga: &[u64], gb: &[u64]) -> f64 {
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i < ga.len() && j < gb.len() {
+        match ga[i].cmp(&gb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    2.0 * common as f64 / (ga.len() + gb.len()) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +248,35 @@ mod tests {
     fn ngram_dice_counts_multiplicity() {
         // "aaaa" vs "aa": bigrams [aa,aa,aa] vs [aa] -> 2*1/(3+1) = 0.5.
         assert!((ngram_dice("aaaa", "aa", 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_bigram_dice_matches_ngram_dice() {
+        let samples = [
+            "example.com/people/anna",
+            "example.com/people/anne",
+            "uni.edu/~smith",
+            "aaaa",
+            "aa",
+            "ab",
+            "a",
+            "",
+            "miklós.org/és",
+        ];
+        for a in samples {
+            for b in samples {
+                let ga = char_bigrams_sorted(a);
+                let gb = char_bigrams_sorted(b);
+                if ga.is_empty() && gb.is_empty() {
+                    // Precomputed path's callers fall back to exact equality.
+                    continue;
+                }
+                assert!(
+                    (dice_sorted_bigrams(&ga, &gb) - ngram_dice(a, b, 2)).abs() < 1e-12,
+                    "mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -442,6 +442,19 @@ impl StreamResolver {
         Some(state.partition())
     }
 
+    /// Run a read-only closure against a name's live state (restored from
+    /// disk first if it was evicted). Errors when the name is unknown or
+    /// its stored record is unreadable.
+    pub fn with_state<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&NameState) -> R,
+    ) -> Result<R, StreamError> {
+        let entry = self.lookup_or_restore(name)?;
+        let state = entry.state.lock();
+        Ok(f(&state))
+    }
+
     /// Seeded names, sorted.
     pub fn names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.names.read().keys().cloned().collect();

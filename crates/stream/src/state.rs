@@ -57,19 +57,33 @@ pub struct NameState {
     documents: Vec<StoredDocument>,
     /// The seed batch's entity labels (documents `0..seed_labels.len()`).
     seed_labels: Vec<u32>,
+    /// Word-vector generation of the block at the last (re)fit of the
+    /// model. Per-arrival re-calibration only matters when the similarity
+    /// values on the seed pairs can have moved, i.e. when the selected
+    /// function reads the word-vector space *and* the vectors actually
+    /// changed; feature-based functions are immutable per document, so
+    /// their refit is a fixed point and is skipped.
+    last_refit_generation: u64,
 }
 
 /// Transitive closure of the model's pairwise decisions over the whole
 /// block, with the supervision's known same-entity pairs merged on top
 /// (seed labels are ground truth for their documents).
+///
+/// Reads the pairwise values from the model's similarity graph — which the
+/// block serves from its incremental cache, so a closure rebuild right
+/// after training reuses the graph the evidence layers already built.
 fn closure_partition(
     block: &PreparedBlock,
     model: &TrainedModel,
     supervision: &Supervision,
 ) -> OnlinePartition {
+    let sims = model.similarity_graph(block);
     let mut partition = OnlinePartition::new();
     for i in 0..block.len() {
-        let links: Vec<usize> = (0..i).filter(|&j| model.decide(block, i, j)).collect();
+        let links: Vec<usize> = (0..i)
+            .filter(|&j| model.decide_value(block, i, j, sims.get(j, i)))
+            .collect();
         partition.insert(links);
     }
     for (i, j, link) in supervision.pairs() {
@@ -120,6 +134,7 @@ impl NameState {
         let partition = closure_partition(&block, &model, &supervision);
         let retrain_at = block.len() * 2;
         let seed_labels = labels.to_vec();
+        let last_refit_generation = block.vector_generation();
         Ok(Self {
             block,
             model,
@@ -130,6 +145,7 @@ impl NameState {
             retrain_at,
             documents,
             seed_labels,
+            last_refit_generation,
         })
     }
 
@@ -155,6 +171,7 @@ impl NameState {
         }
         self.partition = closure_partition(&self.block, &self.model, &self.supervision);
         self.retrain_at = self.block.len() * 2;
+        self.last_refit_generation = self.block.vector_generation();
     }
 
     /// Ingest one document: grow the block, re-calibrate the model's fit
@@ -173,13 +190,22 @@ impl NameState {
         features: PageFeatures,
     ) -> ClusterAssignment {
         self.documents.push(document);
-        let doc = self.block.push(features);
-        if matches!(self.assignment, AssignmentPolicy::TransitiveClosure)
-            && self.block.len() >= self.retrain_at
-        {
+        // Defer the word-vector refresh: the push only re-weights vectors
+        // when the selected function actually reads them (or a checkpoint
+        // is about to re-train over every function). Feature-based models
+        // never touch the vector space, so their arrivals skip the O(block)
+        // TF-IDF rebuild entirely.
+        let doc = self.block.push_deferred(features);
+        let checkpoint_due = matches!(self.assignment, AssignmentPolicy::TransitiveClosure)
+            && self.block.len() >= self.retrain_at;
+        if checkpoint_due || self.model.uses_word_vectors() {
+            self.block.ensure_vectors();
+        }
+        if checkpoint_due {
             self.checkpoint();
+            let row = self.model.similarity_row(&self.block, doc);
             let linked_members = (0..doc)
-                .filter(|&j| self.model.decide(&self.block, doc, j))
+                .filter(|&j| self.model.decide_value(&self.block, doc, j, row[j]))
                 .count();
             let cluster_size = self.partition.members_of(doc).len();
             return ClusterAssignment {
@@ -190,19 +216,30 @@ impl NameState {
                 linked_members,
             };
         }
-        self.model.refit(&self.block, &self.supervision);
+        // Re-calibrate only when the seed-pair similarity values can have
+        // moved: a push shifts block-local document frequencies, but that
+        // reaches the model only through the word-vector space. For
+        // feature-based functions the refit is a fixed point; for
+        // word-vector functions the store's generation says whether any
+        // already-built vector actually changed.
+        if self.model.uses_word_vectors()
+            && self.block.vector_generation() != self.last_refit_generation
+        {
+            self.model.refit(&self.block, &self.supervision);
+            self.last_refit_generation = self.block.vector_generation();
+        }
+        let row = self.model.similarity_row(&self.block, doc);
         let links: Vec<usize> = match self.assignment {
             AssignmentPolicy::TransitiveClosure => (0..doc)
-                .filter(|&j| self.model.decide(&self.block, doc, j))
+                .filter(|&j| self.model.decide_value(&self.block, doc, j, row[j]))
                 .collect(),
             AssignmentPolicy::Linkage { linkage, threshold } => {
                 let mut best: Option<(usize, f64)> = None;
                 for members in self.partition.clusters() {
-                    let score = linkage.combine_scores(
-                        members
-                            .iter()
-                            .map(|&m| self.model.link_probability(&self.block, doc, m)),
-                    );
+                    let score = linkage.combine_scores(members.iter().map(|&m| {
+                        self.model
+                            .link_probability_value(&self.block, doc, m, row[m])
+                    }));
                     if score >= threshold && best.is_none_or(|(_, b)| score > b) {
                         best = Some((members[0], score));
                     }

@@ -42,10 +42,10 @@ impl CorpusIndex {
     }
 
     /// Add an analyzed document (sequence of term ids); returns its id.
-    pub fn add_document(&mut self, terms: Vec<TermId>) -> DocId {
+    pub fn add_document(&mut self, terms: &[TermId]) -> DocId {
         let mut counts: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
         let len = terms.len() as u32;
-        for t in terms {
+        for &t in terms {
             *counts.entry(t).or_insert(0) += 1;
         }
         for &t in counts.keys() {
@@ -86,6 +86,18 @@ impl CorpusIndex {
     /// Token count of document `doc`, or 0 for an unknown id.
     pub fn doc_len(&self, doc: DocId) -> u32 {
         self.docs.get(doc.0 as usize).map_or(0, |d| d.len)
+    }
+
+    /// The sorted `(term, count)` pairs of document `doc` together with its
+    /// highest single-term count, for incremental weight materialisation.
+    pub(crate) fn doc_counts(&self, doc: usize) -> (&[(TermId, u32)], u32) {
+        let stats = &self.docs[doc];
+        (&stats.counts, stats.max_tf)
+    }
+
+    /// The document-frequency table, for incremental idf refresh.
+    pub(crate) fn df_table(&self) -> &HashMap<TermId, u32> {
+        &self.df
     }
 
     /// Term frequency of `term` in `doc`.
@@ -176,7 +188,7 @@ mod tests {
         let analyzer = Analyzer::english();
         let mut index = CorpusIndex::new();
         for t in texts {
-            index.add_document(analyzer.analyze(t));
+            index.add_document(&analyzer.analyze(t));
         }
         (index, analyzer)
     }
@@ -193,8 +205,8 @@ mod tests {
     fn term_and_document_frequencies() {
         let analyzer = Analyzer::english();
         let mut index = CorpusIndex::new();
-        let d0 = index.add_document(analyzer.analyze("alpha alpha beta"));
-        let d1 = index.add_document(analyzer.analyze("beta gamma"));
+        let d0 = index.add_document(&analyzer.analyze("alpha alpha beta"));
+        let d1 = index.add_document(&analyzer.analyze("beta gamma"));
         let alpha = analyzer.vocabulary().get("alpha").unwrap();
         let beta = analyzer.vocabulary().get("beta").unwrap();
         assert_eq!(index.term_frequency(d0, alpha), 2);
@@ -208,8 +220,8 @@ mod tests {
     fn tfidf_vector_raw_plain_hand_computed() {
         let analyzer = Analyzer::new(false, false); // no stopwords/stemming
         let mut index = CorpusIndex::new();
-        let d0 = index.add_document(analyzer.analyze("cat cat dog"));
-        index.add_document(analyzer.analyze("dog fish"));
+        let d0 = index.add_document(&analyzer.analyze("cat cat dog"));
+        index.add_document(&analyzer.analyze("dog fish"));
         let scheme = TfIdf::new(TfScheme::Raw, IdfScheme::Plain);
         let v = index.tfidf_vector(d0, scheme);
         let cat = analyzer.vocabulary().get("cat").unwrap();
@@ -247,9 +259,9 @@ mod tests {
         let mut index = CorpusIndex::new();
         // "cat" occurs 1x in d0 and 10x in d1; saturation means the weight
         // ratio is far below 10x.
-        let d0 = index.add_document(analyzer.analyze("cat dog"));
+        let d0 = index.add_document(&analyzer.analyze("cat dog"));
         let many_cats = "cat ".repeat(10) + "dog";
-        let d1 = index.add_document(analyzer.analyze(&many_cats));
+        let d1 = index.add_document(&analyzer.analyze(&many_cats));
         let cat = analyzer.vocabulary().get("cat").unwrap();
         let v0 = index.bm25_vector(d0, 1.2, 0.75);
         let v1 = index.bm25_vector(d1, 1.2, 0.75);
@@ -267,9 +279,9 @@ mod tests {
         let analyzer = Analyzer::plain();
         let mut index = CorpusIndex::new();
         // Same tf for "rare", but d1 is much longer.
-        let d0 = index.add_document(analyzer.analyze("rare word here"));
+        let d0 = index.add_document(&analyzer.analyze("rare word here"));
         let long = format!("rare {}", "filler ".repeat(50));
-        let d1 = index.add_document(analyzer.analyze(&long));
+        let d1 = index.add_document(&analyzer.analyze(&long));
         let rare = analyzer.vocabulary().get("rare").unwrap();
         let v0 = index.bm25_vector(d0, 1.2, 0.75);
         let v1 = index.bm25_vector(d1, 1.2, 0.75);
@@ -292,7 +304,7 @@ mod tests {
     fn empty_document_is_allowed() {
         let analyzer = Analyzer::english();
         let mut index = CorpusIndex::new();
-        let d = index.add_document(analyzer.analyze("the of and")); // all stopwords
+        let d = index.add_document(&analyzer.analyze("the of and")); // all stopwords
         assert_eq!(index.doc_len(d), 0);
         assert!(index.tfidf_vector(d, TfIdf::default()).is_empty());
     }

@@ -19,14 +19,15 @@
 //!
 //! let analyzer = Analyzer::english();
 //! let mut index = CorpusIndex::new();
-//! let a = index.add_document(analyzer.analyze("Databases and query processing"));
-//! let b = index.add_document(analyzer.analyze("Query optimisation in databases"));
+//! let a = index.add_document(&analyzer.analyze("Databases and query processing"));
+//! let b = index.add_document(&analyzer.analyze("Query optimisation in databases"));
 //! let vectors = index.tfidf_vectors(TfIdf::default());
 //! let sim = vectors[a.0 as usize].cosine(&vectors[b.0 as usize]);
 //! assert!(sim > 0.0 && sim <= 1.0);
 //! ```
 
 pub mod analyzer;
+pub mod incremental;
 pub mod index;
 pub mod minhash;
 pub mod sparse;
@@ -37,6 +38,7 @@ pub mod token;
 pub mod vocab;
 
 pub use analyzer::Analyzer;
+pub use incremental::{VectorStore, WordVectorScheme};
 pub use index::{CorpusIndex, DocId};
 pub use minhash::{near_duplicates, MinHasher};
 pub use sparse::SparseVector;

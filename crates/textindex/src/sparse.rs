@@ -34,6 +34,20 @@ impl SparseVector {
         Self { entries }
     }
 
+    /// Replace this vector's contents from already-sorted, deduplicated
+    /// `(id, weight)` pairs, reusing the existing allocation. Zero weights
+    /// are dropped, matching [`from_pairs`](Self::from_pairs), so an
+    /// in-place refresh stays indistinguishable from a fresh build.
+    pub fn refill(&mut self, pairs: impl IntoIterator<Item = (TermId, f64)>) {
+        self.entries.clear();
+        self.entries
+            .extend(pairs.into_iter().filter(|&(_, w)| w != 0.0));
+        debug_assert!(
+            self.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "refill requires sorted, deduplicated term ids"
+        );
+    }
+
     /// Build from raw term counts.
     pub fn from_counts(counts: impl IntoIterator<Item = (TermId, u32)>) -> Self {
         Self::from_pairs(
@@ -193,6 +207,15 @@ mod tests {
     fn from_pairs_sorts_dedups_and_drops_zeros() {
         let a = v(&[(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0)]);
         assert_eq!(a.entries(), &[(TermId(1), 2.0), (TermId(3), 3.0)]);
+    }
+
+    #[test]
+    fn refill_replaces_contents_and_drops_zeros() {
+        let mut a = v(&[(0, 1.0), (4, 2.0)]);
+        a.refill([(TermId(1), 3.0), (TermId(2), 0.0), (TermId(7), 5.0)]);
+        assert_eq!(a, v(&[(1, 3.0), (7, 5.0)]));
+        a.refill(std::iter::empty());
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -127,7 +127,7 @@ proptest! {
         for t in &texts {
             let tokens = analyzer.analyze(t);
             expected.push(tokens.len() as u32);
-            index.add_document(tokens);
+            index.add_document(&tokens);
         }
         for (i, &len) in expected.iter().enumerate() {
             prop_assert_eq!(index.doc_len(weber_textindex::DocId(i as u32)), len);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Perf reporting: run the machine-readable perf harness and (optionally)
+# the criterion ingest/pipeline benches.
+#
+#   scripts/bench.sh                 # emit BENCH_stream.json / BENCH_pipeline.json
+#   scripts/bench.sh --smoke         # fast sanity run (small sizes, 1 rep)
+#   scripts/bench.sh --criterion     # additionally run the criterion benches
+#
+# If results/BENCH_stream_baseline.json / results/BENCH_pipeline_baseline.json
+# exist, the reports include a speedup relative to them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PERF_ARGS=()
+RUN_CRITERION=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) PERF_ARGS+=(--smoke) ;;
+    --criterion) RUN_CRITERION=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+[ -f results/BENCH_stream_baseline.json ] &&
+  PERF_ARGS+=(--stream-baseline results/BENCH_stream_baseline.json)
+[ -f results/BENCH_pipeline_baseline.json ] &&
+  PERF_ARGS+=(--pipeline-baseline results/BENCH_pipeline_baseline.json)
+
+echo "==> cargo build --release -p weber-bench --bin perf"
+cargo build --release -p weber-bench --bin perf
+
+echo "==> perf harness"
+target/release/perf "${PERF_ARGS[@]}"
+
+if [ "$RUN_CRITERION" = 1 ]; then
+  echo "==> criterion: stream + pipeline benches"
+  cargo bench -p weber-bench --bench stream
+  cargo bench -p weber-bench --bench pipeline
+fi

@@ -17,4 +17,7 @@ cargo test -q
 echo "==> streaming stress: cargo test -q --release -p weber-stream"
 cargo test -q --release -p weber-stream
 
+echo "==> perf smoke: scripts/bench.sh --smoke"
+scripts/bench.sh --smoke
+
 echo "All checks passed."

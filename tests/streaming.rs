@@ -318,6 +318,98 @@ mod tcp {
 }
 
 #[test]
+fn incremental_similarities_match_a_batch_build() {
+    // The streaming engine's whole correctness contract: a block grown one
+    // document at a time — deferred vector syncs, cached similarity rows,
+    // incremental TF-IDF — must score every pair exactly as a block built
+    // in one shot from the same documents.
+    use weber::extract::pipeline::Extractor;
+    use weber::simfun::block::PreparedBlock;
+    use weber::simfun::functions::standard_suite;
+
+    let dataset = generate(&presets::tiny(13));
+    let extractor = Extractor::new(&dataset.gazetteer);
+    let raw = &dataset.blocks[0];
+    let features: Vec<_> = raw
+        .documents
+        .iter()
+        .map(|d| extractor.extract(&d.text, d.url.as_deref()))
+        .collect();
+
+    let batch = PreparedBlock::new(raw.query_name.clone(), features.clone(), TfIdf::default());
+    let seed = 3.min(features.len());
+    let mut streamed = PreparedBlock::new(
+        raw.query_name.clone(),
+        features[..seed].to_vec(),
+        TfIdf::default(),
+    );
+    for f in &features[seed..] {
+        // The deferred path is the one the stream daemon takes.
+        streamed.push_deferred(f.clone());
+    }
+    streamed.ensure_vectors();
+
+    for i in 0..batch.len() {
+        assert_eq!(batch.tfidf(i), streamed.tfidf(i), "vector of doc {i}");
+    }
+    for f in standard_suite() {
+        let b = batch.similarity_graph_with(f.as_ref(), None);
+        let s = streamed.similarity_graph_with(f.as_ref(), None);
+        for (i, j, w) in b.edges() {
+            assert!(
+                (w - s.get(i, j)).abs() < 1e-12,
+                "{} differs on pair ({i}, {j}): batch {w} vs streamed {}",
+                f.name(),
+                s.get(i, j)
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_model_scores_match_direct_recomputation() {
+    // The cached-row scoring path used per arrival must agree with the
+    // trained model's direct pairwise evaluation on the grown block.
+    let dataset = generate(&presets::tiny(9));
+    let stream = StreamResolver::new(StreamConfig::default(), &dataset.gazetteer).unwrap();
+    let raw = &dataset.blocks[0];
+    let truth = raw.truth();
+    let seed_count = (raw.documents.len() / 2).max(2);
+    let docs: Vec<SeedDocument> = raw.documents[..seed_count]
+        .iter()
+        .zip(0..)
+        .map(|(d, i)| SeedDocument {
+            text: d.text.clone(),
+            url: d.url.clone(),
+            label: truth.label_of(i),
+        })
+        .collect();
+    stream.seed(&raw.query_name, &docs).unwrap();
+    for d in &raw.documents[seed_count..] {
+        stream
+            .ingest(&raw.query_name, &d.text, d.url.as_deref())
+            .unwrap();
+    }
+    stream
+        .with_state(&raw.query_name, |state| {
+            let block = state.block();
+            let model = state.model();
+            for doc in 1..block.len() {
+                let row = model.similarity_row(block, doc);
+                assert_eq!(row.len(), doc);
+                for (j, &cached) in row.iter().enumerate() {
+                    let direct = model.similarity(block, j, doc);
+                    assert!(
+                        (cached - direct).abs() < 1e-12,
+                        "cached row differs at ({j}, {doc}): {cached} vs {direct}"
+                    );
+                }
+            }
+        })
+        .unwrap();
+}
+
+#[test]
 fn streaming_handles_every_block_of_a_dataset() {
     // Coverage sanity: on a tiny corpus with generous supervision, every
     // block either trains or is skipped for a principled reason, and the
