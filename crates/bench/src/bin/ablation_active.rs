@@ -15,6 +15,11 @@ use weber_eval::{MetricSet, RunAverage};
 use weber_simfun::functions::{function, subset_i10, SimilarityFunction};
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_active",
+        DEFAULT_SEED,
+        "C10 configuration, www05-like, label budgets 5/10/20 percent, 5 random seeds",
+    );
     println!("Ablation — random vs uncertainty-sampled labelling (WWW'05-like)");
     println!("C10 configuration; budgets as a fraction of each block; 5 random seeds");
     println!();

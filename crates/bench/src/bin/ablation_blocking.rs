@@ -16,6 +16,11 @@ use weber_bench::{fmt, prepared_www05, print_table, DEFAULT_SEED};
 use weber_core::blocking::{key_blocks, sorted_neighborhood};
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_blocking",
+        DEFAULT_SEED,
+        "www05-like, blocking on noisy extracted name keys",
+    );
     println!("Ablation — blocking on noisy extracted name keys (WWW'05-like)");
     println!();
     let prepared = prepared_www05(DEFAULT_SEED);

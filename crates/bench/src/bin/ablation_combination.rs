@@ -74,6 +74,11 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_combination",
+        DEFAULT_SEED,
+        "combination x weighting x clustering sweep, both datasets, 5 runs averaged",
+    );
     println!("Ablation — combination strategy x weighting x clustering");
     println!();
     sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));

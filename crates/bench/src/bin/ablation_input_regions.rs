@@ -49,6 +49,11 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_input_regions",
+        DEFAULT_SEED,
+        "value-based vs input-based regions, both datasets, 5 runs averaged",
+    );
     println!("Ablation — value-based vs input-based regions (5 runs averaged)");
     println!();
     sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));

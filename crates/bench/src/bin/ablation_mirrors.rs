@@ -48,6 +48,11 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_mirrors",
+        DEFAULT_SEED,
+        "near-duplicate layer F11, both datasets, 5 runs averaged",
+    );
     println!("Ablation — near-duplicate layer F11 (5 runs averaged)");
     println!();
     sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));

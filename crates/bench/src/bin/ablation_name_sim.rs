@@ -16,6 +16,11 @@ use weber_core::resolver::ResolverConfig;
 use weber_simfun::functions::{subset_i10, FunctionId, StructuredNameSimilarity};
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_name_sim",
+        DEFAULT_SEED,
+        "flat F3 vs structured F3s name similarity, www05-like, 5 runs averaged",
+    );
     println!("Ablation — flat (F3) vs structured (F3s) name similarity (WWW'05-like)");
     println!();
     let prepared = prepared_www05(DEFAULT_SEED);

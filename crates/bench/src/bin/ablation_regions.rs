@@ -13,6 +13,11 @@ use weber_ml::regions::RegionScheme;
 use weber_simfun::functions::subset_i10;
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_regions",
+        DEFAULT_SEED,
+        "region scheme and count sweep, www05-like, all ten functions, best-graph selection",
+    );
     println!("Ablation — region scheme and region count (WWW'05-like dataset)");
     println!("single criterion per run, all ten functions, best-graph selection");
     println!();

@@ -86,6 +86,11 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_swoosh",
+        DEFAULT_SEED,
+        "merge-based R-Swoosh vs pairwise framework, both datasets, 5 runs averaged",
+    );
     println!("Ablation — merge-based R-Swoosh vs pairwise framework (5 runs averaged)");
     println!();
     sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));

@@ -16,6 +16,11 @@ use weber_simfun::functions::{subset_i10, FunctionId};
 use weber_textindex::tfidf::{IdfScheme, TfIdf, TfScheme};
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_tfidf",
+        DEFAULT_SEED,
+        "word-vector weighting for F8-F10, www05-like, 5 runs averaged",
+    );
     println!("Ablation — word-vector weighting for F8-F10 (WWW'05-like, 5 runs averaged)");
     println!();
     let dataset = generate(&presets::www05_like(DEFAULT_SEED));

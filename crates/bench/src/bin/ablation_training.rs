@@ -34,6 +34,11 @@ fn sweep(label: &str, prepared: &PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "ablation_training",
+        DEFAULT_SEED,
+        "training-fraction sweep, C10 configuration, both datasets, 5 runs averaged",
+    );
     println!("Ablation — training fraction (C10 configuration, 5 runs averaged)");
     println!();
     sweep("WWW'05-like dataset", &prepared_www05(DEFAULT_SEED));

@@ -13,6 +13,11 @@ use weber_ml::regions::RegionScheme;
 use weber_simfun::functions::{function, FunctionId};
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "fig1_region_accuracy",
+        DEFAULT_SEED,
+        "F3 on the cohen block, 10 percent training, region accuracy estimates",
+    );
     let prepared = prepared_www05(DEFAULT_SEED);
     let target = prepared
         .blocks

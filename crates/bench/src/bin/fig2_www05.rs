@@ -5,6 +5,7 @@
 use weber_bench::{figure_per_function, prepared_www05, DEFAULT_SEED};
 
 fn main() {
+    let _manifest = weber_bench::manifest("fig2_www05", DEFAULT_SEED, "www05-like preset, per-function threshold plus combined C10, 10 percent training, 5 runs averaged");
     let prepared = prepared_www05(DEFAULT_SEED);
     figure_per_function("Figure 2 — WWW'05-like dataset", &prepared);
 }

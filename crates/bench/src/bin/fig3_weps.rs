@@ -5,6 +5,7 @@
 use weber_bench::{figure_per_function, prepared_weps, DEFAULT_SEED};
 
 fn main() {
+    let _manifest = weber_bench::manifest("fig3_weps", DEFAULT_SEED, "weps-like preset, per-function threshold plus combined C10, 10 percent training, 5 runs averaged");
     let prepared = prepared_weps(DEFAULT_SEED);
     figure_per_function("Figure 3 — WePS-like dataset", &prepared);
 }

@@ -37,6 +37,11 @@ fn inspect(label: &str, prepared: &weber_core::blocking::PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "inspect_selection",
+        DEFAULT_SEED,
+        "best-graph selection inspection, both datasets",
+    );
     inspect("WWW'05-like", &prepared_www05(DEFAULT_SEED));
     inspect("WePS-like", &prepared_weps(DEFAULT_SEED));
 }

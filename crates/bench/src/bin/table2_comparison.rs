@@ -73,6 +73,11 @@ fn print_dataset(name: &str, prepared: &PreparedDataset) {
 }
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "table2_comparison",
+        DEFAULT_SEED,
+        "I4/I7/I10/C4/C7/C10/W, both datasets, 10 percent training, 5 runs averaged",
+    );
     println!("Table II — comparison of results (10% training, 5 runs averaged)");
     println!();
     let www05 = prepared_www05(DEFAULT_SEED);

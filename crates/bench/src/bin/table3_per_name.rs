@@ -12,6 +12,11 @@ use weber_core::resolver::ResolverConfig;
 use weber_simfun::functions::{subset_i10, FunctionId};
 
 fn main() {
+    let _manifest = weber_bench::manifest(
+        "table3_per_name",
+        DEFAULT_SEED,
+        "per-name Fp breakdown, www05-like, 10 percent training, 5 runs averaged",
+    );
     let prepared = prepared_www05(DEFAULT_SEED);
     let protocol = paper_protocol();
 

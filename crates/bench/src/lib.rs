@@ -53,6 +53,102 @@ pub fn fmt(v: f64) -> String {
     format!("{v:.4}")
 }
 
+/// The current git revision (short hash, `+dirty` when the tree has local
+/// modifications), or `"unknown"` outside a git checkout.
+pub fn git_revision() -> String {
+    let output = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match output(&["rev-parse", "--short", "HEAD"]) {
+        None => "unknown".to_string(),
+        Some(rev) => {
+            let dirty = output(&["status", "--porcelain"])
+                .map(|s| !s.is_empty())
+                .unwrap_or(false);
+            if dirty {
+                format!("{rev}+dirty")
+            } else {
+                rev
+            }
+        }
+    }
+}
+
+/// Print the run manifest as `#`-prefixed header lines: which binary
+/// produced the output, under which seed and configuration, from which
+/// git revision and crate version. Archived `results/*.txt` files carry
+/// this header so a result can always be traced back to the code that
+/// produced it; `scripts/results_check.sh` strips `#` lines before
+/// diffing, so the manifest never causes spurious drift.
+pub fn print_manifest(binary: &str, seed: u64, config: &str) {
+    println!("# manifest: {binary}");
+    println!("# seed: {seed}");
+    println!("# config: {config}");
+    println!("# git-revision: {}", git_revision());
+    println!(
+        "# crates: weber workspace {} (textindex extract simfun graph ml eval corpus core stream obs bench)",
+        env!("CARGO_PKG_VERSION")
+    );
+}
+
+/// RAII handle returned by [`manifest`]: prints the stage-timing footer
+/// when dropped, i.e. when the experiment's `main` returns.
+pub struct ManifestGuard {
+    _priv: (),
+}
+
+impl Drop for ManifestGuard {
+    fn drop(&mut self) {
+        print_stage_timings();
+    }
+}
+
+/// Print the manifest header now and the stage-timing footer at scope
+/// exit. Experiment binaries call this on the first line of `main`:
+///
+/// ```ignore
+/// let _manifest = weber_bench::manifest("fig2_www05", DEFAULT_SEED, "…");
+/// ```
+pub fn manifest(binary: &str, seed: u64, config: &str) -> ManifestGuard {
+    print_manifest(binary, seed, config);
+    ManifestGuard { _priv: () }
+}
+
+/// Print the batch pipeline's per-stage wall times as `#`-prefixed footer
+/// lines, read from the global metrics registry ([`weber_obs`]). Stages
+/// with no observations are omitted; a binary that never ran the pipeline
+/// prints nothing.
+pub fn print_stage_timings() {
+    let snapshot = weber_obs::Registry::global().snapshot();
+    let stages: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("core.stage.") && h.count > 0)
+        .collect();
+    if stages.is_empty() {
+        return;
+    }
+    println!("# stage timings (wall time, microseconds):");
+    for h in stages {
+        let stage = h
+            .name
+            .trim_start_matches("core.stage.")
+            .trim_end_matches("_us");
+        println!(
+            "#   {stage}: total={} calls={} mean={:.0} max={}",
+            h.sum,
+            h.count,
+            h.mean(),
+            h.max
+        );
+    }
+}
+
 /// Print a markdown-style table: header plus rows of equal arity.
 pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();

@@ -82,6 +82,12 @@ pub fn prepare_dataset(dataset: &Dataset, tfidf: TfIdf) -> PreparedDataset {
 /// (TF-IDF variants or BM25). Blocks are extracted on scoped worker
 /// threads; the extractor's shared vocabularies are thread-safe.
 pub fn prepare_dataset_with(dataset: &Dataset, scheme: WordVectorScheme) -> PreparedDataset {
+    weber_obs::time_stage("core.stage.feature_extraction_us", || {
+        prepare_dataset_inner(dataset, scheme)
+    })
+}
+
+fn prepare_dataset_inner(dataset: &Dataset, scheme: WordVectorScheme) -> PreparedDataset {
     let extractor = Extractor::new(&dataset.gazetteer);
     let blocks: Vec<PreparedNameBlock> = std::thread::scope(|scope| {
         let handles: Vec<_> = dataset

@@ -174,12 +174,21 @@ fn function_layers(
     supervision: &Supervision,
     options: LayerOptions,
 ) -> Vec<EvidenceLayer> {
+    // Stage timings: region estimation (criterion fitting) is recorded on
+    // its own; everything else in this function — similarity graph,
+    // decision graphs, accuracy scoring — is the layer-build stage. Both
+    // go to global histograms, so the scoped-thread fan-out in
+    // `build_layers_with` just records one observation per function.
+    let start = std::time::Instant::now();
+    let mut fit_elapsed = std::time::Duration::ZERO;
     let sims = block.similarity_graph_with(f, options.word_vector_prefilter);
     let samples = supervision.labeled_values(|i, j| sims.get(i, j));
-    criteria
+    let layers: Vec<EvidenceLayer> = criteria
         .iter()
         .map(|&criterion| {
+            let fit_start = std::time::Instant::now();
             let fitted = criterion.fit(&samples);
+            fit_elapsed += fit_start.elapsed();
             let decisions = DecisionGraph::from_weighted(&sims, |_, _, w| fitted.decide(w));
             let link_probability = sims.map(|w| fitted.link_probability(w));
             let accuracy = fitted.training_accuracy();
@@ -195,7 +204,15 @@ fn function_layers(
                 selection_score,
             }
         })
-        .collect()
+        .collect();
+    let registry = weber_obs::Registry::global();
+    registry
+        .histogram("core.stage.region_estimation_us")
+        .record(fit_elapsed.as_micros() as u64);
+    registry
+        .histogram("core.stage.layer_build_us")
+        .record(start.elapsed().saturating_sub(fit_elapsed).as_micros() as u64);
+    layers
 }
 
 /// Build input-partitioned evidence layers, one per function (§IV-A's

@@ -289,11 +289,14 @@ impl Resolver {
                 options,
             ));
         }
-        let combined = self
-            .config
-            .combination
-            .combine(&layers, supervision, block.len());
-        let partition = self.config.clustering.cluster(&combined);
+        let (combined, partition) = weber_obs::time_stage("core.stage.clustering_us", || {
+            let combined = self
+                .config
+                .combination
+                .combine(&layers, supervision, block.len());
+            let partition = self.config.clustering.cluster(&combined);
+            (combined, partition)
+        });
         let reports = layers
             .iter()
             .map(|l| LayerReport {

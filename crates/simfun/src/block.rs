@@ -16,7 +16,8 @@
 //! from-scratch computation.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use weber_extract::features::PageFeatures;
 use weber_graph::weighted::WeightedGraph;
@@ -82,6 +83,55 @@ fn derive_features(query_name: &str, features: &PageFeatures) -> DerivedFeatures
     }
 }
 
+/// Counters over the block's similarity-graph cache, incremented inside
+/// [`PreparedBlock::similarity_graph_with`]. Plain relaxed atomics — no
+/// dependency on any metrics framework — so observers (the streaming
+/// resolver's metrics report) can share one instance across many blocks
+/// via [`PreparedBlock::set_cache_stats`] and read totals that survive
+/// block replacement or eviction.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    grows: AtomicU64,
+    rebuilds: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests served entirely from a cached graph (full coverage, no
+    /// recomputation).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests served by growing a cached prefix graph row-by-row.
+    pub fn grows(&self) -> u64 {
+        self.grows.load(Ordering::Relaxed)
+    }
+
+    /// Requests that rebuilt the graph from scratch (cold or stale).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Rebuilds that discarded an existing cached entry because its word
+    /// vectors went stale (generation mismatch) — the subset of
+    /// [`rebuilds`](Self::rebuilds) where cached work was thrown away.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Everything that was not a pure hit (grows + rebuilds).
+    pub fn misses(&self) -> u64 {
+        self.grows() + self.rebuilds()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct CachedGraph {
     graph: WeightedGraph,
@@ -131,6 +181,10 @@ pub struct PreparedBlock {
     /// read paths (`&self`) can populate it; computation happens outside
     /// the lock, which is only held to clone a graph in or out.
     sim_cache: Mutex<HashMap<CacheKey, CachedGraph>>,
+    /// Hit/grow/rebuild counters over `sim_cache`. Block-private by
+    /// default; [`set_cache_stats`](Self::set_cache_stats) swaps in a
+    /// shared instance.
+    cache_stats: Arc<CacheStats>,
 }
 
 impl PreparedBlock {
@@ -174,7 +228,21 @@ impl PreparedBlock {
             vocab_dim,
             vectors_stale: false,
             sim_cache: Mutex::new(HashMap::new()),
+            cache_stats: Arc::new(CacheStats::new()),
         }
+    }
+
+    /// Replace the block's cache counters with a shared instance, so one
+    /// observer can aggregate cache behaviour across many blocks (and
+    /// across re-seeds of the same name). Counts already accumulated on
+    /// the old instance are not migrated.
+    pub fn set_cache_stats(&mut self, stats: Arc<CacheStats>) {
+        self.cache_stats = stats;
+    }
+
+    /// The block's similarity-cache counters.
+    pub fn cache_stats(&self) -> &Arc<CacheStats> {
+        &self.cache_stats
     }
 
     /// An empty block ready for incremental growth via [`push`](Self::push).
@@ -345,11 +413,14 @@ impl PreparedBlock {
         let generation = self.store.generation();
         let key: CacheKey = (f.name(), prefilter.map(f64::to_bits));
         let cached = self.sim_cache.lock().unwrap().get(&key).cloned();
+        let had_entry = cached.is_some();
         let graph = match cached {
             Some(c) if (!word || c.generation == generation) && c.graph.len() == n => {
+                self.cache_stats.hits.fetch_add(1, Ordering::Relaxed);
                 return c.graph;
             }
             Some(c) if (!word || c.generation == generation) && c.graph.len() < n => {
+                self.cache_stats.grows.fetch_add(1, Ordering::Relaxed);
                 let mut g = c.graph;
                 let mut row = Vec::with_capacity(n - 1);
                 for j in g.len()..n {
@@ -360,6 +431,14 @@ impl PreparedBlock {
                 g
             }
             _ => {
+                self.cache_stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+                if had_entry {
+                    // An entry existed but could not be used: its word
+                    // vectors were re-weighted since it was computed.
+                    self.cache_stats
+                        .invalidations
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 let threads = if n >= PARALLEL_BUILD_LEN {
                     std::thread::available_parallelism().map_or(1, |t| t.get())
                 } else {
@@ -605,6 +684,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cache_stats_track_hits_grows_and_invalidations() {
+        let e = extractor();
+        let mut b = PreparedBlock::empty("cohen", WordVectorScheme::default());
+        let stats = Arc::new(CacheStats::new());
+        b.set_cache_stats(Arc::clone(&stats));
+        for t in &TEXTS[..3] {
+            b.push(e.extract(t, None));
+        }
+        // Cold: one rebuild, no prior entry to invalidate.
+        let f = NearDuplicateSimilarity;
+        b.similarity_graph_with(&f, None);
+        assert_eq!((stats.hits(), stats.rebuilds()), (0, 1));
+        assert_eq!(stats.invalidations(), 0);
+        // Same size again: pure hit.
+        b.similarity_graph_with(&f, None);
+        assert_eq!(stats.hits(), 1);
+        // Grown block, feature function: row-append grow, not a rebuild.
+        b.push(e.extract(TEXTS[3], None));
+        b.similarity_graph_with(&f, None);
+        assert_eq!(stats.grows(), 1);
+        assert_eq!(stats.rebuilds(), 1);
+        // Word-vector function: build once, then push (vectors re-weight)
+        // and rebuild — the stale entry counts as an invalidation.
+        let wv = TfIdfCosine;
+        b.similarity_graph_with(&wv, None);
+        assert_eq!(stats.rebuilds(), 2);
+        b.push(e.extract(TEXTS[4], None));
+        b.similarity_graph_with(&wv, None);
+        assert_eq!(stats.invalidations(), 1);
+        assert_eq!(stats.misses(), stats.grows() + stats.rebuilds());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod config;
 pub mod error;
+pub mod metrics;
 pub mod protocol;
 pub mod resolver;
 pub mod server;
@@ -48,6 +49,7 @@ pub mod state;
 
 pub use config::{AssignmentPolicy, StreamConfig};
 pub use error::StreamError;
+pub use metrics::StreamMetrics;
 pub use resolver::{SeedDocument, SeedSummary, StreamResolver};
 pub use server::{serve_listener, serve_stdio, serve_tcp, TcpOptions};
 pub use service::StreamService;

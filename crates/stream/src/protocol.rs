@@ -7,6 +7,7 @@
 //! {"op":"seed","name":"cohen","docs":[{"text":"…","url":"…","label":0},…]}
 //! {"op":"ingest","name":"cohen","text":"…","url":"…"}
 //! {"op":"snapshot"}
+//! {"op":"metrics"}
 //! {"op":"persist"}
 //! {"op":"restore"}
 //! {"op":"flush"}
@@ -46,6 +47,9 @@ pub enum Request {
     },
     /// Report per-name state summaries.
     Snapshot,
+    /// Report the daemon's metrics: counters, gauges and latency
+    /// histograms.
+    Metrics,
     /// Write every live name's state to the configured state directory.
     Persist,
     /// Load every on-disk name that is not already live.
@@ -63,6 +67,7 @@ impl Request {
             Request::Seed { .. } => "seed",
             Request::Ingest { .. } => "ingest",
             Request::Snapshot => "snapshot",
+            Request::Metrics => "metrics",
             Request::Persist => "persist",
             Request::Restore => "restore",
             Request::Flush => "flush",
@@ -134,6 +139,7 @@ pub fn parse_request(line: &str) -> Result<Request, StreamError> {
             url: optional_string(&value, "url")?,
         }),
         "snapshot" => Ok(Request::Snapshot),
+        "metrics" => Ok(Request::Metrics),
         "persist" => Ok(Request::Persist),
         "restore" => Ok(Request::Restore),
         "flush" => Ok(Request::Flush),
@@ -230,6 +236,61 @@ pub fn ok_count(op: &str, names: usize) -> String {
     ]))
 }
 
+/// Response to `metrics`: counters and gauges as flat objects keyed by
+/// metric name, histograms as objects with summary stats and per-bucket
+/// counts (`le` is the inclusive upper bound in microseconds, `"+Inf"`
+/// for the overflow bucket).
+pub fn ok_metrics(snapshot: &weber_obs::MetricsSnapshot) -> String {
+    let counters = Value::Object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::Number(*v as f64)))
+            .collect(),
+    );
+    let gauges = Value::Object(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::Number(*v as f64)))
+            .collect(),
+    );
+    let histograms = Value::Object(
+        snapshot
+            .histograms
+            .iter()
+            .map(|h| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|(bound, count)| {
+                        object(vec![
+                            ("le", Value::String(bound.to_string())),
+                            ("count", Value::Number(*count as f64)),
+                        ])
+                    })
+                    .collect();
+                let body = object(vec![
+                    ("count", Value::Number(h.count as f64)),
+                    ("sum", Value::Number(h.sum as f64)),
+                    ("min", Value::Number(h.min as f64)),
+                    ("max", Value::Number(h.max as f64)),
+                    ("mean", Value::Number(h.mean())),
+                    ("buckets", Value::Array(buckets)),
+                ]);
+                (h.name.clone(), body)
+            })
+            .collect(),
+    );
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("metrics".into())),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ]))
+}
+
 /// Error response; `overloaded` uses the stable error string clients
 /// should match on for backpressure.
 pub fn err_response(error: &StreamError) -> String {
@@ -270,6 +331,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"snapshot"}"#).unwrap(),
             Request::Snapshot
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
         );
         assert_eq!(parse_request(r#"{"op":"flush"}"#).unwrap(), Request::Flush);
         assert_eq!(
@@ -332,5 +397,39 @@ mod tests {
         }
         let v = serde_json::parse_value(&err_response(&StreamError::Overloaded)).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
+    }
+
+    #[test]
+    fn metrics_response_carries_counters_and_histograms() {
+        let registry = weber_obs::Registry::new();
+        registry.counter("stream.cache.hits").add(7);
+        registry.gauge("stream.queue_depth").set(2);
+        registry.histogram("stream.ingest_us").record(1_500);
+        let line = ok_metrics(&registry.snapshot());
+        let v = serde_json::parse_value(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("metrics"));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("stream.cache.hits").unwrap().as_u64(), Some(7));
+        let gauges = v.get("gauges").unwrap();
+        assert_eq!(gauges.get("stream.queue_depth").unwrap().as_u64(), Some(2));
+        let hist = v
+            .get("histograms")
+            .unwrap()
+            .get("stream.ingest_us")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(1_500));
+        let buckets = hist.get("buckets").unwrap().as_array().unwrap();
+        assert!(!buckets.is_empty());
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.get("count").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 1, "bucket counts are non-cumulative");
+        assert_eq!(
+            buckets.last().unwrap().get("le").unwrap().as_str(),
+            Some("+Inf")
+        );
     }
 }

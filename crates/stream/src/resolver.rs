@@ -14,6 +14,7 @@ use weber_graph::Partition;
 
 use crate::config::StreamConfig;
 use crate::error::StreamError;
+use crate::metrics::StreamMetrics;
 use crate::snapshot::{
     self, NameRecord, NameSnapshot, Snapshot, StoredDocument, STATE_FILE_MAGIC, STATE_FILE_VERSION,
 };
@@ -105,6 +106,10 @@ pub struct StreamResolver {
     names: RwLock<HashMap<String, Arc<NameEntry>>>,
     /// Monotone source of LRU stamps.
     clock: AtomicU64,
+    /// Counters, gauges and latency histograms over this resolver's
+    /// traffic; every block shares `metrics.cache` so similarity-cache
+    /// counts survive eviction and re-seeding.
+    metrics: StreamMetrics,
 }
 
 impl std::fmt::Debug for StreamResolver {
@@ -136,12 +141,19 @@ impl StreamResolver {
             config,
             names: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
+            metrics: StreamMetrics::new(),
         })
     }
 
     /// The configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// The resolver's metrics bundle (read by the `metrics` protocol op
+    /// and the `--metrics-file` dumper).
+    pub fn metrics(&self) -> &StreamMetrics {
+        &self.metrics
     }
 
     fn tick(&self) -> u64 {
@@ -152,6 +164,7 @@ impl StreamResolver {
     /// batch. Trains the name's decision model and builds its initial
     /// partition.
     pub fn seed(&self, name: &str, docs: &[SeedDocument]) -> Result<SeedSummary, StreamError> {
+        let start = std::time::Instant::now();
         let documents: Vec<StoredDocument> = docs
             .iter()
             .map(|d| StoredDocument {
@@ -164,7 +177,7 @@ impl StreamResolver {
             .map(|d| self.extractor.extract(&d.text, d.url.as_deref()))
             .collect();
         let labels: Vec<u32> = docs.iter().map(|d| d.label).collect();
-        let state = NameState::seed(
+        let state = NameState::seed_observed(
             name,
             documents,
             features,
@@ -172,6 +185,7 @@ impl StreamResolver {
             &self.resolver,
             self.config.scheme,
             self.config.assignment,
+            Some(Arc::clone(&self.metrics.cache)),
         )?;
         let summary = SeedSummary {
             docs: state.len(),
@@ -184,6 +198,8 @@ impl StreamResolver {
             .write()
             .insert(name.to_string(), NameEntry::new(state, self.tick()));
         self.maybe_evict(name)?;
+        self.metrics.seeds.inc();
+        self.metrics.seed_us.record_since(start);
         Ok(summary)
     }
 
@@ -203,6 +219,7 @@ impl StreamResolver {
     ) -> Result<ClusterAssignment, StreamError> {
         // Extraction happens outside any lock (the extractor is
         // thread-safe); only block growth and scoring are serialised.
+        let start = std::time::Instant::now();
         let features = self.extractor.extract(text, url);
         let document = StoredDocument {
             text: text.to_string(),
@@ -213,6 +230,11 @@ impl StreamResolver {
             if let Some(assignment) = self.try_apply(name, &entry, |state| {
                 state.ingest(document.clone(), features.clone())
             }) {
+                self.metrics.ingests.inc();
+                if assignment.retrained {
+                    self.metrics.retrains.inc();
+                }
+                self.metrics.ingest_us.record_since(start);
                 return Ok(assignment);
             }
             // Lost the race (entry replaced or evicted after lookup):
@@ -257,6 +279,7 @@ impl StreamResolver {
             return Err(StreamError::UnknownName(name.to_string()));
         };
         let state = self.replay(&record)?;
+        self.metrics.restores.inc();
         let restored = NameEntry::new(state, self.tick());
         let entry = Arc::clone(
             self.names
@@ -283,7 +306,7 @@ impl StreamResolver {
             .iter()
             .map(|d| self.extractor.extract(&d.text, d.url.as_deref()))
             .collect();
-        let mut state = NameState::seed(
+        let mut state = NameState::seed_observed(
             &record.name,
             seed_docs,
             features,
@@ -291,6 +314,7 @@ impl StreamResolver {
             &self.resolver,
             self.config.scheme,
             self.config.assignment,
+            Some(Arc::clone(&self.metrics.cache)),
         )?;
         for doc in &record.documents[seed_count..] {
             let features = self.extractor.extract(&doc.text, doc.url.as_deref());
@@ -333,6 +357,7 @@ impl StreamResolver {
             partition: state.partition().labels().to_vec(),
         };
         snapshot::write_record(dir, &record)?;
+        self.metrics.persists.inc();
         Ok(())
     }
 
@@ -379,6 +404,7 @@ impl StreamResolver {
                 .write()
                 .entry(name.clone())
                 .or_insert_with(|| NameEntry::new(state, self.tick()));
+            self.metrics.restores.inc();
             restored += 1;
             self.maybe_evict(&name)?;
         }
@@ -429,6 +455,7 @@ impl StreamResolver {
             if let Some(current) = map.get(&name) {
                 if Arc::ptr_eq(current, &entry) {
                     map.remove(&name);
+                    self.metrics.evictions.inc();
                 }
             }
         }

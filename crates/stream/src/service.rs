@@ -5,9 +5,9 @@
 //! (`seed`, `ingest`) never block: when the target queue is full they are
 //! rejected immediately with an `overloaded` response (explicit
 //! backpressure — clients retry, the daemon stays responsive). Rare
-//! control-plane requests (`snapshot`, `persist`, `restore`, `flush`,
-//! `shutdown`) instead wait for a queue slot — shedding a shutdown would
-//! be absurd.
+//! control-plane requests (`snapshot`, `metrics`, `persist`, `restore`,
+//! `flush`, `shutdown`) instead wait for a queue slot — shedding a
+//! shutdown would be absurd.
 //! Requests are routed to workers by name
 //! (`hash(name) % workers`), so all operations on one name execute in
 //! admission order — a seed is always applied before the ingests admitted
@@ -40,6 +40,7 @@ pub struct StreamService {
     done_tx: Sender<(u64, String)>,
     output: Receiver<String>,
     next_seq: AtomicU64,
+    queue_depth: Arc<weber_obs::Gauge>,
     workers: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
 }
@@ -56,6 +57,7 @@ pub fn process_request(resolver: &StreamResolver, request: &Request) -> String {
             Err(e) => protocol::err_response(&e),
         },
         Request::Snapshot => protocol::ok_snapshot(&resolver.snapshot()),
+        Request::Metrics => protocol::ok_metrics(&resolver.metrics().merged_snapshot()),
         Request::Persist => match resolver.persist_all() {
             Ok(written) => protocol::ok_count("persist", written),
             Err(e) => protocol::err_response(&e),
@@ -86,6 +88,7 @@ impl StreamService {
         let per_queue = queue_capacity.max(1);
         let (done_tx, done_rx) = unbounded::<(u64, String)>();
         let (out_tx, output) = unbounded::<String>();
+        let queue_depth = Arc::clone(&resolver.metrics().queue_depth);
 
         let mut queues = Vec::with_capacity(workers);
         let handles: Vec<JoinHandle<()>> = (0..workers)
@@ -94,8 +97,10 @@ impl StreamService {
                 queues.push(tx);
                 let done_tx = done_tx.clone();
                 let resolver = Arc::clone(&resolver);
+                let queue_depth = Arc::clone(&queue_depth);
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        queue_depth.sub(1);
                         let response = process_request(&resolver, &job.request);
                         if done_tx.send((job.seq, response)).is_err() {
                             break;
@@ -124,6 +129,7 @@ impl StreamService {
             done_tx,
             output,
             next_seq: AtomicU64::new(0),
+            queue_depth,
             workers: handles,
             collector: Some(collector),
         }
@@ -146,8 +152,8 @@ impl StreamService {
     /// Admit one request line. Data-plane requests (`seed`, `ingest`)
     /// never block: a malformed line or a full queue turns into an
     /// immediate error response at this request's position in the response
-    /// stream. Control-plane requests (`snapshot`, `persist`, `restore`,
-    /// `flush`, `shutdown`) are never load-shed — they are rare and
+    /// stream. Control-plane requests (`snapshot`, `metrics`, `persist`,
+    /// `restore`, `flush`, `shutdown`) are never load-shed — they are rare and
     /// clients depend on them, so a full queue makes the admission thread
     /// wait for a slot instead. Returns the admission sequence number.
     pub fn submit(&self, line: String) -> u64 {
@@ -156,9 +162,14 @@ impl StreamService {
             Err(e) => Some(protocol::err_response(&e)),
             Ok(request) => {
                 let queue = &self.queues[self.route(&request)];
-                if matches!(
+                // The gauge goes up before the send: a worker may dequeue
+                // the job the instant it lands, and decrementing from a
+                // not-yet-incremented gauge would read negative.
+                self.queue_depth.add(1);
+                let outcome = if matches!(
                     request,
                     Request::Snapshot
+                        | Request::Metrics
                         | Request::Persist
                         | Request::Restore
                         | Request::Flush
@@ -175,7 +186,11 @@ impl StreamService {
                             Some(protocol::err_response(&StreamError::Overloaded))
                         }
                     }
+                };
+                if outcome.is_some() {
+                    self.queue_depth.sub(1);
                 }
+                outcome
             }
         };
         if let Some(response) = response {
@@ -395,6 +410,38 @@ mod tests {
             r.partition("cohen").unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_op_reports_ingest_activity() {
+        // One worker so the metrics request runs strictly after the
+        // ingests (with several workers it could land on another queue
+        // and observe a partial count).
+        let service = StreamService::start(resolver(), 1, 16);
+        service.submit(seed_line());
+        for i in 0..3 {
+            service.submit(format!(
+                r#"{{"op":"ingest","name":"cohen","text":"databases text number {i}"}}"#
+            ));
+        }
+        service.submit(r#"{"op":"metrics"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 5);
+        let v = serde_json::parse_value(&responses[4]).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("metrics"));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("stream.ingests").unwrap().as_u64(), Some(3));
+        assert_eq!(counters.get("stream.seeds").unwrap().as_u64(), Some(1));
+        let ingest_us = v
+            .get("histograms")
+            .unwrap()
+            .get("stream.ingest_us")
+            .unwrap();
+        assert_eq!(ingest_us.get("count").unwrap().as_u64(), Some(3));
+        // Queue depth returns to zero once all admitted work is drained
+        // (the metrics request itself was already dequeued when answered).
+        let gauges = v.get("gauges").unwrap();
+        assert_eq!(gauges.get("stream.queue_depth").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct ClusterAssignment {
     pub cluster_size: usize,
     /// How many existing members the document linked to.
     pub linked_members: usize,
+    /// True when this arrival hit the doubling schedule and triggered a
+    /// full checkpoint retrain before being placed.
+    pub retrained: bool,
 }
 
 /// All streaming state for one ambiguous name.
@@ -109,6 +112,26 @@ impl NameState {
         scheme: WordVectorScheme,
         assignment: AssignmentPolicy,
     ) -> Result<Self, StreamError> {
+        Self::seed_observed(
+            name, documents, features, labels, resolver, scheme, assignment, None,
+        )
+    }
+
+    /// [`seed`](Self::seed) with optional shared similarity-cache counters
+    /// attached to the block *before* training, so the seed's own layer
+    /// builds are already accounted. The streaming resolver passes one
+    /// instance shared across all its names.
+    #[allow(clippy::too_many_arguments)]
+    pub fn seed_observed(
+        name: &str,
+        documents: Vec<StoredDocument>,
+        features: Vec<PageFeatures>,
+        labels: &[u32],
+        resolver: &Resolver,
+        scheme: WordVectorScheme,
+        assignment: AssignmentPolicy,
+        cache_stats: Option<std::sync::Arc<weber_simfun::block::CacheStats>>,
+    ) -> Result<Self, StreamError> {
         if features.is_empty() {
             return Err(StreamError::EmptySeed(name.to_string()));
         }
@@ -122,7 +145,10 @@ impl NameState {
                 labels: labels.len(),
             });
         }
-        let block = PreparedBlock::with_scheme(name, features, scheme);
+        let mut block = PreparedBlock::with_scheme(name, features, scheme);
+        if let Some(stats) = cache_stats {
+            block.set_cache_stats(stats);
+        }
         let supervision = Supervision::new(
             labels
                 .iter()
@@ -214,6 +240,7 @@ impl NameState {
                 is_new_cluster: cluster_size == 1,
                 cluster_size,
                 linked_members,
+                retrained: true,
             };
         }
         // Re-calibrate only when the seed-pair similarity values can have
@@ -257,6 +284,7 @@ impl NameState {
             is_new_cluster: cluster_size == 1,
             cluster_size,
             linked_members,
+            retrained: false,
         }
     }
 

@@ -15,7 +15,11 @@ PERF_ARGS=()
 RUN_CRITERION=0
 for arg in "$@"; do
   case "$arg" in
-    --smoke) PERF_ARGS+=(--smoke) ;;
+    # Smoke runs use tiny sizes; route their output under target/ so they
+    # never clobber the committed full-run BENCH_*.json records.
+    --smoke) PERF_ARGS+=(--smoke
+                         --stream-out target/BENCH_stream.smoke.json
+                         --pipeline-out target/BENCH_pipeline.smoke.json) ;;
     --criterion) RUN_CRITERION=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, and the tier-1 build/test cycle.
 # Run from anywhere; operates on the repository root.
+# --full additionally re-runs the headline experiments and diffs them
+# against the archived results/ (scripts/results_check.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+    FULL=1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -19,5 +26,10 @@ cargo test -q --release -p weber-stream
 
 echo "==> perf smoke: scripts/bench.sh --smoke"
 scripts/bench.sh --smoke
+
+if [[ $FULL -eq 1 ]]; then
+    echo "==> results drift: scripts/results_check.sh"
+    scripts/results_check.sh
+fi
 
 echo "All checks passed."

@@ -7,6 +7,7 @@
 //! weber experiment --dataset FILE [--train FRAC] [--runs N]
 //! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
 //!                [--max-connections N] [--state-dir DIR] [--max-names N]
+//!                [--metrics-file FILE] [--metrics-interval SECS]
 //! ```
 
 use std::collections::HashMap;
@@ -32,6 +33,7 @@ USAGE:
   weber experiment --dataset FILE [--train FRAC] [--runs N]
   weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
                   [--max-connections N] [--state-dir DIR] [--max-names N]
+                  [--metrics-file FILE] [--metrics-interval SECS]
   weber --version | --help
 
 The resolve/experiment commands use the paper's full technique (functions
@@ -50,7 +52,12 @@ the daemon serves clients concurrently, up to --max-connections at once
 are restored at startup, the whole state is written back at shutdown, and
 the protocol gains explicit persist/restore ops. --max-names N (requires
 --state-dir) bounds live names, evicting the least-recently-touched to
-disk and restoring it transparently on its next touch.";
+disk and restoring it transparently on its next touch. The daemon keeps
+counters, gauges and latency histograms (ingest latency, queue depth,
+similarity-cache hits/misses, evictions, retrains); read them over the
+wire with {\"op\":\"metrics\"} or dump them periodically as text with
+--metrics-file FILE (every --metrics-interval seconds, default 10; a
+final dump is written at shutdown).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -308,6 +315,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             eprintln!("restored {restored} names from {dir}");
         }
     }
+    let dumper = match flags.get("metrics-file") {
+        Some(path) => {
+            let interval: u64 = parse(flags, "metrics-interval", 10)?;
+            if interval == 0 {
+                return Err("--metrics-interval must be at least 1 second".into());
+            }
+            Some(spawn_metrics_dumper(
+                resolver.clone(),
+                path.clone(),
+                std::time::Duration::from_secs(interval),
+            ))
+        }
+        None => None,
+    };
     let admitted = match flags.get("listen") {
         Some(addr) => {
             eprintln!(
@@ -330,6 +351,56 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let written = resolver.persist_all().map_err(|e| e.to_string())?;
         eprintln!("persisted {written} names to {dir}");
     }
+    if let Some((stop, handle, path)) = dumper {
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = handle.join();
+        // One final dump so the file reflects the complete run.
+        if let Err(e) = dump_metrics(&resolver, &path) {
+            eprintln!("warning: final metrics dump failed: {e}");
+        } else {
+            eprintln!("wrote metrics to {path}");
+        }
+    }
     eprintln!("served {admitted} requests");
     Ok(())
+}
+
+type DumperHandle = (
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+    String,
+);
+
+/// Periodically render the resolver's metrics as text into `path`. The
+/// write is atomic (temp file + rename) so readers never see a torn dump.
+fn spawn_metrics_dumper(
+    resolver: std::sync::Arc<StreamResolver>,
+    path: String,
+    interval: std::time::Duration,
+) -> DumperHandle {
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let thread_path = path.clone();
+    let handle = std::thread::spawn(move || {
+        let tick = std::time::Duration::from_millis(250);
+        let mut elapsed = std::time::Duration::ZERO;
+        while !stop_flag.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(tick.min(interval));
+            elapsed += tick;
+            if elapsed >= interval {
+                elapsed = std::time::Duration::ZERO;
+                if let Err(e) = dump_metrics(&resolver, &thread_path) {
+                    eprintln!("warning: metrics dump failed: {e}");
+                }
+            }
+        }
+    });
+    (stop, handle, path)
+}
+
+fn dump_metrics(resolver: &StreamResolver, path: &str) -> Result<(), String> {
+    let text = resolver.metrics().merged_snapshot().render_text();
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} -> {path}: {e}"))
 }

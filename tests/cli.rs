@@ -139,6 +139,138 @@ fn serve_state_dir_survives_a_daemon_restart() {
 }
 
 #[test]
+fn serve_metrics_op_over_tcp_reports_cache_hits() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    // Reserve an ephemeral port, free it, and hand it to the daemon. The
+    // daemon reports readiness on stderr, but the simple retry loop below
+    // is enough: connection refused just means it hasn't bound yet.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut child = weber()
+        .args(["serve", "--listen", &addr, "--workers", "1"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let stream = {
+        let mut attempt = 0;
+        loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    attempt += 1;
+                    assert!(attempt < 100, "daemon never bound {addr}: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+        }
+    };
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let requests = concat!(
+        r#"{"op":"seed","name":"cohen","docs":[{"text":"databases and systems","label":0},{"text":"databases research","label":0},{"text":"gardening and roses","label":1}]}"#,
+        "\n",
+        r#"{"op":"ingest","name":"cohen","text":"more databases work"}"#,
+        "\n",
+        r#"{"op":"ingest","name":"cohen","text":"more databases work"}"#,
+        "\n",
+        r#"{"op":"ingest","name":"cohen","text":"more databases work"}"#,
+        "\n",
+        r#"{"op":"metrics"}"#,
+        "\n",
+        r#"{"op":"shutdown"}"#,
+        "\n",
+    );
+    writer.write_all(requests.as_bytes()).unwrap();
+    let mut lines = Vec::new();
+    for _ in 0..6 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        lines.push(line.trim().to_string());
+    }
+    let _ = child.wait();
+
+    let metrics = serde_json::parse_value(&lines[4]).unwrap();
+    assert_eq!(
+        metrics.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        lines[4]
+    );
+    assert_eq!(metrics.get("op").unwrap().as_str(), Some("metrics"));
+    let counters = metrics.get("counters").unwrap();
+    // Seeding + repeated ingests of the same name exercise the block's
+    // incremental similarity cache: training reads the freshly built graph
+    // back (hits), each arrival grows it by a row (misses).
+    let hits = counters.get("stream.cache.hits").unwrap().as_u64().unwrap();
+    assert!(hits > 0, "expected nonzero cache hits: {}", lines[4]);
+    assert!(
+        counters
+            .get("stream.cache.misses")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0,
+        "expected nonzero cache misses: {}",
+        lines[4]
+    );
+    assert_eq!(counters.get("stream.ingests").unwrap().as_u64(), Some(3));
+    let ingest_us = metrics
+        .get("histograms")
+        .unwrap()
+        .get("stream.ingest_us")
+        .unwrap();
+    assert_eq!(ingest_us.get("count").unwrap().as_u64(), Some(3));
+}
+
+#[test]
+fn serve_metrics_file_is_dumped_at_shutdown() {
+    use std::io::Write;
+    let path = temp_path("metrics.txt");
+    let _ = std::fs::remove_file(&path);
+    let mut child = weber()
+        .args(["serve", "--metrics-file"])
+        .arg(&path)
+        .args(["--metrics-interval", "60"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let requests = concat!(
+        r#"{"op":"seed","name":"cohen","docs":[{"text":"databases and systems","label":0},{"text":"databases research","label":0},{"text":"gardening and roses","label":1}]}"#,
+        "\n",
+        r#"{"op":"ingest","name":"cohen","text":"more databases work"}"#,
+        "\n",
+        r#"{"op":"shutdown"}"#,
+        "\n",
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(requests.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("final metrics dump exists");
+    assert!(text.contains("stream.ingests 1"), "dump: {text}");
+    assert!(text.contains("stream.ingest_us_count 1"), "dump: {text}");
+    assert!(text.contains("stream.cache.hits"), "dump: {text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn serve_rejects_max_names_without_state_dir() {
     let out = weber()
         .args(["serve", "--max-names", "4"])
