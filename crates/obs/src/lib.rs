@@ -292,6 +292,33 @@ impl MetricsSnapshot {
         self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
+    /// Merge another snapshot into this one with every incoming metric
+    /// name prefixed by `prefix.` — how an aggregator (the shard router)
+    /// folds per-backend snapshots into one report without name clashes:
+    /// backend 0's `stream.ingests` becomes `shard0.stream.ingests`.
+    pub fn merge_namespaced(&mut self, prefix: &str, other: MetricsSnapshot) {
+        self.merge(MetricsSnapshot {
+            counters: other
+                .counters
+                .into_iter()
+                .map(|(n, v)| (format!("{prefix}.{n}"), v))
+                .collect(),
+            gauges: other
+                .gauges
+                .into_iter()
+                .map(|(n, v)| (format!("{prefix}.{n}"), v))
+                .collect(),
+            histograms: other
+                .histograms
+                .into_iter()
+                .map(|mut h| {
+                    h.name = format!("{prefix}.{}", h.name);
+                    h
+                })
+                .collect(),
+        });
+    }
+
     /// Render as Prometheus-flavoured plain text, one value per line,
     /// deterministic order.
     pub fn render_text(&self) -> String {
@@ -624,6 +651,28 @@ mod tests {
         assert_eq!(s.gauge("b"), Some(-3));
         assert_eq!(s.histogram("c").unwrap().count, 1);
         assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_namespaced_prefixes_every_metric() {
+        let local = Registry::new();
+        local.counter("route.requests").add(2);
+        let backend = Registry::new();
+        backend.counter("stream.ingests").add(7);
+        backend.gauge("stream.queue_depth").set(1);
+        backend.histogram("stream.ingest_us").record(300);
+        let mut merged = local.snapshot();
+        merged.merge_namespaced("shard0", backend.snapshot());
+        assert_eq!(merged.counter("route.requests"), Some(2));
+        assert_eq!(merged.counter("shard0.stream.ingests"), Some(7));
+        assert_eq!(merged.gauge("shard0.stream.queue_depth"), Some(1));
+        assert_eq!(
+            merged.histogram("shard0.stream.ingest_us").unwrap().count,
+            1
+        );
+        // The un-prefixed backend names are gone; order stays sorted.
+        assert_eq!(merged.counter("stream.ingests"), None);
+        assert!(merged.counters.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Pooled persistent connections to one backend.
+//!
+//! The router keeps a small stack of idle NDJSON connections per backend
+//! so routed requests don't pay a TCP handshake each. A connection is
+//! checked out for exactly one request/response exchange and returned
+//! afterwards; failed connections are dropped, never pooled.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Where a failed exchange got to — retry policy depends on it. A failure
+/// during [`Phase::Connect`] provably sent nothing, so even non-idempotent
+/// ops may retry; a failure during [`Phase::Exchange`] may have been
+/// applied by the backend before the transport died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The TCP connect itself failed: the backend saw nothing.
+    Connect,
+    /// The write or the read of the reply failed: the backend may have
+    /// processed the request.
+    Exchange,
+}
+
+/// One persistent NDJSON connection.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connect with a bounded handshake and per-exchange I/O timeouts.
+    pub fn open(addr: &str, connect_timeout: Duration, io_timeout: Duration) -> io::Result<Self> {
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Connection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request line, read one response line. An EOF before the
+    /// reply is an error: NDJSON replies are 1:1 with requests.
+    pub fn exchange(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "backend closed the connection before replying",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+/// A bounded stack of idle connections to one backend.
+pub struct ConnectionPool {
+    addr: String,
+    idle: Mutex<Vec<Connection>>,
+    max_idle: usize,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl ConnectionPool {
+    /// A pool for `addr`, keeping at most `max_idle` warm connections.
+    pub fn new(
+        addr: impl Into<String>,
+        max_idle: usize,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> Self {
+        ConnectionPool {
+            addr: addr.into(),
+            idle: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+            connect_timeout,
+            io_timeout,
+        }
+    }
+
+    /// The backend address this pool serves.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Idle connections currently pooled.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Take a pooled connection, if any.
+    fn checkout(&self) -> Option<Connection> {
+        self.idle.lock().pop()
+    }
+
+    /// Return a healthy connection for reuse; dropped if the pool is full.
+    fn checkin(&self, conn: Connection) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
+    }
+
+    /// Drop every pooled connection (after a backend restart the warm
+    /// sockets are all stale).
+    pub fn drain(&self) {
+        self.idle.lock().clear();
+    }
+
+    /// One exchange over a pooled or fresh connection. On success the
+    /// connection goes back to the pool; on failure it is dropped and the
+    /// error reports which [`Phase`] failed. A pooled connection never
+    /// fails at `Connect` — going through the pool means the bytes may
+    /// have reached the backend, which is exactly what `Exchange` means.
+    pub fn exchange(&self, line: &str) -> Result<String, (Phase, io::Error)> {
+        let mut conn = match self.checkout() {
+            Some(c) => c,
+            None => Connection::open(&self.addr, self.connect_timeout, self.io_timeout)
+                .map_err(|e| (Phase::Connect, e))?,
+        };
+        match conn.exchange(line) {
+            Ok(reply) => {
+                self.checkin(conn);
+                Ok(reply)
+            }
+            Err(e) => Err((Phase::Exchange, e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    const FAST: Duration = Duration::from_millis(500);
+
+    /// An echo backend replying `{"ok":true}` to every line.
+    fn echo_backend(replies_per_conn: usize) -> (String, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = thread::spawn(move || {
+            for stream in listener.incoming().take(4) {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for _ in 0..replies_per_conn {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    writer.write_all(b"{\"ok\":true}\n").unwrap();
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn exchanges_reuse_the_pooled_connection() {
+        let (addr, _handle) = echo_backend(16);
+        let pool = ConnectionPool::new(&addr, 2, FAST, FAST);
+        assert_eq!(pool.exchange("{\"op\":\"x\"}").unwrap(), "{\"ok\":true}");
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.exchange("{\"op\":\"x\"}").unwrap(), "{\"ok\":true}");
+        assert_eq!(pool.idle(), 1, "the same connection is reused");
+    }
+
+    #[test]
+    fn connect_failure_reports_the_connect_phase() {
+        // A bound-then-dropped listener gives a port nobody listens on.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let pool = ConnectionPool::new(format!("127.0.0.1:{port}"), 2, FAST, FAST);
+        let (phase, _err) = pool.exchange("{\"op\":\"x\"}").unwrap_err();
+        assert_eq!(phase, Phase::Connect);
+    }
+
+    #[test]
+    fn backend_hangup_reports_the_exchange_phase_and_drops_the_conn() {
+        let (addr, _handle) = echo_backend(1); // one reply, then the conn closes
+        let pool = ConnectionPool::new(&addr, 2, FAST, FAST);
+        assert!(pool.exchange("{\"op\":\"x\"}").is_ok());
+        // The pooled connection is now half-dead: the backend stopped
+        // reading after one line.
+        let (phase, _err) = pool.exchange("{\"op\":\"x\"}").unwrap_err();
+        assert_eq!(phase, Phase::Exchange);
+        assert_eq!(pool.idle(), 0, "failed connections are not pooled");
+    }
+}

@@ -1,0 +1,172 @@
+//! Consistent-hash ring over backend addresses.
+//!
+//! Every piece of `weber serve` state is keyed by the ambiguous `name`, so
+//! routing is *exact*: the ring maps a name to the one backend that owns
+//! every document, model and cluster for it. Virtual nodes (`replicas`
+//! points per backend) smooth the key distribution; FNV-1a is used instead
+//! of [`std::collections::hash_map::DefaultHasher`] because the router and
+//! its operators must agree on placement across processes and restarts,
+//! and `DefaultHasher` is randomly seeded per process.
+
+/// 64-bit FNV-1a. Stable across processes, platforms and releases — the
+/// ring's placement function is part of the deployment contract (a
+/// restarted router must route every name to the same backend).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A 64-bit avalanche finalizer (MurmurHash3's fmix64). FNV-1a mixes
+/// weakly on short, near-identical keys — vnode keys are exactly that
+/// (`addr#0`, `addr#1`, …) and raw FNV points cluster badly enough to
+/// skew the ring 5:1. The finalizer's constants are as fixed as FNV's, so
+/// placement stays part of the deployment contract.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// The ring position of a key: FNV-1a, then the avalanche finalizer.
+fn point(bytes: &[u8]) -> u64 {
+    mix(fnv1a(bytes))
+}
+
+/// A consistent-hash ring: `replicas` virtual points per backend, names
+/// owned by the first point clockwise from their hash.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    backends: Vec<String>,
+    /// Sorted (point, backend index) pairs.
+    points: Vec<(u64, usize)>,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Build a ring. `backends` must be non-empty; `replicas` of 0 is
+    /// bumped to 1.
+    pub fn new(backends: &[String], replicas: usize) -> Self {
+        assert!(!backends.is_empty(), "a ring needs at least one backend");
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(backends.len() * replicas);
+        for (idx, addr) in backends.iter().enumerate() {
+            for r in 0..replicas {
+                points.push((point(format!("{addr}#{r}").as_bytes()), idx));
+            }
+        }
+        // Ties (identical points from distinct backends) are broken by
+        // backend index so ownership stays deterministic either way.
+        points.sort_unstable();
+        HashRing {
+            backends: backends.to_vec(),
+            points,
+            replicas,
+        }
+    }
+
+    /// Index of the backend owning `name`.
+    pub fn owner(&self, name: &str) -> usize {
+        let h = point(name.as_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.points[at % self.points.len()];
+        idx
+    }
+
+    /// The backend addresses, in declaration order (ring indices refer to
+    /// this slice).
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Always false — rings are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Virtual points per backend.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_in_range() {
+        let ring = HashRing::new(&addrs(3), 64);
+        for name in ["cohen", "smith", "johnson", "miller", ""] {
+            let a = ring.owner(name);
+            assert!(a < 3);
+            assert_eq!(a, ring.owner(name), "owner must be stable");
+            assert_eq!(a, HashRing::new(&addrs(3), 64).owner(name));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_backends() {
+        let ring = HashRing::new(&addrs(4), 64);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[ring.owner(&format!("name-{i}"))] += 1;
+        }
+        for (idx, &c) in counts.iter().enumerate() {
+            // Perfect balance would be 1000; vnodes should keep every
+            // backend within a loose band of it.
+            assert!(
+                (400..=1800).contains(&c),
+                "backend {idx} owns {c} of 4000 names: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_remaps_its_own_names() {
+        let full = HashRing::new(&addrs(4), 64);
+        // Drop the last backend; survivors keep their indices.
+        let reduced = HashRing::new(&addrs(3), 64);
+        for i in 0..2000 {
+            let name = format!("name-{i}");
+            let before = full.owner(&name);
+            if before < 3 {
+                assert_eq!(
+                    reduced.owner(&name),
+                    before,
+                    "{name} moved off a surviving backend"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_replicas_still_routes() {
+        let ring = HashRing::new(&addrs(2), 0);
+        assert_eq!(ring.replicas(), 1);
+        assert!(ring.owner("cohen") < 2);
+    }
+}

@@ -1,0 +1,627 @@
+//! The router: one `weber serve`-shaped NDJSON surface over many backends.
+//!
+//! Per-name ops (`seed`, `ingest`) are forwarded to the one backend the
+//! [`HashRing`] says owns the name, with bounded retries and the owning
+//! shard's index appended to the reply. Fan-out ops (`snapshot`,
+//! `metrics`, `persist`, `restore`, `flush`, `shutdown`) are broadcast to
+//! every backend concurrently and merged ([`crate::merge`]) — dead
+//! backends degrade the answer rather than fail it. Two ops never touch a
+//! backend: `health` reports the router's own view of the tier, and
+//! `topology` swaps the backend set at runtime (persisting the old ring
+//! first so names migrate through the shared state directory).
+
+use std::io;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use serde::Value;
+use weber_obs::{Counter, Gauge, Histogram, Registry};
+use weber_stream::protocol;
+use weber_stream::StreamError;
+
+use crate::health::HealthState;
+use crate::merge::{self, ShardOutcome};
+use crate::pool::{ConnectionPool, Phase};
+use crate::ring::HashRing;
+
+/// Tuning knobs of the routing tier.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Virtual points per backend on the ring.
+    pub replicas: usize,
+    /// Extra forwarding attempts after the first failure (idempotent ops;
+    /// `ingest` only re-attempts failures that provably sent nothing).
+    pub retries: usize,
+    /// Warm connections kept per backend.
+    pub pool_capacity: usize,
+    /// TCP connect timeout towards a backend.
+    pub connect_timeout: Duration,
+    /// Per-exchange read/write timeout towards a backend.
+    pub io_timeout: Duration,
+    /// Base health-probe cadence (failures back off exponentially from
+    /// this).
+    pub probe_interval: Duration,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            replicas: 64,
+            retries: 2,
+            pool_capacity: 2,
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(30),
+            probe_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A bad router configuration or topology request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterError(pub String);
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// One backend as the router sees it: its connection pool, health record
+/// and per-backend counters (named by address, so they survive topology
+/// changes that renumber ring indices).
+struct Shard {
+    addr: String,
+    pool: ConnectionPool,
+    health: HealthState,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
+impl Shard {
+    fn new(addr: &str, options: &RouterOptions, registry: &Registry) -> Self {
+        Shard {
+            addr: addr.to_string(),
+            pool: ConnectionPool::new(
+                addr,
+                options.pool_capacity,
+                options.connect_timeout,
+                options.io_timeout,
+            ),
+            health: HealthState::new(),
+            requests: registry.counter(&format!("route.backend.{addr}.requests")),
+            errors: registry.counter(&format!("route.backend.{addr}.errors")),
+            retries: registry.counter(&format!("route.backend.{addr}.retries")),
+        }
+    }
+}
+
+/// An immutable ring + shard set; swapped atomically on topology change.
+struct Topology {
+    ring: HashRing,
+    shards: Vec<Arc<Shard>>,
+}
+
+/// What [`Router::process_line`] did with one request line.
+pub struct LineOutcome {
+    /// The single NDJSON response line.
+    pub response: String,
+    /// True when the request asked the whole tier to stop.
+    pub shutdown: bool,
+}
+
+impl LineOutcome {
+    fn reply(response: String) -> Self {
+        LineOutcome {
+            response,
+            shutdown: false,
+        }
+    }
+}
+
+/// The routing tier's state and request loop body.
+pub struct Router {
+    topology: RwLock<Arc<Topology>>,
+    options: RouterOptions,
+    registry: Arc<Registry>,
+    started: Instant,
+    requests: Arc<Counter>,
+    retries: Arc<Counter>,
+    errors: Arc<Counter>,
+    forward_us: Arc<Histogram>,
+    fanout_us: Arc<Histogram>,
+    ring_size: Arc<Gauge>,
+    healthy_backends: Arc<Gauge>,
+}
+
+fn validated(backends: &[String]) -> Result<(), RouterError> {
+    if backends.is_empty() {
+        return Err(RouterError("at least one backend is required".into()));
+    }
+    for (i, addr) in backends.iter().enumerate() {
+        if addr.is_empty() {
+            return Err(RouterError("backend addresses must be non-empty".into()));
+        }
+        if backends[..i].contains(addr) {
+            return Err(RouterError(format!("backend '{addr}' is listed twice")));
+        }
+    }
+    Ok(())
+}
+
+impl Router {
+    /// A router over `backends` (non-empty, no duplicates). Backends are
+    /// not contacted here — the first probe or routed request finds out
+    /// who is alive.
+    pub fn new(backends: Vec<String>, options: RouterOptions) -> Result<Self, RouterError> {
+        validated(&backends)?;
+        let registry = Arc::new(Registry::new());
+        let shards = backends
+            .iter()
+            .map(|addr| Arc::new(Shard::new(addr, &options, &registry)))
+            .collect();
+        let ring = HashRing::new(&backends, options.replicas);
+        let router = Router {
+            topology: RwLock::new(Arc::new(Topology { ring, shards })),
+            started: Instant::now(),
+            requests: registry.counter("route.requests"),
+            retries: registry.counter("route.retries"),
+            errors: registry.counter("route.errors"),
+            forward_us: registry.histogram("route.forward_us"),
+            fanout_us: registry.histogram("route.fanout_us"),
+            ring_size: registry.gauge("route.ring_size"),
+            healthy_backends: registry.gauge("route.healthy_backends"),
+            registry,
+            options,
+        };
+        router.update_gauges();
+        Ok(router)
+    }
+
+    fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.read())
+    }
+
+    /// Current backend addresses, in ring-index order.
+    pub fn backends(&self) -> Vec<String> {
+        self.topology().ring.backends().to_vec()
+    }
+
+    /// Which backend (index, address) owns `name`.
+    pub fn owner(&self, name: &str) -> (usize, String) {
+        let topo = self.topology();
+        let idx = topo.ring.owner(name);
+        (idx, topo.ring.backends()[idx].clone())
+    }
+
+    /// The router's own metrics registry (the `metrics` op merges this
+    /// with every backend's snapshot).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn update_gauges(&self) {
+        let topo = self.topology();
+        self.ring_size.set(topo.shards.len() as i64);
+        let healthy = topo.shards.iter().filter(|s| s.health.is_healthy()).count();
+        self.healthy_backends.set(healthy as i64);
+    }
+
+    /// One exchange against `shard`, with bounded retries. Idempotent ops
+    /// retry any transport failure on a fresh connection; non-idempotent
+    /// ops (`ingest`) retry only [`Phase::Connect`] failures — an
+    /// exchange-phase failure may already have been applied, and
+    /// re-sending it could assign the document twice.
+    fn exchange_with_retry(
+        &self,
+        shard: &Shard,
+        line: &str,
+        idempotent: bool,
+    ) -> Result<String, io::Error> {
+        let mut attempt = 0;
+        loop {
+            match shard.pool.exchange(line) {
+                Ok(reply) => {
+                    shard.health.mark_success(self.options.probe_interval);
+                    return Ok(reply);
+                }
+                Err((phase, e)) => {
+                    shard
+                        .health
+                        .mark_failure(&e.to_string(), self.options.probe_interval);
+                    if phase == Phase::Exchange {
+                        // A mid-stream death usually strands every warm
+                        // connection from before the restart; drop them so
+                        // the retry dials fresh.
+                        shard.pool.drain();
+                    }
+                    let retryable = idempotent || phase == Phase::Connect;
+                    if retryable && attempt < self.options.retries {
+                        attempt += 1;
+                        shard.retries.inc();
+                        self.retries.inc();
+                        continue;
+                    }
+                    shard.errors.inc();
+                    self.errors.inc();
+                    self.update_gauges();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Forward a per-name op to the owning shard and tag the reply with
+    /// the shard index. An unreachable owner is a degraded error — the
+    /// name's state lives there and nowhere else, so there is no failover
+    /// target.
+    fn forward_per_name(&self, op: &str, name: &str, line: &str) -> String {
+        let topo = self.topology();
+        let idx = topo.ring.owner(name);
+        let shard = &topo.shards[idx];
+        shard.requests.inc();
+        let start = Instant::now();
+        let result = self.exchange_with_retry(shard, line, op != "ingest");
+        self.forward_us.record_since(start);
+        match result {
+            Ok(reply) => match serde_json::parse_value(&reply) {
+                Ok(mut v) => {
+                    merge::push_field(&mut v, "shard", Value::Number(idx as f64));
+                    serde_json::to_string(&v).unwrap_or(reply)
+                }
+                // Relay unparseable replies verbatim: the client decides.
+                Err(_) => reply,
+            },
+            Err(e) => merge::err_with_kind(
+                &format!("shard {idx} ({}) is unreachable: {e}", shard.addr),
+                "unreachable",
+                vec![
+                    ("op", Value::String(op.to_string())),
+                    ("name", Value::String(name.to_string())),
+                    ("shard", Value::Number(idx as f64)),
+                    ("addr", Value::String(shard.addr.clone())),
+                    ("degraded", Value::Bool(true)),
+                ],
+            ),
+        }
+    }
+
+    /// Broadcast `line` to every shard concurrently and collect the
+    /// per-shard outcomes (parsed replies or failure messages).
+    fn broadcast(&self, line: &str) -> Vec<ShardOutcome> {
+        let topo = self.topology();
+        let start = Instant::now();
+        let outcomes = thread::scope(|scope| {
+            let handles: Vec<_> = topo
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(index, shard)| {
+                    scope.spawn(move || {
+                        shard.requests.inc();
+                        let result = match self.exchange_with_retry(shard, line, true) {
+                            Ok(reply) => serde_json::parse_value(&reply)
+                                .map_err(|e| format!("malformed reply: {e}")),
+                            Err(e) => Err(e.to_string()),
+                        };
+                        ShardOutcome {
+                            index,
+                            addr: shard.addr.clone(),
+                            result,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fan-out thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        self.fanout_us.record_since(start);
+        self.update_gauges();
+        outcomes
+    }
+
+    /// The router's `health` reply: its own uptime and per-shard health,
+    /// answered without contacting any backend (the prober and routed
+    /// traffic keep the records fresh). A saturated or half-dead tier
+    /// still answers its probes.
+    fn health_line(&self) -> String {
+        self.update_gauges();
+        let topo = self.topology();
+        let shards: Vec<Value> = topo
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut fields = vec![
+                    ("shard", Value::Number(i as f64)),
+                    ("addr", Value::String(s.addr.clone())),
+                    ("healthy", Value::Bool(s.health.is_healthy())),
+                    ("failures", Value::Number(f64::from(s.health.failures()))),
+                ];
+                if let Some(e) = s.health.last_error() {
+                    fields.push(("error", Value::String(e)));
+                }
+                merge::object(fields)
+            })
+            .collect();
+        let healthy = topo.shards.iter().filter(|s| s.health.is_healthy()).count();
+        merge::render(&merge::object(vec![
+            ("ok", Value::Bool(true)),
+            ("op", Value::String("health".into())),
+            (
+                "uptime_s",
+                Value::Number(self.started.elapsed().as_secs_f64()),
+            ),
+            ("backends", Value::Number(topo.shards.len() as f64)),
+            ("healthy", Value::Number(healthy as f64)),
+            ("replicas", Value::Number(topo.ring.replicas() as f64)),
+            ("shards", Value::Array(shards)),
+        ]))
+    }
+
+    /// Swap the backend set. The old ring is asked to `persist` first so
+    /// every name reaches the shared state directory; the new owners then
+    /// restore names lazily on their next touch (`weber serve
+    /// --state-dir` restores transparently). Shards for retained
+    /// addresses are reused, keeping their pools, health records and
+    /// counters.
+    pub fn set_backends(&self, backends: Vec<String>) -> Result<String, RouterError> {
+        validated(&backends)?;
+        let persist_outcomes = self.broadcast(r#"{"op":"persist"}"#);
+        let persisted: u64 = persist_outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .filter(|v| v.get("ok").and_then(Value::as_bool) == Some(true))
+            .filter_map(|v| v.get("names").and_then(Value::as_u64))
+            .sum();
+        let shards: Vec<Arc<Shard>> = {
+            let old = self.topology();
+            backends
+                .iter()
+                .map(|addr| {
+                    old.shards
+                        .iter()
+                        .find(|s| s.addr == *addr)
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            Arc::new(Shard::new(addr, &self.options, &self.registry))
+                        })
+                })
+                .collect()
+        };
+        let ring = HashRing::new(&backends, self.options.replicas);
+        *self.topology.write() = Arc::new(Topology { ring, shards });
+        self.update_gauges();
+        let mut fields = vec![
+            ("ok", Value::Bool(true)),
+            ("op", Value::String("topology".into())),
+            (
+                "backends",
+                Value::Array(backends.into_iter().map(Value::String).collect()),
+            ),
+            ("persisted", Value::Number(persisted as f64)),
+        ];
+        fields.extend(merge::degraded_fields(&persist_outcomes));
+        Ok(merge::render(&merge::object(fields)))
+    }
+
+    fn handle_topology(&self, value: &Value) -> String {
+        let Some(entries) = value.get("backends").and_then(Value::as_array) else {
+            return protocol::err_response(&StreamError::InvalidRequest(
+                "field 'backends' must be an array of addresses".into(),
+            ));
+        };
+        let mut backends = Vec::with_capacity(entries.len());
+        for entry in entries {
+            match entry.as_str() {
+                Some(addr) => backends.push(addr.to_string()),
+                None => {
+                    return protocol::err_response(&StreamError::InvalidRequest(
+                        "backend addresses must be strings".into(),
+                    ))
+                }
+            }
+        }
+        match self.set_backends(backends) {
+            Ok(line) => line,
+            Err(e) => protocol::err_response(&StreamError::InvalidRequest(e.0)),
+        }
+    }
+
+    /// Probe every backend whose probe is due and refresh the gauges.
+    /// Called on a cadence by [`Prober`]; callable directly in tests.
+    pub fn probe_once(&self) {
+        let topo = self.topology();
+        let now = Instant::now();
+        for shard in &topo.shards {
+            if !shard.health.probe_due(now) {
+                continue;
+            }
+            match shard.pool.exchange(r#"{"op":"health"}"#) {
+                Ok(reply) => {
+                    let ok = serde_json::parse_value(&reply)
+                        .ok()
+                        .and_then(|v| v.get("ok").and_then(Value::as_bool));
+                    if ok == Some(true) {
+                        shard.health.mark_success(self.options.probe_interval);
+                    } else {
+                        shard.health.mark_failure(
+                            "health probe got a not-ok reply",
+                            self.options.probe_interval,
+                        );
+                    }
+                }
+                Err((_, e)) => shard
+                    .health
+                    .mark_failure(&e.to_string(), self.options.probe_interval),
+            }
+        }
+        self.update_gauges();
+    }
+
+    /// Handle one request line: route, fan out, or answer locally.
+    /// Always produces exactly one response line.
+    pub fn process_line(&self, line: &str) -> LineOutcome {
+        self.requests.inc();
+        let value = match serde_json::parse_value(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return LineOutcome::reply(protocol::err_response(&StreamError::Parse(
+                    e.to_string(),
+                )))
+            }
+        };
+        let Some(op) = value.get("op").and_then(Value::as_str) else {
+            return LineOutcome::reply(protocol::err_response(&StreamError::InvalidRequest(
+                "missing field 'op'".into(),
+            )));
+        };
+        let op = op.to_string();
+        match op.as_str() {
+            "seed" | "ingest" => {
+                let Some(name) = value.get("name").and_then(Value::as_str) else {
+                    return LineOutcome::reply(protocol::err_response(
+                        &StreamError::InvalidRequest("field 'name' must be a string".into()),
+                    ));
+                };
+                LineOutcome::reply(self.forward_per_name(&op, name, line))
+            }
+            "health" => LineOutcome::reply(self.health_line()),
+            "topology" => LineOutcome::reply(self.handle_topology(&value)),
+            "snapshot" => LineOutcome::reply(merge::merge_snapshot(&self.broadcast(line))),
+            "metrics" => {
+                let outcomes = self.broadcast(line);
+                LineOutcome::reply(merge::merge_metrics(self.registry.snapshot(), &outcomes))
+            }
+            "persist" | "restore" => {
+                LineOutcome::reply(merge::merge_count(&op, &self.broadcast(line)))
+            }
+            "flush" => LineOutcome::reply(merge::merge_plain("flush", &self.broadcast(line))),
+            "shutdown" => LineOutcome {
+                response: merge::merge_plain("shutdown", &self.broadcast(line)),
+                shutdown: true,
+            },
+            other => LineOutcome::reply(protocol::err_response(&StreamError::InvalidRequest(
+                format!("unknown op '{other}'"),
+            ))),
+        }
+    }
+}
+
+/// How often the probe thread wakes to check which probes are due.
+const PROBE_TICK: Duration = Duration::from_millis(50);
+
+/// Handle to the background probe thread; stops and joins on drop.
+pub struct Prober {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Prober {
+    /// Stop and join the probe thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Prober {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Spawn the background probe loop for `router`.
+pub fn spawn_prober(router: Arc<Router>) -> Prober {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = thread::spawn(move || {
+        while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+            router.probe_once();
+            thread::sleep(PROBE_TICK);
+        }
+    });
+    Prober {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7100 + i)).collect()
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_backends() {
+        assert!(Router::new(Vec::new(), RouterOptions::default()).is_err());
+        let dup = vec!["a:1".to_string(), "a:1".to_string()];
+        assert!(Router::new(dup, RouterOptions::default()).is_err());
+    }
+
+    #[test]
+    fn owner_is_stable_and_reported() {
+        let router = Router::new(addrs(3), RouterOptions::default()).unwrap();
+        let (idx, addr) = router.owner("cohen");
+        assert!(idx < 3);
+        assert_eq!(addr, addrs(3)[idx]);
+        assert_eq!(router.owner("cohen").0, idx);
+    }
+
+    #[test]
+    fn malformed_lines_and_unknown_ops_are_answered_locally() {
+        let router = Router::new(addrs(2), RouterOptions::default()).unwrap();
+        let out = router.process_line("not json");
+        let v = serde_json::parse_value(&out.response).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("parse"));
+        let out = router.process_line(r#"{"op":"frobnicate"}"#);
+        let v = serde_json::parse_value(&out.response).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("invalid-request"));
+        let out = router.process_line(r#"{"op":"ingest","text":"no name"}"#);
+        let v = serde_json::parse_value(&out.response).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("invalid-request"));
+    }
+
+    #[test]
+    fn health_answers_without_backends() {
+        // Nothing listens on these ports; health must still answer.
+        let router = Router::new(addrs(2), RouterOptions::default()).unwrap();
+        let out = router.process_line(r#"{"op":"health"}"#);
+        assert!(!out.shutdown);
+        let v = serde_json::parse_value(&out.response).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("backends").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("shards").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn topology_op_validates_its_payload() {
+        let router = Router::new(addrs(2), RouterOptions::default()).unwrap();
+        for bad in [
+            r#"{"op":"topology"}"#,
+            r#"{"op":"topology","backends":[]}"#,
+            r#"{"op":"topology","backends":[7]}"#,
+            r#"{"op":"topology","backends":["a:1","a:1"]}"#,
+        ] {
+            let v = serde_json::parse_value(&router.process_line(bad).response).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+            assert_eq!(v.get("kind").unwrap().as_str(), Some("invalid-request"));
+        }
+    }
+}

@@ -5,6 +5,11 @@ use weber_core::CoreError;
 /// Errors surfaced by the streaming resolver and service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamError {
+    /// A request line that is not valid JSON at all. Distinct from
+    /// [`InvalidRequest`](Self::InvalidRequest) (well-formed JSON with a
+    /// bad shape) so transports and routers can tell a framing problem
+    /// from a semantic one.
+    Parse(String),
     /// An ingest referenced a name that was never seeded.
     UnknownName(String),
     /// A seed batch carried no documents (nothing to train on).
@@ -35,9 +40,39 @@ pub enum StreamError {
     SnapshotRejected(String),
 }
 
+impl StreamError {
+    /// A stable machine-readable token classifying the error, carried as
+    /// the `"kind"` field of wire error responses. Routers and clients
+    /// dispatch on this instead of parsing the human-readable message:
+    /// `overloaded` means back off and retry, `parse`/`invalid-request`
+    /// mean the request itself is wrong (retrying verbatim cannot help),
+    /// `unknown-name` means the name was never seeded on this backend,
+    /// and the rest are server-side state problems.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StreamError::Parse(_) => "parse",
+            StreamError::UnknownName(_) => "unknown-name",
+            StreamError::EmptySeed(_) => "empty-seed",
+            StreamError::SeedMismatch { .. } => "seed-mismatch",
+            StreamError::Training(_) => "training",
+            StreamError::InvalidRequest(_) => "invalid-request",
+            StreamError::Overloaded => "overloaded",
+            StreamError::Persistence(_) => "persistence",
+            StreamError::SnapshotRejected(_) => "snapshot-rejected",
+        }
+    }
+
+    /// True when retrying the same request later can succeed without any
+    /// change to the request (today: only backpressure).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StreamError::Overloaded)
+    }
+}
+
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            StreamError::Parse(msg) => write!(f, "parse: {msg}"),
             StreamError::UnknownName(name) => {
                 write!(f, "name '{name}' has not been seeded")
             }
@@ -103,5 +138,42 @@ mod tests {
     fn core_errors_convert() {
         let e: StreamError = CoreError::NoCriteria.into();
         assert!(matches!(e, StreamError::Training(_)));
+    }
+
+    #[test]
+    fn parse_errors_use_the_documented_prefix() {
+        let e = StreamError::Parse("unexpected 'g' at byte 0".into());
+        assert!(e.to_string().starts_with("parse: "), "{e}");
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn kinds_are_stable_tokens() {
+        // The wire contract: kinds are kebab-case, never empty, and only
+        // `overloaded` invites a verbatim retry.
+        let all = [
+            StreamError::Parse("x".into()),
+            StreamError::UnknownName("n".into()),
+            StreamError::EmptySeed("n".into()),
+            StreamError::SeedMismatch {
+                name: "n".into(),
+                docs: 1,
+                labels: 2,
+            },
+            StreamError::Training(CoreError::NoFunctions),
+            StreamError::InvalidRequest("x".into()),
+            StreamError::Overloaded,
+            StreamError::Persistence("x".into()),
+            StreamError::SnapshotRejected("x".into()),
+        ];
+        for e in &all {
+            let kind = e.kind();
+            assert!(!kind.is_empty());
+            assert!(
+                kind.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind}"
+            );
+            assert_eq!(e.is_retryable(), kind == "overloaded");
+        }
     }
 }

@@ -50,7 +50,7 @@ pub mod state;
 pub use config::{AssignmentPolicy, StreamConfig};
 pub use error::StreamError;
 pub use metrics::StreamMetrics;
-pub use resolver::{SeedDocument, SeedSummary, StreamResolver};
+pub use resolver::{HealthReport, SeedDocument, SeedSummary, StreamResolver};
 pub use server::{serve_listener, serve_stdio, serve_tcp, TcpOptions};
 pub use service::StreamService;
 pub use snapshot::{NameRecord, NameSnapshot, Snapshot, StoredDocument};

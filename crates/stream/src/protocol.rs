@@ -8,6 +8,7 @@
 //! {"op":"ingest","name":"cohen","text":"…","url":"…"}
 //! {"op":"snapshot"}
 //! {"op":"metrics"}
+//! {"op":"health"}
 //! {"op":"persist"}
 //! {"op":"restore"}
 //! {"op":"flush"}
@@ -50,6 +51,10 @@ pub enum Request {
     /// Report the daemon's metrics: counters, gauges and latency
     /// histograms.
     Metrics,
+    /// Liveness probe: uptime, live names and queue depth. Cheap, never
+    /// load-shed, and answered at admission without touching the worker
+    /// queues — a saturated daemon still answers its probes.
+    Health,
     /// Write every live name's state to the configured state directory.
     Persist,
     /// Load every on-disk name that is not already live.
@@ -68,6 +73,7 @@ impl Request {
             Request::Ingest { .. } => "ingest",
             Request::Snapshot => "snapshot",
             Request::Metrics => "metrics",
+            Request::Health => "health",
             Request::Persist => "persist",
             Request::Restore => "restore",
             Request::Flush => "flush",
@@ -101,8 +107,7 @@ fn optional_string(obj: &Value, key: &str) -> Result<Option<String>, StreamError
 
 /// Parse one NDJSON request line.
 pub fn parse_request(line: &str) -> Result<Request, StreamError> {
-    let value = serde_json::parse_value(line)
-        .map_err(|e| StreamError::InvalidRequest(format!("bad JSON: {e}")))?;
+    let value = serde_json::parse_value(line).map_err(|e| StreamError::Parse(e.to_string()))?;
     let op = string_field(&value, "op")?;
     match op.as_str() {
         "seed" => {
@@ -140,6 +145,7 @@ pub fn parse_request(line: &str) -> Result<Request, StreamError> {
         }),
         "snapshot" => Ok(Request::Snapshot),
         "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
         "persist" => Ok(Request::Persist),
         "restore" => Ok(Request::Restore),
         "flush" => Ok(Request::Flush),
@@ -226,6 +232,23 @@ pub fn ok_plain(op: &str) -> String {
     ]))
 }
 
+/// Response to `health`: uptime in (fractional) seconds plus the live
+/// name count and current admission-queue depth.
+pub fn ok_health(report: &crate::resolver::HealthReport) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("health".into())),
+        ("uptime_s", Value::Number(report.uptime.as_secs_f64())),
+        ("names", Value::Number(report.names as f64)),
+        ("queue_depth", Value::Number(report.queue_depth as f64)),
+        ("workers", Value::Number(report.workers as f64)),
+        (
+            "queue_capacity",
+            Value::Number(report.queue_capacity as f64),
+        ),
+    ]))
+}
+
 /// Response to `persist` / `restore`: how many names were written or
 /// loaded.
 pub fn ok_count(op: &str, names: usize) -> String {
@@ -236,11 +259,10 @@ pub fn ok_count(op: &str, names: usize) -> String {
     ]))
 }
 
-/// Response to `metrics`: counters and gauges as flat objects keyed by
-/// metric name, histograms as objects with summary stats and per-bucket
-/// counts (`le` is the inclusive upper bound in microseconds, `"+Inf"`
-/// for the overflow bucket).
-pub fn ok_metrics(snapshot: &weber_obs::MetricsSnapshot) -> String {
+/// The `metrics` response body as a JSON value. Split out from
+/// [`ok_metrics`] so the routing tier can append shard metadata (degraded
+/// markers, unreachable backends) before rendering.
+pub fn metrics_value(snapshot: &weber_obs::MetricsSnapshot) -> Value {
     let counters = Value::Object(
         snapshot
             .counters
@@ -282,21 +304,32 @@ pub fn ok_metrics(snapshot: &weber_obs::MetricsSnapshot) -> String {
             })
             .collect(),
     );
-    render(&object(vec![
+    object(vec![
         ("ok", Value::Bool(true)),
         ("op", Value::String("metrics".into())),
         ("counters", counters),
         ("gauges", gauges),
         ("histograms", histograms),
-    ]))
+    ])
 }
 
-/// Error response; `overloaded` uses the stable error string clients
-/// should match on for backpressure.
+/// Response to `metrics`: counters and gauges as flat objects keyed by
+/// metric name, histograms as objects with summary stats and per-bucket
+/// counts (`le` is the inclusive upper bound in microseconds, `"+Inf"`
+/// for the overflow bucket).
+pub fn ok_metrics(snapshot: &weber_obs::MetricsSnapshot) -> String {
+    render(&metrics_value(snapshot))
+}
+
+/// Error response: a human-readable `error` message plus the stable
+/// machine-readable `kind` token ([`StreamError::kind`]). Clients match
+/// on `kind` (`"overloaded"` means back off and retry); the `error` text
+/// may change wording between versions, `kind` may not.
 pub fn err_response(error: &StreamError) -> String {
     render(&object(vec![
         ("ok", Value::Bool(false)),
         ("error", Value::String(error.to_string())),
+        ("kind", Value::String(error.kind().to_string())),
     ]))
 }
 
@@ -336,6 +369,10 @@ mod tests {
             parse_request(r#"{"op":"metrics"}"#).unwrap(),
             Request::Metrics
         );
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        );
         assert_eq!(parse_request(r#"{"op":"flush"}"#).unwrap(), Request::Flush);
         assert_eq!(
             parse_request(r#"{"op":"persist"}"#).unwrap(),
@@ -353,8 +390,13 @@ mod tests {
 
     #[test]
     fn rejects_malformed_requests() {
-        assert!(parse_request("not json").is_err());
-        assert!(parse_request(r#"{"name":"cohen"}"#).is_err());
+        // Not JSON at all: a Parse error with the documented prefix.
+        let err = parse_request("not json").unwrap_err();
+        assert!(matches!(err, StreamError::Parse(_)), "{err:?}");
+        assert!(err.to_string().starts_with("parse: "), "{err}");
+        // Well-formed JSON with a bad shape: InvalidRequest.
+        let err = parse_request(r#"{"name":"cohen"}"#).unwrap_err();
+        assert!(matches!(err, StreamError::InvalidRequest(_)), "{err:?}");
         assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
         assert!(parse_request(r#"{"op":"ingest","name":"cohen"}"#).is_err());
         assert!(
@@ -397,6 +439,27 @@ mod tests {
         }
         let v = serde_json::parse_value(&err_response(&StreamError::Overloaded)).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("overloaded"));
+        let v = serde_json::parse_value(&err_response(&StreamError::Parse("junk".into()))).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("parse"));
+    }
+
+    #[test]
+    fn health_response_carries_uptime_and_queue_depth() {
+        let report = crate::resolver::HealthReport {
+            uptime: std::time::Duration::from_millis(1_500),
+            names: 3,
+            queue_depth: 2,
+            workers: 4,
+            queue_capacity: 64,
+        };
+        let v = serde_json::parse_value(&ok_health(&report)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("health"));
+        assert_eq!(v.get("uptime_s").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("names").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("queue_capacity").unwrap().as_u64(), Some(64));
     }
 
     #[test]

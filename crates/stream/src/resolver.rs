@@ -32,6 +32,23 @@ pub struct SeedDocument {
     pub label: u32,
 }
 
+/// A cheap liveness read-out: what the `health` protocol op reports.
+/// Everything here comes from atomics or a brief read lock — no per-name
+/// state lock is taken, so a busy resolver still answers instantly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Time since the resolver was constructed.
+    pub uptime: std::time::Duration,
+    /// Names currently live in memory.
+    pub names: usize,
+    /// Requests sitting in the service's admission queues right now.
+    pub queue_depth: i64,
+    /// Configured worker threads.
+    pub workers: usize,
+    /// Configured per-worker admission-queue capacity.
+    pub queue_capacity: usize,
+}
+
 /// What seeding a name produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeedSummary {
@@ -106,6 +123,8 @@ pub struct StreamResolver {
     names: RwLock<HashMap<String, Arc<NameEntry>>>,
     /// Monotone source of LRU stamps.
     clock: AtomicU64,
+    /// Construction time; the `health` op reports the elapsed span.
+    started: std::time::Instant,
     /// Counters, gauges and latency histograms over this resolver's
     /// traffic; every block shares `metrics.cache` so similarity-cache
     /// counts survive eviction and re-seeding.
@@ -141,8 +160,27 @@ impl StreamResolver {
             config,
             names: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
+            started: std::time::Instant::now(),
             metrics: StreamMetrics::new(),
         })
+    }
+
+    /// Time since this resolver was constructed.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// The cheap liveness read-out behind the `health` protocol op. Does
+    /// not count as a touch for eviction purposes and takes no per-name
+    /// lock.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            uptime: self.uptime(),
+            names: self.names.read().len(),
+            queue_depth: self.metrics.queue_depth.get(),
+            workers: self.config.workers,
+            queue_capacity: self.config.queue_capacity,
+        }
     }
 
     /// The configuration.
@@ -694,6 +732,18 @@ mod tests {
         let live = r.partition("cohen").unwrap().len();
         assert!((4..=24).contains(&live), "live count {live} out of range");
         assert_eq!(r.snapshot().names.len(), 1);
+    }
+
+    #[test]
+    fn health_reports_uptime_and_names() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        let h = r.health();
+        assert_eq!(h.names, 1);
+        assert_eq!(h.queue_depth, 0);
+        assert!(h.workers >= 1 && h.queue_capacity >= 1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(r.health().uptime > h.uptime);
     }
 
     #[test]

@@ -291,6 +291,16 @@ fn run_connection<R: BufRead, W: Write>(
                     break;
                 }
             }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // A line that is not valid UTF-8. `read_line` has already
+                // consumed it through the newline (and rolled the buffer
+                // back), so the stream is positioned at the next line:
+                // answer a parse error at this request's position and keep
+                // the connection open instead of dropping the client.
+                buf.clear();
+                service.submit_error(&StreamError::Parse(format!("line is not valid UTF-8: {e}")));
+                admitted += 1;
+            }
             Err(e) if is_timeout(&e) => {
                 // Idle tick: flush anything that completed meanwhile, then
                 // go back to polling (the stop check above runs first).
@@ -429,6 +439,29 @@ mod tests {
         assert_eq!(lines.len(), 1);
         let v = serde_json::parse_value(&lines[0]).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn invalid_utf8_lines_get_a_parse_error_not_a_dropped_connection() {
+        // \xff\xfe is not valid UTF-8: read_line fails with InvalidData.
+        // The old loop treated that as a connection error and hung up;
+        // now the line is answered with a parse error and the next line
+        // is served normally.
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"\xff\xfe{garbage\n");
+        input.extend_from_slice(b"{\"op\":\"flush\"}\n");
+        let mut out: Vec<u8> = Vec::new();
+        let outcome = run_connection(resolver(), Cursor::new(input), &mut out, 2, 16, None);
+        assert!(outcome.error.is_none(), "{:?}", outcome.error);
+        assert_eq!(outcome.admitted, 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let first = serde_json::parse_value(lines[0]).unwrap();
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("parse"));
+        let second = serde_json::parse_value(lines[1]).unwrap();
+        assert_eq!(second.get("op").unwrap().as_str(), Some("flush"));
     }
 
     #[test]

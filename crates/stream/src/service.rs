@@ -36,6 +36,9 @@ struct Job {
 
 /// Handle to a running service: submit request lines, read response lines.
 pub struct StreamService {
+    /// Kept for admission-time requests (`health`) answered without a
+    /// queue round-trip.
+    resolver: Arc<StreamResolver>,
     queues: Vec<Sender<Job>>,
     done_tx: Sender<(u64, String)>,
     output: Receiver<String>,
@@ -58,6 +61,7 @@ pub fn process_request(resolver: &StreamResolver, request: &Request) -> String {
         },
         Request::Snapshot => protocol::ok_snapshot(&resolver.snapshot()),
         Request::Metrics => protocol::ok_metrics(&resolver.metrics().merged_snapshot()),
+        Request::Health => protocol::ok_health(&resolver.health()),
         Request::Persist => match resolver.persist_all() {
             Ok(written) => protocol::ok_count("persist", written),
             Err(e) => protocol::err_response(&e),
@@ -125,6 +129,7 @@ impl StreamService {
         });
 
         Self {
+            resolver,
             queues,
             done_tx,
             output,
@@ -155,11 +160,16 @@ impl StreamService {
     /// stream. Control-plane requests (`snapshot`, `metrics`, `persist`,
     /// `restore`, `flush`, `shutdown`) are never load-shed — they are rare and
     /// clients depend on them, so a full queue makes the admission thread
-    /// wait for a slot instead. Returns the admission sequence number.
+    /// wait for a slot instead. `health` is special twice over: never
+    /// load-shed *and* answered right here at admission, bypassing the
+    /// queues entirely, so a probe of a saturated daemon is not stuck
+    /// behind the backlog it is trying to measure. Returns the admission
+    /// sequence number.
     pub fn submit(&self, line: String) -> u64 {
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let response = match protocol::parse_request(&line) {
             Err(e) => Some(protocol::err_response(&e)),
+            Ok(Request::Health) => Some(process_request(&self.resolver, &Request::Health)),
             Ok(request) => {
                 let queue = &self.queues[self.route(&request)];
                 // The gauge goes up before the send: a worker may dequeue
@@ -196,6 +206,17 @@ impl StreamService {
         if let Some(response) = response {
             let _ = self.done_tx.send((seq, response));
         }
+        seq
+    }
+
+    /// Admit a request that already failed at the transport layer (e.g. a
+    /// line that is not valid UTF-8, which never yields a `String` to
+    /// [`submit`](Self::submit)): the error response takes this request's
+    /// position in the response stream and the connection stays usable.
+    /// Returns the admission sequence number.
+    pub fn submit_error(&self, error: &StreamError) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let _ = self.done_tx.send((seq, protocol::err_response(error)));
         seq
     }
 
@@ -355,6 +376,48 @@ mod tests {
             let v = serde_json::parse_value(line).unwrap();
             assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
         }
+    }
+
+    #[test]
+    fn health_is_answered_even_when_the_queue_is_saturated() {
+        // Capacity-1 queue under a burst: data-plane requests shed load,
+        // but every interleaved health probe must still be answered ok —
+        // it bypasses the queues entirely.
+        let service = StreamService::start(resolver(), 1, 1);
+        service.submit(seed_line());
+        for i in 0..16 {
+            service.submit(format!(
+                r#"{{"op":"ingest","name":"cohen","text":"databases text number {i}"}}"#
+            ));
+            service.submit(r#"{"op":"health"}"#.to_string());
+        }
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 33);
+        let mut probes = 0;
+        for line in &responses {
+            let v = serde_json::parse_value(line).unwrap();
+            if v.get("op").and_then(|o| o.as_str()) == Some("health") {
+                assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+                assert!(v.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+                probes += 1;
+            }
+        }
+        assert_eq!(probes, 16, "no probe may be shed or dropped");
+    }
+
+    #[test]
+    fn submit_error_takes_a_position_in_the_response_stream() {
+        let service = StreamService::start(resolver(), 2, 8);
+        service.submit(seed_line());
+        service.submit_error(&StreamError::Parse("invalid UTF-8".into()));
+        service.submit(r#"{"op":"flush"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 3);
+        let v = serde_json::parse_value(&responses[1]).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("parse"));
+        let v = serde_json::parse_value(&responses[2]).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("flush"));
     }
 
     #[test]

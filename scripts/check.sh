@@ -24,6 +24,9 @@ cargo test -q
 echo "==> streaming stress: cargo test -q --release -p weber-stream"
 cargo test -q --release -p weber-stream
 
+echo "==> router smoke: scripts/route_smoke.sh"
+scripts/route_smoke.sh
+
 echo "==> perf smoke: scripts/bench.sh --smoke"
 scripts/bench.sh --smoke
 

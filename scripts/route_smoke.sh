@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Multi-backend router smoke: three `weber serve` TCP backends behind a
+# stdio `weber route` front end. Seeds and ingests a couple of names,
+# takes a merged snapshot, and shuts the whole tier down through the
+# router. Fails on any unexpected response line. Used by scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WEBER=target/release/weber
+if [[ ! -x "$WEBER" ]]; then
+    echo "==> building release binary for route smoke"
+    cargo build --release --quiet
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Pick three free ports by binding-and-releasing through the daemon is
+# overkill; probe candidate ports with /dev/tcp instead.
+port_free() {
+    ! (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null
+}
+
+PORTS=()
+candidate=$((20000 + RANDOM % 20000))
+while [[ ${#PORTS[@]} -lt 3 ]]; do
+    if port_free "$candidate"; then
+        PORTS+=("$candidate")
+    fi
+    candidate=$((candidate + 1))
+done
+
+mkdir -p "$WORK/state"
+BACKENDS=""
+for port in "${PORTS[@]}"; do
+    "$WEBER" serve --listen "127.0.0.1:$port" --state-dir "$WORK/state" \
+        >"$WORK/serve-$port.log" 2>&1 &
+    PIDS+=($!)
+    BACKENDS="${BACKENDS:+$BACKENDS,}127.0.0.1:$port"
+done
+
+# Wait for every backend to accept connections.
+for port in "${PORTS[@]}"; do
+    for _ in $(seq 1 100); do
+        if ! port_free "$port"; then
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "route smoke: backend on port $port never came up" >&2
+    cat "$WORK/serve-$port.log" >&2 || true
+    exit 1
+done
+
+REQUESTS="$WORK/requests.ndjson"
+cat >"$REQUESTS" <<'EOF'
+{"op":"health"}
+{"op":"seed","name":"cohen","docs":[{"text":"databases are fun and databases are important","label":0},{"text":"databases are hard but databases pay well","label":0},{"text":"gardening tips for growing roses","label":1},{"text":"gardening advice on pruning roses","label":1}]}
+{"op":"seed","name":"smith","docs":[{"text":"databases are fun and databases are important","label":0},{"text":"databases are hard but databases pay well","label":0},{"text":"gardening tips for growing roses","label":1},{"text":"gardening advice on pruning roses","label":1}]}
+{"op":"seed","name":"jones","docs":[{"text":"databases are fun and databases are important","label":0},{"text":"databases are hard but databases pay well","label":0},{"text":"gardening tips for growing roses","label":1},{"text":"gardening advice on pruning roses","label":1}]}
+{"op":"ingest","name":"cohen","text":"a new page about databases"}
+{"op":"ingest","name":"smith","text":"roses and gardening at home"}
+{"op":"flush"}
+{"op":"snapshot"}
+{"op":"metrics"}
+{"op":"shutdown"}
+EOF
+
+OUT="$WORK/responses.ndjson"
+"$WEBER" route --backends "$BACKENDS" --probe-interval 1 <"$REQUESTS" >"$OUT"
+
+fail() {
+    echo "route smoke: $1" >&2
+    echo "--- responses ---" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+
+expected=$(wc -l <"$REQUESTS")
+got=$(wc -l <"$OUT")
+[[ "$got" -eq "$expected" ]] || fail "expected $expected response lines, got $got"
+
+grep -q '"ok":false' "$OUT" && fail "found a failed response"
+grep -q '"degraded":true' "$OUT" && fail "healthy tier reported degraded"
+grep -q '"op":"health"' "$OUT" || fail "missing health response"
+[[ "$(grep -c '"op":"seed"' "$OUT")" -eq 3 ]] || fail "expected 3 seed responses"
+grep '"op":"ingest"' "$OUT" | grep -vq '"shard":' && fail "ingest reply missing shard tag"
+grep -q '"op":"snapshot"' "$OUT" || fail "missing snapshot response"
+snapshot_names=$(grep '"op":"snapshot"' "$OUT" | grep -o '"name":"[a-z]*"' | sort -u | wc -l)
+[[ "$snapshot_names" -eq 3 ]] || fail "snapshot should list 3 names, saw $snapshot_names"
+grep -q 'route\.requests' "$OUT" || fail "metrics missing router counters"
+grep -q 'shard0\.stream\.' "$OUT" || fail "metrics missing namespaced backend counters"
+grep -q '"op":"shutdown"' "$OUT" || fail "missing shutdown ack"
+
+# The routed shutdown must have stopped every backend.
+for pid in "${PIDS[@]}"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || continue 2
+        sleep 0.1
+    done
+    fail "backend pid $pid still alive after routed shutdown"
+done
+PIDS=()
+
+echo "route smoke passed (backends: $BACKENDS)."

@@ -8,6 +8,9 @@
 //! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
 //!                [--max-connections N] [--state-dir DIR] [--max-names N]
 //!                [--metrics-file FILE] [--metrics-interval SECS]
+//! weber route    --backends ADDR,ADDR,... [--listen ADDR] [--replicas N]
+//!                [--retries N] [--pool N] [--probe-interval SECS]
+//!                [--max-connections N]
 //! ```
 
 use std::collections::HashMap;
@@ -19,6 +22,7 @@ use weber::core::resolver::{Resolver, ResolverConfig};
 use weber::core::supervision::Supervision;
 use weber::corpus::{generate, presets, CorpusConfig, Dataset};
 use weber::eval::MetricSet;
+use weber::shard::{route_stdio, route_tcp, spawn_prober, Router, RouterOptions};
 use weber::simfun::functions::subset_i10;
 use weber::stream::{serve_stdio, serve_tcp, StreamConfig, StreamResolver, TcpOptions};
 use weber::textindex::TfIdf;
@@ -34,6 +38,9 @@ USAGE:
   weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
                   [--max-connections N] [--state-dir DIR] [--max-names N]
                   [--metrics-file FILE] [--metrics-interval SECS]
+  weber route     --backends ADDR,ADDR,... [--listen ADDR] [--replicas N]
+                  [--retries N] [--pool N] [--probe-interval SECS]
+                  [--max-connections N]
   weber --version | --help
 
 The resolve/experiment commands use the paper's full technique (functions
@@ -57,7 +64,21 @@ counters, gauges and latency histograms (ingest latency, queue depth,
 similarity-cache hits/misses, evictions, retrains); read them over the
 wire with {\"op\":\"metrics\"} or dump them periodically as text with
 --metrics-file FILE (every --metrics-interval seconds, default 10; a
-final dump is written at shutdown).";
+final dump is written at shutdown).
+
+The route command runs a sharded routing tier over several serve
+backends: it speaks the same NDJSON protocol and consistent-hashes each
+request's name onto the backend ring, so a client cannot tell it from a
+single (much larger) daemon. Per-name ops go to the owning shard with
+bounded retries (--retries, default 2) over pooled connections (--pool
+per backend, default 2); snapshot/metrics/persist/restore/flush/shutdown
+fan out to every backend and merge, degrading (\"degraded\":true plus the
+unreachable shard list) instead of failing when backends are down.
+{\"op\":\"health\"} reports the router's own probe-driven view of the
+tier; {\"op\":\"topology\",\"backends\":[...]} re-shards at runtime,
+persisting the old ring first so names migrate through a shared
+--state-dir. Backends are probed every --probe-interval seconds
+(default 1) with exponential backoff while down.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -119,6 +140,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "resolve" => cmd_resolve(&flags),
         "experiment" => cmd_experiment(&flags),
         "serve" => cmd_serve(&flags),
+        "route" => cmd_route(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -362,6 +384,52 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     eprintln!("served {admitted} requests");
+    Ok(())
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    let backends: Vec<String> = flags
+        .get("backends")
+        .ok_or("missing required flag --backends")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let max_connections: usize = parse(flags, "max-connections", 64)?;
+    let probe_secs: u64 = parse(flags, "probe-interval", 1)?;
+    if probe_secs == 0 {
+        return Err("--probe-interval must be at least 1 second".into());
+    }
+    let options = RouterOptions {
+        replicas: parse(flags, "replicas", 64)?,
+        retries: parse(flags, "retries", 2)?,
+        pool_capacity: parse(flags, "pool", 2)?,
+        probe_interval: std::time::Duration::from_secs(probe_secs),
+        ..RouterOptions::default()
+    };
+    let router =
+        std::sync::Arc::new(Router::new(backends.clone(), options).map_err(|e| e.to_string())?);
+    let prober = spawn_prober(router.clone());
+    let handled = match flags.get("listen") {
+        Some(addr) => {
+            eprintln!(
+                "routing NDJSON on {addr} over {} backends ({}), up to {max_connections} connections",
+                backends.len(),
+                backends.join(", ")
+            );
+            route_tcp(router.clone(), addr, max_connections).map_err(|e| e.to_string())?
+        }
+        None => {
+            eprintln!(
+                "routing NDJSON on stdin/stdout over {} backends ({})",
+                backends.len(),
+                backends.join(", ")
+            );
+            route_stdio(&router).map_err(|e| e.to_string())?
+        }
+    };
+    prober.stop();
+    eprintln!("routed {handled} requests");
     Ok(())
 }
 

@@ -26,6 +26,10 @@
 //! - [`stream`] — streaming resolution: per-name decision models trained
 //!   on seed batches, incremental ingestion, and the `weber serve` NDJSON
 //!   daemon.
+//! - [`shard`] — the sharded routing tier: a consistent-hash ring over
+//!   many `weber serve` backends behind one `weber route` front end, with
+//!   pooled connections, health probes, bounded retries and degraded-mode
+//!   fan-out merges.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
 //! tables/figures.
@@ -36,6 +40,7 @@ pub use weber_eval as eval;
 pub use weber_extract as extract;
 pub use weber_graph as graph;
 pub use weber_ml as ml;
+pub use weber_shard as shard;
 pub use weber_simfun as simfun;
 pub use weber_stream as stream;
 pub use weber_textindex as textindex;

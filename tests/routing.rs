@@ -1,0 +1,487 @@
+//! Routing-tier end-to-end tests: a `weber route` ring over real `weber
+//! serve` backends must be indistinguishable from one big daemon when all
+//! backends are up, and degrade by exactly the dead shards when they are
+//! not.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+use weber::extract::gazetteer::{EntityKind, Gazetteer};
+use weber::shard::{route_listener, Router, RouterOptions};
+use weber::stream::{serve_listener, StreamConfig, StreamResolver, TcpOptions};
+
+fn gazetteer() -> Gazetteer {
+    let mut g = Gazetteer::new();
+    g.add_phrases(EntityKind::Concept, ["databases", "gardening"]);
+    g
+}
+
+struct Backend {
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<u64>,
+}
+
+fn start_backend(config: StreamConfig) -> Backend {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    start_backend_on(config, listener)
+}
+
+fn start_backend_on(config: StreamConfig, listener: TcpListener) -> Backend {
+    let resolver = Arc::new(StreamResolver::new(config, &gazetteer()).unwrap());
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        serve_listener(resolver, listener, &TcpOptions::default()).unwrap()
+    });
+    Backend { addr, handle }
+}
+
+/// Stop a backend directly (not through the router) and wait for it to
+/// release its port.
+fn kill_backend(backend: Backend) {
+    let stream = TcpStream::connect(backend.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    backend.handle.join().unwrap();
+}
+
+/// A port with nothing listening on it (bound once, then dropped).
+fn dead_addr() -> SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+}
+
+/// Fast-failing router options so dead-backend tests don't crawl.
+fn fast_options() -> RouterOptions {
+    RouterOptions {
+        retries: 2,
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(10),
+        probe_interval: Duration::from_millis(100),
+        ..RouterOptions::default()
+    }
+}
+
+fn router_over(addrs: &[SocketAddr]) -> Router {
+    Router::new(
+        addrs.iter().map(|a| a.to_string()).collect(),
+        fast_options(),
+    )
+    .unwrap()
+}
+
+fn seed_line(name: &str) -> String {
+    format!(
+        concat!(
+            r#"{{"op":"seed","name":"{}","docs":["#,
+            r#"{{"text":"databases are fun and databases are important","label":0}},"#,
+            r#"{{"text":"databases are hard but databases pay well","label":0}},"#,
+            r#"{{"text":"gardening tips for growing roses","label":1}},"#,
+            r#"{{"text":"gardening advice on pruning roses","label":1}}]}}"#
+        ),
+        name
+    )
+}
+
+fn ingest_line(name: &str, text: &str) -> String {
+    format!(r#"{{"op":"ingest","name":"{name}","text":"{text}"}}"#)
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::parse_value(line).unwrap_or_else(|e| panic!("bad JSON {line}: {e}"))
+}
+
+/// Drop the router's shard tags so responses can be compared with a
+/// single daemon's.
+fn sans_shard(line: &str) -> String {
+    let mut v = parse(line);
+    if let Value::Object(entries) = &mut v {
+        entries.retain(|(k, _)| k != "shard");
+    }
+    serde_json::to_string(&v).unwrap()
+}
+
+/// One name per shard, found by asking the ring.
+fn names_covering_owners(router: &Router, shards: usize) -> Vec<String> {
+    let mut by_owner: Vec<Option<String>> = vec![None; shards];
+    for i in 0..10_000 {
+        let name = format!("name{i}");
+        let (idx, _) = router.owner(&name);
+        if by_owner[idx].is_none() {
+            by_owner[idx] = Some(name);
+        }
+        if by_owner.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    by_owner
+        .into_iter()
+        .map(|n| n.expect("every shard owns some name"))
+        .collect()
+}
+
+/// Send one line, read one response line.
+fn round_trip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(writer, "{line}").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim().to_string()
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// Sort a snapshot's names array by name (the router sorts; a single
+/// daemon reports insertion order) and strip shard tags for comparison.
+fn normalized_snapshot(line: &str) -> Vec<String> {
+    let v = parse(line);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    let mut entries: Vec<String> = v
+        .get("names")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| sans_shard(&serde_json::to_string(e).unwrap()))
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn a_three_backend_ring_answers_like_a_single_daemon() {
+    // The same request stream goes to one standalone daemon and to a
+    // 3-backend routed tier, both over real sockets; every response must
+    // match modulo the router's shard tags.
+    let single = start_backend(StreamConfig::default());
+    let backends: Vec<Backend> = (0..3)
+        .map(|_| start_backend(StreamConfig::default()))
+        .collect();
+    let router = Arc::new(router_over(
+        &backends.iter().map(|b| b.addr).collect::<Vec<_>>(),
+    ));
+    let names = names_covering_owners(&router, 3);
+
+    let front = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front_addr = front.local_addr().unwrap();
+    let router_thread = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || route_listener(router, front, 16).unwrap())
+    };
+
+    let (mut s_writer, mut s_reader) = connect(single.addr);
+    let (mut r_writer, mut r_reader) = connect(front_addr);
+
+    let mut script = Vec::new();
+    for name in &names {
+        script.push(seed_line(name));
+        script.push(ingest_line(name, "databases keep growing"));
+        script.push(ingest_line(name, "gardening in the rain"));
+    }
+    script.push(r#"{"op":"flush"}"#.to_string());
+
+    for line in &script {
+        let from_single = round_trip(&mut s_writer, &mut s_reader, line);
+        let from_router = round_trip(&mut r_writer, &mut r_reader, line);
+        assert_eq!(
+            sans_shard(&from_single),
+            sans_shard(&from_router),
+            "responses diverge on {line}"
+        );
+    }
+
+    // Snapshots agree once shard tags are dropped and order is fixed.
+    let s_snap = round_trip(&mut s_writer, &mut s_reader, r#"{"op":"snapshot"}"#);
+    let r_snap = round_trip(&mut r_writer, &mut r_reader, r#"{"op":"snapshot"}"#);
+    assert!(parse(&r_snap).get("degraded").is_none(), "{r_snap}");
+    assert_eq!(normalized_snapshot(&s_snap), normalized_snapshot(&r_snap));
+
+    // Metrics merge: the router reports its own counters plus every
+    // backend's, namespaced by shard.
+    let metrics = round_trip(&mut r_writer, &mut r_reader, r#"{"op":"metrics"}"#);
+    let v = parse(&metrics);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    let counters = v.get("counters").unwrap();
+    assert!(counters.get("route.requests").unwrap().as_u64().unwrap() > 0);
+    for shard in 0..3 {
+        let key = format!("shard{shard}.stream.ingests");
+        assert!(
+            counters.get(&key).and_then(Value::as_u64).unwrap_or(0) > 0,
+            "no ingests recorded under {key}: {metrics}"
+        );
+    }
+
+    // Shutdown through the router reaches every backend and matches the
+    // single daemon's acknowledgement.
+    let s_bye = round_trip(&mut s_writer, &mut s_reader, r#"{"op":"shutdown"}"#);
+    let r_bye = round_trip(&mut r_writer, &mut r_reader, r#"{"op":"shutdown"}"#);
+    assert_eq!(sans_shard(&s_bye), sans_shard(&r_bye));
+    single.handle.join().unwrap();
+    for backend in backends {
+        backend.handle.join().unwrap();
+    }
+    router_thread.join().unwrap();
+}
+
+#[test]
+fn killing_one_backend_degrades_only_its_shard() {
+    let backends: Vec<Backend> = (0..3)
+        .map(|_| start_backend(StreamConfig::default()))
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.addr).collect();
+    let router = router_over(&addrs);
+    let names = names_covering_owners(&router, 3);
+    for name in &names {
+        let out = router.process_line(&seed_line(name));
+        assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+    }
+
+    // Kill the backend owning names[1].
+    let (dead_shard, _) = router.owner(&names[1]);
+    let mut backends: Vec<Option<Backend>> = backends.into_iter().map(Some).collect();
+    kill_backend(backends[dead_shard].take().unwrap());
+
+    // Its name is now unreachable — reported, not rerouted (the state
+    // lives on the dead shard and nowhere else).
+    let out = router.process_line(&ingest_line(&names[1], "databases after the crash"));
+    let v = parse(&out.response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("unreachable"));
+    assert_eq!(v.get("shard").unwrap().as_u64(), Some(dead_shard as u64));
+    assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+
+    // Names owned by the surviving shards are served as before.
+    for name in [&names[0], &names[2]] {
+        let out = router.process_line(&ingest_line(name, "gardening goes on"));
+        assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+    }
+
+    // The snapshot carries the survivors' names and flags exactly the
+    // dead shard.
+    let out = router.process_line(r#"{"op":"snapshot"}"#);
+    let v = parse(&out.response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+    let unreachable = v.get("unreachable").unwrap().as_array().unwrap();
+    assert_eq!(unreachable.len(), 1);
+    assert_eq!(
+        unreachable[0].get("shard").unwrap().as_u64(),
+        Some(dead_shard as u64)
+    );
+    let snap_names = v.get("names").unwrap().as_array().unwrap();
+    assert_eq!(snap_names.len(), 2);
+
+    // After a probe pass the router's health view shows one shard down.
+    router.probe_once();
+    let out = router.process_line(r#"{"op":"health"}"#);
+    let v = parse(&out.response);
+    assert_eq!(v.get("backends").unwrap().as_u64(), Some(3));
+    assert_eq!(v.get("healthy").unwrap().as_u64(), Some(2));
+
+    for backend in backends.into_iter().flatten() {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn a_backend_down_at_startup_is_degraded_from_the_first_request() {
+    let live = start_backend(StreamConfig::default());
+    let router = router_over(&[live.addr, dead_addr()]);
+    let names = names_covering_owners(&router, 2);
+
+    // The live shard's name works immediately.
+    let out = router.process_line(&seed_line(&names[0]));
+    assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+    // The dead shard's name fails with routing context.
+    let out = router.process_line(&seed_line(&names[1]));
+    let v = parse(&out.response);
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("unreachable"));
+    assert_eq!(v.get("shard").unwrap().as_u64(), Some(1));
+    // Fan-out degrades to the live half.
+    let out = router.process_line(r#"{"op":"snapshot"}"#);
+    let v = parse(&out.response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("names").unwrap().as_array().unwrap().len(), 1);
+
+    kill_backend(live);
+}
+
+#[test]
+fn all_backends_down_still_answers_with_a_degraded_snapshot() {
+    let router = Router::new(
+        vec![dead_addr().to_string(), dead_addr().to_string()],
+        RouterOptions {
+            retries: 0,
+            ..fast_options()
+        },
+    )
+    .unwrap();
+    let out = router.process_line(r#"{"op":"snapshot"}"#);
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("names").unwrap().as_array().unwrap().len(), 0);
+    assert_eq!(v.get("unreachable").unwrap().as_array().unwrap().len(), 2);
+    // The router's own health still answers too.
+    router.probe_once();
+    let out = router.process_line(r#"{"op":"health"}"#);
+    let v = parse(&out.response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("healthy").unwrap().as_u64(), Some(0));
+}
+
+#[test]
+fn a_retry_reconnects_to_the_same_shard_after_a_backend_restart() {
+    let backends: Vec<Backend> = (0..3)
+        .map(|_| start_backend(StreamConfig::default()))
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.addr).collect();
+    let router = router_over(&addrs);
+    let names = names_covering_owners(&router, 3);
+    let (owner, _) = router.owner(&names[0]);
+
+    // Warm the pool towards the owner, then restart that backend on the
+    // same address: every pooled connection is now stale.
+    let out = router.process_line(&seed_line(&names[0]));
+    assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+    let mut backends: Vec<Option<Backend>> = backends.into_iter().map(Some).collect();
+    kill_backend(backends[owner].take().unwrap());
+    let listener = TcpListener::bind(addrs[owner]).unwrap();
+    backends[owner] = Some(start_backend_on(StreamConfig::default(), listener));
+
+    // The re-seed rides a stale connection, fails mid-exchange, and the
+    // bounded retry lands on the same (restarted) shard.
+    let out = router.process_line(&seed_line(&names[0]));
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert_eq!(v.get("shard").unwrap().as_u64(), Some(owner as u64));
+    let retries = router
+        .registry()
+        .snapshot()
+        .counter("route.retries")
+        .unwrap_or(0);
+    assert!(retries >= 1, "expected at least one retry, saw {retries}");
+
+    for backend in backends.into_iter().flatten() {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn overloaded_replies_are_relayed_verbatim_not_retried() {
+    // A fake backend that answers every line with the daemon's overloaded
+    // error: the router must relay it (it is a valid reply) and must not
+    // burn retry attempts on it.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // One connection is enough for the single routed request.
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            writer
+                .write_all(b"{\"ok\":false,\"error\":\"overloaded\",\"kind\":\"overloaded\"}\n")
+                .unwrap();
+            line.clear();
+        }
+    });
+    let router = router_over(&[addr]);
+    let out = router.process_line(&ingest_line("cohen", "databases at capacity"));
+    let v = parse(&out.response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("overloaded"));
+    // The reply still gets the router's shard tag, and no retries fired.
+    assert_eq!(v.get("shard").unwrap().as_u64(), Some(0));
+    let retries = router
+        .registry()
+        .snapshot()
+        .counter("route.retries")
+        .unwrap_or(0);
+    assert_eq!(retries, 0, "overloaded is a reply, not a transport failure");
+    drop(router); // closes the pooled connection; the fake backend exits
+    fake.join().unwrap();
+}
+
+#[test]
+fn topology_change_migrates_names_through_shared_state() {
+    // Three backends over one shared state directory. Shrinking the ring
+    // to two persists every name first; the new owner of a reassigned
+    // name restores it from disk on the next touch.
+    let dir = std::env::temp_dir().join(format!("weber_routing_topology_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StreamConfig::default().with_state_dir(&dir);
+    let backends: Vec<Backend> = (0..3).map(|_| start_backend(config.clone())).collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.addr).collect();
+    let router = router_over(&addrs);
+    let names = names_covering_owners(&router, 3);
+    for name in &names {
+        let out = router.process_line(&seed_line(name));
+        assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+    }
+
+    // Shrink to the first two backends. The third shard's name must end
+    // up owned by a survivor.
+    let migrating = &names[2];
+    let keep = vec![addrs[0].to_string(), addrs[1].to_string()];
+    let out = router.process_line(&format!(
+        r#"{{"op":"topology","backends":["{}","{}"]}}"#,
+        keep[0], keep[1]
+    ));
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert!(v.get("persisted").unwrap().as_u64().unwrap() >= 3);
+    assert_eq!(router.backends(), keep);
+    let (new_owner, _) = router.owner(migrating);
+    assert!(new_owner < 2);
+
+    // The next touch restores the migrated name on its new owner: the
+    // seed batch had 4 documents, so the restored state ingests doc 4.
+    let out = router.process_line(&ingest_line(migrating, "databases after migration"));
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert_eq!(v.get("doc").unwrap().as_u64(), Some(4));
+    assert_eq!(v.get("shard").unwrap().as_u64(), Some(new_owner as u64));
+
+    for backend in backends {
+        kill_backend(backend);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -272,6 +272,43 @@ mod tcp {
     }
 
     #[test]
+    fn health_probes_answer_with_uptime_and_names() {
+        let (addr, server) = start_server(StreamConfig::default());
+        let (mut writer, mut reader) = connect(addr);
+        // A fresh daemon answers probes before anything is seeded.
+        let probe = round_trip(&mut writer, &mut reader, r#"{"op":"health"}"#);
+        let v = serde_json::parse_value(&probe).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("health"));
+        assert_eq!(v.get("names").unwrap().as_u64(), Some(0));
+        assert!(v.get("uptime_s").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(v.get("queue_capacity").unwrap().as_u64().unwrap() > 0);
+        // After a seed the live-name count moves.
+        round_trip(&mut writer, &mut reader, &seed_line("cohen"));
+        let probe = round_trip(&mut writer, &mut reader, r#"{"op":"health"}"#);
+        let v = serde_json::parse_value(&probe).unwrap();
+        assert_eq!(v.get("names").unwrap().as_u64(), Some(1));
+        round_trip(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_answered_and_the_connection_survives() {
+        let (addr, server) = start_server(StreamConfig::default());
+        let (mut writer, mut reader) = connect(addr);
+        // Broken JSON gets a parse error with a stable kind token…
+        let parse_err = round_trip(&mut writer, &mut reader, "{not json");
+        let v = serde_json::parse_value(&parse_err).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("parse"));
+        // …and the connection keeps serving.
+        let seeded = round_trip(&mut writer, &mut reader, &seed_line("cohen"));
+        assert!(seeded.contains("\"ok\":true"), "{seeded}");
+        round_trip(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+        server.join().unwrap();
+    }
+
+    #[test]
     fn persist_restart_restore_reproduces_the_partition() {
         let dir =
             std::env::temp_dir().join(format!("weber_streaming_persist_{}", std::process::id()));
