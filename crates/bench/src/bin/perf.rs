@@ -71,6 +71,7 @@ struct Options {
     pipeline_out: String,
     stream_baseline: Option<String>,
     pipeline_baseline: Option<String>,
+    bench_out: Option<String>,
 }
 
 impl Default for Options {
@@ -83,6 +84,7 @@ impl Default for Options {
             pipeline_out: "BENCH_pipeline.json".into(),
             stream_baseline: None,
             pipeline_baseline: None,
+            bench_out: None,
         }
     }
 }
@@ -107,6 +109,7 @@ fn parse_args() -> Options {
             "--pipeline-out" => opts.pipeline_out = value("--pipeline-out"),
             "--stream-baseline" => opts.stream_baseline = Some(value("--stream-baseline")),
             "--pipeline-baseline" => opts.pipeline_baseline = Some(value("--pipeline-baseline")),
+            "--bench-out" => opts.bench_out = Some(value("--bench-out")),
             "--smoke" => {
                 opts.docs = 40;
                 opts.pipeline_docs = 40;
@@ -114,6 +117,10 @@ fn parse_args() -> Options {
             }
             other => panic!("unknown argument: {other}"),
         }
+    }
+    if let Some(dir) = &opts.bench_out {
+        opts.stream_out = weber_bench::redirect_into(dir, &opts.stream_out);
+        opts.pipeline_out = weber_bench::redirect_into(dir, &opts.pipeline_out);
     }
     opts
 }

@@ -53,6 +53,22 @@ pub fn fmt(v: f64) -> String {
     format!("{v:.4}")
 }
 
+/// Redirect an output file into `dir` (keeping its file name), creating
+/// the directory if needed. This is the `--bench-out DIR` behaviour shared
+/// by the perf and block-bench binaries: one flag relocates every report
+/// a run produces without respelling each `--*-out` path.
+pub fn redirect_into(dir: &str, path: &str) -> String {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create bench output directory {dir}: {e}"));
+    let name = std::path::Path::new(path)
+        .file_name()
+        .unwrap_or_else(|| panic!("output path '{path}' has no file name"));
+    std::path::Path::new(dir)
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
 /// The current git revision (short hash, `+dirty` when the tree has local
 /// modifications), or `"unknown"` outside a git checkout.
 pub fn git_revision() -> String {

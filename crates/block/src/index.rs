@@ -1,0 +1,252 @@
+//! Token-blocking index: normalized term → posting list.
+//!
+//! Token blocking (Papadakis et al.'s baseline scheme) keys every document
+//! by each of its normalized tokens; documents sharing a token land in the
+//! same block. Over web text that is recall-oriented by construction — two
+//! pages about one person almost always share *some* token — at the price
+//! of enormous redundancy, which the meta-blocking stage then prunes.
+//!
+//! Terms go through the same pipeline as the TF-IDF substrate
+//! (`weber-textindex`: tokenize → stopword filter → Porter stem), then a
+//! document-frequency filter drops the useless extremes: singleton terms
+//! (df < `min_df`) can never pair documents, and stopword-like terms
+//! (df > `max_df_frac · n`) would pair everything with everything.
+
+use weber_textindex::{is_stopword, porter_stem, tokenize, Vocabulary};
+
+use crate::par_chunks;
+
+/// One input document for the blocker: raw page text plus optional URL
+/// (URL tokens — host and path words — carry strong identity signal and
+/// are indexed alongside the text).
+#[derive(Debug, Clone, Copy)]
+pub struct DocRecord<'a> {
+    /// Page text.
+    pub text: &'a str,
+    /// Page URL, when known.
+    pub url: Option<&'a str>,
+}
+
+/// The filtered term index over a corpus.
+#[derive(Debug)]
+pub struct TermIndex {
+    /// Per-document sorted distinct term ids, *after* the df filter.
+    /// `doc_terms[i].len()` is exactly the number of token blocks that
+    /// contain document `i` (what Jaccard edge weighting needs).
+    pub doc_terms: Vec<Vec<u32>>,
+    /// Posting lists surviving the df filter: `(term, ascending doc ids)`,
+    /// sorted by term id. Each list is one token block.
+    pub postings: Vec<(u32, Vec<u32>)>,
+    /// Distinct normalized terms seen before filtering.
+    pub distinct_terms: usize,
+}
+
+impl TermIndex {
+    /// Number of documents indexed.
+    pub fn len(&self) -> usize {
+        self.doc_terms.len()
+    }
+
+    /// True for an index over no documents.
+    pub fn is_empty(&self) -> bool {
+        self.doc_terms.is_empty()
+    }
+
+    /// Number of token blocks (posting lists kept by the df filter).
+    pub fn block_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Normalize one document into its term strings: lowercase alphanumeric
+/// tokens of the text and URL, stopword-filtered and stemmed. Pure and
+/// allocation-local, so corpus tokenization parallelises trivially.
+fn normalize_doc(doc: &DocRecord) -> Vec<String> {
+    let mut terms: Vec<String> = Vec::new();
+    let mut push = |input: &str| {
+        for tok in tokenize(input) {
+            if is_stopword(&tok.text) {
+                continue;
+            }
+            terms.push(porter_stem(&tok.text));
+        }
+    };
+    push(doc.text);
+    if let Some(url) = doc.url {
+        push(url);
+    }
+    terms
+}
+
+/// Build the df-filtered term index over `docs`.
+///
+/// Tokenization/stemming runs on `threads` scoped workers over contiguous
+/// document chunks; interning and df accounting are sequential in document
+/// order, so the resulting term ids — and everything downstream — are
+/// bit-identical for any thread count.
+pub fn build_index(
+    docs: &[DocRecord],
+    min_df: usize,
+    max_df_frac: f64,
+    threads: usize,
+) -> TermIndex {
+    let normalized: Vec<Vec<String>> = par_chunks(docs, threads, normalize_doc);
+
+    // Sequential interning keeps term ids independent of thread count.
+    let mut vocab = Vocabulary::new();
+    let mut doc_terms: Vec<Vec<u32>> = Vec::with_capacity(docs.len());
+    for terms in &normalized {
+        let mut ids: Vec<u32> = terms.iter().map(|t| vocab.intern(t).0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        doc_terms.push(ids);
+    }
+    let distinct_terms = vocab.len();
+
+    let mut df = vec![0u32; distinct_terms];
+    for ids in &doc_terms {
+        for &t in ids {
+            df[t as usize] += 1;
+        }
+    }
+
+    let n = docs.len();
+    let max_df = ((max_df_frac * n as f64).ceil() as u32).max(2);
+    let min_df = (min_df.max(2)) as u32;
+    let keep: Vec<bool> = df.iter().map(|&d| d >= min_df && d <= max_df).collect();
+
+    let mut postings: Vec<(u32, Vec<u32>)> = Vec::new();
+    let mut kept_lists: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for (d, ids) in doc_terms.iter_mut().enumerate() {
+        ids.retain(|&t| keep[t as usize]);
+        for &t in ids.iter() {
+            kept_lists.entry(t).or_default().push(d as u32);
+        }
+    }
+    postings.extend(kept_lists);
+    TermIndex {
+        doc_terms,
+        postings,
+        distinct_terms,
+    }
+}
+
+/// Candidate pairs of plain token blocking: every distinct pair sharing at
+/// least one kept term, as sorted `(i, j)` with `i < j`.
+pub fn token_pairs(index: &TermIndex) -> Vec<(u32, u32)> {
+    let mut set: std::collections::HashSet<u64> = Default::default();
+    for (_, docs) in &index.postings {
+        for (x, &i) in docs.iter().enumerate() {
+            for &j in &docs[x + 1..] {
+                set.insert(pack_pair(i, j));
+            }
+        }
+    }
+    let mut pairs: Vec<(u32, u32)> = set.into_iter().map(unpack_pair).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Pack an ordered doc pair into one u64 key (`i < j` assumed; posting
+/// lists are ascending so this holds by construction).
+pub(crate) fn pack_pair(i: u32, j: u32) -> u64 {
+    debug_assert!(i < j);
+    (u64::from(i) << 32) | u64::from(j)
+}
+
+/// Inverse of [`pack_pair`].
+pub(crate) fn unpack_pair(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs<'a>(texts: &'a [&'a str]) -> Vec<DocRecord<'a>> {
+        texts
+            .iter()
+            .map(|t| DocRecord { text: t, url: None })
+            .collect()
+    }
+
+    #[test]
+    fn shared_terms_become_blocks() {
+        let d = docs(&[
+            "cohen studies databases",
+            "cohen teaches databases",
+            "gardens grow roses",
+            "gardens need roses",
+        ]);
+        let index = build_index(&d, 2, 1.0, 1);
+        assert_eq!(index.len(), 4);
+        // "cohen", "databas", "garden", "rose" each pair two documents.
+        assert_eq!(index.block_count(), 4);
+        let pairs = token_pairs(&index);
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn df_filter_drops_extremes() {
+        let d = docs(&[
+            "alpha shared unique1",
+            "beta shared unique2",
+            "gamma shared unique3",
+            "delta shared unique4",
+        ]);
+        // "shared" has df 4 > 0.5·4 = 2 → dropped; unique terms df 1 → dropped.
+        let index = build_index(&d, 2, 0.5, 1);
+        assert_eq!(index.block_count(), 0);
+        assert!(token_pairs(&index).is_empty());
+        assert!(index.distinct_terms >= 9);
+    }
+
+    #[test]
+    fn url_tokens_are_indexed() {
+        let d = vec![
+            DocRecord {
+                text: "a page about things",
+                url: Some("http://apexuniversity.edu/cohen/papers"),
+            },
+            DocRecord {
+                text: "a different page entirely",
+                url: Some("http://apexuniversity.edu/cohen/talks"),
+            },
+        ];
+        let index = build_index(&d, 2, 1.0, 1);
+        // "apexuniversity", "edu", "cohen", "http", "page" pair the docs.
+        assert_eq!(token_pairs(&index), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn parallel_indexing_is_deterministic() {
+        let texts: Vec<String> = (0..64)
+            .map(|i| format!("doc number {} about topic{} and topic{}", i, i % 7, i % 5))
+            .collect();
+        let d: Vec<DocRecord> = texts
+            .iter()
+            .map(|t| DocRecord { text: t, url: None })
+            .collect();
+        let a = build_index(&d, 2, 0.9, 1);
+        let b = build_index(&d, 2, 0.9, 4);
+        let c = build_index(&d, 2, 0.9, 7);
+        assert_eq!(a.doc_terms, b.doc_terms);
+        assert_eq!(a.postings, b.postings);
+        assert_eq!(b.doc_terms, c.doc_terms);
+        assert_eq!(b.postings, c.postings);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (i, j) in [(0u32, 1u32), (7, 9), (100, 4_000_000)] {
+            assert_eq!(unpack_pair(pack_pair(i, j)), (i, j));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_empty_index() {
+        let index = build_index(&[], 2, 0.5, 2);
+        assert!(index.is_empty());
+        assert_eq!(index.block_count(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Meta-blocking: the block graph, edge weighting, and pruning.
+//!
+//! Token blocking is redundancy-positive — co-referent documents share
+//! *many* blocks, random ones share few. Meta-blocking (Papadakis et al.)
+//! exploits exactly that: build the *block graph* whose nodes are documents
+//! and whose edges connect documents co-occurring in at least one block,
+//! weight every edge by how much evidence the co-occurrence carries, and
+//! prune the light edges. What survives is the candidate-pair set.
+//!
+//! Two classic weighting schemes are provided:
+//!
+//! - **CBS** (Common Blocks Scheme): the raw number of blocks two
+//!   documents share.
+//! - **JS** (Jaccard Scheme): shared blocks over the union of both
+//!   documents' blocks — CBS normalized by how block-prolific each
+//!   document is.
+//!
+//! Pruning is **weight-edge pruning** (WEP): discard every edge lighter
+//! than the global mean edge weight (scaled by `factor`).
+
+use std::collections::HashMap;
+
+use crate::index::{pack_pair, unpack_pair, TermIndex};
+
+/// Edge weighting scheme for the block graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightScheme {
+    /// Common Blocks Scheme: number of shared blocks.
+    #[default]
+    Cbs,
+    /// Jaccard Scheme: shared blocks / union of blocks.
+    Jaccard,
+}
+
+impl std::str::FromStr for WeightScheme {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cbs" => Ok(Self::Cbs),
+            "js" | "jaccard" => Ok(Self::Jaccard),
+            other => Err(format!("unknown weight scheme '{other}' (cbs|js)")),
+        }
+    }
+}
+
+/// The weighted block graph: one entry per document pair sharing at least
+/// one block, sorted by `(i, j)`.
+#[derive(Debug)]
+pub struct BlockGraph {
+    /// `(i, j, weight)` with `i < j`, sorted.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+impl BlockGraph {
+    /// Number of edges (distinct co-occurring pairs).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for a graph with no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Mean edge weight (0 for an empty graph).
+    pub fn mean_weight(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.edges.iter().map(|&(_, _, w)| w).sum::<f64>() / self.edges.len() as f64
+    }
+}
+
+/// Build the block graph from a term index on `threads` scoped workers.
+///
+/// Posting lists are chunked across workers; each worker accumulates
+/// pair → common-block counts locally and the partial maps are merged by
+/// addition. Addition is commutative, and the final edge list is sorted,
+/// so the graph is bit-identical for any thread count or merge order.
+pub fn build_block_graph(index: &TermIndex, scheme: WeightScheme, threads: usize) -> BlockGraph {
+    let threads = crate::effective_threads(threads, index.postings.len());
+    let chunk = index.postings.len().div_ceil(threads.max(1)).max(1);
+    let partials: Vec<HashMap<u64, u32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = index
+            .postings
+            .chunks(chunk)
+            .map(|lists| {
+                scope.spawn(move || {
+                    let mut common: HashMap<u64, u32> = HashMap::new();
+                    for (_, docs) in lists {
+                        for (x, &i) in docs.iter().enumerate() {
+                            for &j in &docs[x + 1..] {
+                                *common.entry(pack_pair(i, j)).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    common
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("block-graph worker panicked"))
+            .collect()
+    });
+
+    let mut common: HashMap<u64, u32> = HashMap::new();
+    for partial in partials {
+        for (pair, count) in partial {
+            *common.entry(pair).or_insert(0) += count;
+        }
+    }
+
+    let mut edges: Vec<(u32, u32, f64)> = common
+        .into_iter()
+        .map(|(pair, shared)| {
+            let (i, j) = unpack_pair(pair);
+            let weight = match scheme {
+                WeightScheme::Cbs => f64::from(shared),
+                WeightScheme::Jaccard => {
+                    let bi = index.doc_terms[i as usize].len() as f64;
+                    let bj = index.doc_terms[j as usize].len() as f64;
+                    let union = bi + bj - f64::from(shared);
+                    if union > 0.0 {
+                        f64::from(shared) / union
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            (i, j, weight)
+        })
+        .collect();
+    edges.sort_unstable_by_key(|&(i, j, _)| (i, j));
+    BlockGraph { edges }
+}
+
+/// Weight-edge pruning: keep every edge whose weight is at least
+/// `factor ×` the global mean edge weight. Returns the surviving pairs,
+/// sorted.
+pub fn weight_edge_prune(graph: &BlockGraph, factor: f64) -> Vec<(u32, u32)> {
+    let threshold = factor * graph.mean_weight();
+    graph
+        .edges
+        .iter()
+        .filter(|&&(_, _, w)| w >= threshold)
+        .map(|&(i, j, _)| (i, j))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{build_index, DocRecord};
+
+    fn docs<'a>(texts: &'a [&'a str]) -> Vec<DocRecord<'a>> {
+        texts
+            .iter()
+            .map(|t| DocRecord { text: t, url: None })
+            .collect()
+    }
+
+    /// Two tight pairs sharing several terms each, one weak cross link.
+    fn sample<'a>() -> Vec<DocRecord<'a>> {
+        docs(&[
+            "cohen databases querying indexing shared",
+            "cohen databases querying indexing extra",
+            "roses gardens pruning watering shared",
+            "roses gardens pruning watering other",
+        ])
+    }
+
+    #[test]
+    fn cbs_counts_shared_blocks() {
+        let d = sample();
+        let index = build_index(&d, 2, 1.0, 1);
+        let graph = build_block_graph(&index, WeightScheme::Cbs, 1);
+        let heavy: Vec<_> = graph
+            .edges
+            .iter()
+            .filter(|&&(_, _, w)| w >= 4.0)
+            .map(|&(i, j, _)| (i, j))
+            .collect();
+        assert_eq!(heavy, vec![(0, 1), (2, 3)]);
+        // The "shared" term links 0–2, 0–3 … with weight 1.
+        assert!(graph.len() > 2);
+    }
+
+    #[test]
+    fn wep_prunes_the_weak_cross_edges() {
+        let d = sample();
+        let index = build_index(&d, 2, 1.0, 1);
+        for scheme in [WeightScheme::Cbs, WeightScheme::Jaccard] {
+            let graph = build_block_graph(&index, scheme, 1);
+            let kept = weight_edge_prune(&graph, 1.0);
+            assert_eq!(kept, vec![(0, 1), (2, 3)], "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn jaccard_normalizes_by_block_count() {
+        let d = sample();
+        let index = build_index(&d, 2, 1.0, 1);
+        let graph = build_block_graph(&index, WeightScheme::Jaccard, 1);
+        for &(_, _, w) in &graph.edges {
+            assert!((0.0..=1.0).contains(&w), "JS weight out of range: {w}");
+        }
+    }
+
+    #[test]
+    fn graph_is_deterministic_across_thread_counts() {
+        let texts: Vec<String> = (0..80)
+            .map(|i| {
+                format!(
+                    "entity{} feature{} feature{} feature{} background{}",
+                    i % 11,
+                    i % 11,
+                    (i + 1) % 11,
+                    (i + 2) % 11,
+                    i % 3
+                )
+            })
+            .collect();
+        let d: Vec<DocRecord> = texts
+            .iter()
+            .map(|t| DocRecord { text: t, url: None })
+            .collect();
+        let index = build_index(&d, 2, 0.9, 1);
+        let one = build_block_graph(&index, WeightScheme::Cbs, 1);
+        let four = build_block_graph(&index, WeightScheme::Cbs, 4);
+        let nine = build_block_graph(&index, WeightScheme::Cbs, 9);
+        assert_eq!(one.edges, four.edges);
+        assert_eq!(four.edges, nine.edges);
+        let p1 = weight_edge_prune(&one, 1.0);
+        let p4 = weight_edge_prune(&four, 1.0);
+        assert_eq!(p1, p4);
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let index = build_index(&[], 2, 0.5, 1);
+        let graph = build_block_graph(&index, WeightScheme::Cbs, 2);
+        assert!(graph.is_empty());
+        assert_eq!(graph.mean_weight(), 0.0);
+        assert!(weight_edge_prune(&graph, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! Dirty corpora: the web-scale setting *before* blocking.
+//!
+//! Every preset so far hands the resolver documents already grouped by an
+//! exact query name — the paper's datasets arrive that way. A real web
+//! document collection does not: documents about all entities sit in one
+//! flat pile, name mentions are misspelled or abbreviated, and block
+//! membership itself must be discovered (the job of `weber-block`).
+//!
+//! A [`DirtyCorpus`] is such a pile, generated from the same persona world
+//! as the clean presets: the per-name blocks are flattened, shuffled, and a
+//! configurable fraction of documents has its surname mentions corrupted by
+//! realistic misspellings (transposition, deletion, doubling, vowel swap).
+//! Global ground truth — which documents refer to the same persona — is
+//! retained, so blocking recall is measurable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::RngExt;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use weber_extract::gazetteer::Gazetteer;
+use weber_textindex::normalize_phrase;
+
+use crate::generator::generate;
+use crate::presets::CorpusConfig;
+use crate::quality::QualityRanges;
+
+/// Configuration of a dirty corpus: a clean corpus shape plus dirt knobs.
+#[derive(Debug, Clone)]
+pub struct DirtyConfig {
+    /// The underlying world/corpus shape.
+    pub base: CorpusConfig,
+    /// Probability that a document's surname mentions are misspelled.
+    pub variant_prob: f64,
+}
+
+/// One document of a dirty corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyDocument {
+    /// Page URL, when the page has one.
+    pub url: Option<String>,
+    /// Page text (surname mentions possibly corrupted).
+    pub text: String,
+    /// Ground-truth global entity id (persona across all names).
+    pub entity: u32,
+}
+
+/// A flat, shuffled document collection with global entity ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirtyCorpus {
+    /// Human-readable preset label, e.g. `"dirty"`.
+    pub label: String,
+    /// Seed it was generated from.
+    pub seed: u64,
+    /// The documents, in shuffled (crawl) order.
+    pub documents: Vec<DirtyDocument>,
+    /// Number of distinct entities across the corpus.
+    pub entities: u32,
+    /// The dictionary a NER system would use over this corpus.
+    pub gazetteer: Gazetteer,
+}
+
+impl DirtyCorpus {
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Number of brute-force comparisons resolving without blocking would
+    /// imply: `n·(n−1)/2`.
+    pub fn brute_force_pairs(&self) -> u64 {
+        let n = self.documents.len() as u64;
+        n * (n.saturating_sub(1)) / 2
+    }
+
+    /// All ground-truth co-referent pairs `(i, j)` with `i < j`, sorted —
+    /// the denominator of blocking pair-recall.
+    pub fn truth_pairs(&self) -> Vec<(usize, usize)> {
+        let mut by_entity: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+        for (i, d) in self.documents.iter().enumerate() {
+            by_entity.entry(d.entity).or_default().push(i);
+        }
+        let mut pairs = Vec::new();
+        for docs in by_entity.values() {
+            for (x, &i) in docs.iter().enumerate() {
+                for &j in &docs[x + 1..] {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialise from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+/// The full dirty preset: 10 names × 120 documents flattened into one
+/// 1200-document pile, a quarter of them with misspelled surnames. The
+/// quality knobs sit between `www05_like` and `weps_like` with a slightly
+/// higher topic-purity floor, so same-persona documents share enough
+/// vocabulary for similarity-based candidate generation to be measurable.
+pub fn dirty(seed: u64) -> DirtyConfig {
+    DirtyConfig {
+        base: CorpusConfig {
+            label: "dirty".into(),
+            seed,
+            names: 10,
+            docs_per_name: 120,
+            personas_range: (2, 40),
+            dominant_fraction: (0.2, 0.6),
+            content_pool_size: 2000,
+            zipf_exponent: 1.05,
+            quality: QualityRanges {
+                url_presence: (0.35, 0.9),
+                home_url: (0.45, 0.9),
+                concept_mentions: (0.5, 2.5),
+                org_prob: (0.3, 0.85),
+                associate_prob: (0.15, 0.7),
+                full_name_prob: (0.3, 0.9),
+                topic_purity: (0.2, 0.55),
+                persona_overlap: (0.05, 0.4),
+                spurious_prob: (0.05, 0.25),
+                duplicate_prob: (0.0, 0.12),
+                doc_len: (50, 160),
+                topic_breadth: (90, 220),
+            },
+        },
+        variant_prob: 0.25,
+    }
+}
+
+/// A small dirty corpus for integration tests and CI smoke: 6 names × 40
+/// documents (240 total), same dirt characteristics as [`dirty`].
+pub fn dirty_small(seed: u64) -> DirtyConfig {
+    let mut config = dirty(seed);
+    config.base.label = "dirty-small".into();
+    config.base.names = 6;
+    config.base.docs_per_name = 40;
+    config.base.personas_range = (2, 12);
+    config
+}
+
+/// Generate a dirty corpus: build the clean per-name dataset, flatten it,
+/// corrupt surname mentions, and shuffle. Deterministic in
+/// `config.base.seed`.
+///
+/// ```
+/// use weber_corpus::dirty::{dirty_small, generate_dirty};
+///
+/// let corpus = generate_dirty(&dirty_small(7));
+/// assert_eq!(corpus.len(), 240);
+/// assert!(corpus.entities >= 12); // ≥ 2 personas over 6 names
+/// assert!(!corpus.truth_pairs().is_empty());
+/// ```
+pub fn generate_dirty(config: &DirtyConfig) -> DirtyCorpus {
+    let dataset = generate(&config.base);
+    let mut rng = StdRng::seed_from_u64(config.base.seed ^ 0xD1271C0D);
+    let mut documents = Vec::with_capacity(dataset.document_count());
+    let mut next_entity = 0u32;
+    for block in &dataset.blocks {
+        // Dense global entity ids for this block's personas.
+        let max_label = block.truth_labels.iter().copied().max().unwrap_or(0);
+        let base = next_entity;
+        next_entity += max_label + 1;
+        let surname = normalize_phrase(&block.query_name);
+        for (doc, &label) in block.documents.iter().zip(&block.truth_labels) {
+            let text = if rng.random_bool(config.variant_prob.clamp(0.0, 1.0)) {
+                corrupt_mentions(&doc.text, &surname, &mut rng)
+            } else {
+                doc.text.clone()
+            };
+            documents.push(DirtyDocument {
+                url: doc.url.clone(),
+                text,
+                entity: base + label,
+            });
+        }
+    }
+    use rand::seq::SliceRandom;
+    documents.shuffle(&mut rng);
+    DirtyCorpus {
+        label: config.base.label.clone(),
+        seed: config.base.seed,
+        documents,
+        entities: next_entity,
+        gazetteer: dataset.gazetteer,
+    }
+}
+
+/// Replace every whole-word occurrence of `surname` in `text` with one
+/// misspelled variant (all occurrences get the same variant — a page is
+/// internally consistent about how it spells the name).
+fn corrupt_mentions(text: &str, surname: &str, rng: &mut StdRng) -> String {
+    let variant = misspell(surname, rng);
+    if variant == surname {
+        return text.to_string();
+    }
+    // Whole-word replace: a match must not be flanked by alphanumerics
+    // (so "mark" never fires inside "marketing"-like pseudo-words).
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len() + 8);
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(surname) {
+        let start = from + pos;
+        let end = start + surname.len();
+        let left_ok = start == 0 || !(bytes[start - 1] as char).is_alphanumeric();
+        let right_ok = end == text.len() || !(bytes[end] as char).is_alphanumeric();
+        out.push_str(&text[from..start]);
+        if left_ok && right_ok {
+            out.push_str(&variant);
+        } else {
+            out.push_str(surname);
+        }
+        from = end;
+    }
+    out.push_str(&text[from..]);
+    out
+}
+
+/// One deterministic misspelling of an ASCII lowercase name: transpose two
+/// adjacent letters, drop a letter, double a letter, or swap a vowel.
+/// Names shorter than three characters are returned unchanged (corrupting
+/// "ng" would leave nothing to recognise).
+pub fn misspell(name: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 3 {
+        return name.to_string();
+    }
+    const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+    let mut out = chars.clone();
+    match rng.random_range(0..4u8) {
+        0 => {
+            // Transpose two adjacent interior letters.
+            let i = rng.random_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        1 => {
+            // Drop one letter (keep the first — the initial survives
+            // most real typos).
+            let i = rng.random_range(1..out.len());
+            out.remove(i);
+        }
+        2 => {
+            // Double one letter.
+            let i = rng.random_range(0..out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+        _ => {
+            // Replace the first vowel with a different one.
+            if let Some(i) = out.iter().position(|c| VOWELS.contains(c)) {
+                let at = VOWELS.iter().position(|&v| v == out[i]).unwrap_or(0);
+                out[i] = VOWELS[(at + 1 + rng.random_range(0..VOWELS.len() - 1)) % VOWELS.len()];
+            } else {
+                let i = rng.random_range(0..out.len() - 1);
+                out.swap(i, i + 1);
+            }
+        }
+    }
+    let candidate: String = out.into_iter().collect();
+    if candidate == name {
+        // Rare no-op (e.g. transposing a doubled letter): force a doubling.
+        let mut forced: Vec<char> = name.chars().collect();
+        let c = forced[0];
+        forced.insert(0, c);
+        forced.into_iter().collect()
+    } else {
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = dirty_small(11);
+        let a = generate_dirty(&cfg);
+        let b = generate_dirty(&cfg);
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.entities, b.entities);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_dirty(&dirty_small(1));
+        let b = generate_dirty(&dirty_small(2));
+        assert_ne!(a.documents, b.documents);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = dirty_small(5);
+        let c = generate_dirty(&cfg);
+        assert_eq!(c.len(), cfg.base.names * cfg.base.docs_per_name);
+        assert_eq!(c.label, "dirty-small");
+        // Entities are dense 0..entities and all referenced.
+        let mut seen = vec![false; c.entities as usize];
+        for d in &c.documents {
+            seen[d.entity as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every entity id must be used");
+    }
+
+    #[test]
+    fn truth_pairs_are_within_entities() {
+        let c = generate_dirty(&dirty_small(3));
+        let pairs = c.truth_pairs();
+        assert!(!pairs.is_empty());
+        for (i, j) in pairs {
+            assert!(i < j);
+            assert_eq!(c.documents[i].entity, c.documents[j].entity);
+        }
+    }
+
+    #[test]
+    fn variant_prob_one_corrupts_most_documents() {
+        let mut cfg = dirty_small(9);
+        cfg.variant_prob = 1.0;
+        let dirty = generate_dirty(&cfg);
+        cfg.variant_prob = 0.0;
+        let clean = generate_dirty(&cfg);
+        let changed = dirty
+            .documents
+            .iter()
+            .zip(&clean.documents)
+            .filter(|(d, c)| d.text != c.text)
+            .count();
+        // Every document mentions its surname at least once, so with
+        // variant_prob = 1 the overwhelming majority of texts change
+        // (short surnames like "ng" are left alone by design).
+        assert!(
+            changed * 10 >= clean.len() * 7,
+            "only {changed}/{} documents corrupted",
+            clean.len()
+        );
+        // Clean generation with prob 0 matches the underlying dataset order
+        // modulo the shuffle: same multiset of texts as the base blocks.
+        let base = generate(&cfg.base);
+        let mut base_texts: Vec<&str> = base
+            .blocks
+            .iter()
+            .flat_map(|b| b.documents.iter().map(|d| d.text.as_str()))
+            .collect();
+        let mut clean_texts: Vec<&str> = clean.documents.iter().map(|d| d.text.as_str()).collect();
+        base_texts.sort_unstable();
+        clean_texts.sort_unstable();
+        assert_eq!(base_texts, clean_texts);
+    }
+
+    #[test]
+    fn misspell_changes_long_names_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let v = misspell("cohen", &mut rng);
+            assert_ne!(v, "cohen");
+            assert!(!v.is_empty());
+        }
+        assert_eq!(misspell("ng", &mut rng), "ng");
+    }
+
+    #[test]
+    fn corrupt_mentions_is_whole_word() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = corrupt_mentions("mark marketing mark.", "mark", &mut rng);
+        assert!(
+            out.contains("marketing"),
+            "interior match must be preserved: {out}"
+        );
+        assert!(
+            !out.starts_with("mark "),
+            "leading mention corrupted: {out}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = generate_dirty(&dirty_small(2));
+        let json = c.to_json().unwrap();
+        let back = DirtyCorpus::from_json(&json).unwrap();
+        assert_eq!(back.documents, c.documents);
+        assert_eq!(back.entities, c.entities);
+        assert_eq!(back.label, c.label);
+    }
+}

@@ -20,8 +20,15 @@
 //! Presets: [`presets::www05_like`] (12 names × ~100 docs, 2–60 entities
 //! per name) and [`presets::weps_like`] (10 names × ~150 docs, harder:
 //! more entity overlap, poorer features).
+//!
+//! The [`dirty`] module goes one step earlier than both: it flattens a
+//! generated world into a single shuffled document pile with misspelled
+//! name mentions and *global* entity ground truth — the input of the
+//! corpus-scale blocking tier (`weber-block`), where block membership
+//! itself must be discovered.
 
 pub mod dataset;
+pub mod dirty;
 pub mod generator;
 pub mod persona;
 pub mod presets;
@@ -31,6 +38,7 @@ pub mod vocab;
 pub mod world;
 
 pub use dataset::{Dataset, GeneratedDocument, NameBlock};
+pub use dirty::{dirty, dirty_small, generate_dirty, DirtyConfig, DirtyCorpus, DirtyDocument};
 pub use generator::generate;
 pub use persona::Persona;
 pub use presets::{small, tiny, weps_like, www05_like, CorpusConfig};

@@ -124,11 +124,10 @@ impl EntityPools {
             .choose(rng)
             .expect("roles pool non-empty")
             .to_string();
-        // Home domain derived from the primary organization.
-        let org_slug: String = organizations[0]
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .collect();
+        // Home domain derived from the primary organization, through the
+        // workspace-shared slug helper (one normalization home, not a
+        // parallel char-filter copy).
+        let org_slug = weber_textindex::slug(&organizations[0]);
         let tld = ["edu", "org", "com", "net"]
             .choose(rng)
             .expect("tlds non-empty");

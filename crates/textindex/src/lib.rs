@@ -45,5 +45,5 @@ pub use sparse::SparseVector;
 pub use stem::porter_stem;
 pub use stopwords::is_stopword;
 pub use tfidf::{IdfScheme, TfIdf, TfScheme};
-pub use token::tokenize;
+pub use token::{normalize_phrase, slug, tokenize};
 pub use vocab::{TermId, Vocabulary};

@@ -89,6 +89,36 @@ pub fn tokenize_words(input: &str) -> Vec<String> {
     tokenize(input).into_iter().map(|t| t.text).collect()
 }
 
+/// Canonical phrase form for blocking keys and name comparison: lowercase
+/// alphanumeric tokens joined by single spaces (`"  W.  Cohen's Page "` →
+/// `"w cohen page"`).
+///
+/// This is *the* name-normalization helper of the workspace — `weber-corpus`
+/// (dirty-corpus surface forms), `weber-block` (token blocking keys) and the
+/// gazetteer-facing code all share it instead of keeping parallel
+/// lowercase/cleanup copies.
+pub fn normalize_phrase(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for tok in tokenize(input) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&tok.text);
+    }
+    out
+}
+
+/// Collapse a phrase into a single lowercase alphanumeric slug with no
+/// separators (`"Apex University"` → `"apexuniversity"`) — the form used
+/// for synthetic host names and file-system-safe keys.
+pub fn slug(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for tok in tokenize(input) {
+        out.push_str(&tok.text);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +166,22 @@ mod tests {
     fn trailing_token_without_delimiter() {
         let words = tokenize_words("end token");
         assert_eq!(words, ["end", "token"]);
+    }
+
+    #[test]
+    fn normalize_phrase_canonicalizes() {
+        assert_eq!(normalize_phrase("  W.  Cohen's  Page "), "w cohen page");
+        assert_eq!(normalize_phrase("apex-university"), "apex university");
+        assert_eq!(normalize_phrase(""), "");
+        // Already-canonical input is a fixed point.
+        assert_eq!(normalize_phrase("w cohen page"), "w cohen page");
+    }
+
+    #[test]
+    fn slug_strips_separators() {
+        assert_eq!(slug("Apex University"), "apexuniversity");
+        assert_eq!(slug("granite-labs"), "granitelabs");
+        assert_eq!(slug(""), "");
     }
 
     #[test]

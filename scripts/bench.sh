@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Perf reporting: run the machine-readable perf harness and (optionally)
-# the criterion ingest/pipeline benches.
+# Perf reporting: run the machine-readable perf + blocking harnesses and
+# (optionally) the criterion ingest/pipeline benches.
 #
 #   scripts/bench.sh                 # emit BENCH_stream.json / BENCH_pipeline.json
+#                                    #      / BENCH_block.json
 #   scripts/bench.sh --smoke         # fast sanity run (small sizes, 1 rep)
 #   scripts/bench.sh --criterion     # additionally run the criterion benches
+#   scripts/bench.sh --bench-out DIR # write every BENCH_*.json into DIR
 #
 # If results/BENCH_stream_baseline.json / results/BENCH_pipeline_baseline.json
 # exist, the reports include a speedup relative to them.
@@ -12,29 +14,43 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PERF_ARGS=()
+BLOCK_ARGS=()
 RUN_CRITERION=0
+EXPECT_DIR=0
 for arg in "$@"; do
+  if [ "$EXPECT_DIR" = 1 ]; then
+    PERF_ARGS+=(--bench-out "$arg")
+    BLOCK_ARGS+=(--bench-out "$arg")
+    EXPECT_DIR=0
+    continue
+  fi
   case "$arg" in
     # Smoke runs use tiny sizes; route their output under target/ so they
     # never clobber the committed full-run BENCH_*.json records.
     --smoke) PERF_ARGS+=(--smoke
                          --stream-out target/BENCH_stream.smoke.json
-                         --pipeline-out target/BENCH_pipeline.smoke.json) ;;
+                         --pipeline-out target/BENCH_pipeline.smoke.json)
+             BLOCK_ARGS+=(--smoke --out target/BENCH_block.smoke.json) ;;
     --criterion) RUN_CRITERION=1 ;;
+    --bench-out) EXPECT_DIR=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+[ "$EXPECT_DIR" = 1 ] && { echo "--bench-out needs a directory" >&2; exit 2; }
 
 [ -f results/BENCH_stream_baseline.json ] &&
   PERF_ARGS+=(--stream-baseline results/BENCH_stream_baseline.json)
 [ -f results/BENCH_pipeline_baseline.json ] &&
   PERF_ARGS+=(--pipeline-baseline results/BENCH_pipeline_baseline.json)
 
-echo "==> cargo build --release -p weber-bench --bin perf"
-cargo build --release -p weber-bench --bin perf
+echo "==> cargo build --release -p weber-bench --bin perf --bin block_bench"
+cargo build --release -p weber-bench --bin perf --bin block_bench
 
 echo "==> perf harness"
 target/release/perf "${PERF_ARGS[@]}"
+
+echo "==> blocking harness"
+target/release/block_bench "${BLOCK_ARGS[@]}"
 
 if [ "$RUN_CRITERION" = 1 ]; then
   echo "==> criterion: stream + pipeline benches"

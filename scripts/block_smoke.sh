@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Blocking smoke: generate a small dirty corpus, run `weber block` with
+# every strategy over it, and sanity-check the NDJSON output and the
+# summary numbers. Fails if any strategy loses to brute force, or if
+# meta/lsh miss the recall / comparison targets the PR's acceptance
+# criteria pin (≥ 0.95 recall at ≤ 25% of brute-force comparisons).
+# Used by scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WEBER=target/release/weber
+if [[ ! -x "$WEBER" ]]; then
+    echo "==> building release binary for block smoke"
+    cargo build --release --quiet
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+CORPUS="$WORK/dirty-small.json"
+"$WEBER" generate --preset dirty-small --seed 20100301 --out "$CORPUS" >/dev/null
+
+fail() {
+    echo "block smoke: $1" >&2
+    exit 1
+}
+
+# Pull a numeric field out of the summary line.
+field() {
+    grep -o "\"$2\":[0-9.]*" "$1" | head -1 | cut -d: -f2
+}
+
+for strategy in token meta lsh; do
+    OUT="$WORK/blocks-$strategy.ndjson"
+    "$WEBER" block --corpus "$CORPUS" --strategy "$strategy" \
+        --out "$OUT" --metrics-file "$WORK/metrics-$strategy.txt" 2>/dev/null
+
+    tail -1 "$OUT" | grep -q '"summary"' || fail "$strategy: missing summary line"
+    head -1 "$OUT" | grep -q '"block":0' || fail "$strategy: missing block lines"
+    grep -q 'block.candidate_pairs' "$WORK/metrics-$strategy.txt" ||
+        fail "$strategy: metrics dump missing counters"
+
+    candidate=$(field "$OUT" candidate_pairs)
+    brute=$(field "$OUT" brute_force_pairs)
+    recall=$(field "$OUT" pair_recall)
+    frac=$(field "$OUT" comparison_frac)
+    [[ "$candidate" -lt "$brute" ]] ||
+        fail "$strategy: $candidate candidate pairs do not beat brute force ($brute)"
+
+    if [[ "$strategy" != token ]]; then
+        awk -v r="$recall" 'BEGIN { exit !(r >= 0.95) }' ||
+            fail "$strategy: pair recall $recall < 0.95"
+        awk -v f="$frac" 'BEGIN { exit !(f <= 0.25) }' ||
+            fail "$strategy: comparison fraction $frac > 0.25"
+    fi
+    echo "  $strategy: $candidate/$brute pairs (frac $frac), recall $recall"
+done
+
+echo "block smoke passed."

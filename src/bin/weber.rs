@@ -1,10 +1,16 @@
 //! `weber` — command-line front end for the entity-resolution library.
 //!
 //! ```text
-//! weber generate --preset www05|weps|small|tiny [--seed N] --out FILE
+//! weber generate --preset www05|weps|small|tiny|dirty|dirty-small
+//!                [--seed N] --out FILE
 //! weber stats    --dataset FILE
 //! weber resolve  --dataset FILE [--train FRAC] [--seed N] [--out FILE]
 //! weber experiment --dataset FILE [--train FRAC] [--runs N]
+//! weber block    (--corpus FILE | --preset dirty|dirty-small [--seed N])
+//!                [--strategy token|meta|lsh] [--out FILE] [--min-df N]
+//!                [--max-df FRAC] [--weight cbs|js] [--prune-factor F]
+//!                [--hashes N] [--bands N] [--lsh-threshold F] [--threads N]
+//!                [--metrics-file FILE]
 //! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
 //!                [--max-connections N] [--state-dir DIR] [--max-names N]
 //!                [--metrics-file FILE] [--metrics-interval SECS]
@@ -16,11 +22,15 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use weber::block::{Blocker, BlockingConfig, DocRecord, LshConfig, Strategy, WeightScheme};
 use weber::core::blocking::prepare_dataset;
 use weber::core::experiment::{run_experiment, ExperimentConfig};
 use weber::core::resolver::{Resolver, ResolverConfig};
 use weber::core::supervision::Supervision;
-use weber::corpus::{generate, presets, CorpusConfig, Dataset};
+use weber::corpus::{
+    dirty, dirty_small, generate, generate_dirty, presets, CorpusConfig, Dataset, DirtyConfig,
+    DirtyCorpus,
+};
 use weber::eval::MetricSet;
 use weber::shard::{route_stdio, route_tcp, spawn_prober, Router, RouterOptions};
 use weber::simfun::functions::subset_i10;
@@ -31,10 +41,16 @@ const USAGE: &str = "\
 weber — entity resolution for web document collections
 
 USAGE:
-  weber generate  --preset <www05|weps|small|tiny> [--seed N] --out FILE
+  weber generate  --preset <www05|weps|small|tiny|dirty|dirty-small>
+                  [--seed N] --out FILE
   weber stats     --dataset FILE
   weber resolve   --dataset FILE [--train FRAC] [--seed N] [--out FILE]
   weber experiment --dataset FILE [--train FRAC] [--runs N]
+  weber block     (--corpus FILE | --preset dirty|dirty-small [--seed N])
+                  [--strategy token|meta|lsh] [--out FILE] [--min-df N]
+                  [--max-df FRAC] [--weight cbs|js] [--prune-factor F]
+                  [--hashes N] [--bands N] [--lsh-threshold F] [--threads N]
+                  [--metrics-file FILE]
   weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
                   [--max-connections N] [--state-dir DIR] [--max-names N]
                   [--metrics-file FILE] [--metrics-interval SECS]
@@ -46,6 +62,20 @@ USAGE:
 The resolve/experiment commands use the paper's full technique (functions
 F1–F10, threshold + region-accuracy criteria, best-graph combination,
 transitive closure).
+
+The dirty / dirty-small presets generate a *flat* shuffled web corpus
+(documents about all names in one pile, a fraction of surname mentions
+misspelled) with global entity ground truth — the input of weber block.
+
+The block command turns such a corpus into candidate blocks: token
+blocking over normalized text+URL terms (--strategy token), meta-blocking
+over the block graph with CBS or Jaccard edge weights pruned at
+--prune-factor × the mean weight (--strategy meta, the default), or
+MinHash/LSH banding (--strategy lsh, tuned by --hashes, --bands and the
+verification --lsh-threshold). It writes NDJSON to --out (default
+stdout): one {\"block\":K,\"docs\":[...]} line per candidate block, then
+one {\"summary\":{...}} line with pair/recall accounting; --metrics-file
+dumps the stage counters and latency histograms as text.
 
 The serve command runs a streaming resolution daemon speaking NDJSON, one
 request per line, over stdin/stdout (default) or a TCP socket (--listen).
@@ -139,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&flags),
         "resolve" => cmd_resolve(&flags),
         "experiment" => cmd_experiment(&flags),
+        "block" => cmd_block(&flags),
         "serve" => cmd_serve(&flags),
         "route" => cmd_route(&flags),
         "help" | "--help" | "-h" => {
@@ -163,12 +194,34 @@ fn preset_by_name(name: &str, seed: u64) -> Result<CorpusConfig, String> {
     }
 }
 
+fn dirty_preset_by_name(name: &str, seed: u64) -> Option<DirtyConfig> {
+    match name {
+        "dirty" => Some(dirty(seed)),
+        "dirty-small" => Some(dirty_small(seed)),
+        _ => None,
+    }
+}
+
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let preset = flags
         .get("preset")
         .ok_or("missing required flag --preset")?;
     let seed: u64 = parse(flags, "seed", 0)?;
     let out = flags.get("out").ok_or("missing required flag --out")?;
+    if let Some(config) = dirty_preset_by_name(preset, seed) {
+        let corpus = generate_dirty(&config);
+        let json = corpus.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote '{}' dirty corpus: {} documents, {} entities, {} bytes -> {}",
+            corpus.label,
+            corpus.len(),
+            corpus.entities,
+            json.len(),
+            out
+        );
+        return Ok(());
+    }
     let dataset = generate(&preset_by_name(preset, seed)?);
     let json = dataset.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -181,6 +234,113 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
         out
     );
     Ok(())
+}
+
+fn cmd_block(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = match (flags.get("corpus"), flags.get("preset")) {
+        (Some(_), Some(_)) => return Err("--corpus and --preset are mutually exclusive".into()),
+        (Some(path), None) => {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            DirtyCorpus::from_json(&json).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+        (None, Some(preset)) => {
+            let seed: u64 = parse(flags, "seed", 0)?;
+            let config = dirty_preset_by_name(preset, seed)
+                .ok_or_else(|| format!("unknown dirty preset '{preset}' (dirty|dirty-small)"))?;
+            generate_dirty(&config)
+        }
+        (None, None) => return Err("missing required flag --corpus or --preset".into()),
+    };
+
+    let strategy: Strategy = parse(flags, "strategy", Strategy::Meta)?;
+    let weight: WeightScheme = parse(flags, "weight", WeightScheme::Cbs)?;
+    let config = BlockingConfig {
+        strategy,
+        min_df: parse(flags, "min-df", 2)?,
+        max_df_frac: parse(flags, "max-df", 0.2)?,
+        weight,
+        prune_factor: parse(
+            flags,
+            "prune-factor",
+            BlockingConfig::default().prune_factor,
+        )?,
+        lsh: LshConfig {
+            hashes: parse(flags, "hashes", LshConfig::default().hashes)?,
+            bands: parse(flags, "bands", LshConfig::default().bands)?,
+            threshold: parse(flags, "lsh-threshold", LshConfig::default().threshold)?,
+            ..LshConfig::default()
+        },
+        threads: parse(flags, "threads", 0)?,
+    };
+
+    let blocker = Blocker::new(config);
+    let docs: Vec<DocRecord> = corpus
+        .documents
+        .iter()
+        .map(|d| DocRecord {
+            text: &d.text,
+            url: d.url.as_deref(),
+        })
+        .collect();
+    let outcome = blocker.block(&docs);
+    let recall = outcome.pair_recall(&corpus.truth_pairs());
+
+    let mut ndjson = String::new();
+    for (k, members) in outcome.blocks.iter().enumerate() {
+        ndjson.push_str(&format!(
+            "{{\"block\":{k},\"docs\":{}}}\n",
+            format_u32_list(members)
+        ));
+    }
+    let stats = &outcome.stats;
+    ndjson.push_str(&format!(
+        "{{\"summary\":{{\"strategy\":\"{}\",\"docs\":{},\"token_blocks\":{},\
+         \"blocks\":{},\"candidate_pairs\":{},\"brute_force_pairs\":{},\
+         \"comparison_frac\":{:.6},\"pair_recall\":{:.6}}}}}\n",
+        outcome.strategy.name(),
+        stats.docs,
+        stats.token_blocks,
+        stats.blocks_built,
+        stats.candidate_pairs,
+        stats.brute_force_pairs,
+        stats.comparison_frac(),
+        recall,
+    ));
+    match flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, &ndjson).map_err(|e| format!("cannot write {out}: {e}"))?
+        }
+        None => print!("{ndjson}"),
+    }
+    if let Some(path) = flags.get("metrics-file") {
+        std::fs::write(path, blocker.metrics().render_text())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!(
+        "blocked '{}' with {}: {} docs -> {} blocks, {} candidate pairs \
+         ({:.1}% of brute force), pair recall {:.4}",
+        corpus.label,
+        outcome.strategy.name(),
+        stats.docs,
+        stats.blocks_built,
+        stats.candidate_pairs,
+        stats.comparison_frac() * 100.0,
+        recall,
+    );
+    Ok(())
+}
+
+fn format_u32_list(values: &[u32]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(']');
+    s
 }
 
 fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -30,10 +30,15 @@
 //!   many `weber serve` backends behind one `weber route` front end, with
 //!   pooled connections, health probes, bounded retries and degraded-mode
 //!   fan-out merges.
+//! - [`block`] — the corpus-scale blocking tier: token blocking,
+//!   meta-blocking (block graph + weight-edge pruning) and MinHash/LSH
+//!   candidate generation over flat dirty corpora, behind the
+//!   `weber block` subcommand.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
 //! tables/figures.
 
+pub use weber_block as block;
 pub use weber_core as core;
 pub use weber_corpus as corpus;
 pub use weber_eval as eval;

@@ -1,0 +1,246 @@
+//! Blocking-tier integration tests: dirty corpus → `weber-block`
+//! candidate generation → (for meta) the full resolver over the emitted
+//! blocks, plus determinism and CLI round-trip checks.
+
+use weber::block::{Blocker, BlockingConfig, DocRecord, Strategy};
+use weber::core::resolver::{Resolver, ResolverConfig};
+use weber::core::supervision::Supervision;
+use weber::corpus::{dirty_small, generate_dirty, DirtyConfig, DirtyCorpus};
+use weber::extract::features::PageFeatures;
+use weber::extract::pipeline::Extractor;
+use weber::graph::Partition;
+use weber::simfun::block::{PreparedBlock, WordVectorScheme};
+
+fn corpus() -> DirtyCorpus {
+    generate_dirty(&dirty_small(20100301))
+}
+
+fn doc_records(corpus: &DirtyCorpus) -> Vec<DocRecord<'_>> {
+    corpus
+        .documents
+        .iter()
+        .map(|d| DocRecord {
+            text: &d.text,
+            url: d.url.as_deref(),
+        })
+        .collect()
+}
+
+#[test]
+fn every_strategy_beats_brute_force() {
+    let corpus = corpus();
+    let docs = doc_records(&corpus);
+    let truth = corpus.truth_pairs();
+    for strategy in [Strategy::Token, Strategy::Meta, Strategy::Lsh] {
+        let out = Blocker::new(BlockingConfig::default().with_strategy(strategy)).block(&docs);
+        assert!(
+            out.stats.candidate_pairs < out.stats.brute_force_pairs,
+            "{strategy:?} must compare fewer pairs than brute force: {} vs {}",
+            out.stats.candidate_pairs,
+            out.stats.brute_force_pairs
+        );
+        // Even plain token blocking keeps essentially all true pairs.
+        let recall = out.pair_recall(&truth);
+        assert!(
+            recall >= 0.9,
+            "{strategy:?} recall {recall:.4} below the floor"
+        );
+    }
+}
+
+#[test]
+fn meta_and_lsh_hit_the_acceptance_numbers() {
+    // The PR's acceptance criterion: ≥ 0.95 pair recall at ≤ 25% of the
+    // brute-force comparisons, on the dirty preset, for meta-blocking and
+    // LSH under default knobs.
+    let corpus = corpus();
+    let docs = doc_records(&corpus);
+    let truth = corpus.truth_pairs();
+    for strategy in [Strategy::Meta, Strategy::Lsh] {
+        let out = Blocker::new(BlockingConfig::default().with_strategy(strategy)).block(&docs);
+        let recall = out.pair_recall(&truth);
+        let frac = out.stats.comparison_frac();
+        assert!(
+            recall >= 0.95,
+            "{strategy:?} pair recall {recall:.4} < 0.95"
+        );
+        assert!(
+            frac <= 0.25,
+            "{strategy:?} uses {:.1}% of brute-force comparisons (> 25%)",
+            frac * 100.0
+        );
+    }
+}
+
+#[test]
+fn blocking_is_deterministic_under_parallelism() {
+    // Block-graph construction merges per-worker partial maps; pruning and
+    // component assembly must come out bit-identical whatever the split.
+    let corpus = corpus();
+    let docs = doc_records(&corpus);
+    for strategy in [Strategy::Token, Strategy::Meta, Strategy::Lsh] {
+        let run = |threads: usize| {
+            let config = BlockingConfig {
+                threads,
+                ..BlockingConfig::default()
+            }
+            .with_strategy(strategy);
+            Blocker::new(config).block(&docs)
+        };
+        let one = run(1);
+        let four = run(4);
+        let nine = run(9);
+        assert_eq!(one.pairs, four.pairs, "{strategy:?} pairs differ");
+        assert_eq!(four.pairs, nine.pairs, "{strategy:?} pairs differ");
+        assert_eq!(one.blocks, four.blocks, "{strategy:?} blocks differ");
+        assert_eq!(one.stats, nine.stats, "{strategy:?} stats differ");
+    }
+}
+
+#[test]
+fn blocks_feed_the_resolver_end_to_end() {
+    // A small dirty pile → meta-blocking → full resolver per emitted
+    // block. The final global partition (resolver clusters within blocks,
+    // singletons elsewhere) must recover most true co-referent pairs.
+    let mut config = dirty_small(42);
+    config.base.names = 3;
+    config.base.docs_per_name = 16;
+    let corpus = generate_dirty(&config);
+    let docs = doc_records(&corpus);
+    let out = Blocker::new(BlockingConfig::default()).block(&docs);
+    assert!(!out.blocks.is_empty());
+
+    let extractor = Extractor::new(&corpus.gazetteer);
+    let resolver = Resolver::new(ResolverConfig::default()).unwrap();
+    // Global labels: one cluster id space across blocks, singletons for
+    // documents no block covers.
+    let mut global = vec![u32::MAX; corpus.len()];
+    let mut next = 0u32;
+    for (k, members) in out.blocks.iter().enumerate() {
+        let features: Vec<PageFeatures> = members
+            .iter()
+            .map(|&d| {
+                let doc = &corpus.documents[d as usize];
+                extractor.extract(&doc.text, doc.url.as_deref())
+            })
+            .collect();
+        let block =
+            PreparedBlock::with_scheme(format!("block{k}"), features, WordVectorScheme::default());
+        let truth = Partition::from_labels(
+            members
+                .iter()
+                .map(|&d| corpus.documents[d as usize].entity)
+                .collect(),
+        );
+        let sup = Supervision::sample_from_truth(&truth, 0.3, 7);
+        let r = resolver.resolve(&block, &sup).unwrap();
+        for (slot, &d) in members.iter().enumerate() {
+            global[d as usize] = next + r.partition.label_of(slot);
+        }
+        next += r.partition.cluster_count() as u32;
+    }
+    for g in &mut global {
+        if *g == u32::MAX {
+            *g = next;
+            next += 1;
+        }
+    }
+
+    let resolved = Partition::from_labels(global);
+    let truth_pairs = corpus.truth_pairs();
+    let hits = truth_pairs
+        .iter()
+        .filter(|&&(i, j)| resolved.label_of(i) == resolved.label_of(j))
+        .count();
+    let recall = hits as f64 / truth_pairs.len() as f64;
+    assert!(
+        recall >= 0.5,
+        "resolver over candidate blocks recovers only {recall:.3} of true pairs"
+    );
+}
+
+#[test]
+fn cli_block_roundtrip() {
+    // generate --preset dirty-small → block --strategy lsh → NDJSON out.
+    let dir = std::env::temp_dir().join("weber_blocking_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus_path = dir.join("dirty.json");
+    let blocks_path = dir.join("blocks.ndjson");
+    let metrics_path = dir.join("metrics.txt");
+    let weber = env!("CARGO_BIN_EXE_weber");
+
+    let status = std::process::Command::new(weber)
+        .args([
+            "generate",
+            "--preset",
+            "dirty-small",
+            "--seed",
+            "5",
+            "--out",
+            corpus_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let status = std::process::Command::new(weber)
+        .args([
+            "block",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--strategy",
+            "lsh",
+            "--out",
+            blocks_path.to_str().unwrap(),
+            "--metrics-file",
+            metrics_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let ndjson = std::fs::read_to_string(&blocks_path).unwrap();
+    let lines: Vec<&str> = ndjson.lines().collect();
+    assert!(lines.len() >= 2, "expected blocks plus a summary line");
+    for line in &lines[..lines.len() - 1] {
+        assert!(
+            line.starts_with("{\"block\":"),
+            "unexpected block line: {line}"
+        );
+    }
+    let summary = lines.last().unwrap();
+    assert!(
+        summary.starts_with("{\"summary\":"),
+        "bad summary: {summary}"
+    );
+    assert!(
+        summary.contains("\"strategy\":\"lsh\""),
+        "bad summary: {summary}"
+    );
+    assert!(
+        summary.contains("\"pair_recall\":"),
+        "bad summary: {summary}"
+    );
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(
+        metrics.contains("block.candidate_pairs"),
+        "metrics dump missing counters: {metrics}"
+    );
+    assert!(
+        metrics.contains("block.stage.total_us_count"),
+        "metrics dump missing histograms"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dirty_preset_generation_is_reproducible_via_config() {
+    let a = generate_dirty(&dirty_small(9));
+    let b = generate_dirty(&DirtyConfig {
+        base: dirty_small(9).base,
+        variant_prob: dirty_small(9).variant_prob,
+    });
+    assert_eq!(a.documents, b.documents);
+}
