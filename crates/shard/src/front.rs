@@ -6,8 +6,8 @@
 //! line), but the loop body is synchronous: the router answers each line
 //! before reading the next, so responses are trivially in request order.
 //! Backend concurrency still happens per request — fan-out ops contact
-//! every backend in parallel — and across clients, each on its own
-//! thread.
+//! every backend in parallel, replicated writes their whole replica set
+//! — and across clients, each on its own thread.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};

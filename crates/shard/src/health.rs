@@ -1,12 +1,13 @@
 //! Per-backend health tracking with exponential probe backoff.
 //!
-//! Health is observational, not gating: names are placed by the ring, so a
-//! request for a name owned by a dead backend *must* fail (the state lives
-//! there and nowhere else) — there is no failover target. What health
-//! buys is cheap reporting (`health` on the router answers without
-//! touching any backend), the `route.healthy_backends` gauge, and probe
-//! scheduling that backs off exponentially instead of hammering a dead
-//! host once a second forever.
+//! Health is observational, not gating: names are placed by the ring, and
+//! a request for a name whose backend is marked unhealthy is still
+//! attempted (marks can be stale). What health buys is cheap reporting
+//! (`health` on the router answers without touching any backend), the
+//! `route.healthy_backends` gauge, read-failover *ordering* (replicas
+//! believed healthy are tried first), probe scheduling that backs off
+//! exponentially instead of hammering a dead host once a second forever,
+//! and the recovery signal that triggers write-repair replay.
 //!
 //! Both paths feed it: the active prober sends `{"op":"health"}` on a
 //! schedule, and the forwarder marks success/failure passively on every
@@ -67,13 +68,38 @@ impl HealthState {
     }
 
     /// Record a failed exchange; the next probe is pushed out by
-    /// `probe_interval * 2^min(failures-1, 6)`.
+    /// `probe_interval * 2^min(failures-1, 6)`. The failure counter
+    /// saturates at `u32::MAX` — a backend that stays dead for a very
+    /// long streak must not wrap back to zero (which would both misreport
+    /// and restart the backoff ramp).
     pub fn mark_failure(&self, error: &str, probe_interval: Duration) {
         self.healthy.store(false, Ordering::SeqCst);
-        let failures = self.failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let previous = self
+            .failures
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| {
+                Some(f.saturating_add(1))
+            })
+            .expect("the update closure never rejects");
+        let failures = previous.saturating_add(1);
         *self.last_error.lock() = Some(error.to_string());
+        let delay = Self::backoff_for(failures, probe_interval);
+        let now = Instant::now();
+        // `Instant + Duration` panics on overflow; an absurd configured
+        // interval degrades to "retry in ~a day" instead.
+        *self.next_probe_at.lock() = now
+            .checked_add(delay)
+            .unwrap_or_else(|| now + Duration::from_secs(86_400));
+    }
+
+    /// The clamped backoff delay after `failures` consecutive failures.
+    /// Saturating: neither the shift nor the multiplication can overflow,
+    /// however long the failure streak or large the configured interval.
+    fn backoff_for(failures: u32, probe_interval: Duration) -> Duration {
+        if failures == 0 {
+            return probe_interval;
+        }
         let exp = (failures - 1).min(MAX_BACKOFF_EXP);
-        *self.next_probe_at.lock() = Instant::now() + probe_interval * 2u32.pow(exp);
+        probe_interval.saturating_mul(1u32 << exp)
     }
 
     /// Should the prober contact this backend now? Healthy backends are
@@ -84,12 +110,7 @@ impl HealthState {
 
     /// Current backoff delay, for reporting.
     pub fn backoff(&self, probe_interval: Duration) -> Duration {
-        let failures = self.failures();
-        if failures == 0 {
-            probe_interval
-        } else {
-            probe_interval * 2u32.pow((failures - 1).min(MAX_BACKOFF_EXP))
-        }
+        Self::backoff_for(self.failures(), probe_interval)
     }
 }
 
@@ -127,6 +148,33 @@ mod tests {
         assert_eq!(h.backoff(TICK), TICK * 64, "backoff caps at 2^6");
         assert_eq!(h.last_error().as_deref(), Some("refused"));
         // Deep in backoff, the probe is not due right now.
+        assert!(!h.probe_due(Instant::now()));
+    }
+
+    #[test]
+    fn sustained_failure_streaks_saturate_instead_of_overflowing() {
+        let h = HealthState::new();
+        // Jump to the end of a very long streak: the counter must pin at
+        // u32::MAX (not wrap to 0 and restart the backoff ramp) and the
+        // backoff math must stay clamped at 2^6.
+        h.failures.store(u32::MAX - 1, Ordering::SeqCst);
+        h.mark_failure("refused", TICK);
+        assert_eq!(h.failures(), u32::MAX);
+        h.mark_failure("refused", TICK);
+        assert_eq!(h.failures(), u32::MAX, "counter saturates");
+        assert_eq!(h.backoff(TICK), TICK * 64, "backoff stays clamped");
+        assert!(!h.is_healthy());
+    }
+
+    #[test]
+    fn huge_probe_intervals_do_not_overflow_the_backoff() {
+        let h = HealthState::new();
+        for _ in 0..10 {
+            // 2^6 × (Duration::MAX / 2) overflows a checked multiply;
+            // the saturating path must neither panic nor wrap.
+            h.mark_failure("refused", Duration::MAX / 2);
+        }
+        assert_eq!(h.backoff(Duration::MAX / 2), Duration::MAX);
         assert!(!h.probe_due(Instant::now()));
     }
 

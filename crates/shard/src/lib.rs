@@ -8,25 +8,32 @@
 //! live partition in a single process; the first scaling lever is to
 //! split the *names* across processes. All of `weber-stream`'s state is
 //! keyed by the ambiguous name, so routing is exact — a consistent-hash
-//! ring ([`ring`]) maps each name to the one backend that owns it, and
-//! the router speaks the same NDJSON protocol as a single daemon:
+//! ring ([`ring`]) maps each name to the backends that hold it (one, or
+//! `R` under `--replication R`), and the router speaks the same NDJSON
+//! protocol as a single daemon:
 //!
-//! - **per-name ops** (`seed`, `ingest`) are forwarded to the owning
-//!   backend over pooled persistent connections ([`pool`]), with bounded
-//!   retries (idempotent ops retry any transport failure; `ingest` only
-//!   retries failures that provably sent nothing) and the owning shard's
-//!   index appended to the reply;
+//! - **per-name writes** (`seed`, `ingest`) are forwarded to every
+//!   backend in the name's replica set over pooled persistent
+//!   connections ([`pool`]), with bounded retries (idempotent ops retry
+//!   any transport failure; `ingest` only retries failures that provably
+//!   sent nothing) and the answering shard's index appended to the
+//!   reply; a replica that misses a write gets the line buffered and
+//!   replayed when it recovers (write repair);
+//! - the **per-name read** (`resolve`) fails over across the replica set
+//!   in ring order — healthy members first — so fewer than R dead
+//!   backends never make a name unreadable;
 //! - **fan-out ops** (`snapshot`, `metrics`, `persist`, `restore`,
 //!   `flush`, `shutdown`) are broadcast to every backend concurrently and
 //!   merged into one well-formed reply ([`merge`]) — unreachable backends
 //!   degrade the answer (`"degraded":true` plus the unreachable shard
-//!   list) instead of failing it;
+//!   list) instead of failing it, and the snapshot merge collapses
+//!   replicated names to their preferred copy;
 //! - **`health`** answers from the router's own records ([`health`]) —
 //!   probes with exponential backoff plus passive marks from routed
 //!   traffic — without contacting any backend;
 //! - **`topology`** swaps the backend set at runtime: the old ring
 //!   persists its names to the shared state directory first, then the new
-//!   owners restore them lazily on their next touch.
+//!   replica sets restore them lazily on their next touch.
 //!
 //! The front end ([`front`]) serves stdin/stdout or TCP with the same
 //! concurrency and shutdown model as `weber serve`. Everything is

@@ -6,9 +6,15 @@
 //! degrades the answer instead of failing it: the merged reply stays
 //! `ok:true`, carries what the reachable shards returned, and marks
 //! itself with `"degraded":true` plus the list of unreachable shards.
+//! The snapshot merge is additionally replica-aware: duplicate copies of
+//! a name collapse to the preferred replica's entry, and fewer backend
+//! failures than the replication factor do not degrade the reply at all
+//! (see [`merge_snapshot`]).
 
 use serde::Value;
 use weber_obs::{BucketCount, HistogramSnapshot, MetricsSnapshot};
+
+use crate::ring::HashRing;
 
 /// One backend's contribution to a fan-out: either its parsed reply or a
 /// transport-level error message.
@@ -83,38 +89,66 @@ pub(crate) fn degraded_fields(outcomes: &[ShardOutcome]) -> Vec<(&'static str, V
 }
 
 /// Merge `snapshot` replies: concatenate the per-name entries, tag each
-/// with its owning shard, sort by name for deterministic output.
-pub fn merge_snapshot(outcomes: &[ShardOutcome]) -> String {
-    let mut names: Vec<Value> = Vec::new();
+/// with its reporting shard, sort by name for deterministic output.
+///
+/// Replica-aware on two counts. First, under replication (and after
+/// topology changes) several shards may report the same name; each name
+/// keeps exactly one entry — the copy from the shard earliest in the
+/// name's replica set ([`HashRing::successors`]), falling back to the
+/// lowest shard index for stale copies outside the current set. Second,
+/// the merged reply is only marked `degraded` when the number of failed
+/// shards reaches `replication`: below that, the replica invariant
+/// guarantees every name still has a live copy in the merge, so the
+/// snapshot is complete even though a backend is down.
+pub fn merge_snapshot(outcomes: &[ShardOutcome], ring: &HashRing, replication: usize) -> String {
+    let replication = replication.clamp(1, ring.len());
+    let mut entries: Vec<(String, usize, Value)> = Vec::new();
     for outcome in outcomes {
         if failure_of(outcome).is_some() {
             continue;
         }
         let Ok(reply) = &outcome.result else { continue };
-        let Some(entries) = reply.get("names").and_then(Value::as_array) else {
+        let Some(names) = reply.get("names").and_then(Value::as_array) else {
             continue;
         };
-        for entry in entries {
-            let mut entry = entry.clone();
-            push_field(&mut entry, "shard", Value::Number(outcome.index as f64));
-            names.push(entry);
-        }
-    }
-    names.sort_by(|a, b| {
-        let key = |v: &Value| {
-            v.get("name")
+        for entry in names {
+            let name = entry
+                .get("name")
                 .and_then(Value::as_str)
                 .unwrap_or("")
-                .to_string()
-        };
-        key(a).cmp(&key(b))
+                .to_string();
+            let mut entry = entry.clone();
+            push_field(&mut entry, "shard", Value::Number(outcome.index as f64));
+            entries.push((name, outcome.index, entry));
+        }
+    }
+    // Preference of a copy: its shard's position in the name's replica
+    // set, then the shard index as a stable tie-break for copies a
+    // topology change stranded outside the set.
+    let rank = |name: &str, shard: usize| {
+        let set = ring.successors(name, replication);
+        (
+            set.iter()
+                .position(|&idx| idx == shard)
+                .unwrap_or(set.len()),
+            shard,
+        )
+    };
+    entries.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| rank(&a.0, a.1).cmp(&rank(&b.0, b.1)))
     });
+    entries.dedup_by(|b, a| a.0 == b.0);
+    let names: Vec<Value> = entries.into_iter().map(|(_, _, entry)| entry).collect();
     let mut fields = vec![
         ("ok", Value::Bool(true)),
         ("op", Value::String("snapshot".into())),
         ("names", Value::Array(names)),
     ];
-    fields.extend(degraded_fields(outcomes));
+    let failed = outcomes.iter().filter(|o| failure_of(o).is_some()).count();
+    if failed >= replication {
+        fields.extend(degraded_fields(outcomes));
+    }
     render(&object(fields))
 }
 
@@ -253,18 +287,27 @@ mod tests {
         }
     }
 
+    fn ring(n: usize) -> HashRing {
+        let addrs: Vec<String> = (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect();
+        HashRing::new(&addrs, 64)
+    }
+
     #[test]
     fn snapshot_merge_concatenates_sorts_and_tags() {
-        let merged = merge_snapshot(&[
-            ok_outcome(
-                0,
-                r#"{"ok":true,"op":"snapshot","names":[{"name":"smith","docs":2}]}"#,
-            ),
-            ok_outcome(
-                1,
-                r#"{"ok":true,"op":"snapshot","names":[{"name":"cohen","docs":3}]}"#,
-            ),
-        ]);
+        let merged = merge_snapshot(
+            &[
+                ok_outcome(
+                    0,
+                    r#"{"ok":true,"op":"snapshot","names":[{"name":"smith","docs":2}]}"#,
+                ),
+                ok_outcome(
+                    1,
+                    r#"{"ok":true,"op":"snapshot","names":[{"name":"cohen","docs":3}]}"#,
+                ),
+            ],
+            &ring(2),
+            1,
+        );
         let v = serde_json::parse_value(&merged).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert!(v.get("degraded").is_none(), "all shards answered: {merged}");
@@ -277,14 +320,65 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_merge_dedupes_replicated_names_by_ring_preference() {
+        let ring = ring(3);
+        let set = ring.successors("cohen", 2);
+        // Both replicas report the name; the merged snapshot must keep
+        // exactly one copy — the primary's — and stay non-degraded.
+        let merged = merge_snapshot(
+            &[
+                ok_outcome(
+                    set[0],
+                    r#"{"ok":true,"op":"snapshot","names":[{"name":"cohen","docs":5}]}"#,
+                ),
+                ok_outcome(
+                    set[1],
+                    r#"{"ok":true,"op":"snapshot","names":[{"name":"cohen","docs":5}]}"#,
+                ),
+            ],
+            &ring,
+            2,
+        );
+        let v = serde_json::parse_value(&merged).unwrap();
+        let names = v.get("names").unwrap().as_array().unwrap();
+        assert_eq!(names.len(), 1, "one entry per name: {merged}");
+        assert_eq!(
+            names[0].get("shard").unwrap().as_u64(),
+            Some(set[0] as u64),
+            "the primary's copy wins"
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_suppresses_degraded_below_the_replication_factor() {
+        let ring = ring(3);
+        let set = ring.successors("cohen", 2);
+        let entry = r#"{"ok":true,"op":"snapshot","names":[{"name":"cohen","docs":5}]}"#;
+        // Primary dead, replica answering: with R=2 the replica invariant
+        // says coverage is still complete, so no degraded marker …
+        let merged = merge_snapshot(&[ok_outcome(set[1], entry), dead_outcome(set[0])], &ring, 2);
+        let v = serde_json::parse_value(&merged).unwrap();
+        assert!(v.get("degraded").is_none(), "{merged}");
+        assert_eq!(v.get("names").unwrap().as_array().unwrap().len(), 1);
+        // … but R failures can lose names, and must degrade the reply.
+        let merged = merge_snapshot(&[dead_outcome(set[0]), dead_outcome(set[1])], &ring, 2);
+        let v = serde_json::parse_value(&merged).unwrap();
+        assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true), "{merged}");
+    }
+
+    #[test]
     fn dead_shards_degrade_the_merge_instead_of_failing_it() {
-        let merged = merge_snapshot(&[
-            ok_outcome(
-                0,
-                r#"{"ok":true,"op":"snapshot","names":[{"name":"smith","docs":2}]}"#,
-            ),
-            dead_outcome(1),
-        ]);
+        let merged = merge_snapshot(
+            &[
+                ok_outcome(
+                    0,
+                    r#"{"ok":true,"op":"snapshot","names":[{"name":"smith","docs":2}]}"#,
+                ),
+                dead_outcome(1),
+            ],
+            &ring(2),
+            1,
+        );
         let v = serde_json::parse_value(&merged).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));

@@ -1,12 +1,13 @@
 //! Consistent-hash ring over backend addresses.
 //!
 //! Every piece of `weber serve` state is keyed by the ambiguous `name`, so
-//! routing is *exact*: the ring maps a name to the one backend that owns
-//! every document, model and cluster for it. Virtual nodes (`replicas`
-//! points per backend) smooth the key distribution; FNV-1a is used instead
-//! of [`std::collections::hash_map::DefaultHasher`] because the router and
-//! its operators must agree on placement across processes and restarts,
-//! and `DefaultHasher` is randomly seeded per process.
+//! routing is *exact*: the ring maps a name to the backend that owns
+//! every document, model and cluster for it — and, under replication, to
+//! the `r - 1` distinct successors that hold copies. Virtual nodes
+//! (`vnodes` points per backend) smooth the key distribution; FNV-1a is
+//! used instead of [`std::collections::hash_map::DefaultHasher`] because
+//! the router and its operators must agree on placement across processes
+//! and restarts, and `DefaultHasher` is randomly seeded per process.
 
 /// 64-bit FNV-1a. Stable across processes, platforms and releases — the
 /// ring's placement function is part of the deployment contract (a
@@ -39,25 +40,26 @@ fn point(bytes: &[u8]) -> u64 {
     mix(fnv1a(bytes))
 }
 
-/// A consistent-hash ring: `replicas` virtual points per backend, names
-/// owned by the first point clockwise from their hash.
+/// A consistent-hash ring: `vnodes` virtual points per backend, names
+/// owned by the first point clockwise from their hash. Replica sets are
+/// the next distinct backends clockwise ([`successors`](Self::successors)).
 #[derive(Debug, Clone)]
 pub struct HashRing {
     backends: Vec<String>,
     /// Sorted (point, backend index) pairs.
     points: Vec<(u64, usize)>,
-    replicas: usize,
+    vnodes: usize,
 }
 
 impl HashRing {
-    /// Build a ring. `backends` must be non-empty; `replicas` of 0 is
+    /// Build a ring. `backends` must be non-empty; `vnodes` of 0 is
     /// bumped to 1.
-    pub fn new(backends: &[String], replicas: usize) -> Self {
+    pub fn new(backends: &[String], vnodes: usize) -> Self {
         assert!(!backends.is_empty(), "a ring needs at least one backend");
-        let replicas = replicas.max(1);
-        let mut points = Vec::with_capacity(backends.len() * replicas);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
         for (idx, addr) in backends.iter().enumerate() {
-            for r in 0..replicas {
+            for r in 0..vnodes {
                 points.push((point(format!("{addr}#{r}").as_bytes()), idx));
             }
         }
@@ -67,16 +69,40 @@ impl HashRing {
         HashRing {
             backends: backends.to_vec(),
             points,
-            replicas,
+            vnodes,
         }
     }
 
-    /// Index of the backend owning `name`.
+    /// Index of the backend owning `name` (the first entry of its
+    /// replica set).
     pub fn owner(&self, name: &str) -> usize {
         let h = point(name.as_bytes());
         let at = self.points.partition_point(|&(p, _)| p < h);
         let (_, idx) = self.points[at % self.points.len()];
         idx
+    }
+
+    /// The first `r` *distinct* backends clockwise from `name`'s ring
+    /// position: the name's replica set, primary first. `r` is clamped to
+    /// `[1, backends]`, so a replication factor larger than the tier
+    /// degrades gracefully instead of asking for impossible copies. The
+    /// walk is part of the same deployment contract as [`owner`](Self::owner):
+    /// every router over the same backend list computes the same sets.
+    pub fn successors(&self, name: &str, r: usize) -> Vec<usize> {
+        let r = r.clamp(1, self.backends.len());
+        let h = point(name.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut set = Vec::with_capacity(r);
+        for offset in 0..self.points.len() {
+            let (_, idx) = self.points[(start + offset) % self.points.len()];
+            if !set.contains(&idx) {
+                set.push(idx);
+                if set.len() == r {
+                    break;
+                }
+            }
+        }
+        set
     }
 
     /// The backend addresses, in declaration order (ring indices refer to
@@ -96,8 +122,8 @@ impl HashRing {
     }
 
     /// Virtual points per backend.
-    pub fn replicas(&self) -> usize {
-        self.replicas
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
     }
 }
 
@@ -164,9 +190,57 @@ mod tests {
     }
 
     #[test]
-    fn zero_replicas_still_routes() {
+    fn zero_vnodes_still_routes() {
         let ring = HashRing::new(&addrs(2), 0);
-        assert_eq!(ring.replicas(), 1);
+        assert_eq!(ring.vnodes(), 1);
         assert!(ring.owner("cohen") < 2);
+    }
+
+    #[test]
+    fn successors_start_at_the_owner_and_are_distinct() {
+        let ring = HashRing::new(&addrs(4), 64);
+        for name in ["cohen", "smith", "johnson", "miller", ""] {
+            for r in 1..=4 {
+                let set = ring.successors(name, r);
+                assert_eq!(set.len(), r, "{name} r={r}");
+                assert_eq!(set[0], ring.owner(name), "primary first");
+                let mut sorted = set.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), r, "distinct backends: {set:?}");
+                assert_eq!(set, ring.successors(name, r), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn successors_clamp_to_the_backend_count() {
+        let ring = HashRing::new(&addrs(3), 64);
+        assert_eq!(ring.successors("cohen", 0).len(), 1);
+        let all = ring.successors("cohen", 99);
+        assert_eq!(all.len(), 3, "r clamps to the tier size");
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "every backend appears once");
+    }
+
+    #[test]
+    fn replica_sets_spread_like_primaries() {
+        // The second replica must not pile onto one backend: count
+        // appearances of each backend anywhere in the r=2 sets.
+        let ring = HashRing::new(&addrs(4), 64);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            for idx in ring.successors(&format!("name-{i}"), 2) {
+                counts[idx] += 1;
+            }
+        }
+        for (idx, &c) in counts.iter().enumerate() {
+            // Perfect balance would be 2000 (8000 slots over 4 backends).
+            assert!(
+                (900..=3400).contains(&c),
+                "backend {idx} holds {c} of 8000 replica slots: {counts:?}"
+            );
+        }
     }
 }

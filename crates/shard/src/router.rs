@@ -1,22 +1,30 @@
 //! The router: one `weber serve`-shaped NDJSON surface over many backends.
 //!
-//! Per-name ops (`seed`, `ingest`) are forwarded to the one backend the
-//! [`HashRing`] says owns the name, with bounded retries and the owning
-//! shard's index appended to the reply. Fan-out ops (`snapshot`,
-//! `metrics`, `persist`, `restore`, `flush`, `shutdown`) are broadcast to
-//! every backend concurrently and merged ([`crate::merge`]) — dead
-//! backends degrade the answer rather than fail it. Two ops never touch a
-//! backend: `health` reports the router's own view of the tier, and
-//! `topology` swaps the backend set at runtime (persisting the old ring
-//! first so names migrate through the shared state directory).
+//! Per-name writes (`seed`, `ingest`) are forwarded to the `R` distinct
+//! backends the [`HashRing`] says hold the name (`--replication R`,
+//! default 1), with bounded retries and the answering shard's index
+//! appended to the reply; a write acked by fewer than R replicas is
+//! marked degraded and the missed lines are buffered per backend for
+//! replay when it recovers (write repair). The per-name read (`resolve`)
+//! tries the replica set in ring order — healthy members first — and
+//! fails over until one answers. Fan-out ops (`snapshot`, `metrics`,
+//! `persist`, `restore`, `flush`, `shutdown`) are broadcast to every
+//! backend concurrently and merged ([`crate::merge`]) — dead backends
+//! degrade the answer rather than fail it (and under replication a
+//! snapshot with fewer than R backends down is not degraded at all). Two
+//! ops never touch a backend: `health` reports the router's own view of
+//! the tier, and `topology` swaps the backend set at runtime (persisting
+//! the old ring first so names — and their replicas — migrate through
+//! the shared state directory).
 
+use std::collections::VecDeque;
 use std::io;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::Value;
 use weber_obs::{Counter, Gauge, Histogram, Registry};
 use weber_stream::protocol;
@@ -27,11 +35,23 @@ use crate::merge::{self, ShardOutcome};
 use crate::pool::{ConnectionPool, Phase};
 use crate::ring::HashRing;
 
+/// Lines buffered per backend for write repair before the oldest is
+/// dropped (and counted on `route.repair_dropped`). Bounds memory during
+/// a long outage; a drop means that backend needs a re-seed or a restore
+/// from the shared state directory to fully converge.
+const REPAIR_QUEUE_CAP: usize = 4096;
+
 /// Tuning knobs of the routing tier.
 #[derive(Debug, Clone)]
 pub struct RouterOptions {
-    /// Virtual points per backend on the ring.
-    pub replicas: usize,
+    /// Virtual points per backend on the ring (placement smoothing — not
+    /// the replication factor; see [`replication`](Self::replication)).
+    pub vnodes: usize,
+    /// Copies of every name: each write goes to the first `replication`
+    /// distinct backends clockwise from the name's ring position, and
+    /// reads fail over across the same set. 1 (the default) is plain
+    /// sharding; values above the backend count are clamped to it.
+    pub replication: usize,
     /// Extra forwarding attempts after the first failure (idempotent ops;
     /// `ingest` only re-attempts failures that provably sent nothing).
     pub retries: usize,
@@ -49,7 +69,8 @@ pub struct RouterOptions {
 impl Default for RouterOptions {
     fn default() -> Self {
         RouterOptions {
-            replicas: 64,
+            vnodes: 64,
+            replication: 1,
             retries: 2,
             pool_capacity: 2,
             connect_timeout: Duration::from_secs(1),
@@ -78,6 +99,11 @@ struct Shard {
     addr: String,
     pool: ConnectionPool,
     health: HealthState,
+    /// Write lines this backend missed while its replica peers acked —
+    /// replayed in arrival order once it is healthy again. Keyed to the
+    /// address (like the counters), so the backlog survives topology
+    /// changes that renumber ring indices.
+    repair: Mutex<VecDeque<String>>,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     retries: Arc<Counter>,
@@ -94,6 +120,7 @@ impl Shard {
                 options.io_timeout,
             ),
             health: HealthState::new(),
+            repair: Mutex::new(VecDeque::new()),
             requests: registry.counter(&format!("route.backend.{addr}.requests")),
             errors: registry.counter(&format!("route.backend.{addr}.errors")),
             retries: registry.counter(&format!("route.backend.{addr}.retries")),
@@ -133,6 +160,15 @@ pub struct Router {
     requests: Arc<Counter>,
     retries: Arc<Counter>,
     errors: Arc<Counter>,
+    /// Successful write acks on non-primary replicas.
+    replica_writes: Arc<Counter>,
+    /// Reads answered by a replica other than the name's primary.
+    failover_reads: Arc<Counter>,
+    /// Buffered write lines successfully replayed to recovered backends.
+    replica_lag_repairs: Arc<Counter>,
+    /// Buffered write lines dropped because a backend's repair queue
+    /// overflowed during its outage.
+    repair_dropped: Arc<Counter>,
     forward_us: Arc<Histogram>,
     fanout_us: Arc<Histogram>,
     ring_size: Arc<Gauge>,
@@ -165,13 +201,17 @@ impl Router {
             .iter()
             .map(|addr| Arc::new(Shard::new(addr, &options, &registry)))
             .collect();
-        let ring = HashRing::new(&backends, options.replicas);
+        let ring = HashRing::new(&backends, options.vnodes);
         let router = Router {
             topology: RwLock::new(Arc::new(Topology { ring, shards })),
             started: Instant::now(),
             requests: registry.counter("route.requests"),
             retries: registry.counter("route.retries"),
             errors: registry.counter("route.errors"),
+            replica_writes: registry.counter("route.replica_writes"),
+            failover_reads: registry.counter("route.failover_reads"),
+            replica_lag_repairs: registry.counter("route.replica_lag_repairs"),
+            repair_dropped: registry.counter("route.repair_dropped"),
             forward_us: registry.histogram("route.forward_us"),
             fanout_us: registry.histogram("route.fanout_us"),
             ring_size: registry.gauge("route.ring_size"),
@@ -192,11 +232,26 @@ impl Router {
         self.topology().ring.backends().to_vec()
     }
 
-    /// Which backend (index, address) owns `name`.
+    /// Which backend (index, address) owns `name` (the primary of its
+    /// replica set).
     pub fn owner(&self, name: &str) -> (usize, String) {
         let topo = self.topology();
         let idx = topo.ring.owner(name);
         (idx, topo.ring.backends()[idx].clone())
+    }
+
+    /// The effective replication factor for `topo`: at least 1, never
+    /// more than the tier has backends.
+    fn replication_for(&self, topo: &Topology) -> usize {
+        self.options.replication.clamp(1, topo.ring.len())
+    }
+
+    /// `name`'s replica set in `topo` — the backends a write goes to and
+    /// a read may be served from, primary first.
+    pub fn replica_set(&self, name: &str) -> Vec<usize> {
+        let topo = self.topology();
+        let r = self.replication_for(&topo);
+        topo.ring.successors(name, r)
     }
 
     /// The router's own metrics registry (the `metrics` op merges this
@@ -256,38 +311,221 @@ impl Router {
         }
     }
 
-    /// Forward a per-name op to the owning shard and tag the reply with
-    /// the shard index. An unreachable owner is a degraded error — the
-    /// name's state lives there and nowhere else, so there is no failover
-    /// target.
-    fn forward_per_name(&self, op: &str, name: &str, line: &str) -> String {
+    /// The `unreachable` error for a per-name op whose whole replica set
+    /// failed: the same shape the unreplicated router produced, keyed on
+    /// the primary.
+    fn unreachable_reply(
+        &self,
+        op: &str,
+        name: &str,
+        topo: &Topology,
+        set: &[usize],
+        error: &str,
+    ) -> String {
+        let primary = set[0];
+        let scope = if set.len() == 1 {
+            format!("shard {primary}")
+        } else {
+            format!("all {} replicas of shard {primary}", set.len())
+        };
+        let mut fields = vec![
+            ("op", Value::String(op.to_string())),
+            ("name", Value::String(name.to_string())),
+            ("shard", Value::Number(primary as f64)),
+            ("addr", Value::String(topo.shards[primary].addr.clone())),
+        ];
+        if set.len() > 1 {
+            fields.push(("replication", Value::Number(set.len() as f64)));
+        }
+        fields.push(("degraded", Value::Bool(true)));
+        merge::err_with_kind(
+            &format!(
+                "{scope} ({}) is unreachable: {error}",
+                topo.shards[primary].addr
+            ),
+            "unreachable",
+            fields,
+        )
+    }
+
+    /// Forward a per-name write (`seed`, `ingest`) to every backend in
+    /// the name's replica set, concurrently. The reply the client sees is
+    /// the first transport-acked one in ring order, tagged with its shard
+    /// index; with R > 1 it also reports `replication`/`acked`, plus
+    /// `degraded` + `repair_pending` when some replica missed the write
+    /// (its line is buffered for replay — see [`Self::drain_repairs`]).
+    /// Only when *no* replica acks does the client get an `unreachable`
+    /// error; nothing is buffered then, because the client's own retry
+    /// must stay the single writer (buffering too would double-apply).
+    fn forward_per_name_write(&self, op: &str, name: &str, line: &str) -> String {
         let topo = self.topology();
-        let idx = topo.ring.owner(name);
-        let shard = &topo.shards[idx];
-        shard.requests.inc();
+        let r = self.replication_for(&topo);
+        let set = topo.ring.successors(name, r);
+        let idempotent = op != "ingest";
         let start = Instant::now();
-        let result = self.exchange_with_retry(shard, line, op != "ingest");
+        let results: Vec<Result<String, io::Error>> = if set.len() == 1 {
+            let shard = &topo.shards[set[0]];
+            shard.requests.inc();
+            vec![self.exchange_with_retry(shard, line, idempotent)]
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = set
+                    .iter()
+                    .map(|&idx| {
+                        let shard = &topo.shards[idx];
+                        scope.spawn(move || {
+                            shard.requests.inc();
+                            self.exchange_with_retry(shard, line, idempotent)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|_| Err(io::Error::other("fan-out worker panicked")))
+                    })
+                    .collect()
+            })
+        };
         self.forward_us.record_since(start);
-        match result {
-            Ok(reply) => match serde_json::parse_value(&reply) {
+        let primary = set[0];
+        let acked = results.iter().filter(|r| r.is_ok()).count();
+        if acked > 0 {
+            for (&idx, result) in set.iter().zip(&results) {
+                match result {
+                    Ok(_) if idx != primary => self.replica_writes.inc(),
+                    Ok(_) => {}
+                    Err(_) => self.queue_repair(&topo.shards[idx], line),
+                }
+            }
+        }
+        let winner = set
+            .iter()
+            .zip(&results)
+            .find_map(|(&idx, result)| result.as_ref().ok().map(|reply| (idx, reply)));
+        match winner {
+            Some((idx, reply)) => match serde_json::parse_value(reply) {
                 Ok(mut v) => {
                     merge::push_field(&mut v, "shard", Value::Number(idx as f64));
-                    serde_json::to_string(&v).unwrap_or(reply)
+                    if set.len() > 1 {
+                        merge::push_field(&mut v, "replication", Value::Number(set.len() as f64));
+                        merge::push_field(&mut v, "acked", Value::Number(acked as f64));
+                        if idx != primary {
+                            merge::push_field(&mut v, "primary", Value::Number(primary as f64));
+                        }
+                        if acked < set.len() {
+                            merge::push_field(&mut v, "degraded", Value::Bool(true));
+                            merge::push_field(&mut v, "repair_pending", Value::Bool(true));
+                        }
+                    }
+                    serde_json::to_string(&v).unwrap_or_else(|_| reply.clone())
                 }
                 // Relay unparseable replies verbatim: the client decides.
-                Err(_) => reply,
+                Err(_) => reply.clone(),
             },
-            Err(e) => merge::err_with_kind(
-                &format!("shard {idx} ({}) is unreachable: {e}", shard.addr),
-                "unreachable",
-                vec![
-                    ("op", Value::String(op.to_string())),
-                    ("name", Value::String(name.to_string())),
-                    ("shard", Value::Number(idx as f64)),
-                    ("addr", Value::String(shard.addr.clone())),
-                    ("degraded", Value::Bool(true)),
-                ],
-            ),
+            None => {
+                let error = results[0]
+                    .as_ref()
+                    .err()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "no replica answered".into());
+                self.unreachable_reply(op, name, &topo, &set, &error)
+            }
+        }
+    }
+
+    /// Forward the per-name read (`resolve`) to the first replica that
+    /// answers, trying the set in ring order with the members believed
+    /// healthy first — a stale health mark only demotes a backend to the
+    /// end of the order, it never makes a name unreadable. A reply from
+    /// any backend but the primary counts as a failover read and is
+    /// tagged `failover`/`primary` so clients can see (and operators can
+    /// count) reads served by replicas.
+    fn forward_per_name_read(&self, op: &str, name: &str, line: &str) -> String {
+        let topo = self.topology();
+        let r = self.replication_for(&topo);
+        let set = topo.ring.successors(name, r);
+        let primary = set[0];
+        let mut ordered: Vec<usize> = set
+            .iter()
+            .copied()
+            .filter(|&idx| topo.shards[idx].health.is_healthy())
+            .collect();
+        ordered.extend(
+            set.iter()
+                .copied()
+                .filter(|&idx| !topo.shards[idx].health.is_healthy()),
+        );
+        let start = Instant::now();
+        let mut last_error: Option<io::Error> = None;
+        for idx in ordered {
+            let shard = &topo.shards[idx];
+            shard.requests.inc();
+            match self.exchange_with_retry(shard, line, true) {
+                Ok(reply) => {
+                    self.forward_us.record_since(start);
+                    if idx != primary {
+                        self.failover_reads.inc();
+                    }
+                    return match serde_json::parse_value(&reply) {
+                        Ok(mut v) => {
+                            merge::push_field(&mut v, "shard", Value::Number(idx as f64));
+                            if idx != primary {
+                                merge::push_field(&mut v, "failover", Value::Bool(true));
+                                merge::push_field(&mut v, "primary", Value::Number(primary as f64));
+                            }
+                            serde_json::to_string(&v).unwrap_or(reply)
+                        }
+                        Err(_) => reply,
+                    };
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        self.forward_us.record_since(start);
+        let error = last_error
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "no replica answered".into());
+        self.unreachable_reply(op, name, &topo, &set, &error)
+    }
+
+    /// Buffer a write line a dead replica missed, bounded by
+    /// [`REPAIR_QUEUE_CAP`] (oldest dropped first, counted on
+    /// `route.repair_dropped`).
+    fn queue_repair(&self, shard: &Shard, line: &str) {
+        let mut queue = shard.repair.lock();
+        if queue.len() >= REPAIR_QUEUE_CAP {
+            queue.pop_front();
+            self.repair_dropped.inc();
+        }
+        queue.push_back(line.to_string());
+    }
+
+    /// Replay a recovered backend's buffered writes in arrival order.
+    /// Stops at the first transport failure (the line goes back to the
+    /// front of the queue for the next probe). A transport-acked replay
+    /// whose reply is `ok:false` is dropped, not retried — replaying it
+    /// again cannot change the answer; full convergence then needs a
+    /// restore from the shared state directory or a re-seed.
+    fn drain_repairs(&self, shard: &Shard) {
+        loop {
+            let Some(line) = shard.repair.lock().pop_front() else {
+                return;
+            };
+            match shard.pool.exchange(&line) {
+                Ok(_) => {
+                    shard.health.mark_success(self.options.probe_interval);
+                    self.replica_lag_repairs.inc();
+                }
+                Err((_, e)) => {
+                    shard.repair.lock().push_front(line);
+                    shard
+                        .health
+                        .mark_failure(&e.to_string(), self.options.probe_interval);
+                    return;
+                }
+            }
         }
     }
 
@@ -295,6 +533,13 @@ impl Router {
     /// per-shard outcomes (parsed replies or failure messages).
     fn broadcast(&self, line: &str) -> Vec<ShardOutcome> {
         let topo = self.topology();
+        self.broadcast_on(&topo, line)
+    }
+
+    /// [`Self::broadcast`] against a caller-held topology snapshot, so an
+    /// op that also needs the matching ring (the snapshot merge) cannot
+    /// race a concurrent `topology` swap between fan-out and merge.
+    fn broadcast_on(&self, topo: &Topology, line: &str) -> Vec<ShardOutcome> {
         let start = Instant::now();
         let outcomes = thread::scope(|scope| {
             let handles: Vec<_> = topo
@@ -302,7 +547,7 @@ impl Router {
                 .iter()
                 .enumerate()
                 .map(|(index, shard)| {
-                    scope.spawn(move || {
+                    let handle = scope.spawn(move || {
                         shard.requests.inc();
                         let result = match self.exchange_with_retry(shard, line, true) {
                             Ok(reply) => serde_json::parse_value(&reply)
@@ -314,12 +559,22 @@ impl Router {
                             addr: shard.addr.clone(),
                             result,
                         }
-                    })
+                    });
+                    (index, shard.addr.clone(), handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("fan-out thread panicked"))
+                // A worker that panicked (a poisoned pool lock, a bug in
+                // the exchange path) degrades its own shard in the merge
+                // instead of taking the whole router down with it.
+                .map(|(index, addr, handle)| {
+                    handle.join().unwrap_or_else(|_| ShardOutcome {
+                        index,
+                        addr,
+                        result: Err("fan-out worker panicked".into()),
+                    })
+                })
                 .collect::<Vec<_>>()
         });
         self.fanout_us.record_since(start);
@@ -345,6 +600,10 @@ impl Router {
                     ("healthy", Value::Bool(s.health.is_healthy())),
                     ("failures", Value::Number(f64::from(s.health.failures()))),
                 ];
+                let backlog = s.repair.lock().len();
+                if backlog > 0 {
+                    fields.push(("repair_backlog", Value::Number(backlog as f64)));
+                }
                 if let Some(e) = s.health.last_error() {
                     fields.push(("error", Value::String(e)));
                 }
@@ -361,7 +620,11 @@ impl Router {
             ),
             ("backends", Value::Number(topo.shards.len() as f64)),
             ("healthy", Value::Number(healthy as f64)),
-            ("replicas", Value::Number(topo.ring.replicas() as f64)),
+            ("vnodes", Value::Number(topo.ring.vnodes() as f64)),
+            (
+                "replication",
+                Value::Number(self.replication_for(&topo) as f64),
+            ),
             ("shards", Value::Array(shards)),
         ]))
     }
@@ -396,7 +659,7 @@ impl Router {
                 })
                 .collect()
         };
-        let ring = HashRing::new(&backends, self.options.replicas);
+        let ring = HashRing::new(&backends, self.options.vnodes);
         *self.topology.write() = Arc::new(Topology { ring, shards });
         self.update_gauges();
         let mut fields = vec![
@@ -463,6 +726,13 @@ impl Router {
                     .mark_failure(&e.to_string(), self.options.probe_interval),
             }
         }
+        // Recovered backends drain their write-repair backlog here: the
+        // probe that found them healthy doubles as the replay trigger.
+        for shard in &topo.shards {
+            if shard.health.is_healthy() && !shard.repair.lock().is_empty() {
+                self.drain_repairs(shard);
+            }
+        }
         self.update_gauges();
     }
 
@@ -485,17 +755,26 @@ impl Router {
         };
         let op = op.to_string();
         match op.as_str() {
-            "seed" | "ingest" => {
+            "seed" | "ingest" | "resolve" => {
                 let Some(name) = value.get("name").and_then(Value::as_str) else {
                     return LineOutcome::reply(protocol::err_response(
                         &StreamError::InvalidRequest("field 'name' must be a string".into()),
                     ));
                 };
-                LineOutcome::reply(self.forward_per_name(&op, name, line))
+                if op == "resolve" {
+                    LineOutcome::reply(self.forward_per_name_read(&op, name, line))
+                } else {
+                    LineOutcome::reply(self.forward_per_name_write(&op, name, line))
+                }
             }
             "health" => LineOutcome::reply(self.health_line()),
             "topology" => LineOutcome::reply(self.handle_topology(&value)),
-            "snapshot" => LineOutcome::reply(merge::merge_snapshot(&self.broadcast(line))),
+            "snapshot" => {
+                let topo = self.topology();
+                let outcomes = self.broadcast_on(&topo, line);
+                let r = self.replication_for(&topo);
+                LineOutcome::reply(merge::merge_snapshot(&outcomes, &topo.ring, r))
+            }
             "metrics" => {
                 let outcomes = self.broadcast(line);
                 LineOutcome::reply(merge::merge_metrics(self.registry.snapshot(), &outcomes))

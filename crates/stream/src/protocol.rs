@@ -6,6 +6,7 @@
 //! ```text
 //! {"op":"seed","name":"cohen","docs":[{"text":"…","url":"…","label":0},…]}
 //! {"op":"ingest","name":"cohen","text":"…","url":"…"}
+//! {"op":"resolve","name":"cohen"}
 //! {"op":"snapshot"}
 //! {"op":"metrics"}
 //! {"op":"health"}
@@ -46,6 +47,13 @@ pub enum Request {
         /// Page URL, when known.
         url: Option<String>,
     },
+    /// Read one name's current state summary (docs, clusters, model).
+    /// The per-name read: it routes to the same worker as the name's
+    /// writes, so a `resolve` admitted after an `ingest` sees it applied.
+    Resolve {
+        /// The ambiguous name.
+        name: String,
+    },
     /// Report per-name state summaries.
     Snapshot,
     /// Report the daemon's metrics: counters, gauges and latency
@@ -71,6 +79,7 @@ impl Request {
         match self {
             Request::Seed { .. } => "seed",
             Request::Ingest { .. } => "ingest",
+            Request::Resolve { .. } => "resolve",
             Request::Snapshot => "snapshot",
             Request::Metrics => "metrics",
             Request::Health => "health",
@@ -143,6 +152,9 @@ pub fn parse_request(line: &str) -> Result<Request, StreamError> {
             text: string_field(&value, "text")?,
             url: optional_string(&value, "url")?,
         }),
+        "resolve" => Ok(Request::Resolve {
+            name: string_field(&value, "name")?,
+        }),
         "snapshot" => Ok(Request::Snapshot),
         "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
@@ -198,6 +210,21 @@ pub fn ok_ingest(name: &str, a: &ClusterAssignment) -> String {
         ("new_cluster", Value::Bool(a.is_new_cluster)),
         ("cluster_size", Value::Number(a.cluster_size as f64)),
         ("linked_members", Value::Number(a.linked_members as f64)),
+    ]))
+}
+
+/// Response to a successful `resolve`: the same summary shape one entry
+/// of the `snapshot` reply carries, for a single name.
+pub fn ok_resolve(summary: &crate::snapshot::NameSnapshot) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("resolve".into())),
+        ("name", Value::String(summary.name.clone())),
+        ("docs", Value::Number(summary.docs as f64)),
+        ("clusters", Value::Number(summary.clusters as f64)),
+        ("function", Value::String(summary.function.clone())),
+        ("criterion", Value::String(summary.criterion.clone())),
+        ("accuracy", Value::Number(summary.accuracy)),
     ]))
 }
 
@@ -362,6 +389,12 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request(r#"{"op":"resolve","name":"cohen"}"#).unwrap(),
+            Request::Resolve {
+                name: "cohen".into()
+            }
+        );
+        assert_eq!(
             parse_request(r#"{"op":"snapshot"}"#).unwrap(),
             Request::Snapshot
         );
@@ -399,6 +432,10 @@ mod tests {
         assert!(matches!(err, StreamError::InvalidRequest(_)), "{err:?}");
         assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
         assert!(parse_request(r#"{"op":"ingest","name":"cohen"}"#).is_err());
+        assert!(
+            parse_request(r#"{"op":"resolve"}"#).is_err(),
+            "resolve needs a name"
+        );
         assert!(
             parse_request(r#"{"op":"seed","name":"c","docs":[{"text":"a"}]}"#).is_err(),
             "label is required"
@@ -442,6 +479,25 @@ mod tests {
         assert_eq!(v.get("kind").unwrap().as_str(), Some("overloaded"));
         let v = serde_json::parse_value(&err_response(&StreamError::Parse("junk".into()))).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("parse"));
+    }
+
+    #[test]
+    fn resolve_response_mirrors_a_snapshot_entry() {
+        let summary = crate::snapshot::NameSnapshot {
+            name: "cohen".into(),
+            docs: 5,
+            clusters: 2,
+            function: "F8".into(),
+            criterion: "threshold".into(),
+            accuracy: 1.0,
+        };
+        let v = serde_json::parse_value(&ok_resolve(&summary)).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("resolve"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("cohen"));
+        assert_eq!(v.get("docs").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("clusters").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("function").unwrap().as_str(), Some("F8"));
     }
 
     #[test]

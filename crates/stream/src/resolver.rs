@@ -520,6 +520,21 @@ impl StreamResolver {
         Ok(f(&state))
     }
 
+    /// One name's current summary — the per-name read behind the
+    /// `resolve` protocol op (restored from disk first if it was
+    /// evicted). Errors when the name is unknown or its stored record is
+    /// unreadable.
+    pub fn resolve_name(&self, name: &str) -> Result<NameSnapshot, StreamError> {
+        self.with_state(name, |state| NameSnapshot {
+            name: name.to_string(),
+            docs: state.len(),
+            clusters: state.cluster_count(),
+            function: state.model().function_name().to_string(),
+            criterion: state.model().criterion().label(),
+            accuracy: state.model().accuracy,
+        })
+    }
+
     /// Seeded names, sorted.
     pub fn names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.names.read().keys().cloned().collect();
@@ -628,6 +643,22 @@ mod tests {
         assert_eq!(r.partition("cohen").unwrap().len(), 5);
         assert_eq!(r.partition("smith").unwrap().len(), 4);
         assert_eq!(r.names(), vec!["cohen".to_string(), "smith".to_string()]);
+    }
+
+    #[test]
+    fn resolve_name_reports_the_live_summary() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        r.ingest("cohen", "databases once more", None).unwrap();
+        let summary = r.resolve_name("cohen").unwrap();
+        assert_eq!(summary.name, "cohen");
+        assert_eq!(summary.docs, 5);
+        assert!(summary.clusters >= 1);
+        assert!(!summary.function.is_empty());
+        assert!(matches!(
+            r.resolve_name("nobody"),
+            Err(StreamError::UnknownName(_))
+        ));
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub fn process_request(resolver: &StreamResolver, request: &Request) -> String {
             Ok(assignment) => protocol::ok_ingest(name, &assignment),
             Err(e) => protocol::err_response(&e),
         },
+        Request::Resolve { name } => match resolver.resolve_name(name) {
+            Ok(summary) => protocol::ok_resolve(&summary),
+            Err(e) => protocol::err_response(&e),
+        },
         Request::Snapshot => protocol::ok_snapshot(&resolver.snapshot()),
         Request::Metrics => protocol::ok_metrics(&resolver.metrics().merged_snapshot()),
         Request::Health => protocol::ok_health(&resolver.health()),
@@ -145,7 +149,9 @@ impl StreamService {
     /// order; name-less operations go to queue 0.
     fn route(&self, request: &Request) -> usize {
         match request {
-            Request::Seed { name, .. } | Request::Ingest { name, .. } => {
+            Request::Seed { name, .. }
+            | Request::Ingest { name, .. }
+            | Request::Resolve { name } => {
                 let mut hasher = std::collections::hash_map::DefaultHasher::new();
                 name.hash(&mut hasher);
                 (hasher.finish() % self.queues.len() as u64) as usize
@@ -154,8 +160,8 @@ impl StreamService {
         }
     }
 
-    /// Admit one request line. Data-plane requests (`seed`, `ingest`)
-    /// never block: a malformed line or a full queue turns into an
+    /// Admit one request line. Data-plane requests (`seed`, `ingest`,
+    /// `resolve`) never block: a malformed line or a full queue turns into an
     /// immediate error response at this request's position in the response
     /// stream. Control-plane requests (`snapshot`, `metrics`, `persist`,
     /// `restore`, `flush`, `shutdown`) are never load-shed — they are rare and
@@ -296,6 +302,26 @@ mod tests {
         }
         let last = serde_json::parse_value(&responses[6]).unwrap();
         assert_eq!(last.get("op").unwrap().as_str(), Some("flush"));
+    }
+
+    #[test]
+    fn resolve_sees_the_ingest_admitted_before_it() {
+        // `resolve` routes to the same worker as the name's writes, so a
+        // resolve admitted after an ingest must report the grown block.
+        let service = StreamService::start(resolver(), 2, 8);
+        service.submit(seed_line());
+        service.submit(r#"{"op":"ingest","name":"cohen","text":"databases again"}"#.to_string());
+        service.submit(r#"{"op":"resolve","name":"cohen"}"#.to_string());
+        service.submit(r#"{"op":"resolve","name":"nobody"}"#.to_string());
+        let responses: Vec<String> = service.finish().iter().collect();
+        assert_eq!(responses.len(), 4);
+        let v = serde_json::parse_value(&responses[2]).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("resolve"));
+        assert_eq!(v.get("docs").unwrap().as_u64(), Some(5));
+        let v = serde_json::parse_value(&responses[3]).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("unknown-name"));
     }
 
     #[test]

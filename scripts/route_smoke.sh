@@ -2,7 +2,10 @@
 # Multi-backend router smoke: three `weber serve` TCP backends behind a
 # stdio `weber route` front end. Seeds and ingests a couple of names,
 # takes a merged snapshot, and shuts the whole tier down through the
-# router. Fails on any unexpected response line. Used by scripts/check.sh.
+# router. Then repeats the exercise with `--replication 2` and one
+# backend killed: every name must still resolve ok and the router must
+# report failover reads. Fails on any unexpected response line. Used by
+# scripts/check.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,8 +17,9 @@ fi
 
 WORK="$(mktemp -d)"
 PIDS=()
+PIDS2=()
 cleanup() {
-    for pid in "${PIDS[@]:-}"; do
+    for pid in "${PIDS[@]:-}" "${PIDS2[@]:-}"; do
         kill "$pid" 2>/dev/null || true
     done
     rm -rf "$WORK"
@@ -109,4 +113,113 @@ for pid in "${PIDS[@]}"; do
 done
 PIDS=()
 
-echo "route smoke passed (backends: $BACKENDS)."
+echo "==> route smoke phase 1 passed (backends: $BACKENDS)."
+
+# --- Phase 2: R=2 replication with one backend down -----------------------
+
+PORTS2=()
+while [[ ${#PORTS2[@]} -lt 3 ]]; do
+    if port_free "$candidate"; then
+        PORTS2+=("$candidate")
+    fi
+    candidate=$((candidate + 1))
+done
+
+mkdir -p "$WORK/state2"
+BACKENDS2=""
+for port in "${PORTS2[@]}"; do
+    "$WEBER" serve --listen "127.0.0.1:$port" --state-dir "$WORK/state2" \
+        >"$WORK/serve2-$port.log" 2>&1 &
+    PIDS2+=($!)
+    BACKENDS2="${BACKENDS2:+$BACKENDS2,}127.0.0.1:$port"
+done
+
+for port in "${PORTS2[@]}"; do
+    for _ in $(seq 1 100); do
+        if ! port_free "$port"; then
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "route smoke: replicated backend on port $port never came up" >&2
+    cat "$WORK/serve2-$port.log" >&2 || true
+    exit 1
+done
+
+# Seed through an R=2 router while everyone is up; the shard tag on each
+# reply tells us which backend is each name's primary.
+SEED_OUT="$WORK/replicated-seeds.ndjson"
+"$WEBER" route --backends "$BACKENDS2" --replication 2 --probe-interval 1 \
+    >"$SEED_OUT" <<'EOF'
+{"op":"seed","name":"cohen","docs":[{"text":"databases are fun and databases are important","label":0},{"text":"databases are hard but databases pay well","label":0},{"text":"gardening tips for growing roses","label":1},{"text":"gardening advice on pruning roses","label":1}]}
+{"op":"seed","name":"smith","docs":[{"text":"databases are fun and databases are important","label":0},{"text":"databases are hard but databases pay well","label":0},{"text":"gardening tips for growing roses","label":1},{"text":"gardening advice on pruning roses","label":1}]}
+{"op":"seed","name":"jones","docs":[{"text":"databases are fun and databases are important","label":0},{"text":"databases are hard but databases pay well","label":0},{"text":"gardening tips for growing roses","label":1},{"text":"gardening advice on pruning roses","label":1}]}
+EOF
+
+fail2() {
+    echo "route smoke (replicated): $1" >&2
+    echo "--- seed responses ---" >&2
+    cat "$SEED_OUT" >&2
+    echo "--- responses ---" >&2
+    cat "${OUT2:-/dev/null}" >&2 || true
+    exit 1
+}
+
+grep -q '"ok":false' "$SEED_OUT" && fail2 "a replicated seed failed"
+[[ "$(grep -c '"acked":2' "$SEED_OUT")" -eq 3 ]] \
+    || fail2 "expected every seed acked by both replicas"
+
+# Kill cohen's primary; with R=2 every name must stay readable.
+primary=$(grep '"name":"cohen"' "$SEED_OUT" | grep -o '"shard":[0-9]*' | head -n1)
+primary="${primary##*:}"
+[[ -n "$primary" ]] || fail2 "could not find cohen's primary shard"
+kill "${PIDS2[$primary]}"
+wait "${PIDS2[$primary]}" 2>/dev/null || true
+
+OUT2="$WORK/replicated-responses.ndjson"
+"$WEBER" route --backends "$BACKENDS2" --replication 2 --probe-interval 1 \
+    >"$OUT2" <<'EOF'
+{"op":"resolve","name":"cohen"}
+{"op":"resolve","name":"smith"}
+{"op":"resolve","name":"jones"}
+{"op":"ingest","name":"cohen","text":"a new page about databases"}
+{"op":"snapshot"}
+{"op":"metrics"}
+{"op":"shutdown"}
+EOF
+
+[[ "$(wc -l <"$OUT2")" -eq 7 ]] || fail2 "expected 7 response lines"
+[[ "$(grep -c '"op":"resolve"' "$OUT2")" -eq 3 ]] || fail2 "expected 3 resolve responses"
+grep '"op":"resolve"' "$OUT2" | grep -q '"ok":false' && fail2 "a resolve failed"
+grep '"op":"resolve"' "$OUT2" | grep -q 'unreachable' && fail2 "a read hit unreachable"
+grep '"op":"resolve"' "$OUT2" | grep '"name":"cohen"' | grep -q '"failover":true' \
+    || fail2 "cohen's resolve did not fail over to the replica"
+grep '"op":"ingest"' "$OUT2" | grep -q '"ok":true' || fail2 "degraded-primary ingest failed"
+grep '"op":"ingest"' "$OUT2" | grep -q '"repair_pending":true' \
+    || fail2 "degraded-primary ingest did not queue a repair"
+snapshot_line=$(grep '"op":"snapshot"' "$OUT2")
+[[ -n "$snapshot_line" ]] || fail2 "missing snapshot response"
+echo "$snapshot_line" | grep -q '"ok":true' || fail2 "snapshot failed"
+echo "$snapshot_line" | grep -q '"degraded"' \
+    && fail2 "one death below R degraded the snapshot"
+snapshot_names=$(echo "$snapshot_line" | grep -o '"name":"[a-z]*"' | sort -u | wc -l)
+[[ "$snapshot_names" -eq 3 ]] || fail2 "snapshot should list 3 names, saw $snapshot_names"
+failovers=$(grep -o '"route.failover_reads":[0-9]*' "$OUT2" | head -n1)
+failovers="${failovers##*:}"
+[[ -n "$failovers" && "$failovers" -gt 0 ]] \
+    || fail2 "route.failover_reads should be nonzero, saw '${failovers:-missing}'"
+grep -q '"op":"shutdown"' "$OUT2" || fail2 "missing shutdown ack"
+
+# The routed shutdown must have stopped the two surviving backends.
+for i in 0 1 2; do
+    [[ "$i" -eq "$primary" ]] && continue
+    pid="${PIDS2[$i]}"
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || continue 2
+        sleep 0.1
+    done
+    fail2 "backend pid $pid still alive after routed shutdown"
+done
+PIDS2=()
+
+echo "route smoke passed (plain: $BACKENDS; replicated: $BACKENDS2)."

@@ -14,9 +14,9 @@
 //! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
 //!                [--max-connections N] [--state-dir DIR] [--max-names N]
 //!                [--metrics-file FILE] [--metrics-interval SECS]
-//! weber route    --backends ADDR,ADDR,... [--listen ADDR] [--replicas N]
-//!                [--retries N] [--pool N] [--probe-interval SECS]
-//!                [--max-connections N]
+//! weber route    --backends ADDR,ADDR,... [--listen ADDR] [--replication R]
+//!                [--vnodes N] [--retries N] [--pool N]
+//!                [--probe-interval SECS] [--max-connections N]
 //! ```
 
 use std::collections::HashMap;
@@ -54,9 +54,9 @@ USAGE:
   weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
                   [--max-connections N] [--state-dir DIR] [--max-names N]
                   [--metrics-file FILE] [--metrics-interval SECS]
-  weber route     --backends ADDR,ADDR,... [--listen ADDR] [--replicas N]
-                  [--retries N] [--pool N] [--probe-interval SECS]
-                  [--max-connections N]
+  weber route     --backends ADDR,ADDR,... [--listen ADDR] [--replication R]
+                  [--vnodes N] [--retries N] [--pool N]
+                  [--probe-interval SECS] [--max-connections N]
   weber --version | --help
 
 The resolve/experiment commands use the paper's full technique (functions
@@ -79,9 +79,11 @@ dumps the stage counters and latency histograms as text.
 
 The serve command runs a streaming resolution daemon speaking NDJSON, one
 request per line, over stdin/stdout (default) or a TCP socket (--listen).
-Seed a name with a labelled batch, then ingest documents one at a time:
+Seed a name with a labelled batch, then ingest documents one at a time;
+resolve reads back one name's current summary:
   {\"op\":\"seed\",\"name\":\"cohen\",\"docs\":[{\"text\":\"…\",\"label\":0},…]}
   {\"op\":\"ingest\",\"name\":\"cohen\",\"text\":\"…\"}
+  {\"op\":\"resolve\",\"name\":\"cohen\"}
 --dataset seeds the gazetteer from a generated corpus file; --workers and
 --queue size the worker pool and per-worker admission queue. With --listen
 the daemon serves clients concurrently, up to --max-connections at once
@@ -99,16 +101,23 @@ final dump is written at shutdown).
 The route command runs a sharded routing tier over several serve
 backends: it speaks the same NDJSON protocol and consistent-hashes each
 request's name onto the backend ring, so a client cannot tell it from a
-single (much larger) daemon. Per-name ops go to the owning shard with
-bounded retries (--retries, default 2) over pooled connections (--pool
-per backend, default 2); snapshot/metrics/persist/restore/flush/shutdown
-fan out to every backend and merge, degrading (\"degraded\":true plus the
+single (much larger) daemon. With --replication R (default 1) every name
+lives on the R distinct backends clockwise from its ring position:
+writes (seed/ingest) fan out to all R — a replica that misses a write
+gets the line buffered and replayed when it recovers — and the per-name
+read {\"op\":\"resolve\",\"name\":...} fails over across the set, so any
+R-1 dead backends leave every name readable. Per-name ops use bounded
+retries (--retries, default 2) over pooled connections (--pool per
+backend, default 2); snapshot/metrics/persist/restore/flush/shutdown fan
+out to every backend and merge, degrading (\"degraded\":true plus the
 unreachable shard list) instead of failing when backends are down.
-{\"op\":\"health\"} reports the router's own probe-driven view of the
-tier; {\"op\":\"topology\",\"backends\":[...]} re-shards at runtime,
-persisting the old ring first so names migrate through a shared
---state-dir. Backends are probed every --probe-interval seconds
-(default 1) with exponential backoff while down.";
+--vnodes N (default 64; formerly --replicas, still accepted) sets the
+ring's virtual nodes per backend. {\"op\":\"health\"} reports the
+router's own probe-driven view of the tier;
+{\"op\":\"topology\",\"backends\":[...]} re-shards at runtime, persisting
+the old ring first so names migrate through a shared --state-dir.
+Backends are probed every --probe-interval seconds (default 1) with
+exponential backoff while down.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -560,8 +569,34 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     if probe_secs == 0 {
         return Err("--probe-interval must be at least 1 second".into());
     }
+    let vnodes = match (flags.get("vnodes"), flags.get("replicas")) {
+        (Some(_), Some(_)) => {
+            return Err("--replicas is a deprecated alias of --vnodes; pass only one".into())
+        }
+        (Some(_), None) => parse(flags, "vnodes", 64)?,
+        (None, Some(_)) => {
+            eprintln!(
+                "warning: --replicas is deprecated (it sets virtual nodes per backend, \
+                 not the replication factor); use --vnodes, or --replication for copies"
+            );
+            parse(flags, "replicas", 64)?
+        }
+        (None, None) => 64,
+    };
+    let replication: usize = parse(flags, "replication", 1)?;
+    if replication == 0 {
+        return Err("--replication must be at least 1".into());
+    }
+    if replication > backends.len() {
+        eprintln!(
+            "warning: --replication {replication} exceeds the {} configured backends; \
+             every name will be on every backend",
+            backends.len()
+        );
+    }
     let options = RouterOptions {
-        replicas: parse(flags, "replicas", 64)?,
+        vnodes,
+        replication,
         retries: parse(flags, "retries", 2)?,
         pool_capacity: parse(flags, "pool", 2)?,
         probe_interval: std::time::Duration::from_secs(probe_secs),

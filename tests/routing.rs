@@ -430,6 +430,215 @@ fn overloaded_replies_are_relayed_verbatim_not_retried() {
     fake.join().unwrap();
 }
 
+fn replicated_router_over(addrs: &[SocketAddr], replication: usize) -> Router {
+    Router::new(
+        addrs.iter().map(|a| a.to_string()).collect(),
+        RouterOptions {
+            replication,
+            ..fast_options()
+        },
+    )
+    .unwrap()
+}
+
+fn resolve_line(name: &str) -> String {
+    format!(r#"{{"op":"resolve","name":"{name}"}}"#)
+}
+
+fn counter(router: &Router, name: &str) -> u64 {
+    router.registry().snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn replication_is_clamped_and_reported_in_health() {
+    // Nothing listens on these ports; health answers locally.
+    let router = Router::new(
+        vec![dead_addr().to_string(), dead_addr().to_string()],
+        RouterOptions {
+            replication: 5,
+            retries: 0,
+            ..fast_options()
+        },
+    )
+    .unwrap();
+    let v = parse(&router.process_line(r#"{"op":"health"}"#).response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        v.get("replication").unwrap().as_u64(),
+        Some(2),
+        "replication clamps to the backend count"
+    );
+    assert_eq!(v.get("vnodes").unwrap().as_u64(), Some(64));
+}
+
+#[test]
+fn with_replication_two_a_dead_backend_leaves_every_name_readable() {
+    // The acceptance scenario: R=2 over three backends, one backend
+    // killed. Every name must still answer `resolve` with ok:true, the
+    // snapshot must stay complete and non-degraded, and the router must
+    // count failover reads.
+    let backends: Vec<Backend> = (0..3)
+        .map(|_| start_backend(StreamConfig::default()))
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.addr).collect();
+    let router = replicated_router_over(&addrs, 2);
+    let names = names_covering_owners(&router, 3);
+    for name in &names {
+        let v = parse(&router.process_line(&seed_line(name)).response);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("replication").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            v.get("acked").unwrap().as_u64(),
+            Some(2),
+            "both replicas ack while everyone is up"
+        );
+        assert!(v.get("degraded").is_none(), "{}", names.len());
+    }
+
+    // Kill the backend that is primary for names[1].
+    let (dead_shard, _) = router.owner(&names[1]);
+    let mut backends: Vec<Option<Backend>> = backends.into_iter().map(Some).collect();
+    kill_backend(backends[dead_shard].take().unwrap());
+
+    // Every name resolves ok — the dead primary's names from a replica.
+    for name in &names {
+        let v = parse(&router.process_line(&resolve_line(name)).response);
+        assert_eq!(
+            v.get("ok").unwrap().as_bool(),
+            Some(true),
+            "name {name} must stay readable"
+        );
+        assert_eq!(v.get("op").unwrap().as_str(), Some("resolve"));
+        assert_eq!(v.get("docs").unwrap().as_u64(), Some(4));
+        assert!(v.get("unreachable").is_none());
+        let shard = v.get("shard").unwrap().as_u64().unwrap();
+        assert_ne!(shard, dead_shard as u64, "a dead shard cannot answer");
+    }
+    let v = parse(&router.process_line(&resolve_line(&names[1])).response);
+    assert_eq!(v.get("failover").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("primary").unwrap().as_u64(), Some(dead_shard as u64));
+    assert!(
+        counter(&router, "route.failover_reads") > 0,
+        "failover reads must be counted"
+    );
+
+    // The snapshot still covers every name exactly once, and one dead
+    // backend out of R=2 does not degrade it.
+    let v = parse(&router.process_line(r#"{"op":"snapshot"}"#).response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert!(v.get("degraded").is_none(), "one death < R: {v:?}");
+    assert!(v.get("unreachable").is_none());
+    let mut snap_names: Vec<String> = v
+        .get("names")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
+        .collect();
+    snap_names.sort();
+    let mut expected = names.clone();
+    expected.sort();
+    assert_eq!(snap_names, expected, "every name exactly once");
+
+    // A write to the dead primary's name still lands (on the replica),
+    // marked degraded with a pending repair.
+    let v = parse(
+        &router
+            .process_line(&ingest_line(&names[1], "databases after the crash"))
+            .response,
+    );
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("acked").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("degraded").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("repair_pending").unwrap().as_bool(), Some(true));
+    assert!(counter(&router, "route.replica_writes") > 0);
+
+    for backend in backends.into_iter().flatten() {
+        kill_backend(backend);
+    }
+}
+
+#[test]
+fn a_restarted_primary_is_repaired_with_the_writes_it_missed() {
+    // R=2 over a shared state directory. The primary of names[0] dies,
+    // an ingest lands on the replica (and is buffered for the primary),
+    // the primary restarts, and the router's probe replays the missed
+    // write — after which the primary alone serves the full 5-doc state.
+    let dir = std::env::temp_dir().join(format!("weber_routing_repair_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StreamConfig::default().with_state_dir(&dir);
+    let backends: Vec<Backend> = (0..3).map(|_| start_backend(config.clone())).collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.addr).collect();
+    let router = replicated_router_over(&addrs, 2);
+    let names = names_covering_owners(&router, 3);
+    for name in &names {
+        let out = router.process_line(&seed_line(name));
+        assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+    }
+    // Put every name's seed-era record on disk, so a restarted backend
+    // can restore it before replaying buffered writes.
+    let out = router.process_line(r#"{"op":"persist"}"#);
+    assert!(out.response.contains("\"ok\":true"), "{}", out.response);
+
+    let replica_set = router.replica_set(&names[0]);
+    let (primary, replica) = (replica_set[0], replica_set[1]);
+    let mut backends: Vec<Option<Backend>> = backends.into_iter().map(Some).collect();
+    kill_backend(backends[primary].take().unwrap());
+
+    // The write is acked by the replica and buffered for the primary.
+    let v = parse(
+        &router
+            .process_line(&ingest_line(&names[0], "databases after the crash"))
+            .response,
+    );
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{v:?}");
+    assert_eq!(v.get("acked").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("repair_pending").unwrap().as_bool(), Some(true));
+    let health = parse(&router.process_line(r#"{"op":"health"}"#).response);
+    let shard_entry = &health.get("shards").unwrap().as_array().unwrap()[primary];
+    assert_eq!(
+        shard_entry.get("repair_backlog").unwrap().as_u64(),
+        Some(1),
+        "the missed write is queued: {health:?}"
+    );
+
+    // Restart the primary on its old address and let probes find it and
+    // drain the repair queue.
+    let listener = TcpListener::bind(addrs[primary]).unwrap();
+    backends[primary] = Some(start_backend_on(config.clone(), listener));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while counter(&router, "route.replica_lag_repairs") == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repair never drained; health: {}",
+            router.process_line(r#"{"op":"health"}"#).response
+        );
+        router.probe_once();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(counter(&router, "route.replica_lag_repairs") >= 1);
+
+    // Kill the replica: only the repaired primary can answer now, and it
+    // must have the seed batch (4 docs, via the shared state dir) plus
+    // the replayed ingest.
+    kill_backend(backends[replica].take().unwrap());
+    let v = parse(&router.process_line(&resolve_line(&names[0])).response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{v:?}");
+    assert_eq!(v.get("shard").unwrap().as_u64(), Some(primary as u64));
+    assert!(v.get("failover").is_none(), "the primary itself answers");
+    assert_eq!(
+        v.get("docs").unwrap().as_u64(),
+        Some(5),
+        "restored seed + repaired ingest: {v:?}"
+    );
+
+    for backend in backends.into_iter().flatten() {
+        kill_backend(backend);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn topology_change_migrates_names_through_shared_state() {
     // Three backends over one shared state directory. Shrinking the ring
