@@ -1,0 +1,214 @@
+//! Incremental NDJSON line framing and backpressure-aware write
+//! buffering for non-blocking sockets.
+
+use std::io::{self, Write};
+
+/// Accumulates bytes from non-blocking reads and yields complete
+//  newline-terminated frames, however the bytes were fragmented.
+/// A frame is everything up to (and excluding) the `\n`; a trailing `\r`
+/// is stripped. Bytes after the last newline stay buffered until more
+/// arrive.
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Scan resume offset: everything before it is known newline-free.
+    scanned: usize,
+    max_line: usize,
+    overflowed: bool,
+}
+
+impl LineFramer {
+    /// A framer refusing lines longer than `max_line` bytes.
+    pub fn new(max_line: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            scanned: 0,
+            max_line: max_line.max(1),
+            overflowed: false,
+        }
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True once a single line exceeded the size cap. The connection is
+    /// beyond repair (the frame boundary is lost); callers should close.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Take the next complete line out of the buffer, if any.
+    pub fn next_line(&mut self) -> Option<Vec<u8>> {
+        let nl = self.buf[self.scanned..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| i + self.scanned);
+        match nl {
+            Some(i) => {
+                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                if line.len() > self.max_line {
+                    self.overflowed = true;
+                }
+                Some(line)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > self.max_line {
+                    self.overflowed = true;
+                }
+                None
+            }
+        }
+    }
+
+    /// Bytes currently buffered (a partial line).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// An outgoing byte queue flushed opportunistically against a
+/// non-blocking writer. `WouldBlock` leaves the remainder queued; the
+/// caller registers write interest and retries when the socket drains.
+#[derive(Default)]
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue one reply line (the `\n` is appended here).
+    pub fn push_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// Unwritten bytes still queued.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Write as much as the socket accepts. `Ok(true)` means fully
+    /// drained; `Ok(false)` means `WouldBlock` with bytes remaining.
+    /// Any other I/O error is the connection's death.
+    pub fn try_flush<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer accepts no bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+
+    /// Drop already-written bytes once they dominate the allocation, so a
+    /// long-lived slow connection does not pin its high-water mark.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmented_pushes_reassemble_lines() {
+        let mut f = LineFramer::new(1024);
+        f.push(b"{\"op\":\"in");
+        assert!(f.next_line().is_none());
+        f.push(b"gest\"}\r\n{\"op\":");
+        assert_eq!(f.next_line().unwrap(), b"{\"op\":\"ingest\"}");
+        assert!(f.next_line().is_none());
+        f.push(b"\"flush\"}\n");
+        assert_eq!(f.next_line().unwrap(), b"{\"op\":\"flush\"}");
+        assert!(f.next_line().is_none());
+        assert_eq!(f.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn many_lines_in_one_push_come_out_in_order() {
+        let mut f = LineFramer::new(1024);
+        f.push(b"a\nb\nc\n");
+        assert_eq!(f.next_line().unwrap(), b"a");
+        assert_eq!(f.next_line().unwrap(), b"b");
+        assert_eq!(f.next_line().unwrap(), b"c");
+        assert!(f.next_line().is_none());
+    }
+
+    #[test]
+    fn an_endless_line_trips_the_overflow_guard() {
+        let mut f = LineFramer::new(8);
+        f.push(b"0123456789abcdef");
+        assert!(f.next_line().is_none());
+        assert!(f.overflowed());
+    }
+
+    #[test]
+    fn write_buffer_reports_partial_progress() {
+        /// Writer accepting at most 4 bytes per call, then blocking once.
+        struct Dribble {
+            accepted: Vec<u8>,
+            block_next: bool,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(io::Error::from(io::ErrorKind::WouldBlock));
+                }
+                let n = buf.len().min(4);
+                self.accepted.extend_from_slice(&buf[..n]);
+                self.block_next = true;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut out = WriteBuffer::new();
+        out.push_line("hello world");
+        let mut w = Dribble {
+            accepted: Vec::new(),
+            block_next: false,
+        };
+        let mut drained = out.try_flush(&mut w).unwrap();
+        while !drained {
+            drained = out.try_flush(&mut w).unwrap();
+        }
+        assert_eq!(w.accepted, b"hello world\n");
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! A thin, token-based readiness poller over [`sys::Epoll`], plus the
+//! [`Waker`] that lets worker threads interrupt a sleeping poll.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::sys::{
+    self, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD,
+};
+
+/// One readiness report, decoded from the kernel event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Data (or EOF) can be read.
+    pub readable: bool,
+    /// The socket can accept more bytes.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; treat as readable so the read
+    /// path observes the EOF/error and closes cleanly.
+    pub hangup: bool,
+}
+
+/// What a registration is interested in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable.
+    pub readable: bool,
+    /// Wake on writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// Level-triggered readiness poller. Registrations carry a caller-chosen
+/// `u64` token that comes back verbatim in [`Event::token`].
+pub struct Poller {
+    epoll: Epoll,
+    events: Vec<EpollEvent>,
+}
+
+impl Poller {
+    /// A poller able to report up to `capacity` events per wait.
+    pub fn new(capacity: usize) -> io::Result<Self> {
+        Ok(Self {
+            epoll: Epoll::new()?,
+            events: vec![EpollEvent { events: 0, data: 0 }; capacity.max(16)],
+        })
+    }
+
+    /// Register an fd under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.epoll.ctl(EPOLL_CTL_ADD, fd, interest.bits(), token)
+    }
+
+    /// Change an existing registration's interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.epoll.ctl(EPOLL_CTL_MOD, fd, interest.bits(), token)
+    }
+
+    /// Drop an fd's registration. (Closing the fd drops it implicitly;
+    /// this exists for fds that outlive their registration.)
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        self.epoll.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout` for readiness and append decoded events to
+    /// `out`. `None` blocks indefinitely.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(t) => i32::try_from(t.as_millis()).unwrap_or(i32::MAX),
+        };
+        let n = self.epoll.wait(&mut self.events, timeout_ms)?;
+        for raw in &self.events[..n] {
+            let bits = raw.events;
+            out.push(Event {
+                token: raw.data,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A cross-thread wake-up for a poller: register [`Waker::raw_fd`] with
+/// read interest, call [`Waker::wake`] from any thread, and
+/// [`Waker::drain`] when the token fires. Consecutive wakes coalesce into
+/// one syscall while the poller has not drained yet.
+pub struct Waker {
+    event_fd: EventFd,
+    armed: AtomicBool,
+}
+
+impl Waker {
+    /// A fresh waker.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            event_fd: EventFd::new()?,
+            armed: AtomicBool::new(false),
+        })
+    }
+
+    /// The fd to register with the poller.
+    pub fn raw_fd(&self) -> RawFd {
+        self.event_fd.raw_fd()
+    }
+
+    /// Wake the poller (no-op if a wake is already pending).
+    pub fn wake(&self) {
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            self.event_fd.signal();
+        }
+    }
+
+    /// Clear the pending wake so the next [`wake`](Self::wake) signals
+    /// again.
+    pub fn drain(&self) {
+        self.armed.store(false, Ordering::Release);
+        self.event_fd.drain();
+    }
+}
+
+/// Re-export for front ends and the load generator.
+pub use sys::raise_nofile_limit;

@@ -1,13 +1,22 @@
 //! The `weber route` front end: NDJSON over stdin/stdout or TCP.
 //!
-//! Mirrors `weber serve`'s serving model (non-blocking acceptor, one
-//! handler thread per client, a shared shutdown flag observed at
-//! read-timeout ticks, over-cap clients refused with one `overloaded`
-//! line), but the loop body is synchronous: the router answers each line
-//! before reading the next, so responses are trivially in request order.
-//! Backend concurrency still happens per request — fan-out ops contact
-//! every backend in parallel, replicated writes their whole replica set
-//! — and across clients, each on its own thread.
+//! The TCP front end defaults to the `weber-net` epoll reactor
+//! ([`IoMode::Event`]): one reactor thread holds every client
+//! connection, and request lines execute on a worker pool with
+//! **per-connection stickiness** — all of one connection's lines run on
+//! one worker in admission order, reproducing the synchronous loop the
+//! threaded front end ran per client (each line fully answered, backend
+//! round trips included, before the next line of that connection
+//! starts). Different connections proceed in parallel on different
+//! workers; backend fan-out inside one request is unchanged. Lines are
+//! never shed mid-connection — backpressure comes from the reactor's
+//! pipelining valve, which stops reading a connection that has too many
+//! unanswered lines.
+//!
+//! [`IoMode::Threads`] keeps the legacy thread-per-client loop. Both
+//! modes share the wire contract: one reply per line in request order,
+//! over-cap clients refused with one `overloaded` line, `shutdown`
+//! draining the tier (backends included).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -15,6 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use weber_net::{IoMode, RouteClass, ServerOptions};
 use weber_stream::protocol;
 use weber_stream::StreamError;
 
@@ -34,6 +44,40 @@ struct ConnectionOutcome {
     saw_shutdown: bool,
     /// The connection-level I/O error that ended the loop, if any.
     error: Option<std::io::Error>,
+}
+
+/// Tuning knobs of the routing front end.
+#[derive(Debug, Clone)]
+pub struct FrontOptions {
+    /// Worker threads forwarding request lines to backends (event mode;
+    /// each holds one connection's lines at a time).
+    pub workers: usize,
+    /// Bounded queue slots per worker.
+    pub queue_capacity: usize,
+    /// Maximum simultaneous client connections.
+    pub max_connections: usize,
+    /// Which front-end implementation to run.
+    pub io: IoMode,
+    /// Evict connections silent for this long (event mode only). `None`
+    /// (the default) never evicts — callers keep pooled router
+    /// connections idle for long stretches by design.
+    pub idle_timeout: Option<Duration>,
+    /// Lines admitted but unanswered per connection before its reads
+    /// pause (event mode only).
+    pub max_pipeline: usize,
+}
+
+impl Default for FrontOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            max_connections: 64,
+            io: IoMode::Event,
+            idle_timeout: None,
+            max_pipeline: 256,
+        }
+    }
 }
 
 /// Route NDJSON from stdin to the backends until EOF or `shutdown`.
@@ -57,9 +101,108 @@ pub fn route_tcp(router: Arc<Router>, addr: &str, max_connections: usize) -> std
     route_listener(router, listener, max_connections)
 }
 
+/// [`route_tcp`] with full front-end options.
+pub fn route_tcp_with(
+    router: Arc<Router>,
+    addr: &str,
+    options: &FrontOptions,
+) -> std::io::Result<u64> {
+    let listener = TcpListener::bind(addr)?;
+    route_listener_with(router, listener, options)
+}
+
 /// [`route_tcp`] over an already-bound listener (callers needing an
-/// ephemeral port bind `:0` themselves).
+/// ephemeral port bind `:0` themselves). Runs the default event-loop
+/// front end; use [`route_listener_with`] to pick the mode and tune it.
 pub fn route_listener(
+    router: Arc<Router>,
+    listener: TcpListener,
+    max_connections: usize,
+) -> std::io::Result<u64> {
+    route_listener_with(
+        router,
+        listener,
+        &FrontOptions {
+            max_connections,
+            ..FrontOptions::default()
+        },
+    )
+}
+
+/// [`route_listener`] with full front-end options.
+pub fn route_listener_with(
+    router: Arc<Router>,
+    listener: TcpListener,
+    options: &FrontOptions,
+) -> std::io::Result<u64> {
+    match options.io {
+        IoMode::Event => route_listener_event(router, listener, options),
+        IoMode::Threads => route_listener_threaded(router, listener, options.max_connections),
+    }
+}
+
+/// The adapter putting a [`Router`] behind the `weber-net` reactor. Every
+/// line classifies as [`RouteClass::PerConnection`]: one connection's
+/// lines execute in admission order on one worker — the synchronous
+/// semantics clients of the threaded front end already rely on — and are
+/// never shed.
+struct RouterService {
+    router: Arc<Router>,
+}
+
+impl weber_net::NdjsonService for RouterService {
+    fn classify(&self, _line: &str) -> RouteClass {
+        RouteClass::PerConnection
+    }
+
+    fn process(&self, line: &str) -> weber_net::Reply {
+        let outcome = self.router.process_line(line);
+        weber_net::Reply {
+            line: outcome.response,
+            shutdown: outcome.shutdown,
+        }
+    }
+
+    fn overloaded_reply(&self) -> String {
+        protocol::err_response(&StreamError::Overloaded)
+    }
+
+    fn parse_error_reply(&self, detail: &str) -> String {
+        protocol::err_response(&StreamError::Parse(detail.to_string()))
+    }
+
+    fn is_shutdown_line(&self, line: &str) -> bool {
+        line.contains("shutdown") && protocol::is_shutdown(line)
+    }
+}
+
+/// The epoll front end: one reactor, a shared worker pool, `net.*`
+/// metrics in the router's registry.
+fn route_listener_event(
+    router: Arc<Router>,
+    listener: TcpListener,
+    options: &FrontOptions,
+) -> std::io::Result<u64> {
+    let registry = router.registry_handle();
+    let service = Arc::new(RouterService { router });
+    weber_net::serve(
+        service,
+        listener,
+        ServerOptions {
+            workers: options.workers,
+            queue_capacity: options.queue_capacity,
+            max_connections: options.max_connections.max(1),
+            idle_timeout: options.idle_timeout,
+            max_pipeline: options.max_pipeline,
+            registry: Some(registry),
+            ..ServerOptions::default()
+        },
+    )
+}
+
+/// The legacy thread-per-connection front end, selectable with
+/// `--io threads`.
+fn route_listener_threaded(
     router: Arc<Router>,
     listener: TcpListener,
     max_connections: usize,
@@ -71,6 +214,10 @@ pub fn route_listener(
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
 
     while !shutdown.load(Ordering::Relaxed) {
+        // Reap finished handler threads on every iteration — doing it
+        // only on the WouldBlock branch let the vector grow without
+        // bound under a steady stream of short-lived connections.
+        handles.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, peer)) => {
                 if active.load(Ordering::Relaxed) >= max_connections.max(1) {
@@ -91,7 +238,6 @@ pub fn route_listener(
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
-                handles.retain(|h| !h.is_finished());
             }
             Err(e)
                 if matches!(

@@ -48,9 +48,12 @@ pub mod pool;
 pub mod ring;
 pub mod router;
 
-pub use front::{route_listener, route_stdio, route_tcp};
+pub use front::{
+    route_listener, route_listener_with, route_stdio, route_tcp, route_tcp_with, FrontOptions,
+};
 pub use health::HealthState;
 pub use merge::{snapshot_from_wire, ShardOutcome};
 pub use pool::{Connection, ConnectionPool, Phase};
 pub use ring::{fnv1a, HashRing};
 pub use router::{spawn_prober, LineOutcome, Prober, Router, RouterError, RouterOptions};
+pub use weber_net::IoMode;

@@ -260,6 +260,12 @@ impl Router {
         &self.registry
     }
 
+    /// Shared handle to the same registry, for front ends that outlive
+    /// a borrow (the event loop surfaces its `net.*` metrics there).
+    pub fn registry_handle(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
     fn update_gauges(&self) {
         let topo = self.topology();
         self.ring_size.set(topo.shards.len() as i64);

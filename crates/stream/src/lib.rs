@@ -55,3 +55,4 @@ pub use server::{serve_listener, serve_stdio, serve_tcp, TcpOptions};
 pub use service::StreamService;
 pub use snapshot::{NameRecord, NameSnapshot, Snapshot, StoredDocument};
 pub use state::{ClusterAssignment, NameState};
+pub use weber_net::IoMode;

@@ -1,20 +1,25 @@
 //! The `weber serve` daemon: NDJSON over stdin/stdout or a TCP socket.
 //!
-//! Each connection gets its own [`StreamService`](crate::service::StreamService)
-//! read loop: admit one request per line, stream the ordered response lines
-//! back, stop on EOF or after admitting a `shutdown` request; either way the
-//! queue is drained and every admitted request is answered before the
-//! connection closes.
+//! The TCP front end defaults to the `weber-net` epoll reactor
+//! ([`IoMode::Event`]): one acceptor/reactor thread multiplexes every
+//! connection, a small worker pool shared by all clients executes request
+//! lines (sticky-routed by name, exactly like
+//! [`StreamService`](crate::service::StreamService) routes its queues),
+//! and a per-connection reorder buffer keeps replies in request order.
+//! That holds tens of thousands of mostly-idle persistent connections on
+//! a handful of threads. `health` probes are answered on the reactor
+//! thread itself, bypassing the queues; data-plane lines shed with an
+//! `overloaded` reply when their worker queue is full; control-plane
+//! lines never shed.
 //!
-//! The TCP front end is concurrent: an acceptor thread polls the listener
-//! and spawns one handler thread per client, all sharing one
-//! `Arc<StreamResolver>` (per-name locks make cross-client ingests safe).
-//! Connection-level I/O errors — a client resetting mid-line, a dead peer
-//! on write — are logged to stderr and isolated to that connection; only
-//! listener-level failures (`bind`, fatal `accept`) end the daemon. Any
-//! client sending `shutdown` raises a shared flag: the acceptor stops
-//! accepting and every in-flight connection notices the flag at its next
-//! read-timeout tick, drains its admitted requests, and closes.
+//! [`IoMode::Threads`] keeps the legacy model — one handler thread per
+//! client, each with its own `StreamService` — as a fallback. In both
+//! modes the wire contract is identical: one reply line per request
+//! line, in request order; over-cap clients get one `overloaded` line
+//! and a close; any client sending `shutdown` drains the daemon.
+//!
+//! The stdio front end ([`serve_stdio`]) still runs the classic
+//! single-connection read loop.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -22,8 +27,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use weber_net::{IoMode, RouteClass, ServerOptions};
+
 use crate::error::StreamError;
-use crate::protocol;
+use crate::protocol::{self, Request};
 use crate::resolver::StreamResolver;
 use crate::service::StreamService;
 
@@ -37,13 +44,22 @@ const READ_TIMEOUT: Duration = Duration::from_millis(100);
 /// Tuning knobs of the TCP front end.
 #[derive(Debug, Clone)]
 pub struct TcpOptions {
-    /// Worker threads per connection's service.
+    /// Worker threads executing request lines (shared by every
+    /// connection in event mode, per connection in threads mode).
     pub workers: usize,
     /// Admission-queue capacity per worker.
     pub queue_capacity: usize,
     /// Maximum simultaneous client connections; clients beyond the cap
     /// are answered with an `overloaded` error line and closed.
     pub max_connections: usize,
+    /// Which front-end implementation to run.
+    pub io: IoMode,
+    /// Evict connections silent for this long (event mode only). `None`
+    /// never evicts.
+    pub idle_timeout: Option<Duration>,
+    /// Lines admitted but unanswered per connection before its reads
+    /// pause (event mode only).
+    pub max_pipeline: usize,
 }
 
 impl Default for TcpOptions {
@@ -52,6 +68,9 @@ impl Default for TcpOptions {
             workers: 2,
             queue_capacity: 64,
             max_connections: 64,
+            io: IoMode::Event,
+            idle_timeout: None,
+            max_pipeline: 256,
         }
     }
 }
@@ -106,7 +125,105 @@ pub fn serve_tcp(
 
 /// [`serve_tcp`] over an already-bound listener (callers that need the
 /// ephemeral port bind with `:0` themselves and pass the listener in).
+/// Dispatches to the epoll reactor or the legacy thread-per-connection
+/// loop according to [`TcpOptions::io`].
 pub fn serve_listener(
+    resolver: Arc<StreamResolver>,
+    listener: TcpListener,
+    options: &TcpOptions,
+) -> std::io::Result<u64> {
+    match options.io {
+        IoMode::Event => serve_listener_event(resolver, listener, options),
+        IoMode::Threads => serve_listener_threaded(resolver, listener, options),
+    }
+}
+
+/// The adapter putting a [`StreamResolver`] behind the `weber-net`
+/// reactor: classification mirrors
+/// [`StreamService`](crate::service::StreamService)'s routing (named ops
+/// stick to `hash(name)`, control ops are never shed, `health` bypasses
+/// the queues entirely), and processing goes through the same
+/// [`process_line`](crate::service::process_line) every other path uses.
+struct ResolverService {
+    resolver: Arc<StreamResolver>,
+}
+
+/// The same name→worker key `StreamService::route` computes.
+fn name_key(name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl weber_net::NdjsonService for ResolverService {
+    fn classify(&self, line: &str) -> RouteClass {
+        match protocol::parse_request(line) {
+            // Health never waits behind the backlog it is probing, and a
+            // malformed line's error reply costs nothing to compute:
+            // both are answered on the reactor thread.
+            Ok(Request::Health) | Err(_) => RouteClass::Immediate,
+            Ok(Request::Seed { name, .. })
+            | Ok(Request::Ingest { name, .. })
+            | Ok(Request::Resolve { name }) => RouteClass::Data(name_key(&name)),
+            Ok(_) => RouteClass::Control,
+        }
+    }
+
+    fn process(&self, line: &str) -> weber_net::Reply {
+        let shutdown = line.contains("shutdown") && protocol::is_shutdown(line);
+        weber_net::Reply {
+            line: crate::service::process_line(&self.resolver, line),
+            shutdown,
+        }
+    }
+
+    fn overloaded_reply(&self) -> String {
+        protocol::err_response(&StreamError::Overloaded)
+    }
+
+    fn parse_error_reply(&self, detail: &str) -> String {
+        protocol::err_response(&StreamError::Parse(detail.to_string()))
+    }
+
+    fn internal_error_reply(&self, detail: &str) -> String {
+        protocol::err_response(&StreamError::InvalidRequest(detail.to_string()))
+    }
+
+    fn is_shutdown_line(&self, line: &str) -> bool {
+        // The substring test keeps the reactor from re-parsing every
+        // line; only candidates pay for the full parse.
+        line.contains("shutdown") && protocol::is_shutdown(line)
+    }
+}
+
+/// The epoll front end: one reactor, one shared worker pool, `net.*`
+/// metrics surfaced through the resolver's registry.
+fn serve_listener_event(
+    resolver: Arc<StreamResolver>,
+    listener: TcpListener,
+    options: &TcpOptions,
+) -> std::io::Result<u64> {
+    let registry = Arc::clone(resolver.metrics().registry());
+    let service = Arc::new(ResolverService { resolver });
+    weber_net::serve(
+        service,
+        listener,
+        ServerOptions {
+            workers: options.workers,
+            queue_capacity: options.queue_capacity,
+            max_connections: options.max_connections.max(1),
+            idle_timeout: options.idle_timeout,
+            max_pipeline: options.max_pipeline,
+            registry: Some(registry),
+            ..ServerOptions::default()
+        },
+    )
+}
+
+/// The legacy thread-per-connection front end, selectable with
+/// `--io threads`.
+fn serve_listener_threaded(
     resolver: Arc<StreamResolver>,
     listener: TcpListener,
     options: &TcpOptions,
@@ -118,6 +235,10 @@ pub fn serve_listener(
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
 
     while !shutdown.load(Ordering::Relaxed) {
+        // Reap finished handler threads on every iteration — doing it
+        // only on the WouldBlock branch let the vector grow without
+        // bound under a steady stream of short-lived connections.
+        handles.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, peer)) => {
                 if active.load(Ordering::Relaxed) >= options.max_connections.max(1) {
@@ -141,7 +262,6 @@ pub fn serve_listener(
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
-                handles.retain(|h| !h.is_finished());
             }
             Err(e)
                 if matches!(
@@ -538,6 +658,35 @@ mod tests {
         let ingest = serde_json::parse_value(&lines[1]).unwrap();
         assert_eq!(ingest.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(ingest.get("doc").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn threaded_io_mode_round_trips_too() {
+        use std::net::TcpStream;
+        let resolver = resolver();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let options = TcpOptions {
+            io: weber_net::IoMode::Threads,
+            ..TcpOptions::default()
+        };
+        let server =
+            std::thread::spawn(move || serve_listener(resolver, listener, &options).unwrap());
+        let client = TcpStream::connect(addr).unwrap();
+        let mut writer = client.try_clone().unwrap();
+        let mut reader = BufReader::new(client);
+        writeln!(writer, "{}", seed_line()).unwrap();
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut lines = Vec::new();
+        for _ in 0..2 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            lines.push(line.trim().to_string());
+        }
+        assert_eq!(server.join().unwrap(), 2);
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("shutdown"), "{}", lines[1]);
     }
 
     #[test]

@@ -27,6 +27,9 @@ cargo test -q --release -p weber-stream
 echo "==> router smoke: scripts/route_smoke.sh"
 scripts/route_smoke.sh
 
+echo "==> serve smoke: scripts/serve_smoke.sh"
+scripts/serve_smoke.sh
+
 echo "==> blocking smoke: scripts/block_smoke.sh"
 scripts/block_smoke.sh
 

@@ -12,11 +12,19 @@
 //!                [--hashes N] [--bands N] [--lsh-threshold F] [--threads N]
 //!                [--metrics-file FILE]
 //! weber serve    [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
-//!                [--max-connections N] [--state-dir DIR] [--max-names N]
+//!                [--max-connections N] [--io event|threads]
+//!                [--idle-timeout SECS] [--max-pipeline N]
+//!                [--state-dir DIR] [--max-names N]
 //!                [--metrics-file FILE] [--metrics-interval SECS]
 //! weber route    --backends ADDR,ADDR,... [--listen ADDR] [--replication R]
 //!                [--vnodes N] [--retries N] [--pool N]
 //!                [--probe-interval SECS] [--max-connections N]
+//!                [--workers N] [--queue N] [--io event|threads]
+//!                [--idle-timeout SECS] [--max-pipeline N]
+//! weber loadgen  --connect ADDR [--connections N] [--duration SECS]
+//!                [--warmup SECS] [--mode open|closed] [--rate OPS]
+//!                [--pipeline N] [--names N] [--zipf S] [--ingest-weight W]
+//!                [--resolve-weight W] [--seed N] [--out FILE]
 //! ```
 
 use std::collections::HashMap;
@@ -32,9 +40,11 @@ use weber::corpus::{
     DirtyCorpus,
 };
 use weber::eval::MetricSet;
-use weber::shard::{route_stdio, route_tcp, spawn_prober, Router, RouterOptions};
+use weber::shard::{
+    route_stdio, route_tcp_with, spawn_prober, FrontOptions, Router, RouterOptions,
+};
 use weber::simfun::functions::subset_i10;
-use weber::stream::{serve_stdio, serve_tcp, StreamConfig, StreamResolver, TcpOptions};
+use weber::stream::{serve_stdio, serve_tcp, IoMode, StreamConfig, StreamResolver, TcpOptions};
 use weber::textindex::TfIdf;
 
 const USAGE: &str = "\
@@ -52,11 +62,19 @@ USAGE:
                   [--hashes N] [--bands N] [--lsh-threshold F] [--threads N]
                   [--metrics-file FILE]
   weber serve     [--listen ADDR] [--workers N] [--queue N] [--dataset FILE]
-                  [--max-connections N] [--state-dir DIR] [--max-names N]
+                  [--max-connections N] [--io event|threads]
+                  [--idle-timeout SECS] [--max-pipeline N]
+                  [--state-dir DIR] [--max-names N]
                   [--metrics-file FILE] [--metrics-interval SECS]
   weber route     --backends ADDR,ADDR,... [--listen ADDR] [--replication R]
                   [--vnodes N] [--retries N] [--pool N]
                   [--probe-interval SECS] [--max-connections N]
+                  [--workers N] [--queue N] [--io event|threads]
+                  [--idle-timeout SECS] [--max-pipeline N]
+  weber loadgen   --connect ADDR [--connections N] [--duration SECS]
+                  [--warmup SECS] [--mode open|closed] [--rate OPS]
+                  [--pipeline N] [--names N] [--zipf S] [--ingest-weight W]
+                  [--resolve-weight W] [--seed N] [--out FILE]
   weber --version | --help
 
 The resolve/experiment commands use the paper's full technique (functions
@@ -87,7 +105,13 @@ resolve reads back one name's current summary:
 --dataset seeds the gazetteer from a generated corpus file; --workers and
 --queue size the worker pool and per-worker admission queue. With --listen
 the daemon serves clients concurrently, up to --max-connections at once
-(default 64). --state-dir DIR persists per-name state: existing records
+(default 64). By default one epoll reactor thread multiplexes every
+connection (--io event), which holds 10k+ mostly-idle persistent
+connections; --io threads restores the thread-per-connection model.
+--idle-timeout SECS evicts silent connections (0 = never, the default);
+--max-pipeline N caps in-flight pipelined requests per connection
+(default 256) — past it the reactor stops reading that socket until
+replies drain. --state-dir DIR persists per-name state: existing records
 are restored at startup, the whole state is written back at shutdown, and
 the protocol gains explicit persist/restore ops. --max-names N (requires
 --state-dir) bounds live names, evicting the least-recently-touched to
@@ -111,13 +135,25 @@ retries (--retries, default 2) over pooled connections (--pool per
 backend, default 2); snapshot/metrics/persist/restore/flush/shutdown fan
 out to every backend and merge, degrading (\"degraded\":true plus the
 unreachable shard list) instead of failing when backends are down.
---vnodes N (default 64; formerly --replicas, still accepted) sets the
-ring's virtual nodes per backend. {\"op\":\"health\"} reports the
-router's own probe-driven view of the tier;
-{\"op\":\"topology\",\"backends\":[...]} re-shards at runtime, persisting
-the old ring first so names migrate through a shared --state-dir.
-Backends are probed every --probe-interval seconds (default 1) with
-exponential backoff while down.";
+--vnodes N (default 64) sets the ring's virtual nodes per backend (the
+old --replicas alias is gone — it never set the replication factor).
+{\"op\":\"health\"} reports the router's own probe-driven view of the
+tier; {\"op\":\"topology\",\"backends\":[...]} re-shards at runtime,
+persisting the old ring first so names migrate through a shared
+--state-dir. Backends are probed every --probe-interval seconds
+(default 1) with exponential backoff while down. The front end takes the
+same --io / --idle-timeout / --max-pipeline / --workers / --queue
+tuning as serve.
+
+The loadgen command drives either front end with NDJSON traffic from one
+reactor thread holding --connections persistent sockets (default 100):
+--mode open (default) releases --rate ops/s on a fixed schedule so
+latency includes queueing delay; --mode closed keeps --pipeline requests
+in flight per connection and measures saturation throughput. Requests
+draw names Zipf(--zipf)-skewed from --names seeded names with an
+--ingest-weight : --resolve-weight op mix, and the JSON report (stdout
+or --out) quotes throughput plus p50/p95/p99 latency measured after
+--warmup seconds.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -181,6 +217,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "block" => cmd_block(&flags),
         "serve" => cmd_serve(&flags),
         "route" => cmd_route(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -481,10 +518,29 @@ fn cmd_experiment(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the shared front-end tuning flags: `--io`, `--idle-timeout`
+/// (seconds, 0 = never) and `--max-pipeline`.
+fn front_tuning(
+    flags: &HashMap<String, String>,
+) -> Result<(IoMode, Option<std::time::Duration>, usize), String> {
+    let io: IoMode = match flags.get("io") {
+        None => IoMode::Event,
+        Some(v) => v.parse()?,
+    };
+    let idle_secs: u64 = parse(flags, "idle-timeout", 0)?;
+    let idle_timeout = (idle_secs > 0).then(|| std::time::Duration::from_secs(idle_secs));
+    let max_pipeline: usize = parse(flags, "max-pipeline", 256)?;
+    if max_pipeline == 0 {
+        return Err("--max-pipeline must be at least 1".into());
+    }
+    Ok((io, idle_timeout, max_pipeline))
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let workers: usize = parse(flags, "workers", 2)?;
     let queue: usize = parse(flags, "queue", 64)?;
     let max_connections: usize = parse(flags, "max-connections", 64)?;
+    let (io, idle_timeout, max_pipeline) = front_tuning(flags)?;
     let gazetteer = match flags.get("dataset") {
         Some(_) => load_dataset(flags)?.gazetteer,
         None => weber::extract::gazetteer::Gazetteer::new(),
@@ -530,6 +586,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 workers,
                 queue_capacity: queue,
                 max_connections,
+                io,
+                idle_timeout,
+                max_pipeline,
             };
             serve_tcp(resolver.clone(), addr, &options).map_err(|e| e.to_string())?
         }
@@ -556,6 +615,83 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("connect")
+        .ok_or("missing required flag --connect")?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("open");
+    let rate = match mode {
+        "open" => Some(parse(flags, "rate", 1_000u64)?),
+        "closed" => None,
+        other => {
+            return Err(format!(
+                "invalid --mode '{other}' (expected open or closed)"
+            ))
+        }
+    };
+    let opts = weber::loadgen::LoadgenOptions {
+        connections: parse(flags, "connections", 100)?,
+        duration: std::time::Duration::from_secs(parse(flags, "duration", 10)?),
+        warmup: std::time::Duration::from_secs(parse(flags, "warmup", 1)?),
+        rate,
+        pipeline: parse(flags, "pipeline", 1)?,
+        names: parse(flags, "names", 64)?,
+        zipf_s: parse(flags, "zipf", 1.0)?,
+        ingest_weight: parse(flags, "ingest-weight", 8)?,
+        resolve_weight: parse(flags, "resolve-weight", 2)?,
+        seed: parse(flags, "seed", 1)?,
+    };
+    if opts.connections == 0 {
+        return Err("--connections must be at least 1".into());
+    }
+    if opts.pipeline == 0 {
+        return Err("--pipeline must be at least 1".into());
+    }
+    match &rate {
+        Some(r) => eprintln!(
+            "loadgen: {} connections against {addr}, open loop at {r} ops/s, \
+             {} names (zipf {}), {}s warmup + {}s measured",
+            opts.connections,
+            opts.names,
+            opts.zipf_s,
+            opts.warmup.as_secs(),
+            opts.duration.as_secs()
+        ),
+        None => eprintln!(
+            "loadgen: {} connections against {addr}, closed loop ({} in flight each), \
+             {} names (zipf {}), {}s warmup + {}s measured",
+            opts.connections,
+            opts.pipeline,
+            opts.names,
+            opts.zipf_s,
+            opts.warmup.as_secs(),
+            opts.duration.as_secs()
+        ),
+    }
+    let report = weber::loadgen::run(addr, &opts).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote report to {path}");
+        }
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "loadgen: {:.0} ops/s, p50 {:.0}us p95 {:.0}us p99 {:.0}us, \
+         {} errors, {} connections closed early, {} unanswered",
+        report.throughput_ops_s,
+        report.overall.p50_us,
+        report.overall.p95_us,
+        report.overall.p99_us,
+        report.errors,
+        report.closed_early,
+        report.unanswered
+    );
+    Ok(())
+}
+
 fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     let backends: Vec<String> = flags
         .get("backends")
@@ -569,20 +705,15 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     if probe_secs == 0 {
         return Err("--probe-interval must be at least 1 second".into());
     }
-    let vnodes = match (flags.get("vnodes"), flags.get("replicas")) {
-        (Some(_), Some(_)) => {
-            return Err("--replicas is a deprecated alias of --vnodes; pass only one".into())
-        }
-        (Some(_), None) => parse(flags, "vnodes", 64)?,
-        (None, Some(_)) => {
-            eprintln!(
-                "warning: --replicas is deprecated (it sets virtual nodes per backend, \
-                 not the replication factor); use --vnodes, or --replication for copies"
-            );
-            parse(flags, "replicas", 64)?
-        }
-        (None, None) => 64,
-    };
+    if flags.contains_key("replicas") {
+        return Err(
+            "--replicas has been removed: it set virtual nodes per backend, not the \
+             replication factor. Use --vnodes N for ring virtual nodes (what --replicas \
+             actually did), or --replication R for copies per name."
+                .into(),
+        );
+    }
+    let vnodes = parse(flags, "vnodes", 64)?;
     let replication: usize = parse(flags, "replication", 1)?;
     if replication == 0 {
         return Err("--replication must be at least 1".into());
@@ -602,6 +733,15 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
         probe_interval: std::time::Duration::from_secs(probe_secs),
         ..RouterOptions::default()
     };
+    let (io, idle_timeout, max_pipeline) = front_tuning(flags)?;
+    let front = FrontOptions {
+        workers: parse(flags, "workers", 4)?,
+        queue_capacity: parse(flags, "queue", 256)?,
+        max_connections,
+        io,
+        idle_timeout,
+        max_pipeline,
+    };
     let router =
         std::sync::Arc::new(Router::new(backends.clone(), options).map_err(|e| e.to_string())?);
     let prober = spawn_prober(router.clone());
@@ -612,7 +752,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
                 backends.len(),
                 backends.join(", ")
             );
-            route_tcp(router.clone(), addr, max_connections).map_err(|e| e.to_string())?
+            route_tcp_with(router.clone(), addr, &front).map_err(|e| e.to_string())?
         }
         None => {
             eprintln!(

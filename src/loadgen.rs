@@ -1,0 +1,679 @@
+//! Load generator for the NDJSON front ends (`weber serve` / `weber route`).
+//!
+//! One reactor thread drives every client connection through the same
+//! non-blocking primitives the servers use ([`weber_net::Poller`],
+//! [`weber_net::LineFramer`], [`weber_net::WriteBuffer`]), so a single
+//! `weber loadgen` process can hold 10k+ persistent connections against
+//! one front end — the scenario the event-loop servers exist for.
+//!
+//! Two arrival models:
+//!
+//! - **open loop** (`rate: Some(r)`): requests are released on a fixed
+//!   schedule of `r` ops/s spread round-robin across the connections,
+//!   regardless of how fast replies come back. Latency therefore includes
+//!   any queueing delay the server builds up — the honest model for
+//!   tail-latency claims (no coordinated omission).
+//! - **closed loop** (`rate: None`): every connection keeps `pipeline`
+//!   requests in flight and issues the next one the moment a reply lands,
+//!   measuring the server's saturation throughput.
+//!
+//! Names are drawn Zipf(`zipf_s`)-skewed from a fixed universe that is
+//! seeded through a setup connection before measurement starts; the op mix
+//! is `ingest_weight : resolve_weight`. Latencies are recorded into
+//! fine-grained [`weber_obs::Histogram`]s (one per op plus an overall one)
+//! only after the warmup window, and the report quotes p50/p95/p99 via
+//! [`weber_obs::HistogramSnapshot::quantile`].
+//!
+//! Per-connection reply ordering is guaranteed by the servers (see
+//! `PROTOCOL.md`), so each connection's in-flight send timestamps form a
+//! FIFO queue: reply `k` on a connection always answers request `k`, and a
+//! `VecDeque<Instant>` per connection is enough to attribute latencies.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::Serialize;
+use weber_net::{raise_nofile_limit, Event, Interest, LineFramer, Poller, WriteBuffer};
+use weber_obs::{Histogram, HistogramSnapshot};
+
+/// Fine-grained latency bucket bounds (µs) for load-test percentiles:
+/// 50µs to 10s with enough resolution that interpolated p99s are
+/// meaningful, unlike the coarse server-side default bounds.
+pub const LOADGEN_BOUNDS_US: &[u64] = &[
+    50, 100, 150, 200, 300, 400, 500, 700, 1_000, 1_500, 2_000, 3_000, 4_000, 5_000, 7_500, 10_000,
+    15_000, 20_000, 30_000, 50_000, 75_000, 100_000, 150_000, 250_000, 500_000, 750_000, 1_000_000,
+    2_500_000, 5_000_000, 10_000_000,
+];
+
+/// Longest NDJSON reply line the client will buffer (metrics/snapshot
+/// replies from large servers can run long).
+const MAX_REPLY_LINE: usize = 4 * 1024 * 1024;
+
+/// How long after the measurement deadline to wait for straggler replies.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// What the load generator should do.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Concurrent persistent connections to hold open.
+    pub connections: usize,
+    /// Measured window (excludes warmup).
+    pub duration: Duration,
+    /// Ramp-in window: traffic flows but latencies are not recorded.
+    pub warmup: Duration,
+    /// `Some(r)`: open-loop arrival at `r` ops/s total across all
+    /// connections. `None`: closed loop (see [`LoadgenOptions::pipeline`]).
+    pub rate: Option<u64>,
+    /// Closed-loop in-flight requests per connection.
+    pub pipeline: usize,
+    /// Distinct names in the universe (seeded before measurement).
+    pub names: usize,
+    /// Zipf skew exponent for name popularity; 0 = uniform.
+    pub zipf_s: f64,
+    /// Relative weight of `ingest` in the op mix.
+    pub ingest_weight: u32,
+    /// Relative weight of `resolve` in the op mix.
+    pub resolve_weight: u32,
+    /// RNG seed — runs are deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            connections: 100,
+            duration: Duration::from_secs(10),
+            warmup: Duration::from_secs(1),
+            rate: Some(1_000),
+            pipeline: 1,
+            names: 64,
+            zipf_s: 1.0,
+            ingest_weight: 8,
+            resolve_weight: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Latency summary for one op class, quoted in microseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpStats {
+    /// Replies measured (post-warmup).
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Slowest measured reply.
+    pub max_us: u64,
+}
+
+impl OpStats {
+    fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        Self {
+            count: s.count,
+            mean_us: s.mean(),
+            p50_us: s.quantile(0.50),
+            p95_us: s.quantile(0.95),
+            p99_us: s.quantile(0.99),
+            max_us: s.max,
+        }
+    }
+}
+
+/// Everything one load-generation run observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Connections actually held open.
+    pub connections: usize,
+    /// `"open"` or `"closed"`.
+    pub mode: String,
+    /// Open-loop target rate (ops/s); 0 in closed-loop mode.
+    pub target_rate: u64,
+    /// Closed-loop in-flight per connection.
+    pub pipeline: usize,
+    /// Name-universe size.
+    pub names: usize,
+    /// Zipf exponent used for name skew.
+    pub zipf_s: f64,
+    /// Warmup seconds (unmeasured).
+    pub warmup_s: f64,
+    /// Measured seconds.
+    pub duration_s: f64,
+    /// Requests written to sockets (warmup included).
+    pub sent: u64,
+    /// Replies received (warmup included).
+    pub completed: u64,
+    /// Replies measured (post-warmup only).
+    pub measured: u64,
+    /// Measured replies carrying an `"error"` field.
+    pub errors: u64,
+    /// Seed replies during setup that carried an `"error"` field.
+    pub setup_errors: u64,
+    /// Connections the server closed before the run finished.
+    pub closed_early: u64,
+    /// Requests still unanswered when the drain grace expired.
+    pub unanswered: u64,
+    /// Measured replies per second over the measured window.
+    pub throughput_ops_s: f64,
+    /// Latency over all measured ops.
+    pub overall: OpStats,
+    /// Latency for `ingest` ops.
+    pub ingest: OpStats,
+    /// Latency for `resolve` ops.
+    pub resolve: OpStats,
+}
+
+/// Zipf-distributed index sampler over `0..n` via inverse-CDF lookup.
+///
+/// Index 0 is the most popular; popularity of index `k` is proportional to
+/// `1/(k+1)^s`. `s = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the cumulative table for `n` indices with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs a non-empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // First index whose cumulative probability covers u.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Ingest,
+    Resolve,
+}
+
+fn name_for(i: usize) -> String {
+    format!("load{i:05}")
+}
+
+fn seed_line(name: &str) -> String {
+    format!(
+        concat!(
+            r#"{{"op":"seed","name":"{}","docs":["#,
+            r#"{{"text":"databases are fun and databases are important","label":0}},"#,
+            r#"{{"text":"databases are hard but databases pay well","label":0}},"#,
+            r#"{{"text":"gardening tips for growing roses","label":1}},"#,
+            r#"{{"text":"gardening advice on pruning roses","label":1}}]}}"#
+        ),
+        name
+    )
+}
+
+fn request_line(op: Op, name: &str, k: u64) -> String {
+    match op {
+        Op::Ingest => format!(
+            r#"{{"op":"ingest","name":"{name}","text":"databases and gardening field note {k}"}}"#
+        ),
+        Op::Resolve => format!(r#"{{"op":"resolve","name":"{name}"}}"#),
+    }
+}
+
+/// Seed the whole name universe through one pipelined setup connection.
+/// Replies carrying `"error"` are counted, not fatal — a name may already
+/// be seeded from a previous run against the same server.
+fn seed_names(addr: &str, names: usize) -> io::Result<u64> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut errors = 0u64;
+    const BATCH: usize = 64;
+    let mut i = 0;
+    while i < names {
+        let n = BATCH.min(names - i);
+        let mut batch = String::new();
+        for j in i..i + n {
+            batch.push_str(&seed_line(&name_for(j)));
+            batch.push('\n');
+        }
+        writer.write_all(batch.as_bytes())?;
+        let mut reply = String::new();
+        for _ in 0..n {
+            reply.clear();
+            if reader.read_line(&mut reply)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the seed connection",
+                ));
+            }
+            if reply.contains("\"error\"") {
+                errors += 1;
+            }
+        }
+        i += n;
+    }
+    Ok(errors)
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    framer: LineFramer,
+    out: WriteBuffer,
+    /// Send-time + op for each in-flight request, FIFO (the servers
+    /// guarantee per-connection reply ordering).
+    pending: VecDeque<(Instant, Op)>,
+    writable_interest: bool,
+    closed: bool,
+}
+
+impl ClientConn {
+    fn connect(addr: &str) -> io::Result<Self> {
+        // Blocking connect (localhost handshakes are microseconds), then
+        // flip to non-blocking for the reactor.
+        let mut last_err = None;
+        for _ in 0..50 {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_nonblocking(true)?;
+                    return Ok(Self {
+                        stream,
+                        framer: LineFramer::new(MAX_REPLY_LINE),
+                        out: WriteBuffer::new(),
+                        pending: VecDeque::new(),
+                        writable_interest: false,
+                        closed: true, // flipped to false once registered
+                    });
+                }
+                Err(e) => {
+                    // Listen backlogs and ephemeral-port churn produce
+                    // transient refusals under mass connect; back off.
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        Err(last_err.expect("retry loop always records an error"))
+    }
+}
+
+struct Engine<'a> {
+    opts: &'a LoadgenOptions,
+    conns: Vec<ClientConn>,
+    poller: Poller,
+    rng: StdRng,
+    zipf: ZipfSampler,
+    sent: u64,
+    completed: u64,
+    measured: u64,
+    errors: u64,
+    closed_early: u64,
+    ingest_hist: Histogram,
+    resolve_hist: Histogram,
+    overall_hist: Histogram,
+}
+
+impl Engine<'_> {
+    fn pick_op(&mut self) -> Op {
+        let total = self.opts.ingest_weight + self.opts.resolve_weight;
+        if total == 0 || self.rng.random_range(0..total) < self.opts.ingest_weight {
+            Op::Ingest
+        } else {
+            Op::Resolve
+        }
+    }
+
+    /// Queue one request on connection `idx` and push it toward the socket.
+    fn enqueue(&mut self, idx: usize) {
+        let op = self.pick_op();
+        let name_idx = self.zipf.sample(&mut self.rng);
+        let line = request_line(op, &name_for(name_idx), self.sent);
+        let conn = &mut self.conns[idx];
+        conn.out.push_line(&line);
+        conn.pending.push_back((Instant::now(), op));
+        self.sent += 1;
+        self.flush(idx);
+    }
+
+    fn flush(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if conn.closed {
+            return;
+        }
+        match conn.out.try_flush(&mut conn.stream) {
+            Ok(_) => {}
+            Err(_) => {
+                self.close(idx);
+                return;
+            }
+        }
+        self.update_interest(idx);
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if conn.closed {
+            return;
+        }
+        let want_writable = !conn.out.is_empty();
+        if want_writable != conn.writable_interest {
+            let interest = Interest {
+                readable: true,
+                writable: want_writable,
+            };
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), idx as u64, interest)
+                .is_err()
+            {
+                self.close(idx);
+                return;
+            }
+            self.conns[idx].writable_interest = want_writable;
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if conn.closed {
+            return;
+        }
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        conn.closed = true;
+        self.closed_early += 1;
+    }
+
+    /// Drain readable bytes and account completed replies. Returns the
+    /// number of replies completed in this call.
+    fn read_replies(&mut self, idx: usize, warmup_end: Instant) -> usize {
+        let mut buf = [0u8; 16 * 1024];
+        let mut done = 0;
+        loop {
+            let conn = &mut self.conns[idx];
+            if conn.closed {
+                return done;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.close(idx);
+                    return done;
+                }
+                Ok(n) => conn.framer.push(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return done;
+                }
+            }
+        }
+        loop {
+            let conn = &mut self.conns[idx];
+            let Some(line) = conn.framer.next_line() else {
+                break;
+            };
+            let Some((sent_at, op)) = conn.pending.pop_front() else {
+                // A reply with no matching request (server violation);
+                // count it as an error and move on.
+                self.errors += 1;
+                continue;
+            };
+            let now = Instant::now();
+            self.completed += 1;
+            done += 1;
+            if now >= warmup_end {
+                self.measured += 1;
+                let us = u64::try_from(now.duration_since(sent_at).as_micros()).unwrap_or(u64::MAX);
+                self.overall_hist.record(us);
+                match op {
+                    Op::Ingest => self.ingest_hist.record(us),
+                    Op::Resolve => self.resolve_hist.record(us),
+                }
+                if line.windows(8).any(|w| w == b"\"error\"") {
+                    self.errors += 1;
+                }
+            }
+        }
+        done
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.conns.iter().map(|c| c.pending.len() as u64).sum()
+    }
+}
+
+/// Run one load-generation pass against `addr` and report what happened.
+///
+/// Seeds the name universe, opens `connections` persistent sockets, drives
+/// the configured arrival process until `warmup + duration` has elapsed,
+/// drains stragglers, and summarises latencies from the post-warmup window.
+pub fn run(addr: &str, opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
+    assert!(opts.connections > 0, "need at least one connection");
+    assert!(opts.pipeline > 0, "closed loop needs pipeline >= 1");
+    let _ = raise_nofile_limit();
+
+    let setup_errors = seed_names(addr, opts.names)?;
+
+    let mut engine = Engine {
+        opts,
+        conns: Vec::with_capacity(opts.connections),
+        poller: Poller::new(opts.connections.clamp(64, 4096))?,
+        rng: StdRng::seed_from_u64(opts.seed),
+        zipf: ZipfSampler::new(opts.names, opts.zipf_s),
+        sent: 0,
+        completed: 0,
+        measured: 0,
+        errors: 0,
+        closed_early: 0,
+        ingest_hist: Histogram::with_bounds(LOADGEN_BOUNDS_US),
+        resolve_hist: Histogram::with_bounds(LOADGEN_BOUNDS_US),
+        overall_hist: Histogram::with_bounds(LOADGEN_BOUNDS_US),
+    };
+
+    for i in 0..opts.connections {
+        let conn = ClientConn::connect(addr)?;
+        engine
+            .poller
+            .add(conn.stream.as_raw_fd(), i as u64, Interest::READ)?;
+        engine.conns.push(conn);
+        engine.conns[i].closed = false;
+    }
+
+    let start = Instant::now();
+    let warmup_end = start + opts.warmup;
+    let deadline = warmup_end + opts.duration;
+
+    // Open loop: fixed arrival schedule. Closed loop: prime the windows.
+    let interval = opts
+        .rate
+        .map(|r| Duration::from_nanos(1_000_000_000 / r.max(1)));
+    let mut next_send = start;
+    let mut cursor = 0usize; // round-robin connection cursor
+    if interval.is_none() {
+        for i in 0..engine.conns.len() {
+            for _ in 0..opts.pipeline {
+                engine.enqueue(i);
+            }
+        }
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        let now = Instant::now();
+        if now >= deadline && engine.in_flight() == 0 {
+            break;
+        }
+        if now >= deadline + DRAIN_GRACE {
+            break;
+        }
+
+        let timeout = match interval {
+            Some(_) if now < deadline => next_send
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(50)),
+            _ => Duration::from_millis(50),
+        };
+        engine.poller.wait(&mut events, Some(timeout))?;
+
+        for ev in std::mem::take(&mut events) {
+            let idx = ev.token as usize;
+            if idx >= engine.conns.len() || engine.conns[idx].closed {
+                continue;
+            }
+            if ev.readable || ev.hangup {
+                let done = engine.read_replies(idx, warmup_end);
+                // Closed loop: refill the window as replies land.
+                if interval.is_none() && Instant::now() < deadline {
+                    for _ in 0..done {
+                        if !engine.conns[idx].closed {
+                            engine.enqueue(idx);
+                        }
+                    }
+                }
+            }
+            if ev.hangup
+                && !engine.conns[idx].closed
+                && engine.conns[idx].framer.pending_bytes() == 0
+            {
+                engine.close(idx);
+            }
+            if ev.writable {
+                engine.flush(idx);
+            }
+        }
+
+        // Open loop: release everything the schedule owes us.
+        if let Some(step) = interval {
+            let now = Instant::now();
+            while next_send <= now {
+                if now >= deadline {
+                    break;
+                }
+                // Skip closed connections; give up if all are gone.
+                let mut tries = 0;
+                while engine.conns[cursor].closed && tries < engine.conns.len() {
+                    cursor = (cursor + 1) % engine.conns.len();
+                    tries += 1;
+                }
+                if engine.conns[cursor].closed {
+                    break;
+                }
+                engine.enqueue(cursor);
+                cursor = (cursor + 1) % engine.conns.len();
+                next_send += step;
+            }
+        }
+    }
+
+    let unanswered = engine.in_flight();
+    let measured_window = opts.duration.as_secs_f64();
+    let overall = engine.overall_hist.snapshot("overall");
+    let report = LoadgenReport {
+        connections: opts.connections,
+        mode: if interval.is_some() { "open" } else { "closed" }.to_string(),
+        target_rate: opts.rate.unwrap_or(0),
+        pipeline: opts.pipeline,
+        names: opts.names,
+        zipf_s: opts.zipf_s,
+        warmup_s: opts.warmup.as_secs_f64(),
+        duration_s: measured_window,
+        sent: engine.sent,
+        completed: engine.completed,
+        measured: engine.measured,
+        errors: engine.errors,
+        setup_errors,
+        closed_early: engine.closed_early,
+        unanswered,
+        throughput_ops_s: if measured_window > 0.0 {
+            engine.measured as f64 / measured_window
+        } else {
+            0.0
+        },
+        overall: OpStats::from_snapshot(&overall),
+        ingest: OpStats::from_snapshot(&engine.ingest_hist.snapshot("ingest")),
+        resolve: OpStats::from_snapshot(&engine.resolve_hist.snapshot("resolve")),
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] && counts[0] > counts[99]);
+        // Harmonic(100) ≈ 5.19, so index 0 should take ~19% of the mass.
+        assert!(counts[0] > 1_000, "index 0 drew only {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "index {i} drew {c}");
+        }
+    }
+
+    #[test]
+    fn request_lines_are_valid_json() {
+        for op in [Op::Ingest, Op::Resolve] {
+            let line = request_line(op, &name_for(3), 9);
+            serde_json::parse_value(&line).expect("request line parses");
+        }
+        serde_json::parse_value(&seed_line("load00000")).expect("seed line parses");
+    }
+
+    #[test]
+    fn op_stats_quote_quantiles_from_the_histogram() {
+        let h = Histogram::with_bounds(LOADGEN_BOUNDS_US);
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(9_000);
+        }
+        let stats = OpStats::from_snapshot(&h.snapshot("t"));
+        assert_eq!(stats.count, 100);
+        assert!(stats.p50_us <= 150.0);
+        assert!(stats.p99_us > 150.0, "p99 = {}", stats.p99_us);
+        assert_eq!(stats.max_us, 9_000);
+    }
+}
