@@ -28,6 +28,9 @@ mod server;
 mod sys;
 
 pub use buffer::{LineFramer, WriteBuffer};
-pub use poller::{raise_nofile_limit, Event, Interest, Poller, Waker};
+pub use poller::{
+    connect_nonblocking, connect_outcome, raise_nofile_limit, ConnectProgress, Event, Interest,
+    Poller, Waker,
+};
 pub use pool::{Completion, CompletionSender, Dispatch, RouteClass, WorkerPool};
-pub use server::{serve, IoMode, NdjsonService, Reply, ServerOptions};
+pub use server::{serve, IoMode, NdjsonService, Reply, Responder, ServerOptions};

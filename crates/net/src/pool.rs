@@ -39,6 +39,13 @@ pub enum RouteClass {
     /// Cheap request answered synchronously on the reactor thread,
     /// bypassing the queues entirely (health probes of a saturated tier).
     Immediate,
+    /// Request handed to [`NdjsonService::process_deferred`] on the
+    /// reactor thread with a [`crate::Responder`]: the service starts
+    /// asynchronous work (an outbound backend exchange) and answers
+    /// later through the completion channel. Never queued, never shed —
+    /// backpressure comes from the pipelining valve, exactly as for
+    /// `PerConnection` lines.
+    Deferred,
 }
 
 /// One completed request, posted back to the reactor.
@@ -168,14 +175,15 @@ impl WorkerPool {
     }
 
     /// Dispatch one line. `Data` lines may shed; `Control` lines always
-    /// queue (on worker 0). Callers handle `RouteClass::Immediate`
-    /// themselves — passing it here routes like `Control`.
+    /// queue (on worker 0). Callers handle `RouteClass::Immediate` and
+    /// `RouteClass::Deferred` themselves — passing either here routes
+    /// like `Control`.
     pub fn submit(&self, class: RouteClass, conn: u64, seq: u64, line: String) -> Dispatch {
         let workers = self.queues.len() as u64;
         let (index, sheddable) = match class {
             RouteClass::Data(key) => ((key % workers) as usize, true),
             RouteClass::PerConnection => ((conn % workers) as usize, false),
-            RouteClass::Control | RouteClass::Immediate => (0, false),
+            RouteClass::Control | RouteClass::Immediate | RouteClass::Deferred => (0, false),
         };
         let queue = &self.queues[index];
         let mut state = queue.state.lock().unwrap();

@@ -67,6 +67,31 @@ pub struct Reply {
     pub shutdown: bool,
 }
 
+/// The write-half of one admitted line's reply slot, handed to
+/// [`NdjsonService::process_deferred`] for lines classified
+/// [`RouteClass::Deferred`]. The service answers from any thread, later:
+/// the reply lands in the completion channel and takes the line's
+/// position in the connection's reply order, exactly as a worker-pool
+/// completion would. Dropping a responder without responding would leave
+/// the position unanswered (and the connection's pipeline valve jammed),
+/// so [`respond`](Responder::respond) must be called exactly once.
+pub struct Responder {
+    sender: CompletionSender,
+    conn: u64,
+    seq: u64,
+}
+
+impl Responder {
+    /// Deliver the reply for this line's position.
+    pub fn respond(self, reply: Reply) {
+        self.sender.send(crate::pool::Completion {
+            conn: self.conn,
+            seq: self.seq,
+            reply,
+        });
+    }
+}
+
 /// The request-side contract a serving tier implements to run on the
 /// event loop. One instance is shared by every worker thread.
 pub trait NdjsonService: Send + Sync + 'static {
@@ -89,6 +114,15 @@ pub trait NdjsonService: Send + Sync + 'static {
     /// shape; tiers with a richer error vocabulary can override.
     fn internal_error_reply(&self, detail: &str) -> String {
         self.parse_error_reply(detail)
+    }
+
+    /// Start asynchronous processing for a [`RouteClass::Deferred`] line.
+    /// Called on the reactor thread, so it must not block: kick off the
+    /// outbound work and return; answer through `responder` when done.
+    /// The default falls back to synchronous processing so services that
+    /// never classify `Deferred` need not implement it.
+    fn process_deferred(&self, line: &str, responder: Responder) {
+        responder.respond(self.process(line));
     }
 
     /// True if this line asks the server to shut down. Detected at
@@ -224,11 +258,12 @@ pub fn serve<S: NdjsonService>(
     let mut poller = Poller::new(1024)?;
     let waker = Arc::new(Waker::new()?);
     let (tx, completions): (_, Receiver<crate::pool::Completion>) = mpsc::channel();
+    let completion_sender = CompletionSender::new(tx, Arc::clone(&waker));
     let pool = WorkerPool::start(
         Arc::clone(&service),
         options.workers,
         options.queue_capacity,
-        CompletionSender::new(tx, Arc::clone(&waker)),
+        completion_sender.clone(),
     );
 
     poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
@@ -289,6 +324,7 @@ pub fn serve<S: NdjsonService>(
                             conn,
                             token,
                             &pool,
+                            &completion_sender,
                             service.as_ref(),
                             &options,
                             &mut admitted,
@@ -345,6 +381,7 @@ pub fn serve<S: NdjsonService>(
                     conn,
                     token,
                     &pool,
+                    &completion_sender,
                     service.as_ref(),
                     &options,
                     &mut admitted,
@@ -496,6 +533,7 @@ fn read_and_frame<S: NdjsonService>(
     conn: &mut Conn,
     token: u64,
     pool: &WorkerPool,
+    completions: &CompletionSender,
     service: &S,
     options: &ServerOptions,
     admitted: &mut u64,
@@ -523,6 +561,7 @@ fn read_and_frame<S: NdjsonService>(
                     conn,
                     token,
                     pool,
+                    completions,
                     service,
                     options,
                     admitted,
@@ -553,6 +592,7 @@ fn read_and_frame<S: NdjsonService>(
         conn,
         token,
         pool,
+        completions,
         service,
         options,
         admitted,
@@ -573,6 +613,7 @@ fn frame_pending<S: NdjsonService>(
     conn: &mut Conn,
     token: u64,
     pool: &WorkerPool,
+    completions: &CompletionSender,
     service: &S,
     options: &ServerOptions,
     admitted: &mut u64,
@@ -628,6 +669,19 @@ fn frame_pending<S: NdjsonService>(
                     *shutting_down = true;
                 }
                 conn.reorder.insert(seq, reply.line);
+            }
+            RouteClass::Deferred => {
+                // The line's reply slot travels with the responder; the
+                // service answers through the completion channel when its
+                // outbound work finishes.
+                service.process_deferred(
+                    &line,
+                    Responder {
+                        sender: completions.clone(),
+                        conn: token,
+                        seq,
+                    },
+                );
             }
             class => match pool.submit(class, token, seq, line) {
                 Dispatch::Queued => {}

@@ -1,17 +1,25 @@
 //! The `weber route` front end: NDJSON over stdin/stdout or TCP.
 //!
 //! The TCP front end defaults to the `weber-net` epoll reactor
-//! ([`IoMode::Event`]): one reactor thread holds every client
-//! connection, and request lines execute on a worker pool with
-//! **per-connection stickiness** — all of one connection's lines run on
-//! one worker in admission order, reproducing the synchronous loop the
-//! threaded front end ran per client (each line fully answered, backend
-//! round trips included, before the next line of that connection
-//! starts). Different connections proceed in parallel on different
-//! workers; backend fan-out inside one request is unchanged. Lines are
-//! never shed mid-connection — backpressure comes from the reactor's
-//! pipelining valve, which stops reading a connection that has too many
-//! unanswered lines.
+//! ([`IoMode::Event`]), and per-name ops (`seed`, `ingest`, `resolve`)
+//! take the fully asynchronous path: the reactor classifies them
+//! [`RouteClass::Deferred`] and hands each line (with a
+//! [`weber_net::Responder`]) to
+//! [`Router::process_line_deferred`][crate::Router::process_line_deferred],
+//! which submits the backend exchange to the outbound reactor and
+//! returns immediately. No thread waits on the backend round trip — a
+//! deliberately stalled backend stalls only the requests addressed to
+//! it, while requests owned by healthy shards keep flowing, whatever
+//! `--workers` is set to. Replies still come back in per-connection
+//! admission order (the reactor's reorder buffer holds each one to its
+//! line's position), and backpressure comes from the pipelining valve,
+//! which stops reading a connection with too many unanswered lines.
+//!
+//! Fan-out ops (`snapshot`, `metrics`, `persist`, `restore`, `flush`,
+//! `shutdown`, `topology`) block for the slowest backend, so they
+//! classify [`RouteClass::Control`] and run on a worker thread; `health`
+//! and parse errors are answered straight from the reactor
+//! ([`RouteClass::Immediate`]) — both are local and cheap.
 //!
 //! [`IoMode::Threads`] keeps the legacy thread-per-client loop. Both
 //! modes share the wire contract: one reply per line in request order,
@@ -141,18 +149,27 @@ pub fn route_listener_with(
     }
 }
 
-/// The adapter putting a [`Router`] behind the `weber-net` reactor. Every
-/// line classifies as [`RouteClass::PerConnection`]: one connection's
-/// lines execute in admission order on one worker — the synchronous
-/// semantics clients of the threaded front end already rely on — and are
-/// never shed.
+/// The adapter putting a [`Router`] behind the `weber-net` reactor.
+/// Per-name ops go [`RouteClass::Deferred`] onto the asynchronous
+/// outbound path; fan-out and topology ops go [`RouteClass::Control`]
+/// (they block a worker for the broadcast, never the reactor); `health`
+/// and unparseable lines are answered inline ([`RouteClass::Immediate`]).
 struct RouterService {
     router: Arc<Router>,
 }
 
 impl weber_net::NdjsonService for RouterService {
-    fn classify(&self, _line: &str) -> RouteClass {
-        RouteClass::PerConnection
+    fn classify(&self, line: &str) -> RouteClass {
+        match serde_json::parse_value(line) {
+            Ok(v) => match v.get("op").and_then(serde::Value::as_str) {
+                Some("seed" | "ingest" | "resolve") => RouteClass::Deferred,
+                Some("health") => RouteClass::Immediate,
+                _ => RouteClass::Control,
+            },
+            // Parse errors are answered locally without any backend
+            // round trip; cheap enough for the reactor itself.
+            Err(_) => RouteClass::Immediate,
+        }
     }
 
     fn process(&self, line: &str) -> weber_net::Reply {
@@ -161,6 +178,18 @@ impl weber_net::NdjsonService for RouterService {
             line: outcome.response,
             shutdown: outcome.shutdown,
         }
+    }
+
+    fn process_deferred(&self, line: &str, responder: weber_net::Responder) {
+        self.router.process_line_deferred(
+            line,
+            Box::new(move |outcome| {
+                responder.respond(weber_net::Reply {
+                    line: outcome.response,
+                    shutdown: outcome.shutdown,
+                });
+            }),
+        );
     }
 
     fn overloaded_reply(&self) -> String {

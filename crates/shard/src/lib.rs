@@ -13,12 +13,14 @@
 //! protocol as a single daemon:
 //!
 //! - **per-name writes** (`seed`, `ingest`) are forwarded to every
-//!   backend in the name's replica set over pooled persistent
-//!   connections ([`pool`]), with bounded retries (idempotent ops retry
-//!   any transport failure; `ingest` only retries failures that provably
-//!   sent nothing) and the answering shard's index appended to the
-//!   reply; a replica that misses a write gets the line buffered and
-//!   replayed when it recovers (write repair);
+//!   backend in the name's replica set over the asynchronous outbound
+//!   connection pool ([`pool`]) — one epoll reactor multiplexing every
+//!   pooled backend socket, so no thread ever parks on a backend round
+//!   trip — with bounded retries (idempotent ops retry any transport
+//!   failure; `ingest` only retries failures that provably sent nothing)
+//!   and the answering shard's index appended to the reply; a replica
+//!   that misses a write gets the line buffered and replayed when it
+//!   recovers (write repair);
 //! - the **per-name read** (`resolve`) fails over across the replica set
 //!   in ring order — healthy members first — so fewer than R dead
 //!   backends never make a name unreadable;
@@ -53,7 +55,7 @@ pub use front::{
 };
 pub use health::HealthState;
 pub use merge::{snapshot_from_wire, ShardOutcome};
-pub use pool::{Connection, ConnectionPool, Phase};
+pub use pool::{ExchangeCallback, ExchangeResult, OutboundPool, Phase, PoolOptions};
 pub use ring::{fnv1a, HashRing};
 pub use router::{spawn_prober, LineOutcome, Prober, Router, RouterError, RouterOptions};
 pub use weber_net::IoMode;

@@ -16,11 +16,21 @@
 //! the tier, and `topology` swaps the backend set at runtime (persisting
 //! the old ring first so names — and their replicas — migrate through
 //! the shared state directory).
+//!
+//! Every backend exchange rides the shared [`OutboundPool`] reactor, so
+//! forwarding is a *state machine*, not a parked thread: per-name ops
+//! have an asynchronous spine ([`Router::process_line_deferred`]) where
+//! retries, write fan-out and read failover advance from pool completion
+//! callbacks, and [`Router::process_line`] is the blocking wrapper
+//! (submit, wait on a channel) for the stdio front end, the threaded
+//! front end, probes and tests. One stalled backend therefore stalls
+//! only the exchanges addressed to it — never a front-end worker, and
+//! never requests owned by healthy shards.
 
 use std::collections::VecDeque;
 use std::io;
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -32,8 +42,8 @@ use weber_stream::StreamError;
 
 use crate::health::HealthState;
 use crate::merge::{self, ShardOutcome};
-use crate::pool::{ConnectionPool, Phase};
-use crate::ring::HashRing;
+use crate::pool::{OutboundPool, Phase, PoolOptions};
+use crate::ring::{fnv1a, HashRing};
 
 /// Lines buffered per backend for write repair before the oldest is
 /// dropped (and counted on `route.repair_dropped`). Bounds memory during
@@ -55,7 +65,7 @@ pub struct RouterOptions {
     /// Extra forwarding attempts after the first failure (idempotent ops;
     /// `ingest` only re-attempts failures that provably sent nothing).
     pub retries: usize,
-    /// Warm connections kept per backend.
+    /// Outbound connection slots kept per backend.
     pub pool_capacity: usize,
     /// TCP connect timeout towards a backend.
     pub connect_timeout: Duration,
@@ -92,12 +102,12 @@ impl std::fmt::Display for RouterError {
 
 impl std::error::Error for RouterError {}
 
-/// One backend as the router sees it: its connection pool, health record
+/// One backend as the router sees it: its health record, repair backlog
 /// and per-backend counters (named by address, so they survive topology
-/// changes that renumber ring indices).
+/// changes that renumber ring indices). Connections live in the shared
+/// [`OutboundPool`], keyed by this shard's address.
 struct Shard {
     addr: String,
-    pool: ConnectionPool,
     health: HealthState,
     /// Write lines this backend missed while its replica peers acked —
     /// replayed in arrival order once it is healthy again. Keyed to the
@@ -110,15 +120,9 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(addr: &str, options: &RouterOptions, registry: &Registry) -> Self {
+    fn new(addr: &str, registry: &Registry) -> Self {
         Shard {
             addr: addr.to_string(),
-            pool: ConnectionPool::new(
-                addr,
-                options.pool_capacity,
-                options.connect_timeout,
-                options.io_timeout,
-            ),
             health: HealthState::new(),
             repair: Mutex::new(VecDeque::new()),
             requests: registry.counter(&format!("route.backend.{addr}.requests")),
@@ -151,11 +155,28 @@ impl LineOutcome {
     }
 }
 
-/// The routing tier's state and request loop body.
+/// Completion for one fully-routed line (reply tagged and merged).
+pub type LineCallback = Box<dyn FnOnce(LineOutcome) + Send>;
+
+/// Completion for one backend exchange after retries.
+type ExchangeDone = Box<dyn FnOnce(Result<String, io::Error>) + Send>;
+
+/// Completion for one forwarded per-name op's finished reply line.
+type ReplyDone = Box<dyn FnOnce(String) + Send>;
+
+/// The routing tier's state and request loop body. Cheap to share: the
+/// public handle wraps one [`Arc`]'d core, which asynchronous forwarding
+/// callbacks keep alive while their exchanges are in flight.
 pub struct Router {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
     topology: RwLock<Arc<Topology>>,
     options: RouterOptions,
     registry: Arc<Registry>,
+    /// The shared outbound reactor every backend exchange rides.
+    pool: OutboundPool,
     started: Instant,
     requests: Arc<Counter>,
     retries: Arc<Counter>,
@@ -197,12 +218,19 @@ impl Router {
     pub fn new(backends: Vec<String>, options: RouterOptions) -> Result<Self, RouterError> {
         validated(&backends)?;
         let registry = Arc::new(Registry::new());
+        let pool = OutboundPool::new(PoolOptions {
+            slots_per_backend: options.pool_capacity,
+            connect_timeout: options.connect_timeout,
+            io_timeout: options.io_timeout,
+            ..PoolOptions::default()
+        })
+        .map_err(|e| RouterError(format!("cannot start the outbound reactor: {e}")))?;
         let shards = backends
             .iter()
-            .map(|addr| Arc::new(Shard::new(addr, &options, &registry)))
+            .map(|addr| Arc::new(Shard::new(addr, &registry)))
             .collect();
         let ring = HashRing::new(&backends, options.vnodes);
-        let router = Router {
+        let inner = Inner {
             topology: RwLock::new(Arc::new(Topology { ring, shards })),
             started: Instant::now(),
             requests: registry.counter("route.requests"),
@@ -218,26 +246,593 @@ impl Router {
             healthy_backends: registry.gauge("route.healthy_backends"),
             registry,
             options,
+            pool,
         };
-        router.update_gauges();
-        Ok(router)
-    }
-
-    fn topology(&self) -> Arc<Topology> {
-        Arc::clone(&self.topology.read())
+        inner.update_gauges();
+        Ok(Router {
+            inner: Arc::new(inner),
+        })
     }
 
     /// Current backend addresses, in ring-index order.
     pub fn backends(&self) -> Vec<String> {
-        self.topology().ring.backends().to_vec()
+        self.inner.topology().ring.backends().to_vec()
     }
 
     /// Which backend (index, address) owns `name` (the primary of its
     /// replica set).
     pub fn owner(&self, name: &str) -> (usize, String) {
-        let topo = self.topology();
+        let topo = self.inner.topology();
         let idx = topo.ring.owner(name);
         (idx, topo.ring.backends()[idx].clone())
+    }
+
+    /// `name`'s replica set — the backends a write goes to and a read may
+    /// be served from, primary first.
+    pub fn replica_set(&self, name: &str) -> Vec<usize> {
+        let topo = self.inner.topology();
+        let r = self.inner.replication_for(&topo);
+        topo.ring.successors(name, r)
+    }
+
+    /// The router's own metrics registry (the `metrics` op merges this
+    /// with every backend's snapshot).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Shared handle to the same registry, for front ends that outlive
+    /// a borrow (the event loop surfaces its `net.*` metrics there).
+    pub fn registry_handle(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// Swap the backend set. The old ring is asked to `persist` first so
+    /// every name reaches the shared state directory; the new owners then
+    /// restore names lazily on their next touch (`weber serve
+    /// --state-dir` restores transparently). Shards for retained
+    /// addresses are reused, keeping their health records, repair
+    /// backlogs and counters; outbound connections to dropped backends
+    /// are torn down.
+    pub fn set_backends(&self, backends: Vec<String>) -> Result<String, RouterError> {
+        self.inner.set_backends(backends)
+    }
+
+    /// Probe every backend whose probe is due and refresh the gauges.
+    /// Called on a cadence by [`Prober`]; callable directly in tests.
+    pub fn probe_once(&self) {
+        self.inner.probe_once();
+    }
+
+    /// Handle one request line and block until its reply is ready:
+    /// the synchronous surface for the stdio front end, the threaded
+    /// front end, and tests. Always produces exactly one response line.
+    ///
+    /// Per-name ops park only the *calling* thread — the exchanges they
+    /// fan out ride the outbound reactor. Must not be called from a pool
+    /// completion callback (it would wait on itself).
+    pub fn process_line(&self, line: &str) -> LineOutcome {
+        match dispatch(&self.inner, line) {
+            Routed::Done(outcome) => outcome,
+            Routed::Write { op, name } => {
+                let (tx, rx) = mpsc::channel();
+                forward_write(
+                    &self.inner,
+                    &op,
+                    &name,
+                    line,
+                    Box::new(move |reply| {
+                        let _ = tx.send(reply);
+                    }),
+                );
+                LineOutcome::reply(wait_for_reply(rx))
+            }
+            Routed::Read { op, name } => {
+                let (tx, rx) = mpsc::channel();
+                forward_read(
+                    &self.inner,
+                    &op,
+                    &name,
+                    line,
+                    Box::new(move |reply| {
+                        let _ = tx.send(reply);
+                    }),
+                );
+                LineOutcome::reply(wait_for_reply(rx))
+            }
+        }
+    }
+
+    /// Handle one request line without blocking the caller: per-name ops
+    /// return immediately and `done` fires from the outbound reactor when
+    /// the forwarded exchange (retries, fan-out, failover included)
+    /// resolves. This is the event front end's path — the server reactor
+    /// hands a line over and goes back to its sockets.
+    ///
+    /// Lines that never touch a backend (parse errors, `health`,
+    /// malformed per-name ops) complete `done` before returning. Fan-out
+    /// ops (`snapshot`, `shutdown`, …) block the calling thread for the
+    /// broadcast, exactly like [`Self::process_line`] — the event front
+    /// end classifies those onto worker threads, never onto its reactor.
+    pub fn process_line_deferred(&self, line: &str, done: LineCallback) {
+        match dispatch(&self.inner, line) {
+            Routed::Done(outcome) => done(outcome),
+            Routed::Write { op, name } => forward_write(
+                &self.inner,
+                &op,
+                &name,
+                line,
+                Box::new(move |reply| done(LineOutcome::reply(reply))),
+            ),
+            Routed::Read { op, name } => forward_read(
+                &self.inner,
+                &op,
+                &name,
+                line,
+                Box::new(move |reply| done(LineOutcome::reply(reply))),
+            ),
+        }
+    }
+}
+
+/// Block on a forwarded reply; a dropped sender (a panicking callback, a
+/// stopping pool) still yields one well-formed error line.
+fn wait_for_reply(rx: mpsc::Receiver<String>) -> String {
+    rx.recv().unwrap_or_else(|_| {
+        protocol::err_response(&StreamError::InvalidRequest(
+            "the routing tier dropped this request while shutting down".into(),
+        ))
+    })
+}
+
+/// Where one parsed line goes next.
+enum Routed {
+    /// Answered without any asynchronous forwarding.
+    Done(LineOutcome),
+    /// A per-name write (`seed`, `ingest`) for the async fan-out path.
+    Write { op: String, name: String },
+    /// The per-name read (`resolve`) for the async failover path.
+    Read { op: String, name: String },
+}
+
+/// Parse and dispatch one line: local answers and (blocking) broadcasts
+/// resolve here; per-name ops come back as [`Routed::Write`]/[`Routed::Read`]
+/// for the caller to drive synchronously or asynchronously.
+fn dispatch(inner: &Arc<Inner>, line: &str) -> Routed {
+    inner.requests.inc();
+    let value = match serde_json::parse_value(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Routed::Done(LineOutcome::reply(protocol::err_response(
+                &StreamError::Parse(e.to_string()),
+            )))
+        }
+    };
+    let Some(op) = value.get("op").and_then(Value::as_str) else {
+        return Routed::Done(LineOutcome::reply(protocol::err_response(
+            &StreamError::InvalidRequest("missing field 'op'".into()),
+        )));
+    };
+    let op = op.to_string();
+    match op.as_str() {
+        "seed" | "ingest" | "resolve" => {
+            let Some(name) = value.get("name").and_then(Value::as_str) else {
+                return Routed::Done(LineOutcome::reply(protocol::err_response(
+                    &StreamError::InvalidRequest("field 'name' must be a string".into()),
+                )));
+            };
+            let name = name.to_string();
+            if op == "resolve" {
+                Routed::Read { op, name }
+            } else {
+                Routed::Write { op, name }
+            }
+        }
+        "health" => Routed::Done(LineOutcome::reply(inner.health_line())),
+        "topology" => Routed::Done(LineOutcome::reply(inner.handle_topology(&value))),
+        "snapshot" => {
+            let topo = inner.topology();
+            let outcomes = broadcast_on(inner, &topo, line);
+            let r = inner.replication_for(&topo);
+            Routed::Done(LineOutcome::reply(merge::merge_snapshot(
+                &outcomes, &topo.ring, r,
+            )))
+        }
+        "metrics" => {
+            let outcomes = broadcast(inner, line);
+            Routed::Done(LineOutcome::reply(merge::merge_metrics(
+                inner.registry.snapshot(),
+                &outcomes,
+            )))
+        }
+        "persist" | "restore" => Routed::Done(LineOutcome::reply(merge::merge_count(
+            &op,
+            &broadcast(inner, line),
+        ))),
+        "flush" => Routed::Done(LineOutcome::reply(merge::merge_plain(
+            "flush",
+            &broadcast(inner, line),
+        ))),
+        "shutdown" => Routed::Done(LineOutcome {
+            response: merge::merge_plain("shutdown", &broadcast(inner, line)),
+            shutdown: true,
+        }),
+        other => Routed::Done(LineOutcome::reply(protocol::err_response(
+            &StreamError::InvalidRequest(format!("unknown op '{other}'")),
+        ))),
+    }
+}
+
+/// One exchange against `shard` with bounded retries, advanced entirely
+/// from pool completion callbacks. Idempotent ops retry any transport
+/// failure on a fresh connection; non-idempotent ops (`ingest`) retry
+/// only [`Phase::Connect`] failures — an exchange-phase failure may
+/// already have been applied, and re-sending it could assign the
+/// document twice.
+fn exchange_with_retry(
+    inner: &Arc<Inner>,
+    shard: Arc<Shard>,
+    key: Option<u64>,
+    line: String,
+    idempotent: bool,
+    attempt: usize,
+    done: ExchangeDone,
+) {
+    let inner_cb = Arc::clone(inner);
+    let submit_line = line.clone();
+    let addr = shard.addr.clone();
+    inner.pool.submit(
+        &addr,
+        key,
+        submit_line,
+        Box::new(move |result| match result {
+            Ok(reply) => {
+                shard.health.mark_success(inner_cb.options.probe_interval);
+                done(Ok(reply));
+            }
+            Err((phase, e)) => {
+                shard
+                    .health
+                    .mark_failure(&e.to_string(), inner_cb.options.probe_interval);
+                if phase == Phase::Exchange {
+                    // A mid-stream death usually strands every warm
+                    // connection from before the restart; drop the idle
+                    // ones so the retry dials fresh.
+                    inner_cb.pool.invalidate(&shard.addr);
+                }
+                let retryable = idempotent || phase == Phase::Connect;
+                if retryable && attempt < inner_cb.options.retries {
+                    shard.retries.inc();
+                    inner_cb.retries.inc();
+                    let again = Arc::clone(&inner_cb);
+                    exchange_with_retry(&again, shard, key, line, idempotent, attempt + 1, done);
+                } else {
+                    shard.errors.inc();
+                    inner_cb.errors.inc();
+                    inner_cb.update_gauges();
+                    done(Err(e));
+                }
+            }
+        }),
+    );
+}
+
+/// The in-progress state of one replicated write fan-out: results land
+/// here from completion callbacks (in any order), and the last one in
+/// assembles the client reply.
+struct WriteJoin {
+    results: Vec<Option<Result<String, io::Error>>>,
+    remaining: usize,
+    finish: Option<(WriteCtx, ReplyDone)>,
+}
+
+struct WriteCtx {
+    op: String,
+    name: String,
+    line: String,
+    topo: Arc<Topology>,
+    set: Vec<usize>,
+    start: Instant,
+}
+
+/// Forward a per-name write (`seed`, `ingest`) to every backend in the
+/// name's replica set, concurrently on the outbound reactor. The reply
+/// the client sees is the first transport-acked one in ring order,
+/// tagged with its shard index; with R > 1 it also reports
+/// `replication`/`acked`, plus `degraded` + `repair_pending` when some
+/// replica missed the write (its line is buffered for replay — see
+/// [`Inner::drain_repairs`]). Only when *no* replica acks does the
+/// client get an `unreachable` error; nothing is buffered then, because
+/// the client's own retry must stay the single writer (buffering too
+/// would double-apply).
+fn forward_write(inner: &Arc<Inner>, op: &str, name: &str, line: &str, done: ReplyDone) {
+    let topo = inner.topology();
+    let r = inner.replication_for(&topo);
+    let set = topo.ring.successors(name, r);
+    let idempotent = op != "ingest";
+    let key = Some(fnv1a(name.as_bytes()));
+    let ctx = WriteCtx {
+        op: op.to_string(),
+        name: name.to_string(),
+        line: line.to_string(),
+        topo: Arc::clone(&topo),
+        set: set.clone(),
+        start: Instant::now(),
+    };
+    let join = Arc::new(Mutex::new(WriteJoin {
+        results: (0..set.len()).map(|_| None).collect(),
+        remaining: set.len(),
+        finish: Some((ctx, done)),
+    }));
+    for (pos, &idx) in set.iter().enumerate() {
+        let shard = Arc::clone(&topo.shards[idx]);
+        shard.requests.inc();
+        let join = Arc::clone(&join);
+        let inner_cb = Arc::clone(inner);
+        exchange_with_retry(
+            inner,
+            shard,
+            key,
+            line.to_string(),
+            idempotent,
+            0,
+            Box::new(move |result| {
+                let finished = {
+                    let mut join = join.lock();
+                    join.results[pos] = Some(result);
+                    join.remaining -= 1;
+                    if join.remaining == 0 {
+                        let results: Vec<Result<String, io::Error>> =
+                            join.results.drain(..).map(|r| r.unwrap()).collect();
+                        join.finish.take().map(|(ctx, done)| (ctx, done, results))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((ctx, done, results)) = finished {
+                    done(finish_write(&inner_cb, ctx, results));
+                }
+            }),
+        );
+    }
+}
+
+/// Assemble the client reply once every replica of a write resolved.
+fn finish_write(
+    inner: &Arc<Inner>,
+    ctx: WriteCtx,
+    results: Vec<Result<String, io::Error>>,
+) -> String {
+    inner.forward_us.record_since(ctx.start);
+    let primary = ctx.set[0];
+    let acked = results.iter().filter(|r| r.is_ok()).count();
+    if acked > 0 {
+        for (&idx, result) in ctx.set.iter().zip(&results) {
+            match result {
+                Ok(_) if idx != primary => inner.replica_writes.inc(),
+                Ok(_) => {}
+                Err(_) => inner.queue_repair(&ctx.topo.shards[idx], &ctx.line),
+            }
+        }
+    }
+    let winner = ctx
+        .set
+        .iter()
+        .zip(&results)
+        .find_map(|(&idx, result)| result.as_ref().ok().map(|reply| (idx, reply)));
+    match winner {
+        Some((idx, reply)) => match serde_json::parse_value(reply) {
+            Ok(mut v) => {
+                merge::push_field(&mut v, "shard", Value::Number(idx as f64));
+                if ctx.set.len() > 1 {
+                    merge::push_field(&mut v, "replication", Value::Number(ctx.set.len() as f64));
+                    merge::push_field(&mut v, "acked", Value::Number(acked as f64));
+                    if idx != primary {
+                        merge::push_field(&mut v, "primary", Value::Number(primary as f64));
+                    }
+                    if acked < ctx.set.len() {
+                        merge::push_field(&mut v, "degraded", Value::Bool(true));
+                        merge::push_field(&mut v, "repair_pending", Value::Bool(true));
+                    }
+                }
+                serde_json::to_string(&v).unwrap_or_else(|_| reply.clone())
+            }
+            // Relay unparseable replies verbatim: the client decides.
+            Err(_) => reply.clone(),
+        },
+        None => {
+            let error = results[0]
+                .as_ref()
+                .err()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no replica answered".into());
+            inner.unreachable_reply(&ctx.op, &ctx.name, &ctx.topo, &ctx.set, &error)
+        }
+    }
+}
+
+/// The in-progress state of one failover read: which replica to try
+/// next, and the last transport error seen.
+struct ReadChase {
+    op: String,
+    name: String,
+    line: String,
+    topo: Arc<Topology>,
+    set: Vec<usize>,
+    ordered: Vec<usize>,
+    primary: usize,
+    start: Instant,
+    pos: usize,
+    last_error: Option<io::Error>,
+    done: ReplyDone,
+}
+
+/// Forward the per-name read (`resolve`) to the first replica that
+/// answers, trying the set in ring order with the members believed
+/// healthy first — a stale health mark only demotes a backend to the
+/// end of the order, it never makes a name unreadable. Each attempt is
+/// one asynchronous exchange; its completion either tags and returns the
+/// reply or advances the chase to the next replica. A reply from any
+/// backend but the primary counts as a failover read and is tagged
+/// `failover`/`primary` so clients can see (and operators can count)
+/// reads served by replicas.
+fn forward_read(inner: &Arc<Inner>, op: &str, name: &str, line: &str, done: ReplyDone) {
+    let topo = inner.topology();
+    let r = inner.replication_for(&topo);
+    let set = topo.ring.successors(name, r);
+    let primary = set[0];
+    let mut ordered: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&idx| topo.shards[idx].health.is_healthy())
+        .collect();
+    ordered.extend(
+        set.iter()
+            .copied()
+            .filter(|&idx| !topo.shards[idx].health.is_healthy()),
+    );
+    read_next(
+        inner,
+        ReadChase {
+            op: op.to_string(),
+            name: name.to_string(),
+            line: line.to_string(),
+            topo,
+            set,
+            ordered,
+            primary,
+            start: Instant::now(),
+            pos: 0,
+            last_error: None,
+            done,
+        },
+    );
+}
+
+fn read_next(inner: &Arc<Inner>, mut chase: ReadChase) {
+    if chase.pos >= chase.ordered.len() {
+        inner.forward_us.record_since(chase.start);
+        let error = chase
+            .last_error
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "no replica answered".into());
+        let reply =
+            inner.unreachable_reply(&chase.op, &chase.name, &chase.topo, &chase.set, &error);
+        (chase.done)(reply);
+        return;
+    }
+    let idx = chase.ordered[chase.pos];
+    let shard = Arc::clone(&chase.topo.shards[idx]);
+    shard.requests.inc();
+    let key = Some(fnv1a(chase.name.as_bytes()));
+    let line = chase.line.clone();
+    let inner_cb = Arc::clone(inner);
+    exchange_with_retry(
+        inner,
+        shard,
+        key,
+        line,
+        true,
+        0,
+        Box::new(move |result| match result {
+            Ok(reply) => {
+                inner_cb.forward_us.record_since(chase.start);
+                if idx != chase.primary {
+                    inner_cb.failover_reads.inc();
+                }
+                let tagged = match serde_json::parse_value(&reply) {
+                    Ok(mut v) => {
+                        merge::push_field(&mut v, "shard", Value::Number(idx as f64));
+                        if idx != chase.primary {
+                            merge::push_field(&mut v, "failover", Value::Bool(true));
+                            merge::push_field(
+                                &mut v,
+                                "primary",
+                                Value::Number(chase.primary as f64),
+                            );
+                        }
+                        serde_json::to_string(&v).unwrap_or(reply)
+                    }
+                    Err(_) => reply,
+                };
+                (chase.done)(tagged);
+            }
+            Err(e) => {
+                chase.last_error = Some(e);
+                chase.pos += 1;
+                read_next(&inner_cb, chase);
+            }
+        }),
+    );
+}
+
+/// Broadcast `line` to every shard concurrently and collect the
+/// per-shard outcomes (parsed replies or failure messages). Blocks the
+/// calling thread for the slowest backend (bounded by the pool's
+/// timeouts) — callers are worker, stdio or probe threads, never the
+/// outbound reactor.
+fn broadcast(inner: &Arc<Inner>, line: &str) -> Vec<ShardOutcome> {
+    let topo = inner.topology();
+    broadcast_on(inner, &topo, line)
+}
+
+/// [`broadcast`] against a caller-held topology snapshot, so an op that
+/// also needs the matching ring (the snapshot merge) cannot race a
+/// concurrent `topology` swap between fan-out and merge.
+fn broadcast_on(inner: &Arc<Inner>, topo: &Arc<Topology>, line: &str) -> Vec<ShardOutcome> {
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    for (index, shard) in topo.shards.iter().enumerate() {
+        shard.requests.inc();
+        let tx = tx.clone();
+        let addr = shard.addr.clone();
+        exchange_with_retry(
+            inner,
+            Arc::clone(shard),
+            None,
+            line.to_string(),
+            true,
+            0,
+            Box::new(move |result| {
+                let outcome = ShardOutcome {
+                    index,
+                    addr,
+                    result: match result {
+                        Ok(reply) => serde_json::parse_value(&reply)
+                            .map_err(|e| format!("malformed reply: {e}")),
+                        Err(e) => Err(e.to_string()),
+                    },
+                };
+                let _ = tx.send(outcome);
+            }),
+        );
+    }
+    drop(tx);
+    // A callback that died with the pool simply never sends; degrade its
+    // shard instead of hanging or panicking the broadcast.
+    let mut outcomes: Vec<ShardOutcome> = rx.iter().collect();
+    let mut answered: Vec<bool> = vec![false; topo.shards.len()];
+    for outcome in &outcomes {
+        answered[outcome.index] = true;
+    }
+    for (index, shard) in topo.shards.iter().enumerate() {
+        if !answered[index] {
+            outcomes.push(ShardOutcome {
+                index,
+                addr: shard.addr.clone(),
+                result: Err("the outbound pool dropped this exchange".into()),
+            });
+        }
+    }
+    outcomes.sort_by_key(|o| o.index);
+    inner.fanout_us.record_since(start);
+    inner.update_gauges();
+    outcomes
+}
+
+impl Inner {
+    fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.read())
     }
 
     /// The effective replication factor for `topo`: at least 1, never
@@ -246,75 +841,11 @@ impl Router {
         self.options.replication.clamp(1, topo.ring.len())
     }
 
-    /// `name`'s replica set in `topo` — the backends a write goes to and
-    /// a read may be served from, primary first.
-    pub fn replica_set(&self, name: &str) -> Vec<usize> {
-        let topo = self.topology();
-        let r = self.replication_for(&topo);
-        topo.ring.successors(name, r)
-    }
-
-    /// The router's own metrics registry (the `metrics` op merges this
-    /// with every backend's snapshot).
-    pub fn registry(&self) -> &Registry {
-        &self.registry
-    }
-
-    /// Shared handle to the same registry, for front ends that outlive
-    /// a borrow (the event loop surfaces its `net.*` metrics there).
-    pub fn registry_handle(&self) -> Arc<Registry> {
-        Arc::clone(&self.registry)
-    }
-
     fn update_gauges(&self) {
         let topo = self.topology();
         self.ring_size.set(topo.shards.len() as i64);
         let healthy = topo.shards.iter().filter(|s| s.health.is_healthy()).count();
         self.healthy_backends.set(healthy as i64);
-    }
-
-    /// One exchange against `shard`, with bounded retries. Idempotent ops
-    /// retry any transport failure on a fresh connection; non-idempotent
-    /// ops (`ingest`) retry only [`Phase::Connect`] failures — an
-    /// exchange-phase failure may already have been applied, and
-    /// re-sending it could assign the document twice.
-    fn exchange_with_retry(
-        &self,
-        shard: &Shard,
-        line: &str,
-        idempotent: bool,
-    ) -> Result<String, io::Error> {
-        let mut attempt = 0;
-        loop {
-            match shard.pool.exchange(line) {
-                Ok(reply) => {
-                    shard.health.mark_success(self.options.probe_interval);
-                    return Ok(reply);
-                }
-                Err((phase, e)) => {
-                    shard
-                        .health
-                        .mark_failure(&e.to_string(), self.options.probe_interval);
-                    if phase == Phase::Exchange {
-                        // A mid-stream death usually strands every warm
-                        // connection from before the restart; drop them so
-                        // the retry dials fresh.
-                        shard.pool.drain();
-                    }
-                    let retryable = idempotent || phase == Phase::Connect;
-                    if retryable && attempt < self.options.retries {
-                        attempt += 1;
-                        shard.retries.inc();
-                        self.retries.inc();
-                        continue;
-                    }
-                    shard.errors.inc();
-                    self.errors.inc();
-                    self.update_gauges();
-                    return Err(e);
-                }
-            }
-        }
     }
 
     /// The `unreachable` error for a per-name op whose whole replica set
@@ -354,148 +885,6 @@ impl Router {
         )
     }
 
-    /// Forward a per-name write (`seed`, `ingest`) to every backend in
-    /// the name's replica set, concurrently. The reply the client sees is
-    /// the first transport-acked one in ring order, tagged with its shard
-    /// index; with R > 1 it also reports `replication`/`acked`, plus
-    /// `degraded` + `repair_pending` when some replica missed the write
-    /// (its line is buffered for replay — see [`Self::drain_repairs`]).
-    /// Only when *no* replica acks does the client get an `unreachable`
-    /// error; nothing is buffered then, because the client's own retry
-    /// must stay the single writer (buffering too would double-apply).
-    fn forward_per_name_write(&self, op: &str, name: &str, line: &str) -> String {
-        let topo = self.topology();
-        let r = self.replication_for(&topo);
-        let set = topo.ring.successors(name, r);
-        let idempotent = op != "ingest";
-        let start = Instant::now();
-        let results: Vec<Result<String, io::Error>> = if set.len() == 1 {
-            let shard = &topo.shards[set[0]];
-            shard.requests.inc();
-            vec![self.exchange_with_retry(shard, line, idempotent)]
-        } else {
-            thread::scope(|scope| {
-                let handles: Vec<_> = set
-                    .iter()
-                    .map(|&idx| {
-                        let shard = &topo.shards[idx];
-                        scope.spawn(move || {
-                            shard.requests.inc();
-                            self.exchange_with_retry(shard, line, idempotent)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .unwrap_or_else(|_| Err(io::Error::other("fan-out worker panicked")))
-                    })
-                    .collect()
-            })
-        };
-        self.forward_us.record_since(start);
-        let primary = set[0];
-        let acked = results.iter().filter(|r| r.is_ok()).count();
-        if acked > 0 {
-            for (&idx, result) in set.iter().zip(&results) {
-                match result {
-                    Ok(_) if idx != primary => self.replica_writes.inc(),
-                    Ok(_) => {}
-                    Err(_) => self.queue_repair(&topo.shards[idx], line),
-                }
-            }
-        }
-        let winner = set
-            .iter()
-            .zip(&results)
-            .find_map(|(&idx, result)| result.as_ref().ok().map(|reply| (idx, reply)));
-        match winner {
-            Some((idx, reply)) => match serde_json::parse_value(reply) {
-                Ok(mut v) => {
-                    merge::push_field(&mut v, "shard", Value::Number(idx as f64));
-                    if set.len() > 1 {
-                        merge::push_field(&mut v, "replication", Value::Number(set.len() as f64));
-                        merge::push_field(&mut v, "acked", Value::Number(acked as f64));
-                        if idx != primary {
-                            merge::push_field(&mut v, "primary", Value::Number(primary as f64));
-                        }
-                        if acked < set.len() {
-                            merge::push_field(&mut v, "degraded", Value::Bool(true));
-                            merge::push_field(&mut v, "repair_pending", Value::Bool(true));
-                        }
-                    }
-                    serde_json::to_string(&v).unwrap_or_else(|_| reply.clone())
-                }
-                // Relay unparseable replies verbatim: the client decides.
-                Err(_) => reply.clone(),
-            },
-            None => {
-                let error = results[0]
-                    .as_ref()
-                    .err()
-                    .map(|e| e.to_string())
-                    .unwrap_or_else(|| "no replica answered".into());
-                self.unreachable_reply(op, name, &topo, &set, &error)
-            }
-        }
-    }
-
-    /// Forward the per-name read (`resolve`) to the first replica that
-    /// answers, trying the set in ring order with the members believed
-    /// healthy first — a stale health mark only demotes a backend to the
-    /// end of the order, it never makes a name unreadable. A reply from
-    /// any backend but the primary counts as a failover read and is
-    /// tagged `failover`/`primary` so clients can see (and operators can
-    /// count) reads served by replicas.
-    fn forward_per_name_read(&self, op: &str, name: &str, line: &str) -> String {
-        let topo = self.topology();
-        let r = self.replication_for(&topo);
-        let set = topo.ring.successors(name, r);
-        let primary = set[0];
-        let mut ordered: Vec<usize> = set
-            .iter()
-            .copied()
-            .filter(|&idx| topo.shards[idx].health.is_healthy())
-            .collect();
-        ordered.extend(
-            set.iter()
-                .copied()
-                .filter(|&idx| !topo.shards[idx].health.is_healthy()),
-        );
-        let start = Instant::now();
-        let mut last_error: Option<io::Error> = None;
-        for idx in ordered {
-            let shard = &topo.shards[idx];
-            shard.requests.inc();
-            match self.exchange_with_retry(shard, line, true) {
-                Ok(reply) => {
-                    self.forward_us.record_since(start);
-                    if idx != primary {
-                        self.failover_reads.inc();
-                    }
-                    return match serde_json::parse_value(&reply) {
-                        Ok(mut v) => {
-                            merge::push_field(&mut v, "shard", Value::Number(idx as f64));
-                            if idx != primary {
-                                merge::push_field(&mut v, "failover", Value::Bool(true));
-                                merge::push_field(&mut v, "primary", Value::Number(primary as f64));
-                            }
-                            serde_json::to_string(&v).unwrap_or(reply)
-                        }
-                        Err(_) => reply,
-                    };
-                }
-                Err(e) => last_error = Some(e),
-            }
-        }
-        self.forward_us.record_since(start);
-        let error = last_error
-            .map(|e| e.to_string())
-            .unwrap_or_else(|| "no replica answered".into());
-        self.unreachable_reply(op, name, &topo, &set, &error)
-    }
-
     /// Buffer a write line a dead replica missed, bounded by
     /// [`REPAIR_QUEUE_CAP`] (oldest dropped first, counted on
     /// `route.repair_dropped`).
@@ -513,13 +902,14 @@ impl Router {
     /// front of the queue for the next probe). A transport-acked replay
     /// whose reply is `ok:false` is dropped, not retried — replaying it
     /// again cannot change the answer; full convergence then needs a
-    /// restore from the shared state directory or a re-seed.
+    /// restore from the shared state directory or a re-seed. Runs on the
+    /// probe thread, blocking on each replay so order is preserved.
     fn drain_repairs(&self, shard: &Shard) {
         loop {
             let Some(line) = shard.repair.lock().pop_front() else {
                 return;
             };
-            match shard.pool.exchange(&line) {
+            match self.pool.exchange(&shard.addr, None, &line) {
                 Ok(_) => {
                     shard.health.mark_success(self.options.probe_interval);
                     self.replica_lag_repairs.inc();
@@ -535,63 +925,11 @@ impl Router {
         }
     }
 
-    /// Broadcast `line` to every shard concurrently and collect the
-    /// per-shard outcomes (parsed replies or failure messages).
-    fn broadcast(&self, line: &str) -> Vec<ShardOutcome> {
-        let topo = self.topology();
-        self.broadcast_on(&topo, line)
-    }
-
-    /// [`Self::broadcast`] against a caller-held topology snapshot, so an
-    /// op that also needs the matching ring (the snapshot merge) cannot
-    /// race a concurrent `topology` swap between fan-out and merge.
-    fn broadcast_on(&self, topo: &Topology, line: &str) -> Vec<ShardOutcome> {
-        let start = Instant::now();
-        let outcomes = thread::scope(|scope| {
-            let handles: Vec<_> = topo
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(index, shard)| {
-                    let handle = scope.spawn(move || {
-                        shard.requests.inc();
-                        let result = match self.exchange_with_retry(shard, line, true) {
-                            Ok(reply) => serde_json::parse_value(&reply)
-                                .map_err(|e| format!("malformed reply: {e}")),
-                            Err(e) => Err(e.to_string()),
-                        };
-                        ShardOutcome {
-                            index,
-                            addr: shard.addr.clone(),
-                            result,
-                        }
-                    });
-                    (index, shard.addr.clone(), handle)
-                })
-                .collect();
-            handles
-                .into_iter()
-                // A worker that panicked (a poisoned pool lock, a bug in
-                // the exchange path) degrades its own shard in the merge
-                // instead of taking the whole router down with it.
-                .map(|(index, addr, handle)| {
-                    handle.join().unwrap_or_else(|_| ShardOutcome {
-                        index,
-                        addr,
-                        result: Err("fan-out worker panicked".into()),
-                    })
-                })
-                .collect::<Vec<_>>()
-        });
-        self.fanout_us.record_since(start);
-        self.update_gauges();
-        outcomes
-    }
-
     /// The router's `health` reply: its own uptime and per-shard health,
     /// answered without contacting any backend (the prober and routed
     /// traffic keep the records fresh). A saturated or half-dead tier
-    /// still answers its probes.
+    /// still answers its probes — cheap enough that the event front end
+    /// answers it straight from its reactor.
     fn health_line(&self) -> String {
         self.update_gauges();
         let topo = self.topology();
@@ -635,15 +973,9 @@ impl Router {
         ]))
     }
 
-    /// Swap the backend set. The old ring is asked to `persist` first so
-    /// every name reaches the shared state directory; the new owners then
-    /// restore names lazily on their next touch (`weber serve
-    /// --state-dir` restores transparently). Shards for retained
-    /// addresses are reused, keeping their pools, health records and
-    /// counters.
-    pub fn set_backends(&self, backends: Vec<String>) -> Result<String, RouterError> {
+    fn set_backends(self: &Arc<Self>, backends: Vec<String>) -> Result<String, RouterError> {
         validated(&backends)?;
-        let persist_outcomes = self.broadcast(r#"{"op":"persist"}"#);
+        let persist_outcomes = broadcast(self, r#"{"op":"persist"}"#);
         let persisted: u64 = persist_outcomes
             .iter()
             .filter_map(|o| o.result.as_ref().ok())
@@ -659,14 +991,15 @@ impl Router {
                         .iter()
                         .find(|s| s.addr == *addr)
                         .cloned()
-                        .unwrap_or_else(|| {
-                            Arc::new(Shard::new(addr, &self.options, &self.registry))
-                        })
+                        .unwrap_or_else(|| Arc::new(Shard::new(addr, &self.registry)))
                 })
                 .collect()
         };
         let ring = HashRing::new(&backends, self.options.vnodes);
         *self.topology.write() = Arc::new(Topology { ring, shards });
+        // Tear down pooled connections to backends that left the ring
+        // (exchanges still pending towards them fail over normally).
+        self.pool.retain(&backends);
         self.update_gauges();
         let mut fields = vec![
             ("ok", Value::Bool(true)),
@@ -681,7 +1014,7 @@ impl Router {
         Ok(merge::render(&merge::object(fields)))
     }
 
-    fn handle_topology(&self, value: &Value) -> String {
+    fn handle_topology(self: &Arc<Self>, value: &Value) -> String {
         let Some(entries) = value.get("backends").and_then(Value::as_array) else {
             return protocol::err_response(&StreamError::InvalidRequest(
                 "field 'backends' must be an array of addresses".into(),
@@ -705,15 +1038,16 @@ impl Router {
     }
 
     /// Probe every backend whose probe is due and refresh the gauges.
-    /// Called on a cadence by [`Prober`]; callable directly in tests.
-    pub fn probe_once(&self) {
+    /// Blocking exchanges on the probe thread, riding the same outbound
+    /// reactor as routed traffic (one socket story, one timeout story).
+    fn probe_once(&self) {
         let topo = self.topology();
         let now = Instant::now();
         for shard in &topo.shards {
             if !shard.health.probe_due(now) {
                 continue;
             }
-            match shard.pool.exchange(r#"{"op":"health"}"#) {
+            match self.pool.exchange(&shard.addr, None, r#"{"op":"health"}"#) {
                 Ok(reply) => {
                     let ok = serde_json::parse_value(&reply)
                         .ok()
@@ -740,63 +1074,6 @@ impl Router {
             }
         }
         self.update_gauges();
-    }
-
-    /// Handle one request line: route, fan out, or answer locally.
-    /// Always produces exactly one response line.
-    pub fn process_line(&self, line: &str) -> LineOutcome {
-        self.requests.inc();
-        let value = match serde_json::parse_value(line) {
-            Ok(v) => v,
-            Err(e) => {
-                return LineOutcome::reply(protocol::err_response(&StreamError::Parse(
-                    e.to_string(),
-                )))
-            }
-        };
-        let Some(op) = value.get("op").and_then(Value::as_str) else {
-            return LineOutcome::reply(protocol::err_response(&StreamError::InvalidRequest(
-                "missing field 'op'".into(),
-            )));
-        };
-        let op = op.to_string();
-        match op.as_str() {
-            "seed" | "ingest" | "resolve" => {
-                let Some(name) = value.get("name").and_then(Value::as_str) else {
-                    return LineOutcome::reply(protocol::err_response(
-                        &StreamError::InvalidRequest("field 'name' must be a string".into()),
-                    ));
-                };
-                if op == "resolve" {
-                    LineOutcome::reply(self.forward_per_name_read(&op, name, line))
-                } else {
-                    LineOutcome::reply(self.forward_per_name_write(&op, name, line))
-                }
-            }
-            "health" => LineOutcome::reply(self.health_line()),
-            "topology" => LineOutcome::reply(self.handle_topology(&value)),
-            "snapshot" => {
-                let topo = self.topology();
-                let outcomes = self.broadcast_on(&topo, line);
-                let r = self.replication_for(&topo);
-                LineOutcome::reply(merge::merge_snapshot(&outcomes, &topo.ring, r))
-            }
-            "metrics" => {
-                let outcomes = self.broadcast(line);
-                LineOutcome::reply(merge::merge_metrics(self.registry.snapshot(), &outcomes))
-            }
-            "persist" | "restore" => {
-                LineOutcome::reply(merge::merge_count(&op, &self.broadcast(line)))
-            }
-            "flush" => LineOutcome::reply(merge::merge_plain("flush", &self.broadcast(line))),
-            "shutdown" => LineOutcome {
-                response: merge::merge_plain("shutdown", &self.broadcast(line)),
-                shutdown: true,
-            },
-            other => LineOutcome::reply(protocol::err_response(&StreamError::InvalidRequest(
-                format!("unknown op '{other}'"),
-            ))),
-        }
     }
 }
 
@@ -908,5 +1185,43 @@ mod tests {
             assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{bad}");
             assert_eq!(v.get("kind").unwrap().as_str(), Some("invalid-request"));
         }
+    }
+
+    #[test]
+    fn deferred_lines_answer_local_ops_before_returning() {
+        let router = Router::new(addrs(2), RouterOptions::default()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        router.process_line_deferred(
+            r#"{"op":"health"}"#,
+            Box::new(move |outcome| {
+                let _ = tx.send(outcome);
+            }),
+        );
+        // Local ops complete synchronously inside the call.
+        let outcome = rx.try_recv().expect("health answers inline");
+        let v = serde_json::parse_value(&outcome.response).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn deferred_per_name_ops_complete_without_blocking_the_caller() {
+        // Dead backends + retries:0 → the unreachable reply arrives from
+        // the outbound reactor, not from the submitting thread.
+        let options = RouterOptions {
+            retries: 0,
+            connect_timeout: Duration::from_millis(300),
+            ..RouterOptions::default()
+        };
+        let router = Router::new(addrs(2), options).unwrap();
+        let (tx, rx) = mpsc::channel();
+        router.process_line_deferred(
+            r#"{"op":"resolve","name":"cohen","text":"x"}"#,
+            Box::new(move |outcome| {
+                let _ = tx.send(outcome);
+            }),
+        );
+        let outcome = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let v = serde_json::parse_value(&outcome.response).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("unreachable"));
     }
 }

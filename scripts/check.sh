@@ -39,6 +39,18 @@ scripts/bench.sh --smoke
 if [[ $FULL -eq 1 ]]; then
     echo "==> results drift: scripts/results_check.sh"
     scripts/results_check.sh
+
+    # Every NDJSON example in the operator's guide must parse, and every
+    # request line must name an op the protocol actually has — so the
+    # runbook cannot rot silently when the wire format moves.
+    echo "==> docs: NDJSON examples in docs/OPERATIONS.md"
+    grep '^{' docs/OPERATIONS.md | jq -e 'type == "object"' >/dev/null \
+        || { echo "docs check: an example line in docs/OPERATIONS.md is not valid JSON" >&2; exit 1; }
+    known='health|seed|ingest|resolve|snapshot|metrics|persist|restore|flush|shutdown|topology'
+    bad=$(grep '^{' docs/OPERATIONS.md | jq -r '.op // empty' | grep -vE "^($known)$" || true)
+    [[ -z "$bad" ]] || { echo "docs check: unknown op in docs/OPERATIONS.md examples: $bad" >&2; exit 1; }
+    ops=$(grep '^{' docs/OPERATIONS.md | jq -r 'select(has("op") and (has("ok") | not)) | .op' | wc -l)
+    [[ "$ops" -ge 3 ]] || { echo "docs check: expected at least 3 request examples, found $ops" >&2; exit 1; }
 fi
 
 echo "All checks passed."

@@ -131,8 +131,11 @@ writes (seed/ingest) fan out to all R — a replica that misses a write
 gets the line buffered and replayed when it recovers — and the per-name
 read {\"op\":\"resolve\",\"name\":...} fails over across the set, so any
 R-1 dead backends leave every name readable. Per-name ops use bounded
-retries (--retries, default 2) over pooled connections (--pool per
-backend, default 2); snapshot/metrics/persist/restore/flush/shutdown fan
+retries (--retries, default 2) over an asynchronous outbound pool: one
+epoll reactor multiplexes every pooled backend socket (--pool per
+backend, default 2), so a stalled backend ties up zero router threads —
+its exchanges time out and answer \"unreachable\" while healthy shards
+keep serving; snapshot/metrics/persist/restore/flush/shutdown fan
 out to every backend and merge, degrading (\"degraded\":true plus the
 unreachable shard list) instead of failing when backends are down.
 --vnodes N (default 64) sets the ring's virtual nodes per backend (the
