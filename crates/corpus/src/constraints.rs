@@ -1,0 +1,151 @@
+//! Ground-truth constraints derived from a generated block.
+//!
+//! The entity layer ([`weber_entity`]) accepts declarative global
+//! constraints — cannot-link pairs and one-to-one mappings — and
+//! enforces them by splitting clusters at materialization. To measure
+//! whether that enforcement *helps* (the [`crate::presets::constrained_small`]
+//! experiment), the corpus has to supply constraints that are true:
+//! this module derives them from a block's persona labels, the same
+//! ground truth Fp is scored against.
+//!
+//! Both derivations are deterministic in the block, so a test or an
+//! experiment re-running on the same seed sees the same constraint set.
+
+use std::collections::BTreeMap;
+
+use weber_entity::Constraint;
+
+use crate::dataset::NameBlock;
+
+/// Documents of each persona, keyed by persona label (ascending), each
+/// list in document order.
+fn by_persona(block: &NameBlock) -> BTreeMap<u32, Vec<usize>> {
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (doc, &label) in block.truth_labels.iter().enumerate() {
+        groups.entry(label).or_default().push(doc);
+    }
+    groups
+}
+
+/// Up to `limit` cannot-link pairs between documents of *different*
+/// personas, spread round-robin across every persona pair so no single
+/// pair of personas hogs the budget. Every emitted pair is true by
+/// construction (the two documents carry different truth labels), so a
+/// resolver that merged them has over-merged and the constraint corrects
+/// a real error.
+pub fn cannot_link_truth(block: &NameBlock, limit: usize) -> Vec<Constraint> {
+    let groups: Vec<Vec<usize>> = by_persona(block).into_values().collect();
+    let deepest = groups.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::new();
+    'rounds: for round in 0..deepest {
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if out.len() >= limit {
+                    break 'rounds;
+                }
+                let (a, b) = (&groups[i], &groups[j]);
+                // Advance through both personas' documents; once both
+                // are exhausted this pair only repeats, so skip it.
+                if round < a.len() || round < b.len() {
+                    out.push(Constraint::CannotLink {
+                        a: a[round % a.len()],
+                        b: b[round % b.len()],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A one-to-one mapping under `key` annotating the first `per_persona`
+/// documents of each persona with that persona's identity. Two
+/// annotated documents then conflict exactly when their personas differ
+/// — the strongest form of ground truth the entity layer accepts: it
+/// both splits over-merged clusters (different values) and surfaces
+/// under-merges as unmet-merge violations (same value, different
+/// entities).
+pub fn one_to_one_truth(block: &NameBlock, key: &str, per_persona: usize) -> Constraint {
+    let mut values = Vec::new();
+    for (label, docs) in by_persona(block) {
+        for &doc in docs.iter().take(per_persona) {
+            values.push((doc, format!("persona-{label}")));
+        }
+    }
+    Constraint::OneToOne {
+        key: key.to_string(),
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GeneratedDocument;
+
+    fn block(labels: Vec<u32>) -> NameBlock {
+        NameBlock {
+            query_name: "cohen".into(),
+            documents: labels
+                .iter()
+                .map(|_| GeneratedDocument {
+                    url: None,
+                    text: "x".into(),
+                })
+                .collect(),
+            truth_labels: labels,
+        }
+    }
+
+    #[test]
+    fn cannot_links_are_true_and_bounded() {
+        let b = block(vec![0, 0, 1, 1, 2]);
+        let pairs = cannot_link_truth(&b, 4);
+        assert_eq!(pairs.len(), 4);
+        for c in &pairs {
+            let Constraint::CannotLink { a, b: d } = c else {
+                panic!("wrong kind");
+            };
+            assert_ne!(b.truth_labels[*a], b.truth_labels[*d], "{c:?}");
+        }
+        // A generous limit is capped by what the personas can supply,
+        // and never emits a duplicate pair.
+        let all = cannot_link_truth(&b, 1000);
+        let mut keys: Vec<(usize, usize)> = all
+            .iter()
+            .map(|c| match c {
+                Constraint::CannotLink { a, b } => (*a.min(b), *a.max(b)),
+                other => panic!("wrong kind {other:?}"),
+            })
+            .collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate cannot-link emitted");
+    }
+
+    #[test]
+    fn one_to_one_values_follow_the_personas() {
+        let b = block(vec![0, 1, 0, 1, 1]);
+        let Constraint::OneToOne { key, values } = one_to_one_truth(&b, "identity", 2) else {
+            panic!("wrong kind");
+        };
+        assert_eq!(key, "identity");
+        assert_eq!(values.len(), 4, "two docs per persona");
+        for (doc, value) in &values {
+            assert_eq!(*value, format!("persona-{}", b.truth_labels[*doc]));
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let config = crate::presets::constrained_small(7);
+        let data = crate::generator::generate(&config);
+        let b = &data.blocks[0];
+        assert_eq!(cannot_link_truth(b, 8), cannot_link_truth(b, 8));
+        assert_eq!(
+            one_to_one_truth(b, "k", 2).forbids(0, 1),
+            one_to_one_truth(b, "k", 2).forbids(0, 1)
+        );
+    }
+}

@@ -19,7 +19,10 @@
 //!
 //! Presets: [`presets::www05_like`] (12 names × ~100 docs, 2–60 entities
 //! per name) and [`presets::weps_like`] (10 names × ~150 docs, harder:
-//! more entity overlap, poorer features).
+//! more entity overlap, poorer features). [`presets::constrained_small`]
+//! deliberately over-merges, and pairs with the [`constraints`] module's
+//! ground-truth cannot-link / one-to-one derivations to measure how much
+//! the entity layer's constraint enforcement recovers.
 //!
 //! The [`dirty`] module goes one step earlier than both: it flattens a
 //! generated world into a single shuffled document pile with misspelled
@@ -27,6 +30,7 @@
 //! corpus-scale blocking tier (`weber-block`), where block membership
 //! itself must be discovered.
 
+pub mod constraints;
 pub mod dataset;
 pub mod dirty;
 pub mod generator;
@@ -37,11 +41,12 @@ pub mod stats;
 pub mod vocab;
 pub mod world;
 
+pub use constraints::{cannot_link_truth, one_to_one_truth};
 pub use dataset::{Dataset, GeneratedDocument, NameBlock};
 pub use dirty::{dirty, dirty_small, generate_dirty, DirtyConfig, DirtyCorpus, DirtyDocument};
 pub use generator::generate;
 pub use persona::Persona;
-pub use presets::{small, tiny, weps_like, www05_like, CorpusConfig};
+pub use presets::{constrained_small, small, tiny, weps_like, www05_like, CorpusConfig};
 pub use quality::{NameQuality, QualityRanges};
 pub use stats::{BlockStats, DatasetStats};
 pub use world::World;

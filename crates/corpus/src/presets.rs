@@ -117,6 +117,41 @@ pub fn small(seed: u64) -> CorpusConfig {
     }
 }
 
+/// A `small`-shaped corpus tuned so unsupervised merging over-reaches:
+/// personas share many features (high overlap, muddy topics, few URLs),
+/// which pushes the trained resolver towards lumping distinct personas
+/// together. That is exactly the regime where external knowledge helps,
+/// so this is the preset behind the entity layer's constraint
+/// experiments: seeded cannot-link / one-to-one ground truth (see
+/// [`crate::constraints`]) measurably improves Fp here, where on the
+/// cleaner presets it has little to correct.
+pub fn constrained_small(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        label: "constrained-small".into(),
+        seed,
+        names: 4,
+        docs_per_name: 48,
+        personas_range: (3, 8),
+        dominant_fraction: (0.25, 0.55),
+        content_pool_size: 900,
+        zipf_exponent: 1.0,
+        quality: QualityRanges {
+            url_presence: (0.1, 0.4),
+            home_url: (0.2, 0.5),
+            concept_mentions: (0.2, 1.2),
+            org_prob: (0.15, 0.5),
+            associate_prob: (0.1, 0.4),
+            full_name_prob: (0.2, 0.6),
+            topic_purity: (0.05, 0.2),
+            persona_overlap: (0.35, 0.7),
+            spurious_prob: (0.15, 0.35),
+            duplicate_prob: (0.0, 0.1),
+            doc_len: (40, 110),
+            topic_breadth: (60, 140),
+        },
+    }
+}
+
 /// A tiny corpus for unit tests and doc examples: 3 names × 24 documents,
 /// few personas, fast to generate and resolve.
 pub fn tiny(seed: u64) -> CorpusConfig {
@@ -170,6 +205,15 @@ mod tests {
         assert!(p.topic_breadth.1 <= w.topic_breadth.1);
         assert!(p.persona_overlap.1 >= w.persona_overlap.1);
         assert!(p.spurious_prob.1 >= w.spurious_prob.1);
+    }
+
+    #[test]
+    fn constrained_small_is_muddier_than_small() {
+        let s = small(0).quality;
+        let c = constrained_small(0).quality;
+        assert!(c.persona_overlap.0 > s.persona_overlap.0);
+        assert!(c.topic_purity.1 < s.topic_purity.1);
+        assert!(c.url_presence.1 < s.url_presence.1);
     }
 
     #[test]

@@ -162,7 +162,14 @@ impl weber_net::NdjsonService for RouterService {
     fn classify(&self, line: &str) -> RouteClass {
         match serde_json::parse_value(line) {
             Ok(v) => match v.get("op").and_then(serde::Value::as_str) {
-                Some("seed" | "ingest" | "resolve") => RouteClass::Deferred,
+                // A name-less `entities` is a blocking fan-out, so only
+                // the named form may take the deferred path.
+                Some("seed" | "ingest" | "resolve" | "same_as" | "constraint") => {
+                    RouteClass::Deferred
+                }
+                Some("entities") if v.get("name").and_then(serde::Value::as_str).is_some() => {
+                    RouteClass::Deferred
+                }
                 Some("health") => RouteClass::Immediate,
                 _ => RouteClass::Control,
             },

@@ -101,6 +101,28 @@ pub(crate) fn degraded_fields(outcomes: &[ShardOutcome]) -> Vec<(&'static str, V
 /// guarantees every name still has a live copy in the merge, so the
 /// snapshot is complete even though a backend is down.
 pub fn merge_snapshot(outcomes: &[ShardOutcome], ring: &HashRing, replication: usize) -> String {
+    merge_named_fanout("snapshot", outcomes, ring, replication)
+}
+
+/// Merge name-less `entities` replies: the same replica-aware fold as
+/// [`merge_snapshot`] — one entity table per name (the preferred
+/// replica's copy, so a tier running below R never emits a name's
+/// entities twice), sorted by name, degraded only at `replication`
+/// failures.
+pub fn merge_entities(outcomes: &[ShardOutcome], ring: &HashRing, replication: usize) -> String {
+    merge_named_fanout("entities", outcomes, ring, replication)
+}
+
+/// The shared replica-aware merge behind [`merge_snapshot`] and
+/// [`merge_entities`]: both ops fan out to every backend and come back
+/// as a `names` array of per-name objects, so the dedup-by-replica-rank
+/// and degraded-only-at-R logic is one piece of code.
+fn merge_named_fanout(
+    op: &str,
+    outcomes: &[ShardOutcome],
+    ring: &HashRing,
+    replication: usize,
+) -> String {
     let replication = replication.clamp(1, ring.len());
     let mut entries: Vec<(String, usize, Value)> = Vec::new();
     for outcome in outcomes {
@@ -142,7 +164,7 @@ pub fn merge_snapshot(outcomes: &[ShardOutcome], ring: &HashRing, replication: u
     let names: Vec<Value> = entries.into_iter().map(|(_, _, entry)| entry).collect();
     let mut fields = vec![
         ("ok", Value::Bool(true)),
-        ("op", Value::String("snapshot".into())),
+        ("op", Value::String(op.into())),
         ("names", Value::Array(names)),
     ];
     let failed = outcomes.iter().filter(|o| failure_of(o).is_some()).count();
@@ -347,6 +369,31 @@ mod tests {
             Some(set[0] as u64),
             "the primary's copy wins"
         );
+    }
+
+    #[test]
+    fn entities_merge_keeps_one_table_per_name_under_replication() {
+        let ring = ring(3);
+        let set = ring.successors("cohen", 2);
+        let table = r#"{"ok":true,"op":"entities","names":[{"name":"cohen","docs":4,"entities":[{"id":1,"mentions":[0,1]}]}]}"#;
+        // Both replicas hold the name's entity table; the fan-out must
+        // emit it once, from the preferred replica, and op stays
+        // `entities`.
+        let merged = merge_entities(
+            &[ok_outcome(set[0], table), ok_outcome(set[1], table)],
+            &ring,
+            2,
+        );
+        let v = serde_json::parse_value(&merged).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("entities"));
+        let names = v.get("names").unwrap().as_array().unwrap();
+        assert_eq!(names.len(), 1, "{merged}");
+        assert_eq!(names[0].get("shard").unwrap().as_u64(), Some(set[0] as u64));
+        // One replica down stays non-degraded below R.
+        let merged = merge_entities(&[ok_outcome(set[1], table), dead_outcome(set[0])], &ring, 2);
+        let v = serde_json::parse_value(&merged).unwrap();
+        assert!(v.get("degraded").is_none(), "{merged}");
+        assert_eq!(v.get("names").unwrap().as_array().unwrap().len(), 1);
     }
 
     #[test]

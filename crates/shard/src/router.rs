@@ -1,14 +1,16 @@
 //! The router: one `weber serve`-shaped NDJSON surface over many backends.
 //!
-//! Per-name writes (`seed`, `ingest`) are forwarded to the `R` distinct
+//! Per-name writes (`seed`, `ingest`, and the entity-table mutations
+//! `same_as` / `constraint`) are forwarded to the `R` distinct
 //! backends the [`HashRing`] says hold the name (`--replication R`,
 //! default 1), with bounded retries and the answering shard's index
 //! appended to the reply; a write acked by fewer than R replicas is
 //! marked degraded and the missed lines are buffered per backend for
-//! replay when it recovers (write repair). The per-name read (`resolve`)
-//! tries the replica set in ring order — healthy members first — and
-//! fails over until one answers. Fan-out ops (`snapshot`, `metrics`,
-//! `persist`, `restore`, `flush`, `shutdown`) are broadcast to every
+//! replay when it recovers (write repair). Per-name reads (`resolve`,
+//! named `entities`) try the replica set in ring order — healthy
+//! members first — and fail over until one answers. Fan-out ops
+//! (`snapshot`, name-less `entities`, `metrics`, `persist`, `restore`,
+//! `flush`, `shutdown`) are broadcast to every
 //! backend concurrently and merged ([`crate::merge`]) — dead backends
 //! degrade the answer rather than fail it (and under replication a
 //! snapshot with fewer than R backends down is not degraded at all). Two
@@ -415,7 +417,7 @@ fn dispatch(inner: &Arc<Inner>, line: &str) -> Routed {
     };
     let op = op.to_string();
     match op.as_str() {
-        "seed" | "ingest" | "resolve" => {
+        "seed" | "ingest" | "resolve" | "same_as" | "constraint" => {
             let Some(name) = value.get("name").and_then(Value::as_str) else {
                 return Routed::Done(LineOutcome::reply(protocol::err_response(
                     &StreamError::InvalidRequest("field 'name' must be a string".into()),
@@ -425,9 +427,36 @@ fn dispatch(inner: &Arc<Inner>, line: &str) -> Routed {
             if op == "resolve" {
                 Routed::Read { op, name }
             } else {
+                // `same_as` and `constraint` mutate the name's entity
+                // table, so they take the write path: fan out to every
+                // replica, buffer misses for repair. Both are idempotent
+                // (re-asserting a link or re-adding a constraint is a
+                // no-op), so transport failures retry freely.
                 Routed::Write { op, name }
             }
         }
+        // A named `entities` is a read of that name's replica set, with
+        // failover like `resolve`. The name-less form is a fan-out: every
+        // backend reports the tables it holds and the merge keeps one
+        // copy per name (replica-rank preference), so a replicated tier
+        // never lists an entity twice.
+        "entities" => match value.get("name") {
+            Some(v) if v.as_str().is_some() => Routed::Read {
+                op,
+                name: v.as_str().unwrap().to_string(),
+            },
+            Some(v) if !v.is_null() => Routed::Done(LineOutcome::reply(protocol::err_response(
+                &StreamError::InvalidRequest("field 'name' must be a string".into()),
+            ))),
+            _ => {
+                let topo = inner.topology();
+                let outcomes = broadcast_on(inner, &topo, line);
+                let r = inner.replication_for(&topo);
+                Routed::Done(LineOutcome::reply(merge::merge_entities(
+                    &outcomes, &topo.ring, r,
+                )))
+            }
+        },
         "health" => Routed::Done(LineOutcome::reply(inner.health_line())),
         "topology" => Routed::Done(LineOutcome::reply(inner.handle_topology(&value))),
         "snapshot" => {

@@ -38,6 +38,9 @@ pub enum StreamError {
     /// version, or a replay that did not reproduce the recorded partition —
     /// and was rejected rather than misread.
     SnapshotRejected(String),
+    /// A `same_as` operation referenced an entity or link that does not
+    /// exist in the name's canonical entity table.
+    Entity(weber_entity::EntityError),
 }
 
 impl StreamError {
@@ -59,6 +62,8 @@ impl StreamError {
             StreamError::Overloaded => "overloaded",
             StreamError::Persistence(_) => "persistence",
             StreamError::SnapshotRejected(_) => "snapshot-rejected",
+            // "unknown-entity" / "unknown-link"
+            StreamError::Entity(e) => e.kind(),
         }
     }
 
@@ -90,6 +95,7 @@ impl std::fmt::Display for StreamError {
             StreamError::Overloaded => write!(f, "overloaded"),
             StreamError::Persistence(msg) => write!(f, "persistence failed: {msg}"),
             StreamError::SnapshotRejected(msg) => write!(f, "state file rejected: {msg}"),
+            StreamError::Entity(e) => write!(f, "{e}"),
         }
     }
 }
@@ -98,6 +104,7 @@ impl std::error::Error for StreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StreamError::Training(e) => Some(e),
+            StreamError::Entity(e) => Some(e),
             _ => None,
         }
     }
@@ -106,6 +113,12 @@ impl std::error::Error for StreamError {
 impl From<CoreError> for StreamError {
     fn from(e: CoreError) -> Self {
         StreamError::Training(e)
+    }
+}
+
+impl From<weber_entity::EntityError> for StreamError {
+    fn from(e: weber_entity::EntityError) -> Self {
+        StreamError::Entity(e)
     }
 }
 
@@ -165,6 +178,8 @@ mod tests {
             StreamError::Overloaded,
             StreamError::Persistence("x".into()),
             StreamError::SnapshotRejected("x".into()),
+            StreamError::Entity(weber_entity::EntityError::UnknownEntity(7)),
+            StreamError::Entity(weber_entity::EntityError::UnknownLink(1, 2)),
         ];
         for e in &all {
             let kind = e.kind();

@@ -29,7 +29,15 @@
 //!   atomic, versioned records (`persist`/`restore` ops, replay-based
 //!   restore) and an LRU bound (`max_names`) **evicts** cold names to
 //!   disk, restoring them transparently on their next touch
-//!   ([`snapshot`], [`resolver`]).
+//!   ([`snapshot`], [`resolver`]);
+//! - above the partition sits the **canonical entity layer**
+//!   ([`weber_entity`]): the `entities` op materializes the current
+//!   clusters into entities with stable IDs and per-mention provenance,
+//!   `same_as` asserts/retracts reversible merge links between entity
+//!   IDs, and `constraint` registers global rules (cannot-link,
+//!   one-to-one, type boundaries) enforced by constraint-aware splitting
+//!   at materialization. Entity tables persist next to the clustering
+//!   records and restore on touch.
 //!
 //! Modules: [`config`] (resolver/service knobs), [`state`] (per-name
 //! block + model + live partition), [`resolver`] (the thread-safe
@@ -50,7 +58,8 @@ pub mod state;
 pub use config::{AssignmentPolicy, StreamConfig};
 pub use error::StreamError;
 pub use metrics::StreamMetrics;
-pub use resolver::{HealthReport, SeedDocument, SeedSummary, StreamResolver};
+pub use protocol::ConstraintAction;
+pub use resolver::{EntityTable, HealthReport, SeedDocument, SeedSummary, StreamResolver};
 pub use server::{serve_listener, serve_stdio, serve_tcp, TcpOptions};
 pub use service::StreamService;
 pub use snapshot::{NameRecord, NameSnapshot, Snapshot, StoredDocument};

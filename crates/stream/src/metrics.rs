@@ -42,6 +42,17 @@ pub struct StreamMetrics {
     pub persists: Arc<Counter>,
     /// Requests currently sitting in the service's admission queues.
     pub queue_depth: Arc<Gauge>,
+    /// Wall time of one entity-table materialization (constraint-aware
+    /// splitting + stable-ID matching + `SAME_AS` unions), µs.
+    pub entity_materialize_us: Arc<Histogram>,
+    /// Entity-table materializations run (every `entities`, `same_as`
+    /// and `constraint` op rebuilds the touched name's table).
+    pub entity_materializations: Arc<Counter>,
+    /// Extra fragments produced by constraint-aware cluster splitting.
+    pub entity_splits: Arc<Counter>,
+    /// Constraint violations found during materialization (forbidden
+    /// pairs, vetoed `SAME_AS` unions, unmet one-to-one merges).
+    pub entity_constraint_violations: Arc<Counter>,
     /// Similarity-graph cache counters, shared across every block the
     /// resolver owns (counts survive eviction and re-seeding).
     pub cache: Arc<CacheStats>,
@@ -58,7 +69,12 @@ impl StreamMetrics {
     pub fn new() -> Self {
         let registry = Arc::new(Registry::new());
         let s = registry.scope("stream");
+        let e = registry.scope("entity");
         Self {
+            entity_materialize_us: e.histogram("materialize_us"),
+            entity_materializations: e.counter("materializations"),
+            entity_splits: e.counter("splits"),
+            entity_constraint_violations: e.counter("constraint_violations"),
             ingest_us: s.histogram("ingest_us"),
             seed_us: s.histogram("seed_us"),
             ingests: s.counter("ingests"),
@@ -116,10 +132,14 @@ mod tests {
     fn merged_snapshot_includes_cache_counters() {
         let m = StreamMetrics::new();
         m.ingests.add(3);
+        m.entity_splits.add(2);
         let snap = m.merged_snapshot();
         assert_eq!(snap.counter("stream.ingests"), Some(3));
         assert_eq!(snap.counter("stream.cache.hits"), Some(0));
         assert!(snap.histogram("stream.ingest_us").is_some());
+        assert_eq!(snap.counter("entity.splits"), Some(2));
+        assert_eq!(snap.counter("entity.constraint_violations"), Some(0));
+        assert!(snap.histogram("entity.materialize_us").is_some());
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! {"op":"seed","name":"cohen","docs":[{"text":"…","url":"…","label":0},…]}
 //! {"op":"ingest","name":"cohen","text":"…","url":"…"}
 //! {"op":"resolve","name":"cohen"}
+//! {"op":"entities","name":"cohen"}
+//! {"op":"entities"}
+//! {"op":"same_as","name":"cohen","a":1,"b":2}
+//! {"op":"same_as","name":"cohen","a":1,"b":2,"retract":true}
+//! {"op":"constraint","name":"cohen","add":{"kind":"cannot-link","a":0,"b":3}}
+//! {"op":"constraint","name":"cohen","clear":true}
 //! {"op":"snapshot"}
 //! {"op":"metrics"}
 //! {"op":"health"}
@@ -54,6 +60,33 @@ pub enum Request {
         /// The ambiguous name.
         name: String,
     },
+    /// Materialize and read a name's canonical entity table: stable IDs,
+    /// member mentions with provenance, active `SAME_AS` links, and the
+    /// constraint report of the pass. With no name: every seeded name's
+    /// table (the routing tier fans this out across shards).
+    Entities {
+        /// The ambiguous name, or `None` for every name.
+        name: Option<String>,
+    },
+    /// Assert (or, with `retract`, withdraw) a reversible `SAME_AS` link
+    /// between two canonical entity IDs of one name.
+    SameAs {
+        /// The ambiguous name.
+        name: String,
+        /// One endpoint entity ID.
+        a: u64,
+        /// The other endpoint entity ID.
+        b: u64,
+        /// True to withdraw the link instead of asserting it.
+        retract: bool,
+    },
+    /// Register one global constraint for a name, or clear them all.
+    Constraint {
+        /// The ambiguous name.
+        name: String,
+        /// What to do with the name's constraint set.
+        action: ConstraintAction,
+    },
     /// Report per-name state summaries.
     Snapshot,
     /// Report the daemon's metrics: counters, gauges and latency
@@ -73,6 +106,15 @@ pub enum Request {
     Shutdown,
 }
 
+/// What a `constraint` request does to a name's constraint set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintAction {
+    /// Register one constraint (deduplicated).
+    Add(weber_entity::Constraint),
+    /// Drop every registered constraint.
+    Clear,
+}
+
 impl Request {
     /// The op label a response should echo.
     pub fn op(&self) -> &'static str {
@@ -80,6 +122,9 @@ impl Request {
             Request::Seed { .. } => "seed",
             Request::Ingest { .. } => "ingest",
             Request::Resolve { .. } => "resolve",
+            Request::Entities { .. } => "entities",
+            Request::SameAs { .. } => "same_as",
+            Request::Constraint { .. } => "constraint",
             Request::Snapshot => "snapshot",
             Request::Metrics => "metrics",
             Request::Health => "health",
@@ -111,6 +156,72 @@ fn optional_string(obj: &Value, key: &str) -> Result<Option<String>, StreamError
             .as_str()
             .map(|s| Some(s.to_string()))
             .ok_or_else(|| StreamError::InvalidRequest(format!("field '{key}' must be a string"))),
+    }
+}
+
+fn u64_field(obj: &Value, key: &str) -> Result<u64, StreamError> {
+    field(obj, key)?.as_u64().ok_or_else(|| {
+        StreamError::InvalidRequest(format!("field '{key}' must be an unsigned integer"))
+    })
+}
+
+fn optional_bool(obj: &Value, key: &str) -> Result<bool, StreamError> {
+    match obj.get(key) {
+        None => Ok(false),
+        Some(v) if v.is_null() => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| StreamError::InvalidRequest(format!("field '{key}' must be a boolean"))),
+    }
+}
+
+/// A `{"<doc-index>":"<value>",…}` object, as `(doc, value)` pairs.
+fn doc_value_map(obj: &Value, key: &str) -> Result<Vec<(usize, String)>, StreamError> {
+    let entries = field(obj, key)?.as_object().ok_or_else(|| {
+        StreamError::InvalidRequest(format!(
+            "field '{key}' must be an object mapping document indices to strings"
+        ))
+    })?;
+    if entries.is_empty() {
+        return Err(StreamError::InvalidRequest(format!(
+            "field '{key}' must not be empty"
+        )));
+    }
+    let mut pairs = Vec::with_capacity(entries.len());
+    for (doc, value) in entries {
+        let doc = doc.parse::<usize>().map_err(|_| {
+            StreamError::InvalidRequest(format!("key '{doc}' in '{key}' is not a document index"))
+        })?;
+        let value = value.as_str().ok_or_else(|| {
+            StreamError::InvalidRequest(format!("values of '{key}' must be strings"))
+        })?;
+        pairs.push((doc, value.to_string()));
+    }
+    Ok(pairs)
+}
+
+/// The `add` spec of a `constraint` request, dispatched on its `kind`.
+fn parse_constraint(spec: &Value) -> Result<weber_entity::Constraint, StreamError> {
+    let kind = string_field(spec, "kind")?;
+    let as_doc = |v: u64| -> Result<usize, StreamError> {
+        usize::try_from(v)
+            .map_err(|_| StreamError::InvalidRequest(format!("document index {v} is out of range")))
+    };
+    match kind.as_str() {
+        "cannot-link" => Ok(weber_entity::Constraint::CannotLink {
+            a: as_doc(u64_field(spec, "a")?)?,
+            b: as_doc(u64_field(spec, "b")?)?,
+        }),
+        "one-to-one" => Ok(weber_entity::Constraint::OneToOne {
+            key: string_field(spec, "key")?,
+            values: doc_value_map(spec, "values")?,
+        }),
+        "type" => Ok(weber_entity::Constraint::TypeBoundary {
+            types: doc_value_map(spec, "types")?,
+        }),
+        other => Err(StreamError::InvalidRequest(format!(
+            "unknown constraint kind '{other}' (expected cannot-link, one-to-one or type)"
+        ))),
     }
 }
 
@@ -155,6 +266,33 @@ pub fn parse_request(line: &str) -> Result<Request, StreamError> {
         "resolve" => Ok(Request::Resolve {
             name: string_field(&value, "name")?,
         }),
+        "entities" => Ok(Request::Entities {
+            name: optional_string(&value, "name")?,
+        }),
+        "same_as" => Ok(Request::SameAs {
+            name: string_field(&value, "name")?,
+            a: u64_field(&value, "a")?,
+            b: u64_field(&value, "b")?,
+            retract: optional_bool(&value, "retract")?,
+        }),
+        "constraint" => {
+            let name = string_field(&value, "name")?;
+            let action = match (value.get("add"), optional_bool(&value, "clear")?) {
+                (Some(spec), false) => ConstraintAction::Add(parse_constraint(spec)?),
+                (None, true) => ConstraintAction::Clear,
+                (Some(_), true) => {
+                    return Err(StreamError::InvalidRequest(
+                        "'add' and 'clear' are mutually exclusive".into(),
+                    ))
+                }
+                (None, false) => {
+                    return Err(StreamError::InvalidRequest(
+                        "constraint needs an 'add' spec or 'clear':true".into(),
+                    ))
+                }
+            };
+            Ok(Request::Constraint { name, action })
+        }
         "snapshot" => Ok(Request::Snapshot),
         "metrics" => Ok(Request::Metrics),
         "health" => Ok(Request::Health),
@@ -214,8 +352,22 @@ pub fn ok_ingest(name: &str, a: &ClusterAssignment) -> String {
 }
 
 /// Response to a successful `resolve`: the same summary shape one entry
-/// of the `snapshot` reply carries, for a single name.
+/// of the `snapshot` reply carries, for a single name, plus `members` —
+/// the member mention ids of each live cluster (ascending within a
+/// cluster, clusters ordered by smallest member).
 pub fn ok_resolve(summary: &crate::snapshot::NameSnapshot) -> String {
+    let members = summary
+        .members
+        .iter()
+        .map(|cluster| {
+            Value::Array(
+                cluster
+                    .iter()
+                    .map(|&doc| Value::Number(doc as f64))
+                    .collect(),
+            )
+        })
+        .collect();
     render(&object(vec![
         ("ok", Value::Bool(true)),
         ("op", Value::String("resolve".into())),
@@ -225,6 +377,7 @@ pub fn ok_resolve(summary: &crate::snapshot::NameSnapshot) -> String {
         ("function", Value::String(summary.function.clone())),
         ("criterion", Value::String(summary.criterion.clone())),
         ("accuracy", Value::Number(summary.accuracy)),
+        ("members", Value::Array(members)),
     ]))
 }
 
@@ -248,6 +401,169 @@ pub fn ok_snapshot(snapshot: &Snapshot) -> String {
         ("ok", Value::Bool(true)),
         ("op", Value::String("snapshot".into())),
         ("names", Value::Array(names)),
+    ]))
+}
+
+/// One name's canonical entity table as a JSON value: the body shared by
+/// the single-name and all-names `entities` responses, and the shape the
+/// routing tier's fan-out merge works on.
+pub fn entity_table_value(table: &crate::resolver::EntityTable) -> Value {
+    use weber_entity::{MentionOrigin, Via};
+    let entities = table
+        .entities
+        .iter()
+        .map(|e| {
+            let provenance = e
+                .provenance
+                .iter()
+                .map(|p| {
+                    let mut fields = vec![
+                        ("doc", Value::Number(p.doc as f64)),
+                        (
+                            "source",
+                            Value::String(
+                                match p.origin {
+                                    MentionOrigin::Seed { .. } => "seed",
+                                    MentionOrigin::Ingest => "ingest",
+                                }
+                                .into(),
+                            ),
+                        ),
+                    ];
+                    if let MentionOrigin::Seed { label } = p.origin {
+                        fields.push(("label", Value::Number(label as f64)));
+                    }
+                    fields.push(("via", Value::String(p.via.token().into())));
+                    if let Via::SameAs { a, b } = p.via {
+                        fields.push((
+                            "link",
+                            Value::Array(vec![Value::Number(a as f64), Value::Number(b as f64)]),
+                        ));
+                    }
+                    object(fields)
+                })
+                .collect();
+            object(vec![
+                ("id", Value::Number(e.id as f64)),
+                (
+                    "mentions",
+                    Value::Array(
+                        e.mentions
+                            .iter()
+                            .map(|&m| Value::Number(m as f64))
+                            .collect(),
+                    ),
+                ),
+                ("provenance", Value::Array(provenance)),
+            ])
+        })
+        .collect();
+    let links = table
+        .links
+        .iter()
+        .map(|l| {
+            object(vec![
+                ("a", Value::Number(l.a as f64)),
+                ("b", Value::Number(l.b as f64)),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("name", Value::String(table.name.clone())),
+        ("docs", Value::Number(table.docs as f64)),
+        ("entities", Value::Array(entities)),
+        ("links", Value::Array(links)),
+        ("constraints", Value::Number(table.constraints as f64)),
+        ("splits", Value::Number(table.report.splits as f64)),
+        ("violations", Value::Number(table.report.violations as f64)),
+        (
+            "vetoed_links",
+            Value::Number(table.report.vetoed_links as f64),
+        ),
+        (
+            "retained_ids",
+            Value::Number(table.report.retained_ids as f64),
+        ),
+        (
+            "resurrected_ids",
+            Value::Number(table.report.resurrected_ids as f64),
+        ),
+        ("fresh_ids", Value::Number(table.report.fresh_ids as f64)),
+    ])
+}
+
+/// Response to a per-name `entities`: the table body with `ok`/`op`
+/// prepended.
+pub fn ok_entities(table: &crate::resolver::EntityTable) -> String {
+    let Value::Object(fields) = entity_table_value(table) else {
+        unreachable!("entity_table_value builds an object");
+    };
+    let mut all = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("op".to_string(), Value::String("entities".into())),
+    ];
+    all.extend(fields);
+    render(&Value::Object(all))
+}
+
+/// Response to a name-less `entities`: every seeded name's table under
+/// `names`, sorted by name.
+pub fn ok_entities_all(tables: &[crate::resolver::EntityTable]) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("entities".into())),
+        (
+            "names",
+            Value::Array(tables.iter().map(entity_table_value).collect()),
+        ),
+    ]))
+}
+
+/// Response to a successful `same_as` (assert or retract): echoes the
+/// link, reports whether it is now active, and summarises the re-
+/// materialized table — `entities`/`links` are counts here, and the
+/// violation tallies surface what the pass found (a vetoed link means
+/// the union was refused by a constraint but the link remains for
+/// retraction).
+pub fn ok_same_as(
+    table: &crate::resolver::EntityTable,
+    a: u64,
+    b: u64,
+    retract: bool,
+    active: bool,
+) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("same_as".into())),
+        ("name", Value::String(table.name.clone())),
+        ("a", Value::Number(a as f64)),
+        ("b", Value::Number(b as f64)),
+        ("retract", Value::Bool(retract)),
+        ("active", Value::Bool(active)),
+        ("entities", Value::Number(table.entities.len() as f64)),
+        ("links", Value::Number(table.links.len() as f64)),
+        ("violations", Value::Number(table.report.violations as f64)),
+        (
+            "vetoed_links",
+            Value::Number(table.report.vetoed_links as f64),
+        ),
+    ]))
+}
+
+/// Response to a successful `constraint`: whether the set grew (an `add`
+/// of a duplicate reports `added:false`; a `clear` always reports
+/// `added:false`), the resulting set size, and the re-materialized
+/// table's summary.
+pub fn ok_constraint(table: &crate::resolver::EntityTable, added: bool) -> String {
+    render(&object(vec![
+        ("ok", Value::Bool(true)),
+        ("op", Value::String("constraint".into())),
+        ("name", Value::String(table.name.clone())),
+        ("added", Value::Bool(added)),
+        ("constraints", Value::Number(table.constraints as f64)),
+        ("entities", Value::Number(table.entities.len() as f64)),
+        ("splits", Value::Number(table.report.splits as f64)),
+        ("violations", Value::Number(table.report.violations as f64)),
     ]))
 }
 
@@ -406,6 +722,76 @@ mod tests {
             parse_request(r#"{"op":"health"}"#).unwrap(),
             Request::Health
         );
+        assert_eq!(
+            parse_request(r#"{"op":"entities","name":"cohen"}"#).unwrap(),
+            Request::Entities {
+                name: Some("cohen".into())
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"entities"}"#).unwrap(),
+            Request::Entities { name: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"same_as","name":"cohen","a":1,"b":2}"#).unwrap(),
+            Request::SameAs {
+                name: "cohen".into(),
+                a: 1,
+                b: 2,
+                retract: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"same_as","name":"cohen","a":2,"b":1,"retract":true}"#).unwrap(),
+            Request::SameAs {
+                name: "cohen".into(),
+                a: 2,
+                b: 1,
+                retract: true
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"constraint","name":"cohen","add":{"kind":"cannot-link","a":0,"b":3}}"#
+            )
+            .unwrap(),
+            Request::Constraint {
+                name: "cohen".into(),
+                action: ConstraintAction::Add(weber_entity::Constraint::CannotLink { a: 0, b: 3 })
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"constraint","name":"cohen","add":{"kind":"one-to-one","key":"affiliation","values":{"0":"acme","2":"globex"}}}"#
+            )
+            .unwrap(),
+            Request::Constraint {
+                name: "cohen".into(),
+                action: ConstraintAction::Add(weber_entity::Constraint::OneToOne {
+                    key: "affiliation".into(),
+                    values: vec![(0, "acme".into()), (2, "globex".into())]
+                })
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"constraint","name":"cohen","add":{"kind":"type","types":{"1":"person"}}}"#
+            )
+            .unwrap(),
+            Request::Constraint {
+                name: "cohen".into(),
+                action: ConstraintAction::Add(weber_entity::Constraint::TypeBoundary {
+                    types: vec![(1, "person".into())]
+                })
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"constraint","name":"cohen","clear":true}"#).unwrap(),
+            Request::Constraint {
+                name: "cohen".into(),
+                action: ConstraintAction::Clear
+            }
+        );
         assert_eq!(parse_request(r#"{"op":"flush"}"#).unwrap(), Request::Flush);
         assert_eq!(
             parse_request(r#"{"op":"persist"}"#).unwrap(),
@@ -439,6 +825,44 @@ mod tests {
         assert!(
             parse_request(r#"{"op":"seed","name":"c","docs":[{"text":"a"}]}"#).is_err(),
             "label is required"
+        );
+        // Entity-op shapes that must be refused.
+        assert!(
+            parse_request(r#"{"op":"same_as","name":"c","a":1}"#).is_err(),
+            "same_as needs both endpoints"
+        );
+        assert!(
+            parse_request(r#"{"op":"same_as","name":"c","a":"x","b":2}"#).is_err(),
+            "endpoints are unsigned integers"
+        );
+        assert!(
+            parse_request(r#"{"op":"constraint","name":"c"}"#).is_err(),
+            "constraint needs add or clear"
+        );
+        assert!(
+            parse_request(
+                r#"{"op":"constraint","name":"c","add":{"kind":"cannot-link","a":0,"b":1},"clear":true}"#
+            )
+            .is_err(),
+            "add and clear are exclusive"
+        );
+        assert!(
+            parse_request(r#"{"op":"constraint","name":"c","add":{"kind":"frob","a":0}}"#).is_err(),
+            "unknown constraint kind"
+        );
+        assert!(
+            parse_request(
+                r#"{"op":"constraint","name":"c","add":{"kind":"one-to-one","key":"k","values":{}}}"#
+            )
+            .is_err(),
+            "empty value map"
+        );
+        assert!(
+            parse_request(
+                r#"{"op":"constraint","name":"c","add":{"kind":"type","types":{"x":"person"}}}"#
+            )
+            .is_err(),
+            "non-numeric document key"
         );
     }
 
@@ -490,6 +914,7 @@ mod tests {
             function: "F8".into(),
             criterion: "threshold".into(),
             accuracy: 1.0,
+            members: vec![vec![0, 1, 4], vec![2, 3]],
         };
         let v = serde_json::parse_value(&ok_resolve(&summary)).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
@@ -498,6 +923,15 @@ mod tests {
         assert_eq!(v.get("docs").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("clusters").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("function").unwrap().as_str(), Some("F8"));
+        let members = v.get("members").unwrap().as_array().unwrap();
+        assert_eq!(members.len(), 2);
+        let first: Vec<u64> = members[0]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|m| m.as_u64().unwrap())
+            .collect();
+        assert_eq!(first, vec![0, 1, 4]);
     }
 
     #[test]

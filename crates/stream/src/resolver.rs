@@ -8,6 +8,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use weber_core::resolver::Resolver;
+use weber_entity::{Constraint, EntityStore, MaterializeReport, MentionOrigin, TableState};
 use weber_extract::gazetteer::Gazetteer;
 use weber_extract::pipeline::Extractor;
 use weber_graph::Partition;
@@ -19,6 +20,10 @@ use crate::snapshot::{
     self, NameRecord, NameSnapshot, Snapshot, StoredDocument, STATE_FILE_MAGIC, STATE_FILE_VERSION,
 };
 use crate::state::{ClusterAssignment, NameState};
+
+/// What one entity materialization pass reads out of a name's state:
+/// the live clusters, each doc's origin, and the doc count.
+type ClusterView = (Vec<Vec<usize>>, Vec<MentionOrigin>, usize);
 
 /// One labelled document of a seed batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +67,25 @@ pub struct SeedSummary {
     pub criterion: String,
     /// Training accuracy of the selected layer.
     pub accuracy: f64,
+}
+
+/// A read-out of one name's canonical entity table, produced by one
+/// materialization pass: what the `entities`/`same_as`/`constraint`
+/// protocol ops put on the wire.
+#[derive(Debug, Clone)]
+pub struct EntityTable {
+    /// The ambiguous name.
+    pub name: String,
+    /// Documents in the name's block at materialization time.
+    pub docs: usize,
+    /// The live entities (stable IDs, mentions, provenance).
+    pub entities: Vec<weber_entity::Entity>,
+    /// Active `SAME_AS` links.
+    pub links: Vec<weber_entity::SameAsLink>,
+    /// Registered constraints.
+    pub constraints: usize,
+    /// What the materialization pass did.
+    pub report: MaterializeReport,
 }
 
 /// A name's live state plus its LRU stamp.
@@ -129,6 +153,13 @@ pub struct StreamResolver {
     /// traffic; every block shares `metrics.cache` so similarity-cache
     /// counts survive eviction and re-seeding.
     metrics: StreamMetrics,
+    /// Per-name canonical entity tables, built lazily on the first entity
+    /// op that touches a name (restored from disk when a record exists).
+    /// One mutex over the map: entity ops are orders of magnitude rarer
+    /// than ingests, and the per-name state lock is never held while this
+    /// one is taken (clusters are snapshotted out first), so the two lock
+    /// levels cannot deadlock.
+    entity_tables: Mutex<HashMap<String, EntityStore>>,
 }
 
 impl std::fmt::Debug for StreamResolver {
@@ -162,6 +193,7 @@ impl StreamResolver {
             clock: AtomicU64::new(0),
             started: std::time::Instant::now(),
             metrics: StreamMetrics::new(),
+            entity_tables: Mutex::new(HashMap::new()),
         })
     }
 
@@ -419,6 +451,15 @@ impl StreamResolver {
             self.persist_state(&name, &state)?;
             written += 1;
         }
+        // Entity tables ride along: one versioned record per touched
+        // table, next to the name's clustering record (not counted in
+        // the returned name count).
+        if let Some(dir) = self.config.state_dir.as_deref() {
+            let tables = self.entity_tables.lock();
+            for store in tables.values() {
+                snapshot::write_entity_record(dir, &TableState::capture(store))?;
+            }
+        }
         Ok(written)
     }
 
@@ -532,6 +573,7 @@ impl StreamResolver {
             function: state.model().function_name().to_string(),
             criterion: state.model().criterion().label(),
             accuracy: state.model().accuracy,
+            members: state.partition().clusters(),
         })
     }
 
@@ -565,10 +607,160 @@ impl StreamResolver {
                     function: state.model().function_name().to_string(),
                     criterion: state.model().criterion().label(),
                     accuracy: state.model().accuracy,
+                    // The snapshot keeps its summary shape; the per-name
+                    // `resolve` read carries the cluster members.
+                    members: Vec::new(),
                 }
             })
             .collect();
         Snapshot { names }
+    }
+
+    /// The clusters and per-mention origins one materialization pass
+    /// needs, snapshotted under the name's state lock (and released
+    /// before the entity-table lock is taken).
+    fn cluster_view(&self, name: &str) -> Result<ClusterView, StreamError> {
+        self.with_state(name, |state| {
+            let clusters = state.partition().clusters();
+            let seeds = state.seed_labels();
+            let origins = (0..state.len())
+                .map(|doc| match seeds.get(doc) {
+                    Some(&label) => MentionOrigin::Seed { label },
+                    None => MentionOrigin::Ingest,
+                })
+                .collect();
+            (clusters, origins, state.len())
+        })
+    }
+
+    /// The in-memory entity store for `name`, created on first touch —
+    /// restored from a persisted `.entity.json` record when one exists.
+    /// The caller holds the table-map lock.
+    fn entity_store<'a>(
+        &self,
+        tables: &'a mut HashMap<String, EntityStore>,
+        name: &str,
+    ) -> Result<&'a mut EntityStore, StreamError> {
+        if !tables.contains_key(name) {
+            let store = match self.config.state_dir.as_deref() {
+                Some(dir) => match snapshot::read_entity_record(dir, name)? {
+                    Some(record) => record.restore().map_err(StreamError::SnapshotRejected)?,
+                    None => EntityStore::new(name),
+                },
+                None => EntityStore::new(name),
+            };
+            tables.insert(name.to_string(), store);
+        }
+        Ok(tables.get_mut(name).expect("just inserted"))
+    }
+
+    /// Run one materialization pass and read the resulting table out.
+    fn materialize_pass(
+        &self,
+        store: &mut EntityStore,
+        clusters: &[Vec<usize>],
+        origins: &[MentionOrigin],
+        docs: usize,
+    ) -> EntityTable {
+        let start = std::time::Instant::now();
+        let report = store.materialize(clusters, origins);
+        self.metrics.entity_materializations.inc();
+        self.metrics.entity_materialize_us.record_since(start);
+        self.metrics.entity_splits.add(report.splits);
+        self.metrics
+            .entity_constraint_violations
+            .add(report.violations);
+        EntityTable {
+            name: store.name().to_string(),
+            docs,
+            entities: store.entities().to_vec(),
+            links: store.links().to_vec(),
+            constraints: store.constraints().len(),
+            report,
+        }
+    }
+
+    /// Materialize and read one name's canonical entity table (the
+    /// `entities` protocol op). The name's state is restored from disk
+    /// first if it was evicted; the entity table is restored from its own
+    /// record on first touch.
+    pub fn entities(&self, name: &str) -> Result<EntityTable, StreamError> {
+        let (clusters, origins, docs) = self.cluster_view(name)?;
+        let mut tables = self.entity_tables.lock();
+        let store = self.entity_store(&mut tables, name)?;
+        Ok(self.materialize_pass(store, &clusters, &origins, docs))
+    }
+
+    /// Materialize every live name's entity table, sorted by name (the
+    /// name-less `entities` op). A name evicted mid-walk is skipped.
+    pub fn entities_all(&self) -> Result<Vec<EntityTable>, StreamError> {
+        let mut out = Vec::new();
+        for name in self.names() {
+            match self.entities(&name) {
+                Ok(table) => out.push(table),
+                Err(StreamError::UnknownName(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Assert (or retract) a `SAME_AS` link between two canonical entity
+    /// IDs of `name`, then re-materialize and return the updated table.
+    /// The table is brought up to date with the current partition *before*
+    /// the IDs are validated, so a link can reference entities created by
+    /// ingests since the last entity op.
+    pub fn same_as(
+        &self,
+        name: &str,
+        a: u64,
+        b: u64,
+        retract: bool,
+    ) -> Result<EntityTable, StreamError> {
+        let (clusters, origins, docs) = self.cluster_view(name)?;
+        let mut tables = self.entity_tables.lock();
+        let store = self.entity_store(&mut tables, name)?;
+        self.materialize_pass(store, &clusters, &origins, docs);
+        if retract {
+            store.retract_link(a, b)?;
+        } else {
+            store.assert_link(a, b)?;
+        }
+        Ok(self.materialize_pass(store, &clusters, &origins, docs))
+    }
+
+    /// Register one constraint for `name` (or clear them all), then
+    /// re-materialize and return the updated table plus whether the
+    /// constraint set grew (`false` for a duplicate or a clear).
+    pub fn constrain(
+        &self,
+        name: &str,
+        action: &crate::protocol::ConstraintAction,
+    ) -> Result<(bool, EntityTable), StreamError> {
+        let (clusters, origins, docs) = self.cluster_view(name)?;
+        let mut tables = self.entity_tables.lock();
+        let store = self.entity_store(&mut tables, name)?;
+        let added = match action {
+            crate::protocol::ConstraintAction::Add(constraint) => {
+                store.add_constraint(constraint.clone())
+            }
+            crate::protocol::ConstraintAction::Clear => {
+                store.clear_constraints();
+                false
+            }
+        };
+        Ok((
+            added,
+            self.materialize_pass(store, &clusters, &origins, docs),
+        ))
+    }
+
+    /// Register a constraint directly (embedders and tests; the wire path
+    /// goes through [`constrain`](Self::constrain)).
+    pub fn add_constraint(&self, name: &str, constraint: Constraint) -> Result<bool, StreamError> {
+        let mut tables = self.entity_tables.lock();
+        let store = self.entity_store(&mut tables, name)?;
+        Ok(store.add_constraint(constraint))
     }
 }
 
@@ -851,6 +1043,130 @@ mod tests {
         assert!(snapshot::read_record(&dir, "smith").unwrap().is_some());
         // The evicted-and-restored partition kept every document.
         assert_eq!(r.partition("cohen").unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resolve_name_carries_cluster_members() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        let summary = r.resolve_name("cohen").unwrap();
+        assert_eq!(summary.members.len(), summary.clusters);
+        let mut all: Vec<usize> = summary.members.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            vec![0, 1, 2, 3],
+            "every document in exactly one cluster"
+        );
+        // The summary snapshot keeps its light shape.
+        assert!(r.snapshot().names[0].members.is_empty());
+    }
+
+    #[test]
+    fn entities_materialize_with_stable_ids_and_seed_provenance() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        let table = r.entities("cohen").unwrap();
+        assert_eq!(table.docs, 4);
+        assert_eq!(table.entities.len(), 2);
+        assert_eq!(table.report.fresh_ids, 2);
+        let seeded: Vec<_> = table.entities[0]
+            .provenance
+            .iter()
+            .map(|p| p.origin)
+            .collect();
+        assert!(seeded
+            .iter()
+            .all(|o| matches!(o, MentionOrigin::Seed { .. })));
+        // A second pass over an unchanged partition keeps every ID.
+        let again = r.entities("cohen").unwrap();
+        assert_eq!(again.report.retained_ids, 2);
+        assert_eq!(again.report.fresh_ids, 0);
+        assert_eq!(
+            again.entities.iter().map(|e| e.id).collect::<Vec<_>>(),
+            table.entities.iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+        assert!(matches!(
+            r.entities("nobody"),
+            Err(StreamError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn same_as_and_constraints_round_trip_through_the_resolver() {
+        let r = StreamResolver::new(StreamConfig::default(), &gazetteer()).unwrap();
+        r.seed("cohen", &seed_docs()).unwrap();
+        let table = r.entities("cohen").unwrap();
+        let (a, b) = (table.entities[0].id, table.entities[1].id);
+        // The two seed clusters carry different labels, so the union is
+        // vetoed by the implicit cannot-link — but the link stays.
+        let vetoed = r.same_as("cohen", a, b, false).unwrap();
+        assert_eq!(vetoed.entities.len(), 2);
+        assert_eq!(vetoed.report.vetoed_links, 1);
+        assert_eq!(vetoed.links.len(), 1);
+        let back = r.same_as("cohen", a, b, true).unwrap();
+        assert!(back.links.is_empty());
+        assert!(matches!(
+            r.same_as("cohen", a, 99, false),
+            Err(StreamError::Entity(
+                weber_entity::EntityError::UnknownEntity(99)
+            ))
+        ));
+        // An explicit constraint splits a seed cluster.
+        let (added, constrained) = r
+            .constrain(
+                "cohen",
+                &crate::protocol::ConstraintAction::Add(Constraint::CannotLink { a: 0, b: 1 }),
+            )
+            .unwrap();
+        assert!(added);
+        assert_eq!(constrained.constraints, 1);
+        assert!(constrained.entities.len() >= 3);
+        assert!(constrained.report.splits >= 1);
+        let (added_again, _) = r
+            .constrain(
+                "cohen",
+                &crate::protocol::ConstraintAction::Add(Constraint::CannotLink { a: 1, b: 0 }),
+            )
+            .unwrap();
+        assert!(!added_again, "duplicates are ignored");
+        let (_, cleared) = r
+            .constrain("cohen", &crate::protocol::ConstraintAction::Clear)
+            .unwrap();
+        assert_eq!(cleared.constraints, 0);
+        assert_eq!(cleared.entities.len(), 2);
+    }
+
+    #[test]
+    fn entity_tables_persist_and_restore_on_touch() {
+        let dir = temp_dir("entity_roundtrip");
+        let config = StreamConfig::default().with_state_dir(&dir);
+        let (ids_before, links_before) = {
+            let r = StreamResolver::new(config.clone(), &gazetteer()).unwrap();
+            r.seed("cohen", &seed_docs()).unwrap();
+            r.entities("cohen").unwrap();
+            r.add_constraint("cohen", Constraint::CannotLink { a: 0, b: 2 })
+                .unwrap();
+            let table = r.entities("cohen").unwrap();
+            r.persist_all().unwrap();
+            (
+                table.entities.iter().map(|e| e.id).collect::<Vec<_>>(),
+                table.links.len(),
+            )
+        };
+        // A fresh resolver: the first entity touch restores the table —
+        // same stable IDs, same constraint set.
+        let r = StreamResolver::new(config, &gazetteer()).unwrap();
+        let table = r.entities("cohen").unwrap();
+        assert_eq!(
+            table.entities.iter().map(|e| e.id).collect::<Vec<_>>(),
+            ids_before
+        );
+        assert_eq!(table.links.len(), links_before);
+        assert_eq!(table.constraints, 1);
+        assert_eq!(table.report.retained_ids, ids_before.len());
+        assert_eq!(table.report.fresh_ids, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

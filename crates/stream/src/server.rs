@@ -165,7 +165,10 @@ impl weber_net::NdjsonService for ResolverService {
             Ok(Request::Health) | Err(_) => RouteClass::Immediate,
             Ok(Request::Seed { name, .. })
             | Ok(Request::Ingest { name, .. })
-            | Ok(Request::Resolve { name }) => RouteClass::Data(name_key(&name)),
+            | Ok(Request::Resolve { name })
+            | Ok(Request::Entities { name: Some(name) })
+            | Ok(Request::SameAs { name, .. })
+            | Ok(Request::Constraint { name, .. }) => RouteClass::Data(name_key(&name)),
             Ok(_) => RouteClass::Control,
         }
     }

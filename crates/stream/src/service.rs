@@ -63,6 +63,33 @@ pub fn process_request(resolver: &StreamResolver, request: &Request) -> String {
             Ok(summary) => protocol::ok_resolve(&summary),
             Err(e) => protocol::err_response(&e),
         },
+        Request::Entities { name: Some(name) } => match resolver.entities(name) {
+            Ok(table) => protocol::ok_entities(&table),
+            Err(e) => protocol::err_response(&e),
+        },
+        Request::Entities { name: None } => match resolver.entities_all() {
+            Ok(tables) => protocol::ok_entities_all(&tables),
+            Err(e) => protocol::err_response(&e),
+        },
+        Request::SameAs {
+            name,
+            a,
+            b,
+            retract,
+        } => match resolver.same_as(name, *a, *b, *retract) {
+            Ok(table) => {
+                let active = table
+                    .links
+                    .iter()
+                    .any(|l| (l.a == *a && l.b == *b) || (l.a == *b && l.b == *a));
+                protocol::ok_same_as(&table, *a, *b, *retract, active)
+            }
+            Err(e) => protocol::err_response(&e),
+        },
+        Request::Constraint { name, action } => match resolver.constrain(name, action) {
+            Ok((added, table)) => protocol::ok_constraint(&table, added),
+            Err(e) => protocol::err_response(&e),
+        },
         Request::Snapshot => protocol::ok_snapshot(&resolver.snapshot()),
         Request::Metrics => protocol::ok_metrics(&resolver.metrics().merged_snapshot()),
         Request::Health => protocol::ok_health(&resolver.health()),
@@ -151,7 +178,10 @@ impl StreamService {
         match request {
             Request::Seed { name, .. }
             | Request::Ingest { name, .. }
-            | Request::Resolve { name } => {
+            | Request::Resolve { name }
+            | Request::Entities { name: Some(name) }
+            | Request::SameAs { name, .. }
+            | Request::Constraint { name, .. } => {
                 let mut hasher = std::collections::hash_map::DefaultHasher::new();
                 name.hash(&mut hasher);
                 (hasher.finish() % self.queues.len() as u64) as usize
@@ -185,6 +215,7 @@ impl StreamService {
                 let outcome = if matches!(
                     request,
                     Request::Snapshot
+                        | Request::Entities { name: None }
                         | Request::Metrics
                         | Request::Persist
                         | Request::Restore

@@ -53,6 +53,11 @@ pub struct NameSnapshot {
     pub criterion: String,
     /// Training accuracy of the selected layer.
     pub accuracy: f64,
+    /// Member mention (document) ids of each live cluster, each ascending,
+    /// ordered by smallest member. The `resolve` op puts these on the wire
+    /// (entity materialization needs them); the `snapshot` op keeps its
+    /// summary shape and leaves them off.
+    pub members: Vec<Vec<usize>>,
 }
 
 /// Summary of the whole service state, one entry per seeded name,
@@ -237,6 +242,79 @@ pub fn read_record(dir: &Path, name: &str) -> Result<Option<NameRecord>, StreamE
     Ok(Some(record))
 }
 
+/// File-name suffix of per-name entity-table records, written next to
+/// the `.state.json` clustering records.
+pub const ENTITY_FILE_SUFFIX: &str = ".entity.json";
+
+/// Path of `name`'s entity-table file inside `dir`
+/// (`<hex(name)>.entity.json`, same hex encoding as the state file).
+pub fn entity_file_path(dir: &Path, name: &str) -> PathBuf {
+    let state = state_file_name(name);
+    let hex = state.strip_suffix(STATE_FILE_SUFFIX).unwrap_or(&state);
+    dir.join(format!("{hex}{ENTITY_FILE_SUFFIX}"))
+}
+
+/// Atomically write one name's entity table into `dir` (creating the
+/// directory if needed). Returns the final path.
+pub fn write_entity_record(
+    dir: &Path,
+    table: &weber_entity::TableState,
+) -> Result<PathBuf, StreamError> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        StreamError::Persistence(format!("cannot create state dir {}: {e}", dir.display()))
+    })?;
+    let path = entity_file_path(dir, &table.name);
+    let tmp = path.with_extension("json.tmp");
+    let json = serde_json::to_string(table)
+        .map_err(|e| StreamError::Persistence(format!("cannot encode entity table: {e}")))?;
+    std::fs::write(&tmp, json)
+        .map_err(|e| StreamError::Persistence(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StreamError::Persistence(format!("cannot rename into {}: {e}", path.display()))
+    })?;
+    Ok(path)
+}
+
+/// Read and validate `name`'s entity-table record from `dir`; `Ok(None)`
+/// when no file exists. A file with the wrong magic, version, or name is
+/// rejected with [`StreamError::SnapshotRejected`], never misread.
+pub fn read_entity_record(
+    dir: &Path,
+    name: &str,
+) -> Result<Option<weber_entity::TableState>, StreamError> {
+    let path = entity_file_path(dir, name);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(StreamError::Persistence(format!(
+                "cannot read {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let table: weber_entity::TableState = serde_json::from_str(&json)
+        .map_err(|e| StreamError::SnapshotRejected(format!("malformed entity table: {e}")))?;
+    if table.magic != weber_entity::ENTITY_FILE_MAGIC
+        || table.version != weber_entity::ENTITY_FILE_VERSION
+    {
+        return Err(StreamError::SnapshotRejected(format!(
+            "not a version-{} entity table: magic {:?} version {}",
+            weber_entity::ENTITY_FILE_VERSION,
+            table.magic,
+            table.version
+        )));
+    }
+    if table.name != name {
+        return Err(StreamError::SnapshotRejected(format!(
+            "entity file for '{name}' records table of '{}'",
+            table.name
+        )));
+    }
+    Ok(Some(table))
+}
+
 /// Names with a state file inside `dir`, sorted; an absent directory is
 /// simply empty.
 pub fn stored_names(dir: &Path) -> Result<Vec<String>, StreamError> {
@@ -277,6 +355,7 @@ mod tests {
                     function: "F8".into(),
                     criterion: "thr".into(),
                     accuracy: 0.9,
+                    members: vec![vec![0, 1, 4], vec![2, 3]],
                 },
                 NameSnapshot {
                     name: "smith".into(),
@@ -285,6 +364,7 @@ mod tests {
                     function: "F4".into(),
                     criterion: "eq10".into(),
                     accuracy: 0.8,
+                    members: vec![vec![0], vec![1], vec![2]],
                 },
             ],
         }
@@ -389,6 +469,42 @@ mod tests {
         }
         assert_eq!(name_from_state_file("nope.json"), None);
         assert_eq!(name_from_state_file("xyz.state.json"), None);
+    }
+
+    #[test]
+    fn entity_records_roundtrip_next_to_state_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "weber_entity_record_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = weber_entity::EntityStore::new("cohen");
+        store.materialize(
+            &[vec![0, 1], vec![2]],
+            &[
+                weber_entity::MentionOrigin::Seed { label: 0 },
+                weber_entity::MentionOrigin::Seed { label: 0 },
+                weber_entity::MentionOrigin::Ingest,
+            ],
+        );
+        let table = weber_entity::TableState::capture(&store);
+        let path = write_entity_record(&dir, &table).unwrap();
+        assert!(path.to_string_lossy().ends_with(ENTITY_FILE_SUFFIX));
+        // The entity file sits next to (not on top of) the state file.
+        assert_ne!(path, state_file_path(&dir, "cohen"));
+        let back = read_entity_record(&dir, "cohen").unwrap().unwrap();
+        assert_eq!(back, table);
+        assert_eq!(read_entity_record(&dir, "nobody").unwrap(), None);
+        // A tampered header is rejected, not misread.
+        let mut bad = table.clone();
+        bad.version = 99;
+        std::fs::write(&path, serde_json::to_string(&bad).unwrap()).unwrap();
+        assert!(matches!(
+            read_entity_record(&dir, "cohen"),
+            Err(StreamError::SnapshotRejected(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -30,6 +30,9 @@ scripts/route_smoke.sh
 echo "==> serve smoke: scripts/serve_smoke.sh"
 scripts/serve_smoke.sh
 
+echo "==> entity smoke: scripts/entity_smoke.sh"
+scripts/entity_smoke.sh
+
 echo "==> blocking smoke: scripts/block_smoke.sh"
 scripts/block_smoke.sh
 
@@ -46,7 +49,7 @@ if [[ $FULL -eq 1 ]]; then
     echo "==> docs: NDJSON examples in docs/OPERATIONS.md"
     grep '^{' docs/OPERATIONS.md | jq -e 'type == "object"' >/dev/null \
         || { echo "docs check: an example line in docs/OPERATIONS.md is not valid JSON" >&2; exit 1; }
-    known='health|seed|ingest|resolve|snapshot|metrics|persist|restore|flush|shutdown|topology'
+    known='health|seed|ingest|resolve|entities|same_as|constraint|snapshot|metrics|persist|restore|flush|shutdown|topology'
     bad=$(grep '^{' docs/OPERATIONS.md | jq -r '.op // empty' | grep -vE "^($known)$" || true)
     [[ -z "$bad" ]] || { echo "docs check: unknown op in docs/OPERATIONS.md examples: $bad" >&2; exit 1; }
     ops=$(grep '^{' docs/OPERATIONS.md | jq -r 'select(has("op") and (has("ok") | not)) | .op' | wc -l)

@@ -1,8 +1,8 @@
 //! `weber` — command-line front end for the entity-resolution library.
 //!
 //! ```text
-//! weber generate --preset www05|weps|small|tiny|dirty|dirty-small
-//!                [--seed N] --out FILE
+//! weber generate --preset www05|weps|small|constrained-small|tiny|
+//!                dirty|dirty-small [--seed N] --out FILE
 //! weber stats    --dataset FILE
 //! weber resolve  --dataset FILE [--train FRAC] [--seed N] [--out FILE]
 //! weber experiment --dataset FILE [--train FRAC] [--runs N]
@@ -51,8 +51,8 @@ const USAGE: &str = "\
 weber — entity resolution for web document collections
 
 USAGE:
-  weber generate  --preset <www05|weps|small|tiny|dirty|dirty-small>
-                  [--seed N] --out FILE
+  weber generate  --preset <www05|weps|small|constrained-small|tiny
+                  |dirty|dirty-small> [--seed N] --out FILE
   weber stats     --dataset FILE
   weber resolve   --dataset FILE [--train FRAC] [--seed N] [--out FILE]
   weber experiment --dataset FILE [--train FRAC] [--runs N]
@@ -102,6 +102,11 @@ resolve reads back one name's current summary:
   {\"op\":\"seed\",\"name\":\"cohen\",\"docs\":[{\"text\":\"…\",\"label\":0},…]}
   {\"op\":\"ingest\",\"name\":\"cohen\",\"text\":\"…\"}
   {\"op\":\"resolve\",\"name\":\"cohen\"}
+Above the partition sits the canonical entity layer (see PROTOCOL.md):
+{\"op\":\"entities\",\"name\":...} materializes stable-ID entities with
+per-mention provenance, {\"op\":\"same_as\",...} asserts or retracts
+reversible merge links, and {\"op\":\"constraint\",...} adds global
+cannot-link / one-to-one / type rules enforced at materialization.
 --dataset seeds the gazetteer from a generated corpus file; --workers and
 --queue size the worker pool and per-worker admission queue. With --listen
 the daemon serves clients concurrently, up to --max-connections at once
@@ -127,16 +132,17 @@ backends: it speaks the same NDJSON protocol and consistent-hashes each
 request's name onto the backend ring, so a client cannot tell it from a
 single (much larger) daemon. With --replication R (default 1) every name
 lives on the R distinct backends clockwise from its ring position:
-writes (seed/ingest) fan out to all R — a replica that misses a write
-gets the line buffered and replayed when it recovers — and the per-name
-read {\"op\":\"resolve\",\"name\":...} fails over across the set, so any
+writes (seed/ingest/same_as/constraint) fan out to all R — a replica
+that misses a write gets the line buffered and replayed when it
+recovers — and the per-name reads ({\"op\":\"resolve\",\"name\":...},
+{\"op\":\"entities\",\"name\":...}) fail over across the set, so any
 R-1 dead backends leave every name readable. Per-name ops use bounded
 retries (--retries, default 2) over an asynchronous outbound pool: one
 epoll reactor multiplexes every pooled backend socket (--pool per
 backend, default 2), so a stalled backend ties up zero router threads —
 its exchanges time out and answer \"unreachable\" while healthy shards
-keep serving; snapshot/metrics/persist/restore/flush/shutdown fan
-out to every backend and merge, degrading (\"degraded\":true plus the
+keep serving; snapshot, name-less entities, metrics, persist, restore,
+flush and shutdown fan out to every backend and merge, degrading (\"degraded\":true plus the
 unreachable shard list) instead of failing when backends are down.
 --vnodes N (default 64) sets the ring's virtual nodes per backend (the
 old --replicas alias is gone — it never set the replication factor).
@@ -238,6 +244,7 @@ fn preset_by_name(name: &str, seed: u64) -> Result<CorpusConfig, String> {
         "www05" => Ok(presets::www05_like(seed)),
         "weps" => Ok(presets::weps_like(seed)),
         "small" => Ok(presets::small(seed)),
+        "constrained-small" => Ok(presets::constrained_small(seed)),
         "tiny" => Ok(presets::tiny(seed)),
         other => Err(format!("unknown preset '{other}'")),
     }

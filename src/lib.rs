@@ -26,6 +26,10 @@
 //! - [`stream`] — streaming resolution: per-name decision models trained
 //!   on seed batches, incremental ingestion, and the `weber serve` NDJSON
 //!   daemon.
+//! - [`entity`] — the canonical entity layer above partitioning: stable
+//!   entity IDs that survive re-partitioning, reversible `SAME_AS` links,
+//!   per-mention provenance, and declarative global constraints enforced
+//!   at materialization (`entities`/`same_as`/`constraint` ops).
 //! - [`shard`] — the sharded routing tier: a consistent-hash ring over
 //!   many `weber serve` backends behind one `weber route` front end, with
 //!   pooled connections, health probes, bounded retries and degraded-mode
@@ -46,6 +50,7 @@ pub mod loadgen;
 pub use weber_block as block;
 pub use weber_core as core;
 pub use weber_corpus as corpus;
+pub use weber_entity as entity;
 pub use weber_eval as eval;
 pub use weber_extract as extract;
 pub use weber_graph as graph;

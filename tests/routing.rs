@@ -846,3 +846,95 @@ fn a_stalled_exchange_times_out_as_unreachable_not_a_hang() {
         "stalled exchange took {elapsed:?} — the timeout sweep did not fire"
     );
 }
+
+#[test]
+fn entity_ops_relay_through_a_replicated_ring() {
+    // Two backends, R=2: every name lives on both, so entity-table
+    // mutations must fan out like writes, named reads must carry shard
+    // tags, and the name-less fan-out must list each name exactly once.
+    let backends: Vec<Backend> = (0..2)
+        .map(|_| start_backend(StreamConfig::default()))
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(|b| b.addr).collect();
+    let options = RouterOptions {
+        replication: 2,
+        ..fast_options()
+    };
+    let router = Router::new(addrs.iter().map(|a| a.to_string()).collect(), options).unwrap();
+
+    let out = router.process_line(&seed_line("cohen"));
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("acked").unwrap().as_u64(),
+        Some(2),
+        "{}",
+        out.response
+    );
+
+    // A named `entities` is a per-name read: answered by one replica,
+    // tagged with the shard that served it.
+    let out = router.process_line(r#"{"op":"entities","name":"cohen"}"#);
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert!(v.get("shard").is_some(), "{}", out.response);
+    let entities = v.get("entities").unwrap().as_array().unwrap();
+    assert_eq!(entities.len(), 2);
+
+    // `constraint` takes the replicated write path: both replicas apply
+    // it, so whichever replica answers later reads, the split holds.
+    let out = router.process_line(
+        r#"{"op":"constraint","name":"cohen","add":{"kind":"cannot-link","a":0,"b":1}}"#,
+    );
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert_eq!(
+        v.get("acked").unwrap().as_u64(),
+        Some(2),
+        "{}",
+        out.response
+    );
+    for _ in 0..4 {
+        let out = router.process_line(r#"{"op":"entities","name":"cohen"}"#);
+        let v = parse(&out.response);
+        let entities = v.get("entities").unwrap().as_array().unwrap();
+        assert_eq!(entities.len(), 3, "both replicas hold the constraint");
+    }
+
+    // `same_as` errors relay verbatim from the backend, stable kind
+    // included.
+    let out = router.process_line(r#"{"op":"same_as","name":"cohen","a":0,"b":99}"#);
+    let v = parse(&out.response);
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("unknown-entity"));
+
+    // The name-less fan-out merges both replicas' tables into one entry
+    // per name — R copies of `cohen` must not appear twice.
+    let out = router.process_line(r#"{"op":"entities"}"#);
+    let v = parse(&out.response);
+    assert_eq!(
+        v.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{}",
+        out.response
+    );
+    assert_eq!(v.get("op").unwrap().as_str(), Some("entities"));
+    assert!(v.get("degraded").is_none(), "{}", out.response);
+    let names = v.get("names").unwrap().as_array().unwrap();
+    assert_eq!(names.len(), 1, "{}", out.response);
+    assert_eq!(names[0].get("name").unwrap().as_str(), Some("cohen"));
+    assert!(names[0].get("shard").is_some());
+
+    for backend in backends {
+        kill_backend(backend);
+    }
+}
